@@ -1,0 +1,42 @@
+# Development targets for the votm reproduction.
+
+GO ?= go
+
+.PHONY: all build test short race cover bench tables ablations fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One iteration of every table/ablation benchmark (fast); drop -benchtime
+# for the full timing runs.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+tables:
+	$(GO) run ./cmd/votm-bench -table all -scale default
+
+ablations:
+	$(GO) run ./cmd/votm-bench -ablations -scale default
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,240 @@
+// Benchmarks regenerating every table of the paper's evaluation section
+// (one Benchmark per table, plus the DESIGN.md ablations). Each iteration
+// runs the full experiment at a reduced scale that preserves the paper's
+// shapes; the rendered table is logged on the first iteration (visible with
+// -v). For paper-scale runs use cmd/votm-bench -scale paper.
+//
+//	go test -bench=. -benchmem
+package votm_test
+
+import (
+	"testing"
+	"time"
+
+	"votm/internal/harness"
+)
+
+// benchScale keeps the full `go test -bench=.` suite around two minutes on
+// a small host while preserving contention shapes (livelock cells included).
+func benchScale() harness.Scale {
+	return harness.Scale{
+		Threads:       8,
+		EigenLoops:    50,
+		IntruderFlows: 256,
+		Qs:            []int{1, 2, 4, 8},
+		StallWindow:   time.Second,
+		Deadline:      8 * time.Second,
+	}
+}
+
+// reportSweepExtremes attaches the sweep's endpoint runtimes as metrics so
+// `-bench` output shows the shape (low-Q vs high-Q) at a glance.
+func reportSweepExtremes(b *testing.B, firstNs, lastNs float64, livelocks int) {
+	b.ReportMetric(firstNs, "loQ-ns")
+	b.ReportMetric(lastNs, "hiQ-ns")
+	b.ReportMetric(float64(livelocks), "livelocks")
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, sweep, err := harness.TableIII(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+		lv := 0
+		for _, r := range sweep.Results {
+			if r.Livelock {
+				lv++
+			}
+		}
+		reportSweepExtremes(b,
+			float64(sweep.Results[0].Elapsed.Nanoseconds()),
+			float64(sweep.Results[len(sweep.Results)-1].Elapsed.Nanoseconds()), lv)
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, sweep, err := harness.TableIV(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+		reportSweepExtremes(b,
+			float64(sweep.Results[0].Elapsed.Nanoseconds()),
+			float64(sweep.Results[len(sweep.Results)-1].Elapsed.Nanoseconds()), 0)
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, sweep, err := harness.TableV(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+		lv := 0
+		for _, r := range sweep.Results {
+			if r.Livelock {
+				lv++
+			}
+		}
+		reportSweepExtremes(b,
+			float64(sweep.Results[0].Elapsed.Nanoseconds()),
+			float64(sweep.Results[len(sweep.Results)-1].Elapsed.Nanoseconds()), lv)
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, set, err := harness.TableVI(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+		// Headline: adaptive multi-view vs single-view Eigenbench runtime.
+		b.ReportMetric(float64(set.Eigen[0].Elapsed.Nanoseconds()), "sv-ns")
+		b.ReportMetric(float64(set.Eigen[1].Elapsed.Nanoseconds()), "mv-ns")
+	}
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, sweep, err := harness.TableVII(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+		reportSweepExtremes(b,
+			float64(sweep.Results[0].Elapsed.Nanoseconds()),
+			float64(sweep.Results[len(sweep.Results)-1].Elapsed.Nanoseconds()), 0)
+	}
+}
+
+func BenchmarkTableVIII(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, sweep, err := harness.TableVIII(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+		reportSweepExtremes(b,
+			float64(sweep.Results[0].Elapsed.Nanoseconds()),
+			float64(sweep.Results[len(sweep.Results)-1].Elapsed.Nanoseconds()), 0)
+	}
+}
+
+func BenchmarkTableIX(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, sweep, err := harness.TableIX(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+		reportSweepExtremes(b,
+			float64(sweep.Results[0].Elapsed.Nanoseconds()),
+			float64(sweep.Results[len(sweep.Results)-1].Elapsed.Nanoseconds()), 0)
+	}
+}
+
+func BenchmarkTableX(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, set, err := harness.TableX(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+		b.ReportMetric(float64(set.Intr[0].Elapsed.Nanoseconds()), "sv-ns")
+		b.ReportMetric(float64(set.Intr[1].Elapsed.Nanoseconds()), "mv-ns")
+	}
+}
+
+func BenchmarkAblationCM(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.AblationCM(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+	}
+}
+
+func BenchmarkAblationAdjust(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.AblationAdjust(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+	}
+}
+
+func BenchmarkAblationClock(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.AblationClock(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+	}
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.AblationPolicy(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+	}
+}
+
+func BenchmarkAblationEngines(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.AblationEngines(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Render())
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command eigenbench runs the modified two-view Eigenbench microbenchmark
+// (paper §III-A) standalone with full parameter control.
+//
+// Examples:
+//
+//	eigenbench -mode multi-view -engine oreceager -q1 1 -q2 16
+//	eigenbench -mode single-view -engine norec -q1 8 -loops 5000
+//	eigenbench -mode multi-view -adaptive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"votm/internal/core"
+	"votm/internal/eigenbench"
+	"votm/internal/trace"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "multi-view", "single-view | multi-view | multi-TM | TM")
+		engine   = flag.String("engine", "norec", "norec | oreceager | tl2")
+		threads  = flag.Int("threads", 16, "number of worker threads (N)")
+		loops    = flag.Int("loops", 1000, "transactions per thread per view")
+		q1       = flag.Int("q1", 0, "view 1 quota (0 = adaptive)")
+		q2       = flag.Int("q2", 0, "view 2 quota (0 = adaptive)")
+		adaptive = flag.Bool("adaptive", false, "force adaptive RAC on both views")
+		suicide  = flag.Bool("suicide-cm", false, "use the suicide contention manager (OrecEagerRedo)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		stall    = flag.Duration("stall", 2*time.Second, "livelock stall window")
+		deadline = flag.Duration("deadline", 2*time.Minute, "absolute run deadline")
+		traceCSV = flag.String("tracecsv", "", "write a per-view δ(Q)/quota time series to FILE.<view>.csv")
+	)
+	flag.Parse()
+
+	var m eigenbench.Mode
+	switch *mode {
+	case "single-view":
+		m = eigenbench.SingleView
+	case "multi-view":
+		m = eigenbench.MultiView
+	case "multi-TM", "multi-tm":
+		m = eigenbench.MultiTM
+	case "TM", "tm":
+		m = eigenbench.PlainTM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var eng core.EngineKind
+	switch *engine {
+	case "norec":
+		eng = core.NOrec
+	case "oreceager":
+		eng = core.OrecEagerRedo
+	case "tl2":
+		eng = core.TL2
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	if *adaptive {
+		*q1, *q2 = 0, 0
+	}
+
+	p := eigenbench.Scaled(*threads, *loops)
+	p.Seed = *seed
+	cfg := eigenbench.RunConfig{
+		Engine:      eng,
+		Mode:        m,
+		Quotas:      [2]int{*q1, *q2},
+		SuicideCM:   *suicide,
+		StallWindow: *stall,
+		Deadline:    *deadline,
+	}
+	var samplers []*trace.Sampler
+	if *traceCSV != "" {
+		cfg.OnViews = func(views []*core.View) {
+			for _, v := range views {
+				samplers = append(samplers, trace.StartSampler(v, 10*time.Millisecond))
+			}
+		}
+	}
+
+	fmt.Println(eigenbench.Describe(cfg))
+	res, err := eigenbench.Run(cfg, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	for i, s := range samplers {
+		s.Stop()
+		name := fmt.Sprintf("%s.%d.csv", *traceCSV, i+1)
+		f, ferr := os.Create(name)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", ferr)
+			continue
+		}
+		if werr := s.WriteCSV(f); werr != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", werr)
+		}
+		_ = f.Close()
+		fmt.Printf("view %d quota sparkline: %s  (series: %s)\n", i+1, s.Sparkline(), name)
+	}
+	if res.Livelock {
+		fmt.Printf("LIVELOCK (%s) after %v\n", res.Reason, res.Elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("runtime: %v\n", res.Elapsed.Round(time.Microsecond))
+	}
+	for i, v := range res.Views {
+		delta := "N/A"
+		if !math.IsNaN(v.Delta) {
+			delta = fmt.Sprintf("%.3f", v.Delta)
+		}
+		fmt.Printf("view %d: Q=%d #tx=%d #abort=%d t_success=%v t_aborted=%v delta(Q)=%s moves=%d\n",
+			i+1, v.Quota, v.Commits, v.Aborts,
+			time.Duration(v.SuccessNs).Round(time.Microsecond),
+			time.Duration(v.AbortNs).Round(time.Microsecond),
+			delta, v.QuotaMoves)
+	}
+}

@@ -1,0 +1,109 @@
+// Command intruder runs the STAMP-Intruder reproduction (paper §III-B)
+// standalone. Flags mirror STAMP: -a attack percent, -l max fragments,
+// -n flows, -s seed.
+//
+// Examples:
+//
+//	intruder -mode multi-view -engine norec -n 4096
+//	intruder -mode single-view -engine oreceager -q1 4 -n 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"votm/internal/core"
+	"votm/internal/intruder"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "multi-view", "single-view | multi-view | multi-TM | TM")
+		engine   = flag.String("engine", "norec", "norec | oreceager | tl2")
+		threads  = flag.Int("threads", 16, "number of worker threads (N)")
+		nFlows   = flag.Int("n", 4096, "number of flows (-n)")
+		maxFrags = flag.Int("l", 128, "max fragments per flow (-l)")
+		attack   = flag.Int("a", 10, "attack percentage (-a)")
+		seed     = flag.Int64("s", 1, "seed (-s)")
+		q1       = flag.Int("q1", 0, "queue view quota (0 = adaptive)")
+		q2       = flag.Int("q2", 0, "dictionary view quota (0 = adaptive)")
+		suicide  = flag.Bool("suicide-cm", false, "use the suicide contention manager (OrecEagerRedo)")
+		stall    = flag.Duration("stall", 2*time.Second, "livelock stall window")
+		deadline = flag.Duration("deadline", 5*time.Minute, "absolute run deadline")
+	)
+	flag.Parse()
+
+	var m intruder.Mode
+	switch *mode {
+	case "single-view":
+		m = intruder.SingleView
+	case "multi-view":
+		m = intruder.MultiView
+	case "multi-TM", "multi-tm":
+		m = intruder.MultiTM
+	case "TM", "tm":
+		m = intruder.PlainTM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var eng core.EngineKind
+	switch *engine {
+	case "norec":
+		eng = core.NOrec
+	case "oreceager":
+		eng = core.OrecEagerRedo
+	case "tl2":
+		eng = core.TL2
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	p := intruder.Params{
+		Threads:   *threads,
+		NumFlows:  *nFlows,
+		MaxFrags:  *maxFrags,
+		AttackPct: *attack,
+		Seed:      *seed,
+	}
+	fmt.Printf("generating %d flows (-a%d -l%d -s%d)…\n", *nFlows, *attack, *maxFrags, *seed)
+	w := intruder.Generate(p)
+	fmt.Printf("%d fragments, %d attack flows\n", len(w.Fragments), w.Attacks)
+
+	cfg := intruder.RunConfig{
+		Engine:      eng,
+		Mode:        m,
+		Quotas:      [2]int{*q1, *q2},
+		SuicideCM:   *suicide,
+		StallWindow: *stall,
+		Deadline:    *deadline,
+	}
+	res, err := intruder.Run(cfg, p, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	if res.Livelock {
+		fmt.Printf("LIVELOCK (%s) after %v\n", res.Reason, res.Elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("runtime: %v (%s, %s)\n", res.Elapsed.Round(time.Microsecond), m, eng)
+	}
+	fmt.Printf("flows completed: %d/%d, attacks found: %d/%d, checksum errors: %d, alloc errors: %d\n",
+		res.FlowsCompleted, p.NumFlows, res.AttacksFound, w.Attacks,
+		res.ChecksumErrors, res.AllocErrors)
+	for _, v := range res.Views {
+		delta := "N/A"
+		if !math.IsNaN(v.Delta) {
+			delta = fmt.Sprintf("%.4f", v.Delta)
+		}
+		fmt.Printf("view %-10s: Q=%d #tx=%d #abort=%d delta(Q)=%s\n",
+			v.Name, v.Quota, v.Commits, v.Aborts, delta)
+	}
+	if res.FlowsCompleted != int64(p.NumFlows) && !res.Livelock {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Command racmodel evaluates the RAC analytical model (paper §II-A) for a
+// synthetic workload: it prints the predicted makespan sweep over Q
+// (Equations 1–3), the Observation 1 decision at each Q, and the
+// multi-view decomposition of Observation 2 / Equation 6.
+//
+// Example:
+//
+//	racmodel -n 16 -c 12 -d 5 -t 1        # hot workload: δ > 1
+//	racmodel -n 16 -c 0.1 -d 1 -t 10      # cold workload: δ ≪ 1
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"votm/internal/theory"
+)
+
+func main() {
+	var (
+		n  = flag.Int("n", 16, "thread count N")
+		tx = flag.Int("tx", 100, "number of transactions in the set")
+		c  = flag.Float64("c", 12, "expected aborts per transaction (c_i)")
+		d  = flag.Float64("d", 5, "average aborted-attempt time (d_i)")
+		t  = flag.Float64("t", 1, "conflict-free duration (t_i)")
+		c2 = flag.Float64("c2", 0.05, "cold-view c_i for the Observation 2 demo")
+	)
+	flag.Parse()
+
+	hot := make(theory.Set, *tx)
+	cold := make(theory.Set, *tx)
+	for i := range hot {
+		hot[i] = theory.Tx{C: *c, D: *d, T: *t}
+		cold[i] = theory.Tx{C: *c2, D: *d, T: *t}
+	}
+
+	fmt.Printf("workload: n=%d transactions, N=%d threads\n", *tx, *n)
+	fmt.Printf("hot view:  δ = %.3f (δ>1 ⇒ RAC wins, Observation 1 says decrease Q)\n",
+		theory.DeltaRatio(hot, *n))
+	fmt.Printf("cold view: δ = %.3f\n\n", theory.DeltaRatio(cold, *n))
+
+	fmt.Println("makespan sweep (hot view):")
+	qs := []int{}
+	for q := 1; q <= *n; q *= 2 {
+		qs = append(qs, q)
+	}
+	fmt.Printf("  conventional TM (Eq.1): %.4g\n", theory.MakespanTM(hot, *n))
+	for _, row := range theory.Predict(hot, *n, qs) {
+		dir := theory.Observation1(theory.DeltaQ(hot.SumCD(), hot.SumT(), row.Q))
+		fmt.Printf("  %v   Observation1: %s\n", row, dir)
+	}
+	fmt.Printf("  optimal Q (exhaustive): %d\n\n", theory.OptimalQ(hot, *n))
+
+	q1 := theory.OptimalQ(hot, *n)
+	q2 := theory.OptimalQ(cold, *n)
+	for _, q := range qs {
+		mv := theory.MultiViewMakespan([]theory.Set{hot, cold}, *n, []int{q1, q2})
+		sv := theory.SingleViewMakespan([]theory.Set{hot, cold}, *n, q)
+		premise, holds := theory.Observation2Holds(hot, cold, *n, q1, q, q2)
+		fmt.Printf("Q=%-3d single-view makespan=%.4g  multi-view(Q1=%d,Q2=%d)=%.4g  premise=%v eq6-holds=%v\n",
+			q, sv, q1, q2, mv, premise, holds)
+	}
+}

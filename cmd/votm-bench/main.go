@@ -1,0 +1,113 @@
+// Command votm-bench regenerates the paper's evaluation tables (III–X).
+//
+// Usage:
+//
+//	votm-bench -table all            # every table at the default scale
+//	votm-bench -table 3              # Table III only
+//	votm-bench -table 9 -scale quick # fast smoke run
+//	votm-bench -table 6 -scale paper # full paper scale (slow)
+//	votm-bench -table 5 -loops 1000 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"votm/internal/harness"
+)
+
+func main() {
+	var (
+		table     = flag.String("table", "all", "table to regenerate: 3..10, III..X, or 'all'")
+		scale     = flag.String("scale", "default", "scale preset: quick | default | paper")
+		threads   = flag.Int("threads", 0, "override thread count N")
+		loops     = flag.Int("loops", 0, "override Eigenbench per-thread per-view loops")
+		flows     = flag.Int("flows", 0, "override Intruder flow count")
+		qs        = flag.String("qs", "", "override quota sweep, e.g. 1,2,4,8,16")
+		stall     = flag.Duration("stall", 0, "override livelock stall window")
+		dead      = flag.Duration("deadline", 0, "override per-run deadline")
+		ablations = flag.Bool("ablations", false, "also run the design-choice ablations (A1-A4)")
+		format    = flag.String("format", "text", "output format: text | csv | markdown")
+	)
+	flag.Parse()
+
+	s, ok := harness.ScaleByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick | default | paper)\n", *scale)
+		os.Exit(2)
+	}
+	if *threads > 0 {
+		s.Threads = *threads
+	}
+	if *loops > 0 {
+		s.EigenLoops = *loops
+	}
+	if *flows > 0 {
+		s.IntruderFlows = *flows
+	}
+	if *qs != "" {
+		s.Qs = nil
+		for _, part := range strings.Split(*qs, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || q < 1 {
+				fmt.Fprintf(os.Stderr, "bad -qs entry %q\n", part)
+				os.Exit(2)
+			}
+			s.Qs = append(s.Qs, q)
+		}
+	}
+	if *stall > 0 {
+		s.StallWindow = *stall
+	}
+	if *dead > 0 {
+		s.Deadline = *dead
+	}
+
+	emit := func(t *harness.Table) {
+		out, err := t.Format(*format)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(out)
+	}
+
+	start := time.Now()
+	if *ablations {
+		tables, err := harness.AllAblations(s)
+		for _, t := range tables {
+			emit(t)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+	} else if *table == "all" {
+		tables, err := harness.AllTables(s)
+		for _, t := range tables {
+			emit(t)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		builder, ok := harness.ByID(*table)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown table %q (use 3..10 or III..X)\n", *table)
+			os.Exit(2)
+		}
+		t, err := builder(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		emit(t)
+	}
+	fmt.Printf("total wall time: %v (threads=%d eigenLoops=%d intruderFlows=%d)\n",
+		time.Since(start).Round(time.Millisecond), s.Threads, s.EigenLoops, s.IntruderFlows)
+}

@@ -1,0 +1,93 @@
+package ds_test
+
+import (
+	"context"
+	"testing"
+
+	"votm"
+	"votm/ds"
+)
+
+// TestPublicSurface exercises all three structures through the public
+// packages only, the way a downstream user would.
+func TestPublicSurface(t *testing.T) {
+	ctx := context.Background()
+	rt := votm.New(votm.Config{Threads: 2, Engine: votm.NOrec})
+	v, err := rt.CreateView(1, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.RegisterThread()
+
+	l, err := ds.NewList(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, val := range []uint64{3, 1, 2} {
+		n, err := l.NewNode(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		val := val
+		if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+			l.Insert(tx, n, val)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		got := l.Values(tx)
+		want := []uint64{1, 2, 3}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("list = %v", got)
+				break
+			}
+		}
+		return nil
+	})
+
+	q, err := ds.NewQueue(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		q.Enqueue(tx, 11)
+		q.Enqueue(tx, 22)
+		if got, ok := q.Dequeue(tx); !ok || got != 11 {
+			t.Errorf("dequeue = %d,%v", got, ok)
+		}
+		return nil
+	})
+
+	m, err := ds.NewHashMap(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spare, _ := m.NewNode()
+	_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		if used := m.Put(tx, 5, 50, spare); !used {
+			t.Error("Put did not use spare")
+		}
+		if got, ok := m.Get(tx, 5); !ok || got != 50 {
+			t.Errorf("Get = %d,%v", got, ok)
+		}
+		return nil
+	})
+	var removed ds.Ref
+	_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		r, ok := m.Delete(tx, 5)
+		if !ok {
+			t.Error("Delete failed")
+		}
+		removed = r
+		return nil
+	})
+	if removed == ds.NilRef {
+		t.Fatal("no node returned")
+	}
+	if err := m.FreeNode(removed); err != nil {
+		t.Errorf("FreeNode: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package enc provides byte-, string- and slice-level accessors over VOTM's
+// word-addressed view memory. The paper's STM (like RSTM) is word-based;
+// real applications store richer data. These helpers pack bytes
+// little-endian into 64-bit words through any transaction handle, so a
+// single Atomic body can manipulate buffers, strings and numeric slices
+// with ordinary transactional semantics. The Intruder reproduction uses
+// StoreBytes for fragment reassembly.
+//
+// Layout convention: byte offsets are relative to a base word address;
+// byte i lives in word base + i/8 at bit position 8·(i%8). Partial words
+// are read-modify-written, so concurrent writers to different byte ranges
+// of the same word conflict — exactly the word-granularity conflict
+// behaviour a word-based STM has.
+package enc
+
+import (
+	"votm"
+)
+
+// Words returns the number of words needed to hold n bytes.
+func Words(n int) int { return (n + 7) / 8 }
+
+// StoreBytes writes data at byte offset off relative to base.
+func StoreBytes(tx votm.Tx, base votm.Addr, off int, data []byte) {
+	i := 0
+	for i < len(data) {
+		wordIdx := (off + i) / 8
+		byteIdx := (off + i) % 8
+		addr := base + votm.Addr(wordIdx)
+		var word uint64
+		if byteIdx == 0 && len(data)-i >= 8 {
+			// Full-word fast path: no read-modify-write needed.
+			for k := 7; k >= 0; k-- {
+				word = word<<8 | uint64(data[i+k])
+			}
+			tx.Store(addr, word)
+			i += 8
+			continue
+		}
+		word = tx.Load(addr)
+		for byteIdx < 8 && i < len(data) {
+			shift := uint(byteIdx * 8)
+			word = (word &^ (0xff << shift)) | uint64(data[i])<<shift
+			byteIdx++
+			i++
+		}
+		tx.Store(addr, word)
+	}
+}
+
+// LoadBytes reads n bytes from byte offset off relative to base.
+func LoadBytes(tx votm.Tx, base votm.Addr, off, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		wordIdx := (off + i) / 8
+		byteIdx := (off + i) % 8
+		word := tx.Load(base + votm.Addr(wordIdx))
+		for byteIdx < 8 && i < n {
+			out[i] = byte(word >> (uint(byteIdx) * 8))
+			byteIdx++
+			i++
+		}
+	}
+	return out
+}
+
+// stringHdrWords is the length prefix of an encoded string.
+const stringHdrWords = 1
+
+// StringWords returns the words needed to store a string of n bytes
+// (length prefix + payload).
+func StringWords(n int) int { return stringHdrWords + Words(n) }
+
+// StoreString writes s length-prefixed at base. The caller must have
+// allocated at least StringWords(len(s)) words.
+func StoreString(tx votm.Tx, base votm.Addr, s string) {
+	tx.Store(base, uint64(len(s)))
+	StoreBytes(tx, base+stringHdrWords, 0, []byte(s))
+}
+
+// LoadString reads a length-prefixed string from base.
+func LoadString(tx votm.Tx, base votm.Addr) string {
+	n := int(tx.Load(base))
+	return string(LoadBytes(tx, base+stringHdrWords, 0, n))
+}
+
+// StoreUint64s writes xs to consecutive words at base.
+func StoreUint64s(tx votm.Tx, base votm.Addr, xs []uint64) {
+	for i, x := range xs {
+		tx.Store(base+votm.Addr(i), x)
+	}
+}
+
+// LoadUint64s reads n consecutive words from base.
+func LoadUint64s(tx votm.Tx, base votm.Addr, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = tx.Load(base + votm.Addr(i))
+	}
+	return out
+}
+
+// StoreInt64 stores a signed value in one word (two's complement).
+func StoreInt64(tx votm.Tx, a votm.Addr, v int64) { tx.Store(a, uint64(v)) }
+
+// LoadInt64 loads a signed value from one word.
+func LoadInt64(tx votm.Tx, a votm.Addr) int64 { return int64(tx.Load(a)) }
+
+// Add atomically (within the transaction) adds delta to the word at a and
+// returns the new value.
+func Add(tx votm.Tx, a votm.Addr, delta uint64) uint64 {
+	v := tx.Load(a) + delta
+	tx.Store(a, v)
+	return v
+}

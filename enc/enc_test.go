@@ -1,0 +1,182 @@
+package enc_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"testing/quick"
+
+	"votm"
+	"votm/enc"
+)
+
+func newView(t testing.TB) (*votm.View, *votm.Thread) {
+	t.Helper()
+	rt := votm.New(votm.Config{Threads: 2})
+	v, err := rt.CreateView(1, 1<<12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, rt.RegisterThread()
+}
+
+func TestWords(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 7: 1, 8: 1, 9: 2, 16: 2, 17: 3}
+	for n, want := range cases {
+		if got := enc.Words(n); got != want {
+			t.Errorf("Words(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBytesRoundTripAlignments(t *testing.T) {
+	v, th := newView(t)
+	base, _ := v.Alloc(64)
+	ctx := context.Background()
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	for off := 0; off < 17; off++ {
+		off := off
+		if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+			enc.StoreBytes(tx, base, off, data)
+			got := enc.LoadBytes(tx, base, off, len(data))
+			if !bytes.Equal(got, data) {
+				t.Errorf("offset %d: round trip failed: %q", off, got)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBytesQuickRoundTrip(t *testing.T) {
+	v, th := newView(t)
+	base, _ := v.Alloc(128)
+	ctx := context.Background()
+	prop := func(data []byte, off uint8) bool {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		o := int(off % 32)
+		ok := true
+		_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+			enc.StoreBytes(tx, base, o, data)
+			if !bytes.Equal(enc.LoadBytes(tx, base, o, len(data)), data) {
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreBytesPreservesNeighbours(t *testing.T) {
+	v, th := newView(t)
+	base, _ := v.Alloc(8)
+	ctx := context.Background()
+	_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		enc.StoreBytes(tx, base, 0, bytes.Repeat([]byte{0xAA}, 24))
+		// Overwrite bytes 5..11 only.
+		enc.StoreBytes(tx, base, 5, []byte{1, 2, 3, 4, 5, 6, 7})
+		got := enc.LoadBytes(tx, base, 0, 24)
+		want := append(bytes.Repeat([]byte{0xAA}, 5), 1, 2, 3, 4, 5, 6, 7)
+		want = append(want, bytes.Repeat([]byte{0xAA}, 12)...)
+		if !bytes.Equal(got, want) {
+			t.Errorf("neighbours clobbered:\n got %v\nwant %v", got, want)
+		}
+		return nil
+	})
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	v, th := newView(t)
+	ctx := context.Background()
+	for _, s := range []string{"", "a", "hello world", "héllo wörld — ünïcode"} {
+		s := s
+		base, err := v.Alloc(enc.StringWords(len(s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+			enc.StoreString(tx, base, s)
+			if got := enc.LoadString(tx, base); got != s {
+				t.Errorf("string round trip: %q != %q", got, s)
+			}
+			return nil
+		})
+	}
+}
+
+func TestUint64sRoundTrip(t *testing.T) {
+	v, th := newView(t)
+	base, _ := v.Alloc(16)
+	ctx := context.Background()
+	xs := []uint64{0, 1, ^uint64(0), 42, 1 << 63}
+	_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		enc.StoreUint64s(tx, base, xs)
+		got := enc.LoadUint64s(tx, base, len(xs))
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Errorf("slot %d: %d != %d", i, got[i], xs[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestInt64SignRoundTrip(t *testing.T) {
+	v, th := newView(t)
+	base, _ := v.Alloc(1)
+	ctx := context.Background()
+	for _, x := range []int64{0, -1, 1, -1 << 62, 1<<62 - 1} {
+		x := x
+		_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+			enc.StoreInt64(tx, base, x)
+			if got := enc.LoadInt64(tx, base); got != x {
+				t.Errorf("int64 round trip: %d != %d", got, x)
+			}
+			return nil
+		})
+	}
+}
+
+func TestAdd(t *testing.T) {
+	v, th := newView(t)
+	base, _ := v.Alloc(1)
+	ctx := context.Background()
+	_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		if got := enc.Add(tx, base, 5); got != 5 {
+			t.Errorf("Add = %d", got)
+		}
+		if got := enc.Add(tx, base, 3); got != 8 {
+			t.Errorf("Add = %d", got)
+		}
+		return nil
+	})
+	if v.Heap().Load(base) != 8 {
+		t.Error("Add not committed")
+	}
+}
+
+func TestBytesTransactional(t *testing.T) {
+	// A byte write inside an aborted transaction must not leak.
+	v, th := newView(t)
+	base, _ := v.Alloc(8)
+	ctx := context.Background()
+	errBoom := func(tx votm.Tx) error {
+		enc.StoreBytes(tx, base, 0, []byte("do not keep"))
+		return context.Canceled // any non-nil user error: abort, no retry
+	}
+	if err := v.Atomic(ctx, th, errBoom); err == nil {
+		t.Fatal("expected error")
+	}
+	_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		if got := enc.LoadBytes(tx, base, 0, 11); !bytes.Equal(got, make([]byte, 11)) {
+			t.Errorf("aborted bytes leaked: %v", got)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,91 @@
+package enc_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"votm"
+	"votm/enc"
+)
+
+// FuzzBytesRoundTrip checks StoreBytes/LoadBytes against arbitrary payloads
+// and offsets, and that bytes outside the written range stay untouched.
+func FuzzBytesRoundTrip(f *testing.F) {
+	f.Add([]byte("seed"), uint8(0))
+	f.Add([]byte{}, uint8(3))
+	f.Add([]byte{0xff}, uint8(7))
+	f.Add(bytes.Repeat([]byte{0x5a}, 40), uint8(13))
+
+	rt := votm.New(votm.Config{Threads: 1})
+	v, err := rt.CreateView(1, 4096, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	th := rt.RegisterThread()
+	base, _ := v.Alloc(512)
+	ctx := context.Background()
+
+	f.Fuzz(func(t *testing.T, data []byte, off8 uint8) {
+		if len(data) > 1024 {
+			data = data[:1024]
+		}
+		off := int(off8 % 64)
+		canvasLen := off + len(data) + 16
+		err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+			// Paint a sentinel canvas, write data inside it, verify both
+			// the payload and the sentinel margins.
+			canvas := bytes.Repeat([]byte{0xEE}, canvasLen)
+			enc.StoreBytes(tx, base, 0, canvas)
+			enc.StoreBytes(tx, base, off, data)
+			if got := enc.LoadBytes(tx, base, off, len(data)); !bytes.Equal(got, data) {
+				t.Fatalf("payload mismatch at off %d", off)
+			}
+			head := enc.LoadBytes(tx, base, 0, off)
+			if !bytes.Equal(head, canvas[:off]) {
+				t.Fatalf("head margin clobbered at off %d", off)
+			}
+			tail := enc.LoadBytes(tx, base, off+len(data), 16)
+			if !bytes.Equal(tail, canvas[:16]) {
+				t.Fatalf("tail margin clobbered at off %d", off)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzStringRoundTrip checks the length-prefixed string codec.
+func FuzzStringRoundTrip(f *testing.F) {
+	f.Add("")
+	f.Add("hello")
+	f.Add("ünïcode — ✓")
+
+	rt := votm.New(votm.Config{Threads: 1})
+	v, _ := rt.CreateView(1, 4096, 1)
+	th := rt.RegisterThread()
+	ctx := context.Background()
+
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 2048 {
+			s = s[:2048]
+		}
+		base, err := v.Alloc(enc.StringWords(len(s)))
+		if err != nil {
+			t.Skip("view exhausted by corpus")
+		}
+		defer func() { _ = v.Free(base) }()
+		err = v.Atomic(ctx, th, func(tx votm.Tx) error {
+			enc.StoreString(tx, base, s)
+			if got := enc.LoadString(tx, base); got != s {
+				t.Fatalf("round trip: %q != %q", got, s)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}

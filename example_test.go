@@ -1,0 +1,73 @@
+package votm_test
+
+import (
+	"context"
+	"fmt"
+
+	"votm"
+)
+
+// The canonical VOTM flow: create a view, allocate a block, and run
+// transactions against it from a worker thread.
+func Example() {
+	ctx := context.Background()
+	rt := votm.New(votm.Config{Threads: 2, Engine: votm.NOrec})
+	view, _ := rt.CreateView(1, 64, votm.AdaptiveQuota)
+	counter, _ := view.Alloc(1)
+
+	th := rt.RegisterThread()
+	for i := 0; i < 3; i++ {
+		_ = view.Atomic(ctx, th, func(tx votm.Tx) error {
+			tx.Store(counter, tx.Load(counter)+1)
+			return nil
+		})
+	}
+
+	var final uint64
+	_ = view.AtomicRead(ctx, th, func(tx votm.Tx) error {
+		final = tx.Load(counter)
+		return nil
+	})
+	fmt.Println("counter:", final)
+	// Output: counter: 3
+}
+
+// Static quotas mirror create_view's third argument: a quota of 1 turns the
+// view into a lock and transactions run uninstrumented.
+func ExampleRuntime_CreateView() {
+	rt := votm.New(votm.Config{Threads: 4})
+	locked, _ := rt.CreateView(1, 16, 1)
+	adaptive, _ := rt.CreateView(2, 16, votm.AdaptiveQuota)
+	fmt.Println(locked.Quota(), adaptive.Quota())
+	// Output: 1 4
+}
+
+// Views can run different TM algorithms (the paper's §IV-C adaptive-TM
+// direction), chosen at creation or switched live.
+func ExampleRuntime_CreateViewWithEngine() {
+	rt := votm.New(votm.Config{Threads: 2, Engine: votm.NOrec})
+	hot, _ := rt.CreateViewWithEngine(1, 16, 2, votm.OrecEagerRedo)
+	cold, _ := rt.CreateView(2, 16, 2)
+	fmt.Println(hot.EngineName(), cold.EngineName())
+	// Output: OrecEagerRedo NOrec
+}
+
+// RecommendEngine turns a measured view profile into an engine and quota
+// choice following the paper's §III-D analysis.
+func ExampleRecommendEngine() {
+	hotShort := votm.RecommendEngine(votm.TMProfile{
+		Threads: 16, MeanReads: 2, MeanWrites: 2, AbortRate: 0.6,
+	})
+	fmt.Println(hotShort.Engine, "Q =", hotShort.QuotaHint)
+	// Output: norec Q = 1
+}
+
+// Views grow with Brk (the paper's brk_view) without invalidating running
+// transactions.
+func ExampleView_Brk() {
+	rt := votm.New(votm.Config{Threads: 2})
+	v, _ := rt.CreateView(1, 8, 2)
+	_ = v.Brk(8)
+	fmt.Println(v.Size())
+	// Output: 16
+}

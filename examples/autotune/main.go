@@ -1,0 +1,153 @@
+// Autotune: the paper's adaptive-TM direction (§IV-C) end to end. Two views
+// with opposite personalities run a profiling phase on the default engine;
+// votm.RecommendEngine turns each view's measured profile into an engine
+// (and quota) choice, and View.SwitchEngine applies it live — the runtime
+// quiesces the view and swaps TM algorithms without losing data.
+//
+//   - "ledger" runs short, highly contended transactions → the recommender
+//     picks lock mode (Q = 1), the paper's §III-D advice;
+//   - "archive" runs large, rarely conflicting write bursts → the
+//     recommender picks OrecEagerRedo to avoid NOrec's commit-serializing
+//     global clock.
+//
+// Run: go run ./examples/autotune
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"votm"
+)
+
+const (
+	threads = 8
+	ledger  = 1 // view IDs
+	archive = 2
+)
+
+func main() {
+	ctx := context.Background()
+	rt := votm.New(votm.Config{Threads: threads, Engine: votm.NOrec})
+
+	ledgerView, err := rt.CreateView(ledger, 16, threads) // tiny and hot
+	if err != nil {
+		log.Fatal(err)
+	}
+	archiveView, err := rt.CreateView(archive, 1<<16, threads) // big and cold
+	if err != nil {
+		log.Fatal(err)
+	}
+	lBase, _ := ledgerView.Alloc(8)
+	aBase, _ := archiveView.Alloc(1 << 15)
+
+	fmt.Println("phase 1: profiling on the default engine (NOrec)…")
+	runPhase(ctx, rt, ledgerView, archiveView, lBase, aBase)
+
+	// Build per-view profiles from the measured statistics. The mean
+	// read/write counts per transaction are application knowledge.
+	lTot, aTot := ledgerView.Totals(), archiveView.Totals()
+	lProfile := votm.NewTMProfile(threads, lTot, lTot.Delta(ledgerView.Quota()), 4, 4)
+	aProfile := votm.NewTMProfile(threads, aTot, aTot.Delta(archiveView.Quota()), 0, 32)
+
+	lRec := votm.RecommendEngine(lProfile)
+	aRec := votm.RecommendEngine(aProfile)
+	fmt.Printf("  ledger  (aborts/commit %.2f): %s\n",
+		ratio(lTot), lRec)
+	fmt.Printf("  archive (aborts/commit %.2f): %s\n",
+		ratio(aTot), aRec)
+
+	fmt.Println("phase 2: applying recommendations…")
+	apply(ctx, ledgerView, lRec)
+	apply(ctx, archiveView, aRec)
+	fmt.Printf("  ledger:  engine=%s Q=%d\n", ledgerView.EngineName(), ledgerView.Quota())
+	fmt.Printf("  archive: engine=%s Q=%d\n", archiveView.EngineName(), archiveView.Quota())
+
+	start := time.Now()
+	runPhase(ctx, rt, ledgerView, archiveView, lBase, aBase)
+	fmt.Printf("phase 2 runtime: %v (ledger aborts/commit now %.2f)\n",
+		time.Since(start).Round(time.Millisecond), ratio(ledgerView.Totals()))
+
+	// The data survived both engine switches.
+	th := rt.RegisterThread()
+	var sum uint64
+	_ = ledgerView.AtomicRead(ctx, th, func(tx votm.Tx) error {
+		for i := 0; i < 8; i++ {
+			sum += tx.Load(lBase + votm.Addr(i))
+		}
+		return nil
+	})
+	want := uint64(2 * threads * 600 * 4)
+	fmt.Printf("ledger total after both phases: %d (want %d)\n", sum, want)
+	if sum != want {
+		log.Fatal("updates lost across engine switch")
+	}
+}
+
+func apply(ctx context.Context, v *votm.View, rec votm.TMRecommendation) {
+	if err := v.SwitchEngine(ctx, rec.Engine); err != nil {
+		log.Fatal(err)
+	}
+	if rec.QuotaHint > 0 {
+		v.SetQuota(rec.QuotaHint)
+	}
+}
+
+// runPhase drives both views from all workers: hot read-modify-write pairs
+// on the ledger, wide blind write bursts into per-worker archive segments.
+func runPhase(ctx context.Context, rt *votm.Runtime, ledgerView, archiveView *votm.View, lBase, aBase votm.Addr) {
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			seg := aBase + votm.Addr(id*4096)
+			seed := uint64(id)*0x9e3779b9 + 1
+			// Hot ledger burst: four read-modify-writes per transaction
+			// on an 8-word hot spot, every worker at once. The yields
+			// keep transactions open while others run (on big hardware
+			// this overlap comes from real parallelism).
+			for i := 0; i < 600; i++ {
+				if err := ledgerView.Atomic(ctx, th, func(tx votm.Tx) error {
+					s := seed
+					for k := 0; k < 4; k++ {
+						s = s*1664525 + 1013904223
+						a := lBase + votm.Addr(s%8)
+						tx.Store(a, tx.Load(a)+1)
+						runtime.Gosched()
+					}
+					return nil
+				}); err != nil {
+					log.Fatal(err)
+				}
+				seed += uint64(i)
+			}
+			// Cold archive bursts: 32 disjoint writes per transaction.
+			for i := 0; i < 600; i++ {
+				if err := archiveView.Atomic(ctx, th, func(tx votm.Tx) error {
+					for k := 0; k < 32; k++ {
+						tx.Store(seg+votm.Addr((seed+uint64(k*7))%4096), seed)
+					}
+					return nil
+				}); err != nil {
+					log.Fatal(err)
+				}
+				seed = seed*6364136223846793005 + 1442695040888963407
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func ratio(t votm.Totals) float64 {
+	if t.Commits == 0 {
+		return math.NaN()
+	}
+	return float64(t.Aborts) / float64(t.Commits)
+}

@@ -1,0 +1,139 @@
+// Quickstart: the paper's VOTM linked list (Figures 1 and 2) on the public
+// votm API. Several goroutines insert into one sorted list living inside a
+// view; RAC decides how many of them may be inside the view at once.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"votm"
+)
+
+// The list lives in view memory. Layout: one header word holds the head
+// reference; each node is two words [next, value]. NilRef is the in-heap
+// null (address 0 is a valid word, so null must be out of band).
+const nilRef = ^uint64(0)
+
+type list struct {
+	view *votm.View
+	head votm.Addr
+}
+
+// newList mirrors Figure 1's ll_init: create the view's header block and
+// initialize it inside an acquired view.
+func newList(ctx context.Context, v *votm.View, th *votm.Thread) (*list, error) {
+	head, err := v.Alloc(1)
+	if err != nil {
+		return nil, err
+	}
+	l := &list{view: v, head: head}
+	err = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		tx.Store(head, nilRef)
+		return nil
+	})
+	return l, err
+}
+
+// insert mirrors Figure 2's ll_insert: node is a pre-allocated block of the
+// list's view; the traversal and linking happen inside the transaction.
+func (l *list) insert(tx votm.Tx, node votm.Addr, val uint64) {
+	tx.Store(node+1, val)
+	head := tx.Load(l.head)
+	if head == nilRef || tx.Load(votm.Addr(head)+1) >= val {
+		tx.Store(node, head)
+		tx.Store(l.head, uint64(node))
+		return
+	}
+	curr := votm.Addr(head)
+	for {
+		next := tx.Load(curr)
+		if next == nilRef || tx.Load(votm.Addr(next)+1) >= val {
+			tx.Store(node, next)
+			tx.Store(curr, uint64(node))
+			return
+		}
+		curr = votm.Addr(next)
+	}
+}
+
+func (l *list) values(tx votm.Tx) []uint64 {
+	var out []uint64
+	for curr := tx.Load(l.head); curr != nilRef; curr = tx.Load(votm.Addr(curr)) {
+		out = append(out, tx.Load(votm.Addr(curr)+1))
+	}
+	return out
+}
+
+func main() {
+	const (
+		workers = 4
+		perG    = 25
+	)
+	ctx := context.Background()
+
+	rt := votm.New(votm.Config{Threads: workers, Engine: votm.NOrec})
+	// create_view(vid=1, size, q): adaptive RAC decides the quota.
+	view, err := rt.CreateView(1, 4096, votm.AdaptiveQuota)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	setup := rt.RegisterThread()
+	l, err := newList(ctx, view, setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < perG; i++ {
+				// malloc_block outside the transaction (Figure 1), link
+				// inside it (Figure 2).
+				node, err := view.Alloc(2)
+				if err != nil {
+					log.Fatal(err)
+				}
+				val := uint64(rng.Intn(1000))
+				if err := view.Atomic(ctx, th, func(tx votm.Tx) error {
+					l.insert(tx, node, val)
+					return nil
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var vals []uint64
+	if err := view.AtomicRead(ctx, setup, func(tx votm.Tx) error {
+		vals = l.values(tx)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	sorted := true
+	for i := 1; i < len(vals); i++ {
+		if vals[i-1] > vals[i] {
+			sorted = false
+		}
+	}
+	tot := view.Totals()
+	fmt.Printf("inserted %d values concurrently; list length %d, sorted: %v\n",
+		workers*perG, len(vals), sorted)
+	fmt.Printf("view stats: commits=%d aborts=%d quota=%d (engine %s)\n",
+		tot.Commits, tot.Aborts, view.Quota(), view.EngineName())
+	fmt.Printf("first values: %v\n", vals[:min(8, len(vals))])
+}

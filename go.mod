@@ -1,0 +1,3 @@
+module votm
+
+go 1.22

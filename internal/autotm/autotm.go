@@ -1,0 +1,130 @@
+// Package autotm recommends a TM algorithm (and a quota hint) for a view
+// from its observed access profile — the "adaptive TM is orthogonal to VOTM
+// and can be adopted by it" direction of the paper's Related Work §IV-C and
+// Conclusions §V. Where the systems the paper cites (Wang et al., TACO 2012)
+// learn a policy with decision trees over microbenchmark profiles, this
+// package encodes the decision structure the paper itself derives
+// analytically in §III-D:
+//
+//   - encounter-time locking (OrecEagerRedo) livelocks under sustained
+//     conflict density, so high abort rates favour NOrec;
+//   - NOrec's per-instance global clock serializes writer commits, so
+//     memory-intensive transactions at high thread counts favour
+//     OrecEagerRedo — unless contention is high, where NOrec's early
+//     conflict detection wastes less work;
+//   - views accessed by short transactions under heavy contention are best
+//     served by lock mode (quota 1), which removes TM overhead entirely.
+//
+// Use it with a measured rac.Totals from a profiling run, then create the
+// view with CreateViewWithEngine or call View.SwitchEngine.
+package autotm
+
+import (
+	"fmt"
+	"math"
+
+	"votm/internal/core"
+)
+
+// Profile summarizes a view's observed behaviour over a profiling window.
+type Profile struct {
+	// Threads is N for the runtime.
+	Threads int
+	// MeanReads and MeanWrites are per-transaction shared-access counts.
+	MeanReads  float64
+	MeanWrites float64
+	// AbortRate is aborts / (aborts + commits) over the window.
+	AbortRate float64
+	// DeltaQ is the measured Equation 5 estimate at the window's quota
+	// (NaN when the quota was 1).
+	DeltaQ float64
+}
+
+// writesPerCommitClockBound is the write-set size beyond which a NOrec
+// commit's serialized write-back becomes the bottleneck at high thread
+// counts (the Intruder regime, paper Tables VIII/X).
+const writesPerCommitClockBound = 8.0
+
+// highContention is the abort-rate knee above which a view counts as
+// contended: more than ~30% of attempts wasted means nearly one abort per
+// two commits, the regime where the §III-D analysis applies.
+const highContention = 0.3
+
+// Recommendation is the engine and quota advice for one view.
+type Recommendation struct {
+	Engine core.EngineKind
+	// QuotaHint is a static quota suggestion: 1 for lock mode, 0 to let
+	// adaptive RAC manage the view.
+	QuotaHint int
+	// Reason explains the decision in terms of the paper's analysis.
+	Reason string
+}
+
+func (r Recommendation) String() string {
+	q := "adaptive RAC"
+	if r.QuotaHint == 1 {
+		q = "lock mode (Q=1)"
+	}
+	return fmt.Sprintf("%s + %s: %s", r.Engine, q, r.Reason)
+}
+
+// Recommend applies the §III-D decision structure to a profile.
+func Recommend(p Profile) Recommendation {
+	size := p.MeanReads + p.MeanWrites
+	contended := p.AbortRate >= highContention ||
+		(!math.IsNaN(p.DeltaQ) && p.DeltaQ > 1)
+
+	switch {
+	case contended && size <= writesPerCommitClockBound:
+		// Short, hot transactions: TM overhead dominates useful work and
+		// conflicts burn the rest; the paper's §III-D advice is explicit —
+		// set the view's Q to 1 and run under the lock.
+		return Recommendation{
+			Engine:    core.NOrec,
+			QuotaHint: 1,
+			Reason:    "short highly-contended transactions: lock mode removes TM overhead (§III-D)",
+		}
+	case contended:
+		// Long, hot transactions: NOrec detects conflicts at the next read
+		// after they occur, wasting little doomed work, and cannot
+		// livelock; pair it with adaptive RAC.
+		return Recommendation{
+			Engine:    core.NOrec,
+			QuotaHint: 0,
+			Reason:    "high contention: commit-time locking is livelock-free and wastes little doomed work (§III-D)",
+		}
+	case p.MeanWrites >= writesPerCommitClockBound && p.Threads >= 8:
+		// Memory-intensive, low-contention: NOrec's global clock is the
+		// bottleneck (Intruder, Tables VIII/X); encounter-time locking has
+		// no commit-serializing metadata.
+		return Recommendation{
+			Engine:    core.OrecEagerRedo,
+			QuotaHint: 0,
+			Reason:    "memory-intensive low-contention transactions: avoid NOrec's global-clock serialization (§III-D)",
+		}
+	default:
+		return Recommendation{
+			Engine:    core.NOrec,
+			QuotaHint: 0,
+			Reason:    "low contention, modest write sets: NOrec's minimal metadata wins",
+		}
+	}
+}
+
+// ProfileFromStats builds a Profile from a view's cumulative statistics.
+// meanReads/meanWrites must come from the application (the runtime does not
+// introspect transaction bodies).
+func ProfileFromStats(threads int, commits, aborts int64, deltaQ float64, meanReads, meanWrites float64) Profile {
+	total := commits + aborts
+	rate := 0.0
+	if total > 0 {
+		rate = float64(aborts) / float64(total)
+	}
+	return Profile{
+		Threads:    threads,
+		MeanReads:  meanReads,
+		MeanWrites: meanWrites,
+		AbortRate:  rate,
+		DeltaQ:     deltaQ,
+	}
+}

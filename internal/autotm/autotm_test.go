@@ -1,0 +1,92 @@
+package autotm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"votm/internal/core"
+)
+
+func TestRecommendShortHotIsLockMode(t *testing.T) {
+	r := Recommend(Profile{Threads: 16, MeanReads: 2, MeanWrites: 2, AbortRate: 0.4})
+	if r.QuotaHint != 1 {
+		t.Errorf("short hot: quota hint = %d, want 1 (lock mode)", r.QuotaHint)
+	}
+	if !strings.Contains(r.Reason, "lock mode") {
+		t.Errorf("reason = %q", r.Reason)
+	}
+}
+
+func TestRecommendLongHotIsNOrec(t *testing.T) {
+	r := Recommend(Profile{Threads: 16, MeanReads: 80, MeanWrites: 20, AbortRate: 0.4})
+	if r.Engine != core.NOrec || r.QuotaHint != 0 {
+		t.Errorf("long hot: %+v", r)
+	}
+}
+
+func TestRecommendDeltaQTriggersContention(t *testing.T) {
+	// Even with a low abort rate, δ(Q) > 1 means wasted time dominates.
+	r := Recommend(Profile{Threads: 16, MeanReads: 40, MeanWrites: 10, AbortRate: 0.1, DeltaQ: 2.5})
+	if r.Engine != core.NOrec {
+		t.Errorf("δ>1 must route to NOrec, got %+v", r)
+	}
+}
+
+func TestRecommendMemoryIntensiveIsOrecEager(t *testing.T) {
+	// The Intruder regime: big write sets, low contention, many threads.
+	r := Recommend(Profile{Threads: 16, MeanReads: 10, MeanWrites: 16, AbortRate: 0.01, DeltaQ: 0.02})
+	if r.Engine != core.OrecEagerRedo {
+		t.Errorf("memory-intensive: %+v", r)
+	}
+	if !strings.Contains(r.Reason, "global-clock") {
+		t.Errorf("reason = %q", r.Reason)
+	}
+}
+
+func TestRecommendMemoryIntensiveFewThreadsStaysNOrec(t *testing.T) {
+	// Clock contention needs thread-level parallelism to matter.
+	r := Recommend(Profile{Threads: 2, MeanReads: 10, MeanWrites: 16, AbortRate: 0.01})
+	if r.Engine != core.NOrec {
+		t.Errorf("few threads: %+v", r)
+	}
+}
+
+func TestRecommendDefault(t *testing.T) {
+	r := Recommend(Profile{Threads: 4, MeanReads: 5, MeanWrites: 2, AbortRate: 0.05, DeltaQ: 0.1})
+	if r.Engine != core.NOrec || r.QuotaHint != 0 {
+		t.Errorf("default: %+v", r)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRecommendNaNDeltaHandled(t *testing.T) {
+	r := Recommend(Profile{Threads: 8, MeanReads: 5, MeanWrites: 2,
+		AbortRate: 0.0, DeltaQ: math.NaN()})
+	if r.Engine != core.NOrec {
+		t.Errorf("NaN δ: %+v", r)
+	}
+}
+
+func TestProfileFromStats(t *testing.T) {
+	p := ProfileFromStats(16, 900, 100, 0.5, 10, 5)
+	if p.AbortRate != 0.1 {
+		t.Errorf("abort rate = %v", p.AbortRate)
+	}
+	if p.Threads != 16 || p.MeanReads != 10 || p.MeanWrites != 5 || p.DeltaQ != 0.5 {
+		t.Errorf("profile = %+v", p)
+	}
+	z := ProfileFromStats(16, 0, 0, math.NaN(), 0, 0)
+	if z.AbortRate != 0 {
+		t.Errorf("zero-activity abort rate = %v", z.AbortRate)
+	}
+}
+
+func TestLockModeString(t *testing.T) {
+	r := Recommendation{Engine: core.NOrec, QuotaHint: 1, Reason: "x"}
+	if !strings.Contains(r.String(), "lock mode") {
+		t.Errorf("String() = %q", r.String())
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffBounded(t *testing.T) {
+	th := &Thread{id: 3}
+	// Every attempt count, including absurd ones, must return promptly
+	// (window is capped at 2^8 yields).
+	for _, attempt := range []int{0, 1, 2, 8, 9, 100, 1 << 20} {
+		start := time.Now()
+		th.backoff(attempt)
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("backoff(%d) took %v", attempt, d)
+		}
+	}
+}
+
+func TestBackoffAdvancesRNG(t *testing.T) {
+	th := &Thread{id: 1}
+	before := th.rng
+	th.backoff(1)
+	if th.rng == before {
+		t.Error("backoff did not advance the RNG state")
+	}
+}
+
+func TestBackoffZeroAttemptNoop(t *testing.T) {
+	th := &Thread{id: 1}
+	before := th.rng
+	th.backoff(0)
+	th.backoff(-5)
+	if th.rng != before {
+		t.Error("non-positive attempt advanced RNG")
+	}
+}

@@ -1,0 +1,95 @@
+// Package core implements the VOTM runtime: views (each an independent TM
+// instance plus its own RAC controller), per-thread transaction descriptors,
+// and the acquire/commit/abort/reacquire loop from the paper's Section II.
+//
+// The public facade is the repository root package votm; core holds the
+// machinery.
+package core
+
+import (
+	"fmt"
+
+	"votm/internal/stm"
+	"votm/internal/stm/norec"
+	"votm/internal/stm/oreceager"
+	"votm/internal/stm/tl2"
+)
+
+// EngineKind selects the TM algorithm that backs every view of a runtime.
+type EngineKind string
+
+const (
+	// NOrec is the commit-time locking algorithm (VOTM-NOrec in the paper).
+	NOrec EngineKind = "norec"
+	// OrecEagerRedo is the encounter-time locking algorithm
+	// (VOTM-OrecEagerRedo in the paper).
+	OrecEagerRedo EngineKind = "oreceager"
+	// TL2 is commit-time locking over ownership records (Dice, Shalev,
+	// Shavit, DISC 2006) — a third RSTM-style plug-in filling the design
+	// space between NOrec and OrecEagerRedo.
+	TL2 EngineKind = "tl2"
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Threads is N: the number of worker threads the runtime is sized for.
+	// It caps every view's admission quota. Required.
+	Threads int
+	// Engine selects the TM algorithm. Default NOrec.
+	Engine EngineKind
+	// NoAdmission disables RAC on every view (the paper's "multi-TM" and
+	// "TM" baselines): admission is free, statistics are still collected.
+	NoAdmission bool
+
+	// Orecs is the ownership-record table size per view (OrecEagerRedo
+	// only). Default 2048.
+	Orecs int
+	// SuicideCM selects the non-stealing contention manager for
+	// OrecEagerRedo (ablation; default is the paper-faithful aggressive
+	// kill/steal policy).
+	SuicideCM bool
+
+	// HighDelta, LowDelta, AdjustEvery, ProbeAtLockEvery tune adaptive RAC;
+	// zero values take the defaults documented in package rac.
+	HighDelta        float64
+	LowDelta         float64
+	AdjustEvery      int64
+	ProbeAtLockEvery int
+
+	// QuotaTrace, when non-nil, is invoked after every admission-quota
+	// change on any view with (viewID, previousQ, newQ). It runs on the
+	// hot path with the view's controller lock held: keep it fast and do
+	// not call back into the runtime. Pair it with trace.Recorder.
+	QuotaTrace func(viewID, from, to int)
+}
+
+func (c *Config) validate() error {
+	if c.Threads <= 0 {
+		return fmt.Errorf("core: Config.Threads must be positive, got %d", c.Threads)
+	}
+	switch c.Engine {
+	case "":
+		c.Engine = NOrec
+	case NOrec, OrecEagerRedo, TL2:
+	default:
+		return fmt.Errorf("core: unknown engine %q", c.Engine)
+	}
+	return nil
+}
+
+// newEngine builds one TM instance of the given kind over heap, applying
+// the runtime's engine tuning.
+func (c *Config) newEngine(kind EngineKind, heap *stm.Heap) stm.Engine {
+	switch kind {
+	case OrecEagerRedo:
+		pol := oreceager.Aggressive
+		if c.SuicideCM {
+			pol = oreceager.Suicide
+		}
+		return oreceager.New(heap, oreceager.Config{Orecs: c.Orecs, Policy: pol})
+	case TL2:
+		return tl2.New(heap, tl2.Config{Orecs: c.Orecs})
+	default:
+		return norec.New(heap)
+	}
+}

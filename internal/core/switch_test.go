@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"votm/internal/core"
+)
+
+func TestCreateViewWithEngine(t *testing.T) {
+	rt := core.NewRuntime(core.Config{Threads: 2, Engine: core.NOrec})
+	vd, _ := rt.CreateView(1, 8, 2)
+	vo, err := rt.CreateViewWithEngine(2, 8, 2, core.OrecEagerRedo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vd.EngineName() != "NOrec" || vo.EngineName() != "OrecEagerRedo" {
+		t.Errorf("engines: %s, %s", vd.EngineName(), vo.EngineName())
+	}
+	if vd.Engine() != core.NOrec || vo.Engine() != core.OrecEagerRedo {
+		t.Errorf("kinds: %s, %s", vd.Engine(), vo.Engine())
+	}
+	// Empty kind falls back to the runtime default.
+	vdef, err := rt.CreateViewWithEngine(3, 8, 2, "")
+	if err != nil || vdef.Engine() != core.NOrec {
+		t.Errorf("default fallback: %v, %v", vdef.Engine(), err)
+	}
+	if _, err := rt.CreateViewWithEngine(4, 8, 2, "bogus"); err == nil {
+		t.Error("bogus engine accepted")
+	}
+}
+
+func TestSwitchEnginePreservesData(t *testing.T) {
+	ctx := context.Background()
+	rt := core.NewRuntime(core.Config{Threads: 2, Engine: core.NOrec})
+	v, _ := rt.CreateView(1, 16, 2)
+	th := rt.RegisterThread()
+	_ = v.Atomic(ctx, th, func(tx core.Tx) error {
+		tx.Store(3, 42)
+		return nil
+	})
+	if err := v.SwitchEngine(ctx, core.OrecEagerRedo); err != nil {
+		t.Fatal(err)
+	}
+	if v.EngineName() != "OrecEagerRedo" {
+		t.Fatalf("engine = %s", v.EngineName())
+	}
+	var got uint64
+	if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+		got = tx.Load(3)
+		tx.Store(4, got+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 || v.Heap().Load(4) != 43 {
+		t.Errorf("data lost across switch: got=%d word4=%d", got, v.Heap().Load(4))
+	}
+	// Switch back; same-kind switch is a no-op.
+	if err := v.SwitchEngine(ctx, core.NOrec); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SwitchEngine(ctx, core.NOrec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchEngineErrors(t *testing.T) {
+	ctx := context.Background()
+	rtNA := core.NewRuntime(core.Config{Threads: 2, NoAdmission: true})
+	vNA, _ := rtNA.CreateView(1, 8, 2)
+	if err := vNA.SwitchEngine(ctx, core.OrecEagerRedo); err == nil {
+		t.Error("switch without admission control accepted")
+	}
+	rt := core.NewRuntime(core.Config{Threads: 2})
+	v, _ := rt.CreateView(1, 8, 2)
+	if err := v.SwitchEngine(ctx, "bogus"); err == nil {
+		t.Error("bogus engine accepted")
+	}
+	_ = rt.DestroyView(1)
+	if err := v.SwitchEngine(ctx, core.OrecEagerRedo); err != core.ErrViewDestroyed {
+		t.Errorf("err = %v, want ErrViewDestroyed", err)
+	}
+}
+
+func TestSwitchEngineUnderLoad(t *testing.T) {
+	// Workers increment a counter continuously while the engine is
+	// switched back and forth; no increments may be lost and every
+	// transaction must run against a consistent engine.
+	ctx := context.Background()
+	rt := core.NewRuntime(core.Config{Threads: 4, Engine: core.NOrec})
+	v, _ := rt.CreateView(1, 8, 4)
+	const workers, per = 4, 300
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			for i := 0; i < per; i++ {
+				if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+					tx.Store(0, tx.Load(0)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	var switches atomic.Int64
+	workDone := make(chan struct{})
+	switcherDone := make(chan struct{})
+	go func() {
+		defer close(switcherDone)
+		kinds := []core.EngineKind{core.OrecEagerRedo, core.NOrec}
+		for i := 0; ; i++ {
+			select {
+			case <-workDone:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			if err := v.SwitchEngine(ctx, kinds[i%2]); err != nil {
+				t.Errorf("SwitchEngine: %v", err)
+				return
+			}
+			switches.Add(1)
+		}
+	}()
+	wg.Wait()
+	close(workDone)
+	<-switcherDone
+
+	if got := v.Heap().Load(0); got != workers*per {
+		t.Errorf("counter = %d, want %d (lost updates across %d switches)",
+			got, workers*per, switches.Load())
+	}
+	t.Logf("%d engine switches during %d commits", switches.Load(), workers*per)
+}

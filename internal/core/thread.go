@@ -1,0 +1,57 @@
+package core
+
+import (
+	"runtime"
+
+	"votm/internal/stm"
+)
+
+// Thread is a per-goroutine handle. It caches one transaction descriptor per
+// view so descriptors (and their logs) are reused across attempts. A Thread
+// must not be shared between goroutines.
+type Thread struct {
+	id  int
+	txs map[*View]txCacheEntry
+	rng uint64 // cheap LCG state for contention backoff
+}
+
+type txCacheEntry struct {
+	holder *engineHolder // engine the descriptor belongs to
+	tx     stm.Tx
+}
+
+// ID returns the thread's runtime-unique ID.
+func (t *Thread) ID() int { return t.id }
+
+// tx returns the cached descriptor for v's current engine, creating a new
+// one on first use or after a SwitchEngine.
+func (t *Thread) tx(v *View) stm.Tx {
+	h := v.engine()
+	if e, ok := t.txs[v]; ok && e.holder == h {
+		return e.tx
+	}
+	tx := h.eng.NewTx(t.id)
+	t.txs[v] = txCacheEntry{holder: h, tx: tx}
+	return tx
+}
+
+// backoff performs randomized exponential backoff after the attempt-th
+// consecutive conflict abort (1-based). Deterministic transaction bodies
+// otherwise replay identical access sets in lockstep, and symmetric
+// kill/steal cycles can starve forever; randomization breaks the symmetry
+// exactly like the backoff contention managers in RSTM. Yield-based waiting
+// keeps it effective when conflicting goroutines share a core.
+func (t *Thread) backoff(attempt int) {
+	if attempt < 1 {
+		return
+	}
+	if attempt > 8 {
+		attempt = 8
+	}
+	t.rng = t.rng*6364136223846793005 + 1442695040888963407 + uint64(t.id)
+	window := uint64(1) << uint(attempt) // 2 … 256
+	n := (t.rng >> 33) % window
+	for i := uint64(0); i < n; i++ {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"votm/internal/memheap"
+	"votm/internal/rac"
+	"votm/internal/stm"
+)
+
+// ErrViewDestroyed is returned when using a destroyed view.
+var ErrViewDestroyed = errors.New("core: view destroyed")
+
+// View is one VOTM view: a region of shared memory backed by its own TM
+// instance (private metadata) and guarded by its own RAC controller. Views
+// never overlap by construction — each owns a separate heap.
+type View struct {
+	id    int
+	rt    *Runtime
+	heap  *stm.Heap
+	alloc *memheap.Allocator
+	engh  atomic.Pointer[engineHolder]
+	ctl   *rac.Controller
+
+	destroyed atomic.Bool
+}
+
+// engineHolder pairs an engine instance with its kind; it is swapped
+// atomically by SwitchEngine, and thread descriptor caches key on the
+// holder pointer so stale descriptors are never used against a new engine.
+type engineHolder struct {
+	kind EngineKind
+	eng  stm.Engine
+}
+
+func newView(rt *Runtime, vid, sizeWords, quota int, kind EngineKind) *View {
+	heap := stm.NewHeap(sizeWords)
+	var onChange func(from, to int)
+	if rt.cfg.QuotaTrace != nil {
+		qt := rt.cfg.QuotaTrace
+		onChange = func(from, to int) { qt(vid, from, to) }
+	}
+	v := &View{
+		id:    vid,
+		rt:    rt,
+		heap:  heap,
+		alloc: memheap.New(sizeWords),
+		ctl: rac.New(rac.Params{
+			Threads:          rt.cfg.Threads,
+			InitialQuota:     quota,
+			HighDelta:        rt.cfg.HighDelta,
+			LowDelta:         rt.cfg.LowDelta,
+			AdjustEvery:      rt.cfg.AdjustEvery,
+			ProbeAtLockEvery: rt.cfg.ProbeAtLockEvery,
+			OnQuotaChange:    onChange,
+		}),
+	}
+	v.engh.Store(&engineHolder{kind: kind, eng: rt.cfg.newEngine(kind, heap)})
+	return v
+}
+
+// ID returns the view ID (vid).
+func (v *View) ID() int { return v.id }
+
+func (v *View) engine() *engineHolder { return v.engh.Load() }
+
+// EngineName returns the TM algorithm backing this view.
+func (v *View) EngineName() string { return v.engine().eng.Name() }
+
+// Engine returns the kind of the TM algorithm backing this view.
+func (v *View) Engine() EngineKind { return v.engine().kind }
+
+// SwitchEngine replaces the view's TM algorithm at runtime — the per-view
+// adaptive-TM direction the paper names as future work (§IV-C, §V). The
+// view is quiesced first: new admissions are suspended and the call blocks
+// until all in-flight transactions have left, then the engine (and its
+// fresh metadata) is swapped in over the same heap. Committed data is
+// preserved — both engines redo-log, so the heap always holds committed
+// state at quiescence.
+//
+// SwitchEngine requires admission control (it returns an error on a
+// NoAdmission runtime, which has no quiescence mechanism).
+func (v *View) SwitchEngine(ctx context.Context, kind EngineKind) error {
+	if v.destroyed.Load() {
+		return ErrViewDestroyed
+	}
+	if v.rt.cfg.NoAdmission {
+		return errors.New("core: SwitchEngine requires admission control")
+	}
+	if kind != NOrec && kind != OrecEagerRedo && kind != TL2 {
+		return fmt.Errorf("core: unknown engine %q", kind)
+	}
+	if v.engine().kind == kind {
+		return nil
+	}
+	if err := v.ctl.PauseAndDrain(ctx); err != nil {
+		v.ctl.Resume()
+		return err
+	}
+	v.engh.Store(&engineHolder{kind: kind, eng: v.rt.cfg.newEngine(kind, v.heap)})
+	v.ctl.Resume()
+	return nil
+}
+
+// Alloc implements malloc_block(vid, size): it reserves words words of the
+// view's memory and returns the block's base address.
+func (v *View) Alloc(words int) (stm.Addr, error) {
+	if v.destroyed.Load() {
+		return 0, ErrViewDestroyed
+	}
+	return v.alloc.Alloc(words)
+}
+
+// Free implements free_block(vid, ptr).
+func (v *View) Free(addr stm.Addr) error {
+	if v.destroyed.Load() {
+		return ErrViewDestroyed
+	}
+	return v.alloc.Free(addr)
+}
+
+// Brk implements brk_view(vid, size): it expands the view's memory by words
+// words. Growth is safe concurrently with running transactions.
+func (v *View) Brk(words int) error {
+	if v.destroyed.Load() {
+		return ErrViewDestroyed
+	}
+	if words < 0 {
+		return fmt.Errorf("core: negative brk %d", words)
+	}
+	v.heap.Grow(words)
+	v.alloc.Grow(words)
+	return nil
+}
+
+// Size returns the view's current size in words.
+func (v *View) Size() int { return v.heap.Len() }
+
+// Quota returns the view's current admission quota Q.
+func (v *View) Quota() int { return v.ctl.Quota() }
+
+// SetQuota sets the view's admission quota manually.
+func (v *View) SetQuota(q int) { v.ctl.SetQuota(q) }
+
+// SettledQuota returns the quota the adaptive policy spent the most time at.
+func (v *View) SettledQuota() int { return v.ctl.SettledQuota() }
+
+// QuotaMoves returns how many adaptive quota changes have occurred.
+func (v *View) QuotaMoves() int64 { return v.ctl.QuotaMoves() }
+
+// Totals returns the view's cumulative transaction statistics.
+func (v *View) Totals() rac.Totals { return v.ctl.Totals() }
+
+// Controller exposes the RAC controller (tests and the harness).
+func (v *View) Controller() *rac.Controller { return v.ctl }
+
+// Heap exposes the underlying word heap (tests and lock-free inspection;
+// reading it while transactions run sees committed state plus in-flight
+// lock-mode writes).
+func (v *View) Heap() *stm.Heap { return v.heap }
+
+// Atomic implements the acquire_view/release_view pair: it admits the
+// calling thread under RAC, runs fn transactionally, and commits on return.
+// If the commit fails or a conflict unwinds fn, the attempt is rolled back
+// and fn re-executed after re-admission (the paper's release_view step 1).
+//
+// If fn returns a non-nil error the transaction is rolled back (in TM mode)
+// and the error returned without retry. In lock mode (Q == 1) there is no
+// rollback machinery — writes already performed by fn remain, matching the
+// paper's lock-based fallback.
+//
+// ctx cancels waiting and retrying; a cancelled attempt returns ctx.Err().
+func (v *View) Atomic(ctx context.Context, th *Thread, fn func(Tx) error) error {
+	return v.atomic(ctx, th, fn, false)
+}
+
+// AtomicRead implements acquire_Rview/release_view: like Atomic but the
+// transaction is read-only; Store panics.
+func (v *View) AtomicRead(ctx context.Context, th *Thread, fn func(Tx) error) error {
+	return v.atomic(ctx, th, fn, true)
+}
+
+func (v *View) atomic(ctx context.Context, th *Thread, fn func(Tx) error, readonly bool) error {
+	if th == nil {
+		return errors.New("core: nil thread handle")
+	}
+	conflicts := 0
+	for {
+		if v.destroyed.Load() {
+			return ErrViewDestroyed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+
+		mode := rac.ModeTM
+		if v.rt.cfg.NoAdmission {
+			// multi-TM / plain-TM baselines: no admission control at all.
+		} else {
+			var err error
+			mode, err = v.ctl.Enter(ctx)
+			if err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+
+		if mode == rac.ModeLock {
+			err := fn(&lockTx{heap: v.heap, readonly: readonly})
+			v.exit(mode, rac.Committed, start)
+			return err
+		}
+
+		tx := th.tx(v)
+		tx.Begin()
+		var body Tx = tx
+		if readonly {
+			body = &roTx{inner: tx}
+		}
+		var userErr error
+		completed := stm.Catch(func() { userErr = fn(body) })
+		switch {
+		case !completed:
+			tx.Abort()
+			v.exit(mode, rac.Aborted, start)
+			conflicts++
+			th.backoff(conflicts)
+			continue // conflict: reacquire and re-execute
+		case userErr != nil:
+			tx.Abort()
+			v.exit(mode, rac.Aborted, start)
+			return userErr
+		case tx.Commit():
+			v.exit(mode, rac.Committed, start)
+			return nil
+		default:
+			v.exit(mode, rac.Aborted, start)
+			conflicts++
+			th.backoff(conflicts)
+			continue // commit-time conflict: reacquire and re-execute
+		}
+	}
+}
+
+func (v *View) exit(mode rac.Mode, outcome rac.Outcome, start time.Time) {
+	d := time.Since(start)
+	if v.rt.cfg.NoAdmission {
+		v.ctl.Record(outcome, d)
+		return
+	}
+	v.ctl.Exit(mode, outcome, d)
+}

@@ -1,0 +1,151 @@
+// Package eigenbench reimplements the modified Eigenbench microbenchmark of
+// the paper's Section III-A (Figure 3, Table II): a two-view transactional
+// workload whose contention is controlled per view by orthogonal parameters.
+//
+// Each view holds a hot array (shared, conflict-prone) and a mild array
+// (shared, but each thread only touches its own subarray — it inflates
+// transaction size and rollback cost without causing conflicts). Each thread
+// also has a private cold array touched inside and outside transactions.
+// View 1 is parameterized hot (long transactions, many accesses to a small
+// hot array); view 2 is cold.
+//
+// Four program versions match the paper's evaluation:
+//
+//	single-view — all shared data in one view (one TM instance + one RAC)
+//	multi-view  — two views, each with its own TM instance and RAC
+//	multi-TM    — two views, RAC disabled (free admission)
+//	TM          — one view, RAC disabled (plain STM baseline)
+package eigenbench
+
+import (
+	"math/rand"
+
+	"votm/internal/stm"
+)
+
+// ViewParams are the per-view Eigenbench knobs (paper Table II naming).
+type ViewParams struct {
+	Loops int // transactions per thread accessing this view
+	A1    int // hot array length (words)
+	A2    int // mild array length (words)
+	A3    int // cold (thread-private) array length (words)
+	R1    int // hot-array reads per transaction
+	W1    int // hot-array writes per transaction
+	R2    int // mild-array reads per transaction
+	W2    int // mild-array writes per transaction
+	R3i   int // cold reads between two shared accesses (inside tx)
+	W3i   int // cold writes between two shared accesses (inside tx)
+	NOPi  int // NOP instructions between two shared accesses (inside tx)
+	R3o   int // cold reads outside transactions, per iteration
+	W3o   int // cold writes outside transactions, per iteration
+	NOPo  int // NOPs outside transactions, per iteration
+}
+
+// sharedAccesses is the number of shared-array operations per transaction.
+func (p ViewParams) sharedAccesses() int { return p.R1 + p.W1 + p.R2 + p.W2 }
+
+// words is the view's shared footprint.
+func (p ViewParams) words() int { return p.A1 + p.A2 }
+
+// Params describe one Eigenbench experiment.
+type Params struct {
+	Threads int           // N
+	Views   [2]ViewParams // view 1 (hot) and view 2 (cold)
+	Seed    int64
+}
+
+// PaperParams returns the exact Table II configuration: N = 16, 100k
+// transactions per thread per view. This is the full paper scale; tests and
+// benchmarks use Scaled instead.
+func PaperParams() Params {
+	return Params{
+		Threads: 16,
+		Views: [2]ViewParams{
+			{Loops: 100_000, A1: 256, A2: 16 * 1024, A3: 8 * 1024,
+				R1: 80, W1: 20, R2: 10, W2: 10},
+			{Loops: 100_000, A1: 16 * 1024, A2: 16 * 1024, A3: 8 * 1024,
+				R1: 10, W1: 10, R2: 10, W2: 10, R3i: 5, W3i: 1, NOPi: 20},
+		},
+		Seed: 1,
+	}
+}
+
+// Scaled returns PaperParams with the thread count and per-view loop count
+// replaced, preserving every contention-shaping ratio. It lets the table
+// shapes reproduce at laptop scale.
+func Scaled(threads, loops int) Params {
+	p := PaperParams()
+	p.Threads = threads
+	p.Views[0].Loops = loops
+	p.Views[1].Loops = loops
+	return p
+}
+
+// op is one pre-generated shared-memory access.
+type op struct {
+	write bool
+	addr  stm.Addr
+}
+
+// objRegion locates one view's arrays inside a heap (in the single-view
+// versions both objects live in the same view at different offsets).
+type objRegion struct {
+	hotBase  stm.Addr
+	mildBase stm.Addr
+}
+
+// genOps fills buf with the transaction's shared accesses in random order:
+// R1 reads + W1 writes to random hot words, R2 reads + W2 writes to the
+// thread's own mild subarray (paper Figure 3).
+func genOps(buf []op, rng *rand.Rand, p ViewParams, region objRegion, threadIdx, threads int) []op {
+	buf = buf[:0]
+	for i := 0; i < p.R1; i++ {
+		buf = append(buf, op{write: false, addr: region.hotBase + stm.Addr(rng.Intn(p.A1))})
+	}
+	for i := 0; i < p.W1; i++ {
+		buf = append(buf, op{write: true, addr: region.hotBase + stm.Addr(rng.Intn(p.A1))})
+	}
+	slot := p.A2 / threads
+	if slot < 1 {
+		slot = 1
+	}
+	slotBase := region.mildBase + stm.Addr((threadIdx%threads)*slot)
+	for i := 0; i < p.R2; i++ {
+		buf = append(buf, op{write: false, addr: slotBase + stm.Addr(rng.Intn(slot))})
+	}
+	for i := 0; i < p.W2; i++ {
+		buf = append(buf, op{write: true, addr: slotBase + stm.Addr(rng.Intn(slot))})
+	}
+	rng.Shuffle(len(buf), func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+	return buf
+}
+
+// localWork performs r cold reads, w cold writes and n NOPs against the
+// thread-private cold array; sink defeats dead-code elimination.
+func localWork(cold []uint64, rng *rand.Rand, r, w, n int, sink *uint64) {
+	s := *sink
+	for i := 0; i < r; i++ {
+		s += cold[rng.Intn(len(cold))]
+	}
+	for i := 0; i < w; i++ {
+		cold[rng.Intn(len(cold))] = s
+	}
+	for i := 0; i < n; i++ {
+		s = s*1664525 + 1013904223 // LCG step ≈ one ALU NOP-equivalent
+	}
+	*sink = s
+}
+
+// schedule builds the per-thread random interleave of view-1 and view-2
+// transactions (Figure 3: "acquire view 1 or 2 randomly").
+func schedule(rng *rand.Rand, loops1, loops2 int) []uint8 {
+	s := make([]uint8, 0, loops1+loops2)
+	for i := 0; i < loops1; i++ {
+		s = append(s, 0)
+	}
+	for i := 0; i < loops2; i++ {
+		s = append(s, 1)
+	}
+	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	return s
+}

@@ -1,0 +1,311 @@
+package eigenbench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"votm/internal/core"
+	"votm/internal/progress"
+	"votm/internal/simpar"
+	"votm/internal/stm"
+)
+
+// Mode selects which of the paper's four program versions to run.
+type Mode int
+
+const (
+	// SingleView: both objects in one RAC-controlled view.
+	SingleView Mode = iota
+	// MultiView: one RAC-controlled view per object.
+	MultiView
+	// MultiTM: one view per object, RAC disabled.
+	MultiTM
+	// PlainTM: one view, RAC disabled (the plain RSTM baseline).
+	PlainTM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case SingleView:
+		return "single-view"
+	case MultiView:
+		return "multi-view"
+	case MultiTM:
+		return "multi-TM"
+	default:
+		return "TM"
+	}
+}
+
+// RAC reports whether the mode uses admission control.
+func (m Mode) RAC() bool { return m == SingleView || m == MultiView }
+
+// MultipleViews reports whether the mode partitions data into two views.
+func (m Mode) MultipleViews() bool { return m == MultiView || m == MultiTM }
+
+// YieldMode controls cooperative yield points inside transaction bodies —
+// the simulated-parallelism substitution for under-provisioned hosts
+// (package simpar, DESIGN.md §2).
+type YieldMode = simpar.Mode
+
+// Yield-point policies (see simpar).
+const (
+	YieldAuto = simpar.Auto
+	YieldOn   = simpar.On
+	YieldOff  = simpar.Off
+)
+
+// RunConfig selects the engine, version and quota policy of one run.
+type RunConfig struct {
+	Engine core.EngineKind
+	Mode   Mode
+	// Quotas are the fixed per-view quotas (single-view modes use
+	// Quotas[0] only). 0 selects adaptive RAC. Ignored when RAC is off.
+	Quotas [2]int
+	// Orecs and SuicideCM forward to the OrecEagerRedo engine config.
+	Orecs     int
+	SuicideCM bool
+	// AdjustEvery and ProbeAtLockEvery tune adaptive RAC (see rac.Params);
+	// zero keeps the defaults.
+	AdjustEvery      int64
+	ProbeAtLockEvery int
+	// Yield simulates hardware parallelism on under-provisioned hosts.
+	Yield YieldMode
+	// StallWindow declares livelock when no transaction commits for this
+	// long (default 1s). Deadline caps the whole run (default 60s).
+	StallWindow time.Duration
+	Deadline    time.Duration
+	// OnViews, when non-nil, is called with the created views after setup
+	// and before the workers start — the hook for attaching δ samplers or
+	// quota recorders to a run.
+	OnViews func(views []*core.View)
+}
+
+func (c *RunConfig) fill() {
+	if c.StallWindow == 0 {
+		c.StallWindow = time.Second
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 60 * time.Second
+	}
+}
+
+// yieldEnabled resolves YieldAuto against the host.
+func (c *RunConfig) yieldEnabled(threads int) bool {
+	return simpar.Enabled(c.Yield, threads)
+}
+
+// ViewStats is one view's table row fragment (paper Tables III, V, VII, IX).
+type ViewStats struct {
+	Commits    int64   // #tx
+	Aborts     int64   // #abort
+	SuccessNs  int64   // CPUcycles_successful_tx (ns proxy)
+	AbortNs    int64   // CPUcycles_aborted_tx (ns proxy)
+	Delta      float64 // δ(Q) per Equation 5; NaN when Q ≤ 1
+	Quota      int     // final/settled Q
+	QuotaMoves int64   // number of adaptive quota changes
+}
+
+// Result of one Eigenbench run.
+type Result struct {
+	Elapsed  time.Duration
+	Livelock bool
+	Reason   string // watchdog reason when Livelock
+	Views    []ViewStats
+}
+
+// TotalCommits sums commits across views.
+func (r Result) TotalCommits() int64 {
+	var n int64
+	for _, v := range r.Views {
+		n += v.Commits
+	}
+	return n
+}
+
+// TotalAborts sums aborts across views.
+func (r Result) TotalAborts() int64 {
+	var n int64
+	for _, v := range r.Views {
+		n += v.Aborts
+	}
+	return n
+}
+
+// Run executes the benchmark and returns its statistics. A livelocked run
+// returns with Livelock=true and the partial statistics collected so far
+// (the paper prints "livelock" for those cells).
+func Run(cfg RunConfig, p Params) (Result, error) {
+	cfg.fill()
+	if p.Threads <= 0 {
+		return Result{}, errors.New("eigenbench: Threads must be positive")
+	}
+	for i, vp := range p.Views {
+		if vp.sharedAccesses() > 0 && (vp.A1 <= 0 || vp.A2 <= 0) {
+			return Result{}, fmt.Errorf("eigenbench: view %d has shared accesses but empty arrays", i+1)
+		}
+	}
+
+	rt := core.NewRuntime(core.Config{
+		Threads:          p.Threads,
+		Engine:           cfg.Engine,
+		NoAdmission:      !cfg.Mode.RAC(),
+		Orecs:            cfg.Orecs,
+		SuicideCM:        cfg.SuicideCM,
+		AdjustEvery:      cfg.AdjustEvery,
+		ProbeAtLockEvery: cfg.ProbeAtLockEvery,
+	})
+
+	// Lay out views and object regions.
+	views := make([]*core.View, 0, 2)
+	regions := make([]objRegion, 2)
+	viewOf := [2]int{0, 0} // object index -> view slice index
+	if cfg.Mode.MultipleViews() {
+		for i := 0; i < 2; i++ {
+			v, err := rt.CreateView(i+1, p.Views[i].words(), cfg.Quotas[i])
+			if err != nil {
+				return Result{}, err
+			}
+			views = append(views, v)
+			regions[i] = objRegion{hotBase: 0, mildBase: stm.Addr(p.Views[i].A1)}
+			viewOf[i] = i
+		}
+	} else {
+		size := p.Views[0].words() + p.Views[1].words()
+		v, err := rt.CreateView(1, size, cfg.Quotas[0])
+		if err != nil {
+			return Result{}, err
+		}
+		views = append(views, v)
+		off := 0
+		for i := 0; i < 2; i++ {
+			regions[i] = objRegion{
+				hotBase:  stm.Addr(off),
+				mildBase: stm.Addr(off + p.Views[i].A1),
+			}
+			off += p.Views[i].words()
+			viewOf[i] = 0
+		}
+	}
+
+	if cfg.OnViews != nil {
+		cfg.OnViews(views)
+	}
+
+	sampleCommits := func() int64 {
+		var n int64
+		for _, v := range views {
+			n += v.Totals().Commits
+		}
+		return n
+	}
+	ctx, wd := progress.Watch(context.Background(), sampleCommits, cfg.StallWindow, cfg.Deadline)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p.Threads; w++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			runWorker(ctx, rt, p, cfg, views, regions, viewOf, idx)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	livelocked := wd.Stop()
+
+	res := Result{Elapsed: elapsed, Livelock: livelocked, Reason: wd.Reason()}
+	for i, v := range views {
+		tot := v.Totals()
+		q := v.Quota()
+		if v.Controller().Adaptive() {
+			q = v.SettledQuota()
+		}
+		res.Views = append(res.Views, ViewStats{
+			Commits:    tot.Commits,
+			Aborts:     tot.Aborts,
+			SuccessNs:  tot.SuccessNs,
+			AbortNs:    tot.AbortNs,
+			Delta:      tot.Delta(q),
+			Quota:      q,
+			QuotaMoves: v.QuotaMoves(),
+		})
+		_ = i
+	}
+	return res, nil
+}
+
+// runWorker is one of the N benchmark threads (paper Figure 3 main loop).
+func runWorker(ctx context.Context, rt *core.Runtime, p Params, cfg RunConfig,
+	views []*core.View, regions []objRegion, viewOf [2]int, idx int) {
+
+	rng := rand.New(rand.NewSource(p.Seed + int64(idx)*7919))
+	th := rt.RegisterThread()
+	yield := cfg.yieldEnabled(p.Threads)
+
+	cold := [2][]uint64{
+		make([]uint64, max(p.Views[0].A3, 1)),
+		make([]uint64, max(p.Views[1].A3, 1)),
+	}
+	maxOps := max(p.Views[0].sharedAccesses(), p.Views[1].sharedAccesses())
+	ops := make([]op, 0, maxOps)
+	var sink uint64
+
+	sched := schedule(rng, p.Views[0].Loops, p.Views[1].Loops)
+	for _, obj := range sched {
+		if ctx.Err() != nil {
+			return
+		}
+		vp := p.Views[obj]
+		view := views[viewOf[obj]]
+		region := regions[obj]
+
+		// The access sequence is drawn inside the body, so a retried
+		// (aborted) transaction touches fresh random addresses — exactly
+		// like Eigenbench's rand_r inside the transaction. Without this,
+		// two conflicting transactions replay identical address sets and
+		// can starve each other forever.
+		body := func(tx core.Tx) error {
+			ops = genOps(ops, rng, vp, region, idx, p.Threads)
+			s := sink
+			for k := range ops {
+				o := ops[k]
+				if o.write {
+					tx.Store(o.addr, s)
+				} else {
+					s += tx.Load(o.addr)
+				}
+				if vp.R3i > 0 || vp.W3i > 0 || vp.NOPi > 0 {
+					localWork(cold[obj], rng, vp.R3i, vp.W3i, vp.NOPi, &s)
+				}
+				if yield {
+					runtime.Gosched()
+				}
+			}
+			sink = s
+			return nil
+		}
+		if err := view.Atomic(ctx, th, body); err != nil {
+			return // cancelled (livelock watchdog or deadline)
+		}
+
+		// Activities outside transactions (Figure 3).
+		if vp.R3o > 0 || vp.W3o > 0 || vp.NOPo > 0 {
+			localWork(cold[obj], rng, vp.R3o, vp.W3o, vp.NOPo, &sink)
+		}
+	}
+}
+
+// Describe summarizes a run config for logs and table captions.
+func Describe(cfg RunConfig) string {
+	q := "adaptive"
+	if cfg.Mode.RAC() && (cfg.Quotas[0] > 0 || cfg.Quotas[1] > 0) {
+		q = fmt.Sprintf("Q1=%d Q2=%d", cfg.Quotas[0], cfg.Quotas[1])
+	}
+	return fmt.Sprintf("eigenbench %s engine=%s %s", cfg.Mode, cfg.Engine, q)
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// FormatCount renders counts the way the paper's tables do: 7.01k, 7.01m,
+// 5.26G, 49.8T (the paper uses lowercase m for millions).
+func FormatCount(n int64) string {
+	f := float64(n)
+	abs := math.Abs(f)
+	switch {
+	case abs >= 1e12:
+		return trimSig(f/1e12) + "T"
+	case abs >= 1e9:
+		return trimSig(f/1e9) + "G"
+	case abs >= 1e6:
+		return trimSig(f/1e6) + "m"
+	case abs >= 1e3:
+		return trimSig(f/1e3) + "k"
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// trimSig formats with 3 significant digits, trimming trailing zeros.
+func trimSig(f float64) string {
+	s := fmt.Sprintf("%.3g", f)
+	return s
+}
+
+// FormatNs renders a nanosecond total in the count style (the "CPU cycles"
+// proxy columns).
+func FormatNs(ns int64) string { return FormatCount(ns) }
+
+// FormatSeconds renders a runtime like the paper ("63.8", "2698").
+func FormatSeconds(d time.Duration) string {
+	return trimSig(d.Seconds())
+}
+
+// FormatDelta renders δ(Q): "N/A" for NaN (the paper's Q=1 cells).
+func FormatDelta(d float64) string {
+	if math.IsNaN(d) {
+		return "N/A"
+	}
+	switch {
+	case d != 0 && math.Abs(d) < 0.01:
+		return fmt.Sprintf("%.1e", d)
+	default:
+		return fmt.Sprintf("%.2f", d)
+	}
+}
+
+// Table is a rendered experiment result: metrics as rows, configurations as
+// columns, matching the paper's table layout.
+type Table struct {
+	ID     string // e.g. "III"
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note carries caveats (e.g. the ns-for-cycles substitution).
+	Note string
+}
+
+// Render pretty-prints the table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 CSV (header row first, note omitted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Table %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", t.Note)
+	}
+	return b.String()
+}
+
+// Format renders the table in the named format: "text" (default), "csv" or
+// "markdown".
+func (t *Table) Format(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.Render(), nil
+	case "csv":
+		return t.CSV(), nil
+	case "markdown", "md":
+		return t.Markdown(), nil
+	default:
+		return "", fmt.Errorf("harness: unknown format %q", format)
+	}
+}

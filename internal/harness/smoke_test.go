@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeScale is even smaller than testScale: the integration smoke tests
+// run every table and ablation end-to-end, so each cell must be cheap.
+func smokeScale() Scale {
+	return Scale{
+		Threads:       8,
+		EigenLoops:    25,
+		IntruderFlows: 96,
+		Qs:            []int{1, 4},
+		StallWindow:   3 * time.Second,
+		Deadline:      60 * time.Second,
+	}
+}
+
+func TestAllTablesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke skipped in -short mode")
+	}
+	tables, err := AllTables(smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 8 {
+		t.Fatalf("tables = %d, want 8", len(tables))
+	}
+	wantIDs := []string{"III", "IV", "V", "VI", "VII", "VIII", "IX", "X"}
+	for i, tab := range tables {
+		if tab.ID != wantIDs[i] {
+			t.Errorf("table %d id = %s, want %s", i, tab.ID, wantIDs[i])
+		}
+		out := tab.Render()
+		if !strings.Contains(out, "Table "+tab.ID) {
+			t.Errorf("table %s render malformed", tab.ID)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("table %s has no rows", tab.ID)
+		}
+		// Every row must be as wide as the header.
+		for r, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("table %s row %d width %d != header %d",
+					tab.ID, r, len(row), len(tab.Header))
+			}
+		}
+		// Every format must succeed on real content.
+		for _, f := range []string{"text", "csv", "markdown"} {
+			if _, err := tab.Format(f); err != nil {
+				t.Errorf("table %s format %s: %v", tab.ID, f, err)
+			}
+		}
+	}
+}
+
+func TestAllAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke skipped in -short mode")
+	}
+	tables, err := AllAblations(smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("ablations = %d, want 5", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tab := range tables {
+		ids[tab.ID] = true
+		if len(tab.Rows) == 0 {
+			t.Errorf("ablation %s empty", tab.ID)
+		}
+	}
+	for _, want := range []string{"A1", "A2", "A3", "A4", "A5"} {
+		if !ids[want] {
+			t.Errorf("ablation %s missing", want)
+		}
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "default", "paper", ""} {
+		if _, ok := ScaleByName(name); !ok {
+			t.Errorf("ScaleByName(%q) failed", name)
+		}
+	}
+	if _, ok := ScaleByName("huge"); ok {
+		t.Error("bogus scale accepted")
+	}
+	if s, _ := ScaleByName(""); s.Threads != DefaultScale().Threads {
+		t.Error("empty name must mean default")
+	}
+}

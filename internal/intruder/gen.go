@@ -1,0 +1,170 @@
+// Package intruder reimplements the STAMP Intruder benchmark (Cao Minh et
+// al., IISWC 2008) on VOTM, following the paper's Section III-B: a
+// signature-based network intrusion detector with three phases per work
+// unit — capture (pop a fragment from a centralized task queue), reassembly
+// (insert the fragment into a shared dictionary keyed by flow, emitting the
+// flow once complete) and detection (scan the reassembled payload for attack
+// signatures, outside any transaction).
+//
+// The task queue and the reassembly dictionary are never accessed in the
+// same transaction, so the multi-view version places them in separate views
+// (the paper's Observation 2 workload). Reassembly transactions are
+// memory-intensive — they copy fragment payloads into view memory — which
+// is what makes NOrec's global clock the bottleneck in the single-view and
+// plain-TM versions (Tables VIII and X).
+package intruder
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// Signature is the attack byte pattern injected into attack flows and
+// searched for by the detection phase.
+var Signature = []byte("ATTACK-SIGNATURE")
+
+// Params configure the workload generator (STAMP flags -a -l -n -s).
+type Params struct {
+	Threads    int
+	NumFlows   int // -n: number of flows
+	MaxFrags   int // -l: maximum fragments per flow
+	AttackPct  int // -a: percentage of flows carrying the signature
+	MinFlowLen int // minimum flow payload length in bytes
+	MaxFlowLen int // maximum flow payload length in bytes
+	Seed       int64
+}
+
+// PaperParams are the paper's STAMP defaults: -a10 -l128 -n262144 -s1.
+func PaperParams() Params {
+	return Params{
+		Threads:    16,
+		NumFlows:   262_144,
+		MaxFrags:   128,
+		AttackPct:  10,
+		MinFlowLen: 16,
+		MaxFlowLen: 512,
+		Seed:       1,
+	}
+}
+
+// Scaled shrinks the flow count (and thread count) while keeping the STAMP
+// shape: fragment distribution, attack rate, and payload length range.
+func Scaled(threads, flows int) Params {
+	p := PaperParams()
+	p.Threads = threads
+	p.NumFlows = flows
+	return p
+}
+
+func (p *Params) fill() {
+	if p.MaxFrags <= 0 {
+		p.MaxFrags = 128
+	}
+	if p.MinFlowLen <= 0 {
+		p.MinFlowLen = 16
+	}
+	if p.MaxFlowLen < p.MinFlowLen {
+		p.MaxFlowLen = p.MinFlowLen
+	}
+}
+
+// Fragment is one captured packet fragment. Fragments live in ordinary Go
+// memory (they model network input, which is outside transactional memory);
+// only the queue of fragment indices and the reassembly state are shared.
+type Fragment struct {
+	FlowID  uint64
+	Offset  int    // byte offset of this fragment within the flow
+	Data    []byte // fragment payload
+	FlowLen int    // total length of the flow (carried in the header)
+}
+
+// Workload is the generated input: the shuffled arrival stream plus the
+// ground truth used to verify detector output.
+type Workload struct {
+	Fragments []Fragment
+	NumFlows  int
+	// Attacks is the number of flows carrying the signature (ground truth).
+	Attacks int
+	// FlowSums holds a checksum per flow for reassembly verification.
+	FlowSums map[uint64]uint64
+}
+
+// Generate builds the input stream: NumFlows flows are sliced into up to
+// MaxFrags fragments each, and all fragments are globally shuffled to model
+// out-of-order arrival.
+func Generate(p Params) *Workload {
+	p.fill()
+	rng := rand.New(rand.NewSource(p.Seed))
+	w := &Workload{NumFlows: p.NumFlows, FlowSums: make(map[uint64]uint64, p.NumFlows)}
+
+	for f := 0; f < p.NumFlows; f++ {
+		flowLen := p.MinFlowLen + rng.Intn(p.MaxFlowLen-p.MinFlowLen+1)
+		payload := make([]byte, flowLen)
+		for i := range payload {
+			payload[i] = byte(rng.Intn(250)) // avoid accidental signatures
+		}
+		if rng.Intn(100) < p.AttackPct && flowLen >= len(Signature) {
+			off := rng.Intn(flowLen - len(Signature) + 1)
+			copy(payload[off:], Signature)
+			w.Attacks++
+		}
+		w.FlowSums[uint64(f)] = checksum(payload)
+
+		nf := rng.Intn(min(p.MaxFrags, flowLen)) + 1
+		cuts := cutPoints(rng, flowLen, nf)
+		for i := 0; i < nf; i++ {
+			lo, hi := cuts[i], cuts[i+1]
+			w.Fragments = append(w.Fragments, Fragment{
+				FlowID:  uint64(f),
+				Offset:  lo,
+				Data:    payload[lo:hi],
+				FlowLen: flowLen,
+			})
+		}
+	}
+	rng.Shuffle(len(w.Fragments), func(i, j int) {
+		w.Fragments[i], w.Fragments[j] = w.Fragments[j], w.Fragments[i]
+	})
+	return w
+}
+
+// cutPoints returns n+1 increasing offsets from 0 to length cutting it into
+// n non-empty pieces.
+func cutPoints(rng *rand.Rand, length, n int) []int {
+	cuts := make([]int, 0, n+1)
+	cuts = append(cuts, 0)
+	if n > 1 {
+		seen := make(map[int]bool, n)
+		for len(seen) < n-1 {
+			c := rng.Intn(length-1) + 1
+			if !seen[c] {
+				seen[c] = true
+				cuts = append(cuts, c)
+			}
+		}
+	}
+	cuts = append(cuts, length)
+	sortInts(cuts)
+	return cuts
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// checksum is a simple order-sensitive payload checksum used to verify that
+// reassembly reconstructed the exact byte sequence.
+func checksum(b []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// Detect scans a reassembled payload for the signature.
+func Detect(payload []byte) bool { return bytes.Contains(payload, Signature) }

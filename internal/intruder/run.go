@@ -1,0 +1,456 @@
+package intruder
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"votm/enc"
+	"votm/internal/core"
+	"votm/internal/progress"
+	"votm/internal/simpar"
+	"votm/internal/stm"
+	"votm/internal/stmds"
+)
+
+// Mode mirrors the paper's four program versions (see eigenbench.Mode).
+type Mode int
+
+const (
+	// SingleView: queue and dictionary in one RAC-controlled view.
+	SingleView Mode = iota
+	// MultiView: queue view + dictionary view, each with its own RAC.
+	MultiView
+	// MultiTM: two views, RAC disabled.
+	MultiTM
+	// PlainTM: one view, RAC disabled.
+	PlainTM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case SingleView:
+		return "single-view"
+	case MultiView:
+		return "multi-view"
+	case MultiTM:
+		return "multi-TM"
+	default:
+		return "TM"
+	}
+}
+
+// RAC reports whether the mode uses admission control.
+func (m Mode) RAC() bool { return m == SingleView || m == MultiView }
+
+// MultipleViews reports whether queue and dictionary live in separate views.
+func (m Mode) MultipleViews() bool { return m == MultiView || m == MultiTM }
+
+// RunConfig selects engine, version and quotas for one Intruder run.
+type RunConfig struct {
+	Engine core.EngineKind
+	Mode   Mode
+	// Quotas[0] guards the queue view, Quotas[1] the dictionary view
+	// (single-view modes use Quotas[0] only). 0 ⇒ adaptive RAC.
+	Quotas    [2]int
+	Orecs     int
+	SuicideCM bool
+	// AdjustEvery and ProbeAtLockEvery tune adaptive RAC (see rac.Params).
+	AdjustEvery      int64
+	ProbeAtLockEvery int
+	Yield            simpar.Mode
+	// StallWindow and Deadline drive the livelock watchdog
+	// (defaults 1s / 120s).
+	StallWindow time.Duration
+	Deadline    time.Duration
+	// OnViews, when non-nil, is called with the created views (queue view
+	// first) after setup and before the workers start — the hook for
+	// attaching δ samplers or quota recorders.
+	OnViews func(views []*core.View)
+}
+
+func (c *RunConfig) fill() {
+	if c.StallWindow == 0 {
+		c.StallWindow = time.Second
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 120 * time.Second
+	}
+}
+
+// ViewStats is one view's statistics row (same shape as the paper's tables).
+type ViewStats struct {
+	Name      string // "queue", "dictionary" or "all"
+	Commits   int64
+	Aborts    int64
+	SuccessNs int64
+	AbortNs   int64
+	Delta     float64
+	Quota     int
+}
+
+// Result of one Intruder run.
+type Result struct {
+	Elapsed  time.Duration
+	Livelock bool
+	Reason   string
+	Views    []ViewStats
+
+	FlowsCompleted int64
+	AttacksFound   int64
+	// AllocErrors counts fragment-processing steps dropped because the
+	// dictionary view ran out of memory (a footprint-sizing bug).
+	AllocErrors int64
+	// ChecksumErrors counts flows whose reassembled payload did not match
+	// the generator's checksum — any non-zero value is a TM correctness
+	// bug surfaced by the workload.
+	ChecksumErrors int64
+}
+
+// TotalCommits sums commits across views.
+func (r Result) TotalCommits() int64 {
+	var n int64
+	for _, v := range r.Views {
+		n += v.Commits
+	}
+	return n
+}
+
+// TotalAborts sums aborts across views.
+func (r Result) TotalAborts() int64 {
+	var n int64
+	for _, v := range r.Views {
+		n += v.Aborts
+	}
+	return n
+}
+
+// flow descriptor block layout inside the dictionary view:
+// [arrivedBytes, totalLen, payloadWord0 …]
+const flowHdrWords = 2
+
+func payloadWords(flowLen int) int { return (flowLen + 7) / 8 }
+
+// Run executes the Intruder benchmark over a pre-generated workload.
+func Run(cfg RunConfig, p Params, w *Workload) (Result, error) {
+	cfg.fill()
+	p.fill()
+	if p.Threads <= 0 {
+		return Result{}, errors.New("intruder: Threads must be positive")
+	}
+	if w == nil || len(w.Fragments) == 0 {
+		return Result{}, errors.New("intruder: empty workload")
+	}
+
+	rt := core.NewRuntime(core.Config{
+		Threads:          p.Threads,
+		Engine:           cfg.Engine,
+		NoAdmission:      !cfg.Mode.RAC(),
+		Orecs:            cfg.Orecs,
+		SuicideCM:        cfg.SuicideCM,
+		AdjustEvery:      cfg.AdjustEvery,
+		ProbeAtLockEvery: cfg.ProbeAtLockEvery,
+	})
+
+	queueWords := 3 + len(w.Fragments) + 16
+	dictWords := dictFootprint(w, p)
+
+	var qView, dView *core.View
+	var err error
+	if cfg.Mode.MultipleViews() {
+		if qView, err = rt.CreateView(1, queueWords, cfg.Quotas[0]); err != nil {
+			return Result{}, err
+		}
+		if dView, err = rt.CreateView(2, dictWords, cfg.Quotas[1]); err != nil {
+			return Result{}, err
+		}
+	} else {
+		v, cerr := rt.CreateView(1, queueWords+dictWords, cfg.Quotas[0])
+		if cerr != nil {
+			return Result{}, cerr
+		}
+		qView, dView = v, v
+	}
+
+	queue, err := stmds.NewQueue(qView, len(w.Fragments))
+	if err != nil {
+		return Result{}, fmt.Errorf("intruder: queue: %w", err)
+	}
+	nbuckets := p.NumFlows/4 + 1
+	dict, err := stmds.NewHashMap(dView, nbuckets)
+	if err != nil {
+		return Result{}, fmt.Errorf("intruder: dict: %w", err)
+	}
+
+	// Pre-fill the capture queue with the shuffled arrival stream
+	// (sequential setup, before timing starts).
+	setupTh := rt.RegisterThread()
+	const batch = 512
+	for lo := 0; lo < len(w.Fragments); lo += batch {
+		hi := lo + batch
+		if hi > len(w.Fragments) {
+			hi = len(w.Fragments)
+		}
+		err := qView.Atomic(context.Background(), setupTh, func(tx core.Tx) error {
+			for i := lo; i < hi; i++ {
+				if !queue.Enqueue(tx, uint64(i)) {
+					return errors.New("intruder: queue overflow during setup")
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	if cfg.OnViews != nil {
+		if qView == dView {
+			cfg.OnViews([]*core.View{qView})
+		} else {
+			cfg.OnViews([]*core.View{qView, dView})
+		}
+	}
+
+	st := &sharedState{
+		rt: rt, cfg: cfg, p: p, w: w,
+		qView: qView, dView: dView,
+		queue: queue, dict: dict,
+		yield: simpar.Enabled(cfg.Yield, p.Threads),
+	}
+
+	sample := func() int64 { return qView.Totals().Commits + dView.Totals().Commits }
+	if qView == dView {
+		sample = func() int64 { return qView.Totals().Commits }
+	}
+	ctx, wd := progress.Watch(context.Background(), sample, cfg.StallWindow, cfg.Deadline)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < p.Threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.worker(ctx)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	livelocked := wd.Stop()
+
+	res := Result{
+		Elapsed:        elapsed,
+		Livelock:       livelocked,
+		Reason:         wd.Reason(),
+		FlowsCompleted: st.flowsDone.Load(),
+		AttacksFound:   st.attacks.Load(),
+		AllocErrors:    st.allocErrs.Load(),
+		ChecksumErrors: st.sumErrs.Load(),
+	}
+	appendStats := func(name string, v *core.View) {
+		tot := v.Totals()
+		q := v.Quota()
+		if v.Controller().Adaptive() {
+			q = v.SettledQuota()
+		}
+		res.Views = append(res.Views, ViewStats{
+			Name:      name,
+			Commits:   tot.Commits,
+			Aborts:    tot.Aborts,
+			SuccessNs: tot.SuccessNs,
+			AbortNs:   tot.AbortNs,
+			Delta:     tot.Delta(q),
+			Quota:     q,
+		})
+	}
+	if cfg.Mode.MultipleViews() {
+		appendStats("queue", qView)
+		appendStats("dictionary", dView)
+	} else {
+		appendStats("all", qView)
+	}
+	return res, nil
+}
+
+// dictFootprint sizes the dictionary view: hash header + per-flow node and
+// descriptor block, plus per-thread slack for transiently double-allocated
+// spares (two workers racing on the same fresh flow).
+func dictFootprint(w *Workload, p Params) int {
+	words := 1 + w.NumFlows/4 + 1 // hash header
+	for _, f := range w.Fragments {
+		if f.Offset == 0 {
+			words += 3 + flowHdrWords + payloadWords(f.FlowLen) // node + block
+		}
+	}
+	slack := p.Threads * (3 + flowHdrWords + payloadWords(p.MaxFlowLen))
+	return words + slack + 64
+}
+
+type sharedState struct {
+	rt    *core.Runtime
+	cfg   RunConfig
+	p     Params
+	w     *Workload
+	qView *core.View
+	dView *core.View
+	queue *stmds.Queue
+	dict  *stmds.HashMap
+	yield bool
+
+	flowsDone atomic.Int64
+	attacks   atomic.Int64
+	sumErrs   atomic.Int64
+	allocErrs atomic.Int64
+}
+
+// allocOrGrow allocates words from the dictionary view, growing the view
+// with brk_view once when first-fit fragmentation leaves no suitable span.
+func (s *sharedState) allocOrGrow(words int) (stm.Addr, error) {
+	a, err := s.dView.Alloc(words)
+	if err == nil {
+		return a, nil
+	}
+	grow := words
+	if grow < 4096 {
+		grow = 4096
+	}
+	if berr := s.dView.Brk(grow); berr != nil {
+		return 0, berr
+	}
+	return s.dView.Alloc(words)
+}
+
+// worker is one detector thread: capture → reassemble → detect, looping
+// until the capture queue drains.
+func (s *sharedState) worker(ctx context.Context) {
+	th := s.rt.RegisterThread()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		// Phase 1: capture (queue-view transaction).
+		var fragIdx uint64
+		var ok bool
+		err := s.qView.Atomic(ctx, th, func(tx core.Tx) error {
+			fragIdx, ok = s.queue.Dequeue(tx)
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		if !ok {
+			return // stream drained; any in-flight reassembly belongs to other workers
+		}
+		frag := &s.w.Fragments[fragIdx]
+
+		// Phase 2: reassembly (dictionary-view transaction). Blocks are
+		// allocated outside the transaction and freed when unused, keeping
+		// the retried body side-effect free.
+		blockWords := flowHdrWords + payloadWords(frag.FlowLen)
+		spareBlock, aerr := s.allocOrGrow(blockWords)
+		if aerr != nil {
+			s.allocErrs.Add(1)
+			return
+		}
+		spareNode, nerr := s.dict.NewNode()
+		if nerr != nil {
+			// Grow and retry once (brk_view, paper Table I).
+			if s.dView.Brk(4096) == nil {
+				spareNode, nerr = s.dict.NewNode()
+			}
+			if nerr != nil {
+				_ = s.dView.Free(spareBlock)
+				s.allocErrs.Add(1)
+				return
+			}
+		}
+
+		var complete bool
+		var blockRef uint64
+		var usedSpares bool
+		deletedNode := stmds.NilRef
+		err = s.dView.Atomic(ctx, th, func(tx core.Tx) error {
+			complete, usedSpares, deletedNode = false, false, stmds.NilRef
+			ref, found := s.dict.Get(tx, frag.FlowID)
+			if !found {
+				ref = uint64(spareBlock)
+				tx.Store(spareBlock+0, 0)                    // arrivedBytes
+				tx.Store(spareBlock+1, uint64(frag.FlowLen)) // totalLen
+				s.dict.Put(tx, frag.FlowID, ref, spareNode)  // fresh key: consumes spare
+				usedSpares = true
+			}
+			blockRef = ref
+			base := stm.Addr(ref)
+			s.writeBytes(tx, base+flowHdrWords, frag.Offset, frag.Data)
+			arrived := tx.Load(base+0) + uint64(len(frag.Data))
+			tx.Store(base+0, arrived)
+			if arrived == tx.Load(base+1) {
+				complete = true
+				if node, found := s.dict.Delete(tx, frag.FlowID); found {
+					deletedNode = node
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			_ = s.dView.Free(spareBlock)
+			_ = s.dict.FreeNode(spareNode)
+			return
+		}
+		if !usedSpares {
+			_ = s.dView.Free(spareBlock)
+			_ = s.dict.FreeNode(spareNode)
+		}
+
+		// Phase 3: detection (outside transactions). After completion the
+		// flow was removed from the dictionary inside the committed
+		// transaction, so the block is private to this worker.
+		if complete {
+			if deletedNode != stmds.NilRef {
+				_ = s.dict.FreeNode(deletedNode)
+			}
+			payload := s.readPayload(stm.Addr(blockRef), frag.FlowLen)
+			if Detect(payload) {
+				s.attacks.Add(1)
+			}
+			if checksum(payload) != s.w.FlowSums[frag.FlowID] {
+				s.sumErrs.Add(1)
+			}
+			_ = s.dView.Free(stm.Addr(blockRef))
+			s.flowsDone.Add(1)
+		}
+	}
+}
+
+// writeBytes stores data at byte offset off within the payload area
+// starting at base, in word-sized chunks through the enc packing helpers,
+// yielding between chunks when simulated parallelism is on.
+func (s *sharedState) writeBytes(tx core.Tx, base stm.Addr, off int, data []byte) {
+	const chunk = 8
+	for i := 0; i < len(data); i += chunk {
+		end := i + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		enc.StoreBytes(tx, base, off+i, data[i:end])
+		if s.yield {
+			runtime.Gosched()
+		}
+	}
+}
+
+// readPayload unpacks flowLen bytes from the committed block (direct heap
+// reads; the block is private once the flow left the dictionary).
+func (s *sharedState) readPayload(blockBase stm.Addr, flowLen int) []byte {
+	h := s.dView.Heap()
+	out := make([]byte, flowLen)
+	for i := 0; i < flowLen; i++ {
+		word := h.Load(blockBase + flowHdrWords + stm.Addr(i/8))
+		out[i] = byte(word >> (uint(i%8) * 8))
+	}
+	return out
+}

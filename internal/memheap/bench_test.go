@@ -1,0 +1,42 @@
+package memheap
+
+import (
+	"testing"
+
+	"votm/internal/stm"
+)
+
+func BenchmarkAllocFreePairs(b *testing.B) {
+	a := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk, err := a.Alloc(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocChurn(b *testing.B) {
+	// Interleaved alloc/free of mixed sizes: exercises coalescing.
+	a := New(1 << 20)
+	live := make([]stm.Addr, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) == 64 {
+			if err := a.Free(live[0]); err != nil {
+				b.Fatal(err)
+			}
+			live = live[1:]
+		}
+		size := 1 + i%64
+		blk, err := a.Alloc(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, blk)
+	}
+}

@@ -1,0 +1,74 @@
+package memheap
+
+import (
+	"testing"
+
+	"votm/internal/stm"
+)
+
+// FuzzAllocFree interprets the fuzz input as an op program over the
+// allocator and checks its invariants: blocks never overlap, never exceed
+// the limit, frees always succeed for live blocks, and freeing everything
+// restores full capacity.
+func FuzzAllocFree(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 0, 0, 255, 8})
+	f.Add([]byte{10, 20, 30})
+	f.Add([]byte{0})
+
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		const limit = 1 << 12
+		a := New(limit)
+		type blk struct {
+			base stm.Addr
+			size int
+		}
+		var live []blk
+		grown := 0
+		for i := 0; i < len(prog); i++ {
+			op := prog[i]
+			switch {
+			case op%3 == 0 && len(live) > 0: // free
+				k := int(op/3) % len(live)
+				if err := a.Free(live[k].base); err != nil {
+					t.Fatalf("free of live block failed: %v", err)
+				}
+				live = append(live[:k], live[k+1:]...)
+			case op%7 == 6 && grown < 4: // grow
+				a.Grow(64)
+				grown++
+			default: // alloc
+				size := int(op)%96 + 1
+				b, err := a.Alloc(size)
+				if err != nil {
+					continue // out of memory is fine
+				}
+				nb := blk{base: b, size: size}
+				for _, o := range live {
+					if int(nb.base) < int(o.base)+o.size && int(o.base) < int(nb.base)+nb.size {
+						t.Fatalf("overlap: [%d,%d) with [%d,%d)",
+							nb.base, int(nb.base)+nb.size, o.base, int(o.base)+o.size)
+					}
+				}
+				if int(nb.base)+nb.size > a.Limit() {
+					t.Fatalf("block beyond limit: %d+%d > %d", nb.base, nb.size, a.Limit())
+				}
+				live = append(live, nb)
+			}
+		}
+		want := 0
+		for _, b := range live {
+			want += b.size
+		}
+		if a.InUse() != want {
+			t.Fatalf("InUse = %d, want %d", a.InUse(), want)
+		}
+		for _, b := range live {
+			if err := a.Free(b.base); err != nil {
+				t.Fatalf("cleanup free: %v", err)
+			}
+		}
+		if _, err := a.Alloc(a.Limit()); err != nil {
+			t.Fatalf("full-capacity alloc after freeing all: %v", err)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+// Package memheap provides the block allocator behind the VOTM primitives
+// malloc_block / free_block / brk_view. Allocation bookkeeping lives outside
+// the transactional word heap (in ordinary Go memory), so allocator metadata
+// can never conflict with transactional data — matching the paper's API, in
+// which allocation is not transactional.
+package memheap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"votm/internal/stm"
+)
+
+// ErrOutOfMemory is returned when no free span can satisfy an allocation.
+var ErrOutOfMemory = errors.New("memheap: out of view memory (consider Brk)")
+
+// ErrBadFree is returned when freeing an address that is not an allocated
+// block base.
+var ErrBadFree = errors.New("memheap: free of unallocated address")
+
+type span struct {
+	base, size int
+}
+
+// Allocator hands out word spans from [0, limit) with first-fit placement
+// and free-list coalescing. It is safe for concurrent use.
+type Allocator struct {
+	mu        sync.Mutex
+	limit     int
+	free      []span // sorted by base, no two adjacent
+	allocated map[stm.Addr]int
+	inUse     int
+}
+
+// New creates an allocator over a heap of limit words.
+func New(limit int) *Allocator {
+	if limit < 0 {
+		panic("memheap: negative limit")
+	}
+	a := &Allocator{
+		allocated: make(map[stm.Addr]int),
+		limit:     limit,
+	}
+	if limit > 0 {
+		a.free = []span{{base: 0, size: limit}}
+	}
+	return a
+}
+
+// Alloc reserves a block of words words and returns its base address.
+func (a *Allocator) Alloc(words int) (stm.Addr, error) {
+	if words <= 0 {
+		return 0, fmt.Errorf("memheap: invalid allocation size %d", words)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.free {
+		if a.free[i].size >= words {
+			base := a.free[i].base
+			a.free[i].base += words
+			a.free[i].size -= words
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.allocated[stm.Addr(base)] = words
+			a.inUse += words
+			return stm.Addr(base), nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+// Free releases the block whose base address is addr, coalescing neighbours.
+func (a *Allocator) Free(addr stm.Addr) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	size, ok := a.allocated[addr]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadFree, addr)
+	}
+	delete(a.allocated, addr)
+	a.inUse -= size
+	a.insertFreeLocked(span{base: int(addr), size: size})
+	return nil
+}
+
+func (a *Allocator) insertFreeLocked(s span) {
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].base > s.base })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = s
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].base+a.free[i].size == a.free[i+1].base {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].base+a.free[i-1].size == a.free[i].base {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// Grow extends the allocatable range by extra words (the brk_view path).
+func (a *Allocator) Grow(extra int) {
+	if extra <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.insertFreeLocked(span{base: a.limit, size: extra})
+	a.limit += extra
+}
+
+// InUse returns the number of currently allocated words.
+func (a *Allocator) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// FreeWords returns the number of unallocated words.
+func (a *Allocator) FreeWords() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit - a.inUse
+}
+
+// Limit returns the current allocatable size in words.
+func (a *Allocator) Limit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit
+}
+
+// BlockSize returns the size of the allocated block at addr, or 0 if addr is
+// not an allocated block base.
+func (a *Allocator) BlockSize(addr stm.Addr) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocated[addr]
+}
+
+// Blocks returns the number of live allocations.
+func (a *Allocator) Blocks() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.allocated)
+}

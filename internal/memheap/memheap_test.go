@@ -1,0 +1,275 @@
+package memheap
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"votm/internal/stm"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := New(100)
+	b1, err := a.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Alloc(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 == b2 {
+		t.Error("overlapping allocations")
+	}
+	if a.InUse() != 30 {
+		t.Errorf("InUse = %d, want 30", a.InUse())
+	}
+	if a.FreeWords() != 70 {
+		t.Errorf("FreeWords = %d, want 70", a.FreeWords())
+	}
+	if a.Blocks() != 2 {
+		t.Errorf("Blocks = %d, want 2", a.Blocks())
+	}
+	if a.BlockSize(b1) != 10 || a.BlockSize(b2) != 20 {
+		t.Error("BlockSize wrong")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := New(16)
+	if _, err := a.Alloc(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	a := New(16)
+	b, _ := a.Alloc(16)
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Alloc(16)
+	if err != nil {
+		t.Fatalf("reuse after free failed: %v", err)
+	}
+	if b2 != b {
+		t.Errorf("expected same base after full free, got %d vs %d", b2, b)
+	}
+}
+
+func TestFreeCoalescing(t *testing.T) {
+	a := New(30)
+	b1, _ := a.Alloc(10)
+	b2, _ := a.Alloc(10)
+	b3, _ := a.Alloc(10)
+	// Free middle, then left, then right: all must coalesce into one span.
+	if err := a.Free(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(30); err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := New(16)
+	b, _ := a.Alloc(8)
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b); !errors.Is(err, ErrBadFree) {
+		t.Errorf("double free: err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestFreeUnknown(t *testing.T) {
+	a := New(16)
+	if err := a.Free(3); !errors.Is(err, ErrBadFree) {
+		t.Errorf("err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestAllocInvalidSize(t *testing.T) {
+	a := New(16)
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("Alloc(0) succeeded")
+	}
+	if _, err := a.Alloc(-1); err == nil {
+		t.Error("Alloc(-1) succeeded")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	a := New(8)
+	if _, err := a.Alloc(8); err != nil {
+		t.Fatal(err)
+	}
+	a.Grow(8)
+	if a.Limit() != 16 {
+		t.Errorf("Limit = %d, want 16", a.Limit())
+	}
+	if _, err := a.Alloc(8); err != nil {
+		t.Fatalf("alloc from grown region failed: %v", err)
+	}
+	a.Grow(0)  // no-op
+	a.Grow(-3) // no-op
+	if a.Limit() != 16 {
+		t.Errorf("Limit changed by no-op grows: %d", a.Limit())
+	}
+}
+
+func TestGrowCoalescesWithTrailingFree(t *testing.T) {
+	a := New(10)
+	b, _ := a.Alloc(4) // free span now [4,10)
+	_ = b
+	a.Grow(10) // free span should coalesce into [4,20)
+	if _, err := a.Alloc(16); err != nil {
+		t.Fatalf("grow did not coalesce with trailing free span: %v", err)
+	}
+}
+
+func TestZeroLimit(t *testing.T) {
+	a := New(0)
+	if _, err := a.Alloc(1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("err = %v", err)
+	}
+	a.Grow(4)
+	if _, err := a.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a := New(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []stm.Addr
+			for i := 0; i < 500; i++ {
+				if len(mine) > 0 && rng.Intn(2) == 0 {
+					k := rng.Intn(len(mine))
+					if err := a.Free(mine[k]); err != nil {
+						t.Errorf("free: %v", err)
+						return
+					}
+					mine = append(mine[:k], mine[k+1:]...)
+				} else {
+					b, err := a.Alloc(rng.Intn(32) + 1)
+					if err == nil {
+						mine = append(mine, b)
+					}
+				}
+			}
+			for _, b := range mine {
+				if err := a.Free(b); err != nil {
+					t.Errorf("cleanup free: %v", err)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if a.InUse() != 0 {
+		t.Errorf("InUse = %d after freeing everything", a.InUse())
+	}
+	if _, err := a.Alloc(1 << 16); err != nil {
+		t.Errorf("full-heap alloc after churn failed (fragmentation bug): %v", err)
+	}
+}
+
+// TestQuickNoOverlap property: any interleaving of allocs yields
+// non-overlapping blocks that all fit in the limit.
+func TestQuickNoOverlap(t *testing.T) {
+	prop := func(sizes []uint8) bool {
+		a := New(1 << 14)
+		type blk struct {
+			base stm.Addr
+			size int
+		}
+		var blocks []blk
+		for _, s := range sizes {
+			size := int(s)%64 + 1
+			b, err := a.Alloc(size)
+			if err != nil {
+				continue
+			}
+			blocks = append(blocks, blk{b, size})
+		}
+		// Check pairwise disjointness and bounds.
+		for i := range blocks {
+			bi := blocks[i]
+			if int(bi.base)+bi.size > 1<<14 {
+				return false
+			}
+			for j := i + 1; j < len(blocks); j++ {
+				bj := blocks[j]
+				if int(bi.base) < int(bj.base)+bj.size && int(bj.base) < int(bi.base)+bi.size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFreeRestoresCapacity property: allocating k blocks and freeing
+// them all always restores full capacity as one span.
+func TestQuickFreeRestoresCapacity(t *testing.T) {
+	prop := func(sizes []uint8, order []uint8) bool {
+		const limit = 1 << 12
+		a := New(limit)
+		var blocks []stm.Addr
+		for _, s := range sizes {
+			b, err := a.Alloc(int(s)%32 + 1)
+			if err != nil {
+				break
+			}
+			blocks = append(blocks, b)
+		}
+		// Free in a permuted order derived from `order`.
+		for len(blocks) > 0 {
+			k := 0
+			if len(order) > 0 {
+				k = int(order[0]) % len(blocks)
+				order = order[1:]
+			}
+			if a.Free(blocks[k]) != nil {
+				return false
+			}
+			blocks = append(blocks[:k], blocks[k+1:]...)
+		}
+		if a.InUse() != 0 {
+			return false
+		}
+		_, err := a.Alloc(limit)
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}

@@ -1,0 +1,105 @@
+package progress
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNoFireOnSteadyProgress(t *testing.T) {
+	var n atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				n.Add(1)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	ctx, wd := Watch(context.Background(), n.Load, 100*time.Millisecond, 0)
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	if wd.Stop() {
+		t.Errorf("watchdog fired on steady progress: %s", wd.Reason())
+	}
+	if ctx.Err() == nil {
+		// Stop cancels the context after normal completion.
+		t.Error("context not released after Stop")
+	}
+}
+
+func TestFiresOnStall(t *testing.T) {
+	var n atomic.Int64
+	ctx, wd := Watch(context.Background(), n.Load, 50*time.Millisecond, 0)
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never fired on a stalled counter")
+	}
+	if !wd.Stop() {
+		t.Error("Stop() = false after firing")
+	}
+	if wd.Reason() == "" {
+		t.Error("empty reason after firing")
+	}
+}
+
+func TestFiresOnDeadline(t *testing.T) {
+	var n atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				n.Add(1) // constant progress: only the deadline can fire
+			}
+		}
+	}()
+	defer close(stop)
+	ctx, wd := Watch(context.Background(), n.Load, 0, 60*time.Millisecond)
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if !wd.Stop() {
+		t.Error("Stop() = false after deadline")
+	}
+}
+
+func TestDisabledChecksNeverFire(t *testing.T) {
+	var n atomic.Int64
+	_, wd := Watch(context.Background(), n.Load, 0, 0)
+	time.Sleep(80 * time.Millisecond)
+	if wd.Stop() {
+		t.Error("watchdog with disabled checks fired")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	var n atomic.Int64
+	_, wd := Watch(context.Background(), n.Load, 0, 0)
+	a := wd.Stop()
+	b := wd.Stop()
+	if a != b {
+		t.Error("Stop not idempotent")
+	}
+}
+
+func TestParentCancellationStopsWatcher(t *testing.T) {
+	var n atomic.Int64
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, wd := Watch(parent, n.Load, time.Hour, time.Hour)
+	cancel()
+	<-ctx.Done()
+	if wd.Stop() {
+		t.Error("parent cancellation misreported as livelock")
+	}
+}

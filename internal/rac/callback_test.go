@@ -1,0 +1,68 @@
+package rac
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOnQuotaChangeCallback(t *testing.T) {
+	type move struct{ from, to int }
+	var moves []move
+	c := New(Params{
+		Threads:      8,
+		InitialQuota: 8,
+		OnQuotaChange: func(from, to int) {
+			moves = append(moves, move{from, to})
+		},
+	})
+	c.SetQuota(4)
+	c.SetQuota(4) // no-op: must not fire
+	c.SetQuota(1)
+	if len(moves) != 2 {
+		t.Fatalf("moves = %v", moves)
+	}
+	if moves[0] != (move{8, 4}) || moves[1] != (move{4, 1}) {
+		t.Errorf("moves = %v", moves)
+	}
+}
+
+func TestOnQuotaChangeFiresOnAdaptiveMoves(t *testing.T) {
+	fired := 0
+	c := New(Params{
+		Threads: 8, InitialQuota: 8, Adaptive: true, AdjustEvery: 4,
+		OnQuotaChange: func(from, to int) {
+			fired++
+			if to >= from {
+				t.Errorf("hot window must halve: %d -> %d", from, to)
+			}
+		},
+	})
+	driveWindow(c, time.Microsecond, 50*time.Millisecond)
+	if fired == 0 {
+		t.Error("adaptive halving did not fire the callback")
+	}
+}
+
+func TestLockElisionPolicyJumpsToExtremes(t *testing.T) {
+	c := New(Params{Threads: 16, InitialQuota: 16, Adaptive: true,
+		AdjustEvery: 16, Policy: LockElision})
+	// Hot window: straight to 1, not 8.
+	driveWindow(c, time.Microsecond, 100*time.Millisecond)
+	if got := c.Quota(); got != 1 {
+		t.Fatalf("hot window Q = %d, want 1 (jump, not halve)", got)
+	}
+	// Probe back out, then a cold window must jump straight to N.
+	for i := 0; i < 8; i++ { // default ProbeAtLockEvery = 8
+		driveWindow(c, 10*time.Millisecond, 0)
+	}
+	if got := c.Quota(); got != 2 {
+		t.Fatalf("after probe Q = %d, want 2", got)
+	}
+	driveWindow(c, 10*time.Millisecond, 0)
+	if got := c.Quota(); got != 16 {
+		t.Errorf("cold window Q = %d, want 16 (jump, not double)", got)
+	}
+	if HalveDouble.String() != "halve-double" || LockElision.String() != "lock-elision" {
+		t.Error("Policy stringer wrong")
+	}
+}

@@ -1,0 +1,98 @@
+package rac
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPauseAndDrainWaitsForExits(t *testing.T) {
+	c := New(Params{Threads: 4, InitialQuota: 4})
+	ctx := context.Background()
+	m1, _ := c.Enter(ctx)
+	m2, _ := c.Enter(ctx)
+
+	drained := make(chan struct{})
+	go func() {
+		if err := c.PauseAndDrain(ctx); err != nil {
+			t.Errorf("PauseAndDrain: %v", err)
+		}
+		close(drained)
+	}()
+
+	select {
+	case <-drained:
+		t.Fatal("drained while 2 threads inside")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Exit(m1, Committed, time.Nanosecond)
+	select {
+	case <-drained:
+		t.Fatal("drained while 1 thread inside")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Exit(m2, Committed, time.Nanosecond)
+	select {
+	case <-drained:
+	case <-time.After(time.Second):
+		t.Fatal("never drained after all exits")
+	}
+
+	// While paused, admissions block.
+	admitted := make(chan Mode, 1)
+	go func() {
+		m, _ := c.Enter(context.Background())
+		admitted <- m
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("admitted while paused")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Resume()
+	select {
+	case m := <-admitted:
+		c.Exit(m, Committed, time.Nanosecond)
+	case <-time.After(time.Second):
+		t.Fatal("not admitted after Resume")
+	}
+}
+
+func TestPauseAndDrainImmediateWhenEmpty(t *testing.T) {
+	c := New(Params{Threads: 4, InitialQuota: 4})
+	if err := c.PauseAndDrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c.Resume()
+	m, err := c.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Exit(m, Committed, time.Nanosecond)
+}
+
+func TestPauseAndDrainContextCancel(t *testing.T) {
+	c := New(Params{Threads: 4, InitialQuota: 4})
+	m, _ := c.Enter(context.Background())
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.PauseAndDrain(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Errorf("err = %v, want Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled drain never returned")
+	}
+	// Controller must recover after Resume.
+	c.Resume()
+	c.Exit(m, Committed, time.Nanosecond)
+	m2, err := c.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Exit(m2, Committed, time.Nanosecond)
+}

@@ -1,0 +1,165 @@
+// Package racsim is a discrete-event simulator that drives the *real* RAC
+// controller with synthetic workloads drawn from the paper's analytical
+// model (Section II-A): each transaction has a conflict-free duration t, an
+// abort probability that grows with the number of concurrently admitted
+// transactions (the (Q−1)/(N−1) scaling of Equation 2), and an abort cost d.
+//
+// It closes the loop between internal/theory (the algebra) and internal/rac
+// (the engineering): for a model-hot workload the adaptive controller must
+// converge near theory.OptimalQ — i.e. throttle to the bottom — and for a
+// model-cold workload it must open up to N. The simulator uses virtual
+// durations (passed to Exit) rather than wall time, so the convergence
+// tests are fast and deterministic given a seed.
+package racsim
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"time"
+
+	"votm/internal/rac"
+)
+
+// Workload parameterizes the synthetic transaction population, mirroring
+// theory.Tx: C is the expected number of aborts a transaction would suffer
+// with all N threads admitted, D the virtual duration of one aborted
+// attempt, T the conflict-free duration.
+type Workload struct {
+	C float64
+	D time.Duration
+	T time.Duration
+	// Exponent shapes how the expected abort count grows with admitted
+	// concurrency: c(q) = C·((q−1)/(N−1))^Exponent. 1 (or 0, the zero
+	// value) is the paper's linear model; >1 models super-linear conflict
+	// growth (lock convoys, validation storms), which creates quotas whose
+	// optimum lies strictly between 1 and N — the §IV-B regime where RAC
+	// beats adaptive locks.
+	Exponent float64
+}
+
+// Hot returns a workload whose model δ = C·D/(T·(N−1)) is well above 1 for
+// the given N.
+func Hot(n int) Workload {
+	return Workload{C: 4 * float64(n), D: time.Millisecond, T: time.Millisecond}
+}
+
+// Cold returns a workload whose model δ is well below 1 for the given N.
+func Cold(n int) Workload {
+	return Workload{C: 0.05, D: time.Millisecond, T: 4 * time.Millisecond}
+}
+
+// Delta returns the workload's model contention ratio δ for N threads
+// (the paper's δ = Σc·d / (Σt·(N−1)) with identical transactions).
+func (w Workload) Delta(n int) float64 {
+	return w.C * float64(w.D) / (float64(w.T) * float64(n-1))
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Commits     int64
+	Aborts      int64
+	VirtualTime time.Duration // Σ attempt durations across all threads
+	// VirtualMakespan is Σ duration/Q — each attempt's duration divided by
+	// the quota in force, i.e. the model's parallel completion time
+	// (Equation 2's denominator applied pointwise).
+	VirtualMakespan time.Duration
+	SettledQuota    int
+	QuotaMoves      int64
+}
+
+// Config tunes a simulation.
+type Config struct {
+	Threads     int
+	Rounds      int   // committed transactions per thread
+	Seed        int64 // rng seed (deterministic runs)
+	AdjustEvery int64 // controller window (default 64)
+	Quota       int   // initial quota; <1 ⇒ adaptive
+	// Policy selects the adaptive rule (RAC halve/double vs the §IV-B
+	// adaptive-lock baseline that only uses Q ∈ {1, N}).
+	Policy rac.Policy
+	// Probe forwards to rac.Params.ProbeAtLockEvery; 0 keeps probing
+	// disabled (sticky lock mode) so settled quotas are deterministic.
+	Probe int
+}
+
+// Run simulates cfg.Threads logical threads executing the workload under a
+// real rac.Controller. The logical threads take turns on one goroutine, so
+// runs are deterministic for a given seed; concurrency enters the model
+// through Equation 2's (Q−1)/(N−1) abort-probability scaling rather than
+// through the Go scheduler — only concurrently admitted transactions can
+// conflict.
+func Run(cfg Config, w Workload) Result {
+	if cfg.AdjustEvery == 0 {
+		cfg.AdjustEvery = 64
+	}
+	probe := cfg.Probe
+	if probe == 0 {
+		probe = -1 // sticky: convergence tests want the settled value
+	}
+	ctl := rac.New(rac.Params{
+		Threads:          cfg.Threads,
+		InitialQuota:     cfg.Quota,
+		AdjustEvery:      cfg.AdjustEvery,
+		ProbeAtLockEvery: probe,
+		Policy:           cfg.Policy,
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res Result
+	type thread struct{ remaining int }
+	threads := make([]thread, cfg.Threads)
+	for i := range threads {
+		threads[i].remaining = cfg.Rounds
+	}
+
+	// Round-robin over logical threads; each step is one admitted attempt.
+	active := cfg.Threads
+	for active > 0 {
+		for i := range threads {
+			if threads[i].remaining == 0 {
+				continue
+			}
+			mode, err := ctl.Enter(context.Background())
+			if err != nil {
+				return res
+			}
+			q := ctl.Quota()
+			scale := 0.0
+			if cfg.Threads > 1 {
+				scale = float64(q-1) / float64(cfg.Threads-1)
+			}
+			// The model's expected abort count at quota q is
+			// c(q) = C·((q−1)/(N−1))^e (Equation 2's scaling, optionally
+			// super-linear); a geometric attempt process with per-attempt
+			// abort probability p = c/(c+1) has exactly that expectation.
+			e := w.Exponent
+			if e == 0 {
+				e = 1
+			}
+			cq := w.C * math.Pow(scale, e)
+			p := cq / (cq + 1)
+			if mode == rac.ModeLock {
+				p = 0 // exclusive: conflicts impossible
+			}
+			if rng.Float64() < p {
+				ctl.Exit(mode, rac.Aborted, w.D)
+				res.Aborts++
+				res.VirtualTime += w.D
+				res.VirtualMakespan += w.D / time.Duration(q)
+				// The thread retries the same transaction next round.
+			} else {
+				ctl.Exit(mode, rac.Committed, w.T)
+				res.Commits++
+				res.VirtualTime += w.T
+				res.VirtualMakespan += w.T / time.Duration(q)
+				threads[i].remaining--
+				if threads[i].remaining == 0 {
+					active--
+				}
+			}
+		}
+	}
+	res.SettledQuota = ctl.SettledQuota()
+	res.QuotaMoves = ctl.QuotaMoves()
+	return res
+}

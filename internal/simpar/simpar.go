@@ -1,0 +1,47 @@
+// Package simpar (simulated parallelism) decides whether workload drivers
+// insert cooperative yield points inside transaction bodies.
+//
+// The paper's testbed is a 16-core machine where 16 threads genuinely
+// overlap inside transactions. On a host with fewer cores than benchmark
+// threads, a Go transaction body runs to completion without interleaving
+// and contention never materializes; yielding between shared accesses makes
+// the scheduler interleave transactions the way hardware parallelism does.
+// See DESIGN.md §2 (substitutions).
+package simpar
+
+import "runtime"
+
+// Mode controls yield-point insertion.
+type Mode int
+
+const (
+	// Auto yields iff runtime.NumCPU() < threads.
+	Auto Mode = iota
+	// On always yields.
+	On
+	// Off never yields.
+	Off
+)
+
+func (m Mode) String() string {
+	switch m {
+	case On:
+		return "on"
+	case Off:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// Enabled resolves m against the host CPU count.
+func Enabled(m Mode, threads int) bool {
+	switch m {
+	case On:
+		return true
+	case Off:
+		return false
+	default:
+		return runtime.NumCPU() < threads
+	}
+}

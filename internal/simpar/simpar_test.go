@@ -1,0 +1,32 @@
+package simpar
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestEnabled(t *testing.T) {
+	if Enabled(On, 1) != true {
+		t.Error("On must always yield")
+	}
+	if Enabled(Off, 1<<20) != false {
+		t.Error("Off must never yield")
+	}
+	// Auto: yields exactly when the host has fewer cores than threads.
+	n := runtime.NumCPU()
+	if got := Enabled(Auto, n+1); !got {
+		t.Errorf("Auto with threads=%d on %d CPUs = false, want true", n+1, n)
+	}
+	if got := Enabled(Auto, n); got {
+		t.Errorf("Auto with threads=%d on %d CPUs = true, want false", n, n)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{Auto: "auto", On: "on", Off: "off"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}

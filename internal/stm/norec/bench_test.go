@@ -1,0 +1,105 @@
+package norec_test
+
+import (
+	"testing"
+
+	"votm/internal/stm"
+	"votm/internal/stm/norec"
+	"votm/internal/stm/stmtest"
+)
+
+func BenchmarkReadOnlyTx(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := norec.New(h)
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		_ = tx.Load(stm.Addr(i % 1024))
+		tx.Commit()
+	}
+}
+
+func BenchmarkWriteTx1(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := norec.New(h)
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		tx.Store(stm.Addr(i%1024), uint64(i))
+		tx.Commit()
+	}
+}
+
+func BenchmarkWriteTx16(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := norec.New(h)
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		for k := 0; k < 16; k++ {
+			tx.Store(stm.Addr((i*16+k)%1024), uint64(i))
+		}
+		tx.Commit()
+	}
+}
+
+func BenchmarkReadWriteTx(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := norec.New(h)
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		a := stm.Addr(i % 1024)
+		tx.Store(a, tx.Load(a)+1)
+		tx.Commit()
+	}
+}
+
+func BenchmarkLoadFromWriteLog(b *testing.B) {
+	h := stm.NewHeap(8)
+	e := norec.New(h)
+	tx := e.NewTx(0)
+	tx.Begin()
+	tx.Store(3, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tx.Load(3)
+	}
+	b.StopTimer()
+	tx.Abort()
+}
+
+func BenchmarkParallelCounter(b *testing.B) {
+	h := stm.NewHeap(64)
+	e := norec.New(h)
+	var id int
+	b.RunParallel(func(pb *testing.PB) {
+		id++
+		tx := e.NewTx(id)
+		for pb.Next() {
+			stmtest.Atomically(tx, func(tx stm.Tx) {
+				tx.Store(0, tx.Load(0)+1)
+			})
+		}
+	})
+}
+
+func BenchmarkParallelDisjoint(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := norec.New(h)
+	var id int
+	b.RunParallel(func(pb *testing.PB) {
+		id++
+		slot := stm.Addr((id * 64) % 1024)
+		tx := e.NewTx(id)
+		for pb.Next() {
+			stmtest.Atomically(tx, func(tx stm.Tx) {
+				tx.Store(slot, tx.Load(slot)+1)
+			})
+		}
+	})
+}

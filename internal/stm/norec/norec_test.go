@@ -1,0 +1,226 @@
+package norec_test
+
+import (
+	"sync"
+	"testing"
+
+	"votm/internal/stm"
+	"votm/internal/stm/norec"
+	"votm/internal/stm/stmtest"
+)
+
+func factory(h *stm.Heap) stm.Engine { return norec.New(h) }
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, factory)
+}
+
+func TestStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	stmtest.RunParallelStress(t, factory, 8, 500)
+}
+
+func TestName(t *testing.T) {
+	e := norec.New(stm.NewHeap(1))
+	if e.Name() != "NOrec" {
+		t.Errorf("Name() = %q, want NOrec", e.Name())
+	}
+}
+
+func TestClockAdvancesOnlyOnWriterCommit(t *testing.T) {
+	h := stm.NewHeap(8)
+	e := norec.New(h)
+	tx := e.NewTx(0)
+
+	c0 := e.Clock()
+	stmtest.Atomically(tx, func(tx stm.Tx) { _ = tx.Load(0) })
+	if e.Clock() != c0 {
+		t.Errorf("read-only commit moved the clock: %d -> %d", c0, e.Clock())
+	}
+	stmtest.Atomically(tx, func(tx stm.Tx) { tx.Store(0, 1) })
+	if got := e.Clock(); got != c0+2 {
+		t.Errorf("writer commit clock = %d, want %d", got, c0+2)
+	}
+	if e.Clock()%2 != 0 {
+		t.Errorf("clock parity odd at rest: %d", e.Clock())
+	}
+}
+
+func TestClockIsPerInstance(t *testing.T) {
+	// Two engines over two heaps: committing in one must not move the
+	// other's clock. This is the per-view metadata isolation that the
+	// multi-view NOrec results (Tables IX, X) depend on.
+	h1, h2 := stm.NewHeap(8), stm.NewHeap(8)
+	e1, e2 := norec.New(h1), norec.New(h2)
+	tx1 := e1.NewTx(0)
+	stmtest.Atomically(tx1, func(tx stm.Tx) { tx.Store(0, 9) })
+	if e2.Clock() != 0 {
+		t.Errorf("engine 2 clock moved to %d by engine 1 commit", e2.Clock())
+	}
+}
+
+func TestAbortOnConcurrentConflictIsDetected(t *testing.T) {
+	// t1 reads a word; t2 commits a new value to it; t1's next read of any
+	// word must trigger validation and unwind with a conflict.
+	h := stm.NewHeap(8)
+	e := norec.New(h)
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	t1.Begin()
+	_ = t1.Load(0)
+
+	stmtest.Atomically(t2, func(tx stm.Tx) { tx.Store(0, 77) })
+
+	completed := stm.Catch(func() { _ = t1.Load(1) })
+	if completed {
+		// Value-based validation: t1 read value 0 and the word is now 77,
+		// so validation must fail.
+		t.Fatal("doomed transaction read succeeded; expected conflict")
+	}
+	t1.Abort()
+	if got := t1.Stats().Aborts; got != 1 {
+		t.Errorf("aborts = %d, want 1", got)
+	}
+}
+
+func TestValueValidationToleratesSameValueWrite(t *testing.T) {
+	// NOrec validates by value: if a concurrent commit wrote the *same*
+	// value that t1 read, t1 is still consistent and must survive.
+	h := stm.NewHeap(8)
+	e := norec.New(h)
+	h.Store(0, 42)
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	t1.Begin()
+	if got := t1.Load(0); got != 42 {
+		t.Fatalf("initial read = %d", got)
+	}
+	// t2 rewrites the same value (moves the clock, not the value).
+	stmtest.Atomically(t2, func(tx stm.Tx) { tx.Store(0, 42) })
+
+	completed := stm.Catch(func() { _ = t1.Load(1) })
+	if !completed {
+		t.Fatal("value validation rejected an identical value")
+	}
+	if !t1.Commit() {
+		t.Fatal("commit failed after benign same-value write")
+	}
+}
+
+func TestFailedCommitReturnsFalseAndRollsBack(t *testing.T) {
+	h := stm.NewHeap(8)
+	e := norec.New(h)
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	t1.Begin()
+	v := t1.Load(0)
+	t1.Store(1, v+1)
+
+	stmtest.Atomically(t2, func(tx stm.Tx) { tx.Store(0, 5) })
+
+	if t1.Commit() {
+		t.Fatal("commit succeeded despite invalidated read set")
+	}
+	if got := h.Load(1); got != 0 {
+		t.Errorf("failed commit leaked write: word 1 = %d", got)
+	}
+}
+
+func TestWriterCommitSerialization(t *testing.T) {
+	// All writer commits serialize on the sequence lock: with w writers
+	// each committing k disjoint writes, the clock advances exactly 2*w*k.
+	const writers, per = 4, 50
+	h := stm.NewHeap(64)
+	e := norec.New(h)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := e.NewTx(id)
+			for i := 0; i < per; i++ {
+				stmtest.Atomically(tx, func(tx stm.Tx) {
+					tx.Store(stm.Addr(id), uint64(i))
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := e.Clock(); got != writers*per*2 {
+		t.Errorf("clock = %d, want %d (each writer commit bumps by 2)", got, writers*per*2)
+	}
+}
+
+func TestBeginOnLiveTxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Begin on live transaction did not panic")
+		}
+	}()
+	e := norec.New(stm.NewHeap(1))
+	tx := e.NewTx(0)
+	tx.Begin()
+	tx.Begin()
+}
+
+func TestStoreOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(*stm.BoundsError); !ok {
+			t.Error("expected *stm.BoundsError panic")
+		}
+	}()
+	e := norec.New(stm.NewHeap(4))
+	tx := e.NewTx(0)
+	tx.Begin()
+	tx.Store(100, 1)
+}
+
+func TestAbortOnDeadDescriptorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Abort on dead tx did not panic")
+		}
+	}()
+	e := norec.New(stm.NewHeap(4))
+	tx := e.NewTx(0)
+	tx.Abort()
+}
+
+func TestCommitOnDeadDescriptorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Commit on dead tx did not panic")
+		}
+	}()
+	e := norec.New(stm.NewHeap(4))
+	tx := e.NewTx(0)
+	tx.Commit()
+}
+
+func TestCommitRetriesCASAfterInterveningCommit(t *testing.T) {
+	// t1's commit CAS fails because t2 committed a DISJOINT write set
+	// (t1's validation passes), so t1 must retry the CAS at the new
+	// snapshot and succeed — the tryValidate success path.
+	h := stm.NewHeap(8)
+	e := norec.New(h)
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	t1.Begin()
+	_ = t1.Load(0)
+	t1.Store(1, 11)
+
+	stmtest.Atomically(t2, func(tx stm.Tx) { tx.Store(2, 22) }) // moves the clock only
+
+	if !t1.Commit() {
+		t.Fatal("commit failed despite untouched read set")
+	}
+	if h.Load(1) != 11 || h.Load(2) != 22 {
+		t.Errorf("words = %d, %d", h.Load(1), h.Load(2))
+	}
+}

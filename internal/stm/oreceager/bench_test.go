@@ -1,0 +1,110 @@
+package oreceager_test
+
+import (
+	"testing"
+
+	"votm/internal/stm"
+	"votm/internal/stm/oreceager"
+	"votm/internal/stm/stmtest"
+)
+
+func benchEngine(h *stm.Heap) stm.Engine {
+	return oreceager.New(h, oreceager.Config{})
+}
+
+func BenchmarkReadOnlyTx(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := benchEngine(h)
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		_ = tx.Load(stm.Addr(i % 1024))
+		tx.Commit()
+	}
+}
+
+func BenchmarkWriteTx1(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := benchEngine(h)
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		tx.Store(stm.Addr(i%1024), uint64(i))
+		tx.Commit()
+	}
+}
+
+func BenchmarkWriteTx16(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := benchEngine(h)
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		for k := 0; k < 16; k++ {
+			tx.Store(stm.Addr((i*16+k)%1024), uint64(i))
+		}
+		tx.Commit()
+	}
+}
+
+func BenchmarkEncounterTimeAcquire(b *testing.B) {
+	// Cost of the first write to a fresh stripe (orec CAS).
+	h := stm.NewHeap(4096)
+	e := oreceager.New(h, oreceager.Config{Orecs: 4096})
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		tx.Store(stm.Addr(i%4096), 1)
+		tx.Commit()
+	}
+}
+
+func BenchmarkParallelCounterAggressive(b *testing.B) {
+	h := stm.NewHeap(64)
+	e := oreceager.New(h, oreceager.Config{})
+	var id int
+	b.RunParallel(func(pb *testing.PB) {
+		id++
+		tx := e.NewTx(id)
+		for pb.Next() {
+			stmtest.Atomically(tx, func(tx stm.Tx) {
+				tx.Store(0, tx.Load(0)+1)
+			})
+		}
+	})
+}
+
+func BenchmarkParallelCounterSuicide(b *testing.B) {
+	h := stm.NewHeap(64)
+	e := oreceager.New(h, oreceager.Config{Policy: oreceager.Suicide})
+	var id int
+	b.RunParallel(func(pb *testing.PB) {
+		id++
+		tx := e.NewTx(id)
+		for pb.Next() {
+			stmtest.Atomically(tx, func(tx stm.Tx) {
+				tx.Store(0, tx.Load(0)+1)
+			})
+		}
+	})
+}
+
+func BenchmarkParallelDisjoint(b *testing.B) {
+	h := stm.NewHeap(4096)
+	e := oreceager.New(h, oreceager.Config{Orecs: 4096})
+	var id int
+	b.RunParallel(func(pb *testing.PB) {
+		id++
+		slot := stm.Addr((id * 64) % 4096)
+		tx := e.NewTx(id)
+		for pb.Next() {
+			stmtest.Atomically(tx, func(tx stm.Tx) {
+				tx.Store(slot, tx.Load(slot)+1)
+			})
+		}
+	})
+}

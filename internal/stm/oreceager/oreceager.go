@@ -1,0 +1,402 @@
+// Package oreceager implements the OrecEagerRedo software transactional
+// memory algorithm from RSTM-7.0 over a word heap: encounter-time locking
+// (ETL) on ownership records (orecs) with redo-log (lazy) versioning. It is
+// similar in spirit to TinySTM's write-through variant but buffers writes, so
+// main memory stays clean until commit write-back.
+//
+// Metadata per Engine (one per VOTM view): a striped table of orecs and a
+// global version clock. An orec word either holds a version timestamp
+// (LSB 0) or the ID of the transaction that owns it (LSB 1).
+//
+// Contention management. The default Aggressive policy reproduces the
+// livelock dynamics the paper observes on encounter-time locking (§III-D):
+// a writer that needs an orec owned by an Active transaction kills the owner
+// (atomically moving its status Active→Killed) and steals the lock. The
+// victim notices at its next Load/Store/Commit and aborts. Two writers can
+// kill each other indefinitely — livelock — which RAC cures by driving the
+// admission quota down. The Suicide policy (abort self, brief backoff) is
+// provided as an ablation: higher abort counts, but no mutual kills.
+package oreceager
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"votm/internal/stm"
+)
+
+// CM selects the contention-management policy for write-write conflicts.
+type CM int
+
+const (
+	// Aggressive kills the owning transaction and steals its orec
+	// (livelock-prone; the paper's encounter-time behaviour).
+	Aggressive CM = iota
+	// Suicide aborts the requesting transaction after a short spin.
+	Suicide
+)
+
+func (c CM) String() string {
+	if c == Aggressive {
+		return "aggressive"
+	}
+	return "suicide"
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Orecs is the number of ownership records (stripes). Addresses are
+	// mapped to orecs by modulo. Defaults to 2048.
+	Orecs int
+	// Policy is the contention-management policy. Defaults to Aggressive.
+	Policy CM
+	// ReadSpin is how many polls a reader waits on a locked orec before
+	// conceding with an abort. Defaults to 64.
+	ReadSpin int
+}
+
+func (c *Config) fill() {
+	if c.Orecs <= 0 {
+		c.Orecs = 2048
+	}
+	if c.ReadSpin <= 0 {
+		c.ReadSpin = 64
+	}
+}
+
+// Transaction status values (atomic).
+const (
+	statusIdle uint32 = iota
+	statusActive
+	statusCommitting
+	statusCommitted
+	statusKilled
+	statusAborted
+)
+
+// Engine is one OrecEagerRedo TM instance. Create one per view with New.
+type Engine struct {
+	heap  *stm.Heap
+	cfg   Config
+	clock atomic.Uint64
+	orecs []atomic.Uint64
+
+	mu  sync.Mutex            // serializes NewTx
+	txs atomic.Pointer[[]*Tx] // registry snapshot: orec owner IDs index into it
+}
+
+// New creates an OrecEagerRedo instance over heap.
+func New(heap *stm.Heap, cfg Config) *Engine {
+	cfg.fill()
+	return &Engine{
+		heap:  heap,
+		cfg:   cfg,
+		orecs: make([]atomic.Uint64, cfg.Orecs),
+	}
+}
+
+// Name implements stm.Engine.
+func (e *Engine) Name() string { return "OrecEagerRedo" }
+
+// Policy returns the configured contention-management policy.
+func (e *Engine) Policy() CM { return e.cfg.Policy }
+
+// Clock returns the engine's global version clock (tests/ablation).
+func (e *Engine) Clock() uint64 { return e.clock.Load() }
+
+func (e *Engine) orecIdx(a stm.Addr) uint32 {
+	return uint32(a) % uint32(len(e.orecs))
+}
+
+// NewTx implements stm.Engine.
+func (e *Engine) NewTx(threadID int) stm.Tx {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.txs.Load()
+	var prev []*Tx
+	if old != nil {
+		prev = *old
+	}
+	t := &Tx{
+		eng:    e,
+		id:     uint64(len(prev)),
+		thread: threadID,
+		writes: make(map[stm.Addr]uint64, 32),
+		owned:  make(map[uint32]ownedOrec, 8),
+	}
+	next := make([]*Tx, len(prev)+1)
+	copy(next, prev)
+	next[len(prev)] = t
+	e.txs.Store(&next)
+	return t
+}
+
+// tx resolves an owner ID found in an orec. The registry snapshot is
+// immutable and only ever grows, and an ID can only appear in an orec after
+// the publishing Store in NewTx, so the lock-free load is safe.
+func (e *Engine) tx(id uint64) *Tx {
+	return (*e.txs.Load())[id]
+}
+
+type readEntry struct {
+	orec uint32
+	ver  uint64 // orec value observed at read time (always unlocked or self)
+}
+
+type ownedOrec struct {
+	prev   uint64 // orec value before we locked it (version, LSB 0)
+	stolen bool   // true when acquired by stealing: prev unknown
+}
+
+// Tx is an OrecEagerRedo transaction descriptor (single-goroutine use).
+type Tx struct {
+	eng    *Engine
+	id     uint64
+	thread int
+	status atomic.Uint32
+	start  uint64 // snapshot of the version clock
+	reads  []readEntry
+	writes map[stm.Addr]uint64
+	owned  map[uint32]ownedOrec
+	live   bool
+	stats  stm.TxStats
+}
+
+var _ stm.Tx = (*Tx)(nil)
+
+func (t *Tx) lockWord() uint64 { return t.id<<1 | 1 }
+
+// Begin implements stm.Tx.
+func (t *Tx) Begin() {
+	if t.live {
+		panic("oreceager: Begin on a live transaction")
+	}
+	t.live = true
+	t.start = t.eng.clock.Load()
+	t.status.Store(statusActive)
+}
+
+func (t *Tx) checkKilled() {
+	if t.status.Load() == statusKilled {
+		stm.Throw("oreceager: killed by contention manager")
+	}
+}
+
+// extend revalidates the read set and, on success, moves the start time
+// forward (timestamp extension) so reads of freshly-committed data do not
+// force an abort.
+func (t *Tx) extend() {
+	now := t.eng.clock.Load()
+	t.validateOrThrow()
+	t.start = now
+}
+
+func (t *Tx) validateOrThrow() {
+	for i := range t.reads {
+		r := &t.reads[i]
+		cur := t.eng.orecs[r.orec].Load()
+		if cur == r.ver {
+			continue
+		}
+		if cur == t.lockWord() {
+			// We locked this orec after reading it; the read is still
+			// valid iff nobody committed in between, i.e. the version we
+			// displaced equals the version we read.
+			if o, ok := t.owned[r.orec]; ok && !o.stolen && o.prev == r.ver {
+				continue
+			}
+		}
+		stm.Throw("oreceager: read validation failed")
+	}
+}
+
+// Load implements stm.Tx.
+func (t *Tx) Load(a stm.Addr) uint64 {
+	t.checkKilled()
+	if v, ok := t.writes[a]; ok {
+		return v
+	}
+	o := t.eng.orecIdx(a)
+	spins := 0
+	for {
+		ov := t.eng.orecs[o].Load()
+		if ov&1 == 1 {
+			if ov == t.lockWord() {
+				// We own the stripe (aliased address): memory is clean
+				// under redo logging, so the direct read is the
+				// transactional value.
+				v := t.eng.heap.Load(a)
+				t.reads = append(t.reads, readEntry{orec: o, ver: ov})
+				return v
+			}
+			// Locked by another transaction: wait briefly, then concede.
+			spins++
+			if spins > t.eng.cfg.ReadSpin {
+				stm.Throw("oreceager: read of locked orec")
+			}
+			runtime.Gosched()
+			t.checkKilled()
+			continue
+		}
+		if ov>>1 > t.start {
+			// Location committed after our snapshot: extend or die.
+			t.extend()
+		}
+		v := t.eng.heap.Load(a)
+		if t.eng.orecs[o].Load() != ov {
+			// Orec moved under us; retry the read.
+			continue
+		}
+		t.reads = append(t.reads, readEntry{orec: o, ver: ov})
+		return v
+	}
+}
+
+// Store implements stm.Tx: acquire the orec at encounter time, then buffer
+// the write in the redo log.
+func (t *Tx) Store(a stm.Addr, v uint64) {
+	t.checkKilled()
+	if !t.eng.heap.InBounds(a) {
+		panic(&stm.BoundsError{Addr: a, Len: t.eng.heap.Len()})
+	}
+	if _, ok := t.writes[a]; ok {
+		t.writes[a] = v
+		return
+	}
+	o := t.eng.orecIdx(a)
+	if _, mine := t.owned[o]; mine {
+		t.writes[a] = v
+		return
+	}
+	t.acquire(o)
+	t.writes[a] = v
+}
+
+// acquire obtains ownership of orec o or unwinds with a conflict.
+func (t *Tx) acquire(o uint32) {
+	spins := 0
+	for {
+		t.checkKilled()
+		ov := t.eng.orecs[o].Load()
+		if ov&1 == 0 {
+			if ov>>1 > t.start {
+				t.extend()
+			}
+			if t.eng.orecs[o].CompareAndSwap(ov, t.lockWord()) {
+				t.owned[o] = ownedOrec{prev: ov}
+				return
+			}
+			continue
+		}
+		if ov == t.lockWord() {
+			return
+		}
+		owner := t.eng.tx(ov >> 1)
+		switch t.eng.cfg.Policy {
+		case Aggressive:
+			st := owner.status.Load()
+			switch st {
+			case statusActive:
+				if owner.status.CompareAndSwap(statusActive, statusKilled) {
+					// Steal the lock from the freshly-killed owner. The
+					// CAS can still fail if the owner released this orec
+					// between our load and the kill; then just retry.
+					if t.eng.orecs[o].CompareAndSwap(ov, t.lockWord()) {
+						t.owned[o] = ownedOrec{stolen: true}
+						return
+					}
+				}
+			case statusCommitting:
+				// Owner is writing back; stealing is no longer safe.
+				runtime.Gosched()
+			default:
+				// Owner is killed/aborted/committed and will release (or
+				// has released) the orec momentarily.
+				runtime.Gosched()
+			}
+		case Suicide:
+			spins++
+			if spins > t.eng.cfg.ReadSpin {
+				stm.Throw("oreceager: write of locked orec")
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// Commit implements stm.Tx.
+func (t *Tx) Commit() bool {
+	if !t.live {
+		panic("oreceager: Commit on a dead transaction")
+	}
+	if len(t.writes) == 0 {
+		// Read-only: final validation gives opacity.
+		if !stm.Catch(t.validateOrThrow) || t.status.Load() == statusKilled {
+			t.rollback()
+			return false
+		}
+		t.status.Store(statusCommitted)
+		t.stats.Commits++
+		t.reset()
+		return true
+	}
+	if !t.status.CompareAndSwap(statusActive, statusCommitting) {
+		// We were killed before reaching commit.
+		t.rollback()
+		return false
+	}
+	if !stm.Catch(t.validateOrThrow) {
+		t.rollback()
+		return false
+	}
+	// Write back the redo log, then release orecs at a fresh version.
+	for a, v := range t.writes {
+		t.eng.heap.Store(a, v)
+	}
+	newVer := t.eng.clock.Add(1) << 1
+	for o := range t.owned {
+		t.eng.orecs[o].Store(newVer)
+	}
+	t.status.Store(statusCommitted)
+	t.stats.Commits++
+	t.reset()
+	return true
+}
+
+// Abort implements stm.Tx.
+func (t *Tx) Abort() {
+	if !t.live {
+		panic("oreceager: Abort on a dead transaction")
+	}
+	t.rollback()
+}
+
+// rollback releases owned orecs and counts the abort. Orecs acquired
+// normally are restored to their pre-lock version; stolen orecs (whose
+// pre-steal version is unknown) are released at a fresh version, which is
+// conservative: it can only cause spurious validation failures, never lost
+// or torn updates, because redo logging leaves memory untouched.
+func (t *Tx) rollback() {
+	for o, oo := range t.owned {
+		restore := oo.prev
+		if oo.stolen {
+			restore = t.eng.clock.Add(1) << 1
+		}
+		// CAS: a killer may have stolen this orec from us already.
+		t.eng.orecs[o].CompareAndSwap(t.lockWord(), restore)
+	}
+	t.status.Store(statusAborted)
+	t.stats.Aborts++
+	t.reset()
+}
+
+// Stats implements stm.Tx.
+func (t *Tx) Stats() stm.TxStats { return t.stats }
+
+func (t *Tx) reset() {
+	t.live = false
+	t.reads = t.reads[:0]
+	clear(t.writes)
+	clear(t.owned)
+}

@@ -1,0 +1,338 @@
+package oreceager_test
+
+import (
+	"testing"
+
+	"votm/internal/stm"
+	"votm/internal/stm/oreceager"
+	"votm/internal/stm/stmtest"
+)
+
+func aggressive(h *stm.Heap) stm.Engine {
+	return oreceager.New(h, oreceager.Config{})
+}
+
+func suicide(h *stm.Heap) stm.Engine {
+	return oreceager.New(h, oreceager.Config{Policy: oreceager.Suicide})
+}
+
+func TestConformanceAggressive(t *testing.T) {
+	stmtest.Run(t, aggressive)
+}
+
+func TestConformanceSuicide(t *testing.T) {
+	stmtest.Run(t, suicide)
+}
+
+func TestStressAggressive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	stmtest.RunParallelStress(t, aggressive, 8, 500)
+}
+
+func TestStressSuicide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	stmtest.RunParallelStress(t, suicide, 8, 500)
+}
+
+func TestName(t *testing.T) {
+	e := oreceager.New(stm.NewHeap(1), oreceager.Config{})
+	if e.Name() != "OrecEagerRedo" {
+		t.Errorf("Name() = %q", e.Name())
+	}
+	if e.Policy() != oreceager.Aggressive {
+		t.Errorf("default policy = %v, want aggressive", e.Policy())
+	}
+}
+
+func TestEncounterTimeLockBlocksReader(t *testing.T) {
+	// A write locks its orec at encounter time; a reader of the same
+	// stripe must conflict (after its spin budget) while the writer is
+	// still live — the defining ETL behaviour.
+	h := stm.NewHeap(8)
+	e := oreceager.New(h, oreceager.Config{ReadSpin: 4})
+	w := e.NewTx(0)
+	r := e.NewTx(1)
+
+	w.Begin()
+	w.Store(0, 1) // lock acquired now, before commit
+
+	r.Begin()
+	completed := stm.Catch(func() { _ = r.Load(0) })
+	if completed {
+		t.Fatal("reader passed through an encounter-time lock")
+	}
+	r.Abort()
+	w.Abort()
+	if got := h.Load(0); got != 0 {
+		t.Errorf("redo write leaked: %d", got)
+	}
+}
+
+func TestAggressiveKillAndSteal(t *testing.T) {
+	// Under the aggressive CM a second writer kills the lock owner and
+	// steals the orec; the victim's next operation unwinds with a
+	// conflict, and only the stealer's value commits.
+	h := stm.NewHeap(8)
+	e := oreceager.New(h, oreceager.Config{})
+	victim := e.NewTx(0)
+	killer := e.NewTx(1)
+
+	victim.Begin()
+	victim.Store(0, 111) // victim owns the orec
+
+	killer.Begin()
+	killer.Store(0, 222) // kills victim, steals lock
+	if !killer.Commit() {
+		t.Fatal("stealer failed to commit")
+	}
+
+	// The victim is now killed: its next op must conflict.
+	completed := stm.Catch(func() { victim.Store(1, 1) })
+	if completed {
+		t.Fatal("killed victim kept running")
+	}
+	victim.Abort()
+
+	if got := h.Load(0); got != 222 {
+		t.Errorf("word 0 = %d, want 222 (stealer's value)", got)
+	}
+}
+
+func TestSuicideDoesNotSteal(t *testing.T) {
+	// Under the suicide CM the second writer must abort itself; the owner
+	// keeps its lock and commits.
+	h := stm.NewHeap(8)
+	e := oreceager.New(h, oreceager.Config{Policy: oreceager.Suicide, ReadSpin: 4})
+	owner := e.NewTx(0)
+	loser := e.NewTx(1)
+
+	owner.Begin()
+	owner.Store(0, 111)
+
+	loser.Begin()
+	completed := stm.Catch(func() { loser.Store(0, 222) })
+	if completed {
+		t.Fatal("suicide CM stole a lock")
+	}
+	loser.Abort()
+
+	if !owner.Commit() {
+		t.Fatal("owner commit failed")
+	}
+	if got := h.Load(0); got != 111 {
+		t.Errorf("word 0 = %d, want 111", got)
+	}
+}
+
+func TestVictimCannotCommitAfterKill(t *testing.T) {
+	h := stm.NewHeap(8)
+	e := oreceager.New(h, oreceager.Config{})
+	victim := e.NewTx(0)
+	killer := e.NewTx(1)
+
+	victim.Begin()
+	victim.Store(0, 111)
+
+	killer.Begin()
+	killer.Store(0, 222)
+
+	// Victim tries to commit while killed but before noticing.
+	if victim.Commit() {
+		t.Fatal("killed victim committed")
+	}
+	if !killer.Commit() {
+		t.Fatal("killer commit failed")
+	}
+	if got := h.Load(0); got != 222 {
+		t.Errorf("word 0 = %d, want 222", got)
+	}
+	if victim.Stats().Aborts != 1 {
+		t.Errorf("victim aborts = %d, want 1", victim.Stats().Aborts)
+	}
+}
+
+func TestReadValidationCatchesInterleavedCommit(t *testing.T) {
+	// Opacity: t1 reads word 0; t2 commits to BOTH words 0 and 1; t1 then
+	// reads word 1. Returning the new word-1 value beside the old word-0
+	// value would be an inconsistent snapshot, so the timestamp-extension
+	// validation must unwind t1.
+	h := stm.NewHeap(8)
+	// Addresses 0 and 1 map to distinct stripes with 8 orecs.
+	e := oreceager.New(h, oreceager.Config{Orecs: 8})
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	t1.Begin()
+	if got := t1.Load(0); got != 0 {
+		t.Fatalf("initial read = %d", got)
+	}
+
+	stmtest.Atomically(t2, func(tx stm.Tx) {
+		tx.Store(0, 5)
+		tx.Store(1, 6)
+	})
+
+	completed := stm.Catch(func() { _ = t1.Load(1) })
+	if completed {
+		t.Fatal("inconsistent snapshot: stale read set survived extension")
+	}
+	t1.Abort()
+}
+
+func TestReadSetExtensionAllowsConsistentSnapshot(t *testing.T) {
+	// If a concurrent commit touches only words t1 has NOT read, reading
+	// one of them afterwards extends t1's timestamp and proceeds.
+	h := stm.NewHeap(8)
+	e := oreceager.New(h, oreceager.Config{Orecs: 8})
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	t1.Begin()
+	_ = t1.Load(0)
+
+	stmtest.Atomically(t2, func(tx stm.Tx) { tx.Store(1, 6) })
+
+	var v uint64
+	completed := stm.Catch(func() { v = t1.Load(1) })
+	if !completed {
+		t.Fatal("extension aborted a perfectly consistent transaction")
+	}
+	if v != 6 {
+		t.Fatalf("Load(1) = %d, want 6", v)
+	}
+	if !t1.Commit() {
+		t.Fatal("consistent read-only commit failed")
+	}
+}
+
+func TestOrecAliasing(t *testing.T) {
+	// With a 1-entry orec table every address aliases to the same orec: a
+	// single transaction writing two addresses must still work (it already
+	// owns the stripe), and commits must be correct.
+	h := stm.NewHeap(8)
+	e := oreceager.New(h, oreceager.Config{Orecs: 1})
+	tx := e.NewTx(0)
+	stmtest.Atomically(tx, func(tx stm.Tx) {
+		tx.Store(0, 10)
+		tx.Store(5, 50)
+		if tx.Load(0) != 10 || tx.Load(5) != 50 {
+			t.Error("aliased reads wrong inside tx")
+		}
+		// Read of a third address on the same (self-owned) stripe.
+		if tx.Load(3) != 0 {
+			t.Error("read of self-owned stripe wrong")
+		}
+	})
+	if h.Load(0) != 10 || h.Load(5) != 50 {
+		t.Errorf("committed values wrong: %d, %d", h.Load(0), h.Load(5))
+	}
+}
+
+func TestRollbackRestoresOrecVersion(t *testing.T) {
+	// After a normal (non-stolen) abort the orec version must be restored,
+	// so an unrelated reader that read before the aborted writer locked
+	// still validates cleanly.
+	h := stm.NewHeap(8)
+	e := oreceager.New(h, oreceager.Config{Orecs: 8})
+	r := e.NewTx(0)
+	w := e.NewTx(1)
+
+	r.Begin()
+	_ = r.Load(0)
+
+	w.Begin()
+	w.Store(0, 9)
+	w.Abort()
+
+	// The reader's set must still validate: version unchanged.
+	if !r.Commit() {
+		t.Fatal("reader invalidated by an aborted writer's lock cycling")
+	}
+}
+
+func TestStolenOrecReleasedAtFreshVersion(t *testing.T) {
+	// When a stolen orec is rolled back its version moves forward; a
+	// reader holding the old version must abort (conservative but safe).
+	h := stm.NewHeap(8)
+	e := oreceager.New(h, oreceager.Config{Orecs: 8})
+	victim := e.NewTx(0)
+	killer := e.NewTx(1)
+
+	victim.Begin()
+	victim.Store(0, 1)
+	killer.Begin()
+	killer.Store(0, 2) // steal
+	killer.Abort()     // stolen orec released at fresh version
+
+	completed := stm.Catch(func() { victim.Store(1, 1) })
+	if completed {
+		t.Fatal("victim survived being killed")
+	}
+	victim.Abort()
+
+	// Memory untouched throughout (redo logging).
+	if h.Load(0) != 0 {
+		t.Errorf("word 0 = %d, want 0", h.Load(0))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	e := oreceager.New(stm.NewHeap(1), oreceager.Config{Orecs: -5, ReadSpin: -1})
+	if e.Name() != "OrecEagerRedo" {
+		t.Fatal("bad engine")
+	}
+	// Negative values must have been replaced by defaults (no panic on use).
+	tx := e.NewTx(0)
+	stmtest.Atomically(tx, func(tx stm.Tx) { tx.Store(0, 1) })
+}
+
+func TestCMStringer(t *testing.T) {
+	if oreceager.Aggressive.String() != "aggressive" || oreceager.Suicide.String() != "suicide" {
+		t.Error("CM stringer wrong")
+	}
+}
+
+func TestClockAdvancesPerWriterCommit(t *testing.T) {
+	h := stm.NewHeap(8)
+	e := oreceager.New(h, oreceager.Config{})
+	tx := e.NewTx(0)
+	if e.Clock() != 0 {
+		t.Fatalf("fresh clock = %d", e.Clock())
+	}
+	stmtest.Atomically(tx, func(tx stm.Tx) { tx.Store(0, 1) })
+	stmtest.Atomically(tx, func(tx stm.Tx) { tx.Store(1, 2) })
+	if e.Clock() != 2 {
+		t.Errorf("clock = %d, want 2", e.Clock())
+	}
+	// Read-only commits must not advance it.
+	stmtest.Atomically(tx, func(tx stm.Tx) { _ = tx.Load(0) })
+	if e.Clock() != 2 {
+		t.Errorf("read-only commit moved clock to %d", e.Clock())
+	}
+}
+
+func TestAbortOnDeadDescriptorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Abort on dead tx did not panic")
+		}
+	}()
+	e := oreceager.New(stm.NewHeap(4), oreceager.Config{})
+	tx := e.NewTx(0)
+	tx.Abort()
+}
+
+func TestCommitOnDeadDescriptorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Commit on dead tx did not panic")
+		}
+	}()
+	e := oreceager.New(stm.NewHeap(4), oreceager.Config{})
+	tx := e.NewTx(0)
+	tx.Commit()
+}

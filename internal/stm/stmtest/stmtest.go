@@ -1,0 +1,625 @@
+// Package stmtest is a conformance test battery run against every TM engine.
+// Both NOrec and OrecEagerRedo must pass the same semantic contract:
+// atomicity, isolation, rollback on abort, and progress under contention.
+package stmtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"votm/internal/stm"
+)
+
+// Factory builds a fresh engine over a heap.
+type Factory func(h *stm.Heap) stm.Engine
+
+// Atomically drives tx through the begin/body/commit-or-retry loop until the
+// body commits. It is the minimal version of the VOTM retry loop, for
+// engine-level tests.
+func Atomically(tx stm.Tx, fn func(tx stm.Tx)) {
+	for {
+		tx.Begin()
+		if !stm.Catch(func() { fn(tx) }) {
+			tx.Abort()
+			continue
+		}
+		if tx.Commit() {
+			return
+		}
+	}
+}
+
+// Run executes the full conformance battery against factory.
+func Run(t *testing.T, factory Factory) {
+	t.Run("ReadWriteCommit", func(t *testing.T) { testReadWriteCommit(t, factory) })
+	t.Run("ReadYourOwnWrite", func(t *testing.T) { testReadYourOwnWrite(t, factory) })
+	t.Run("AbortRollsBack", func(t *testing.T) { testAbortRollsBack(t, factory) })
+	t.Run("FailedAttemptInvisible", func(t *testing.T) { testFailedAttemptInvisible(t, factory) })
+	t.Run("ReadOnlyCommits", func(t *testing.T) { testReadOnlyCommits(t, factory) })
+	t.Run("StatsCount", func(t *testing.T) { testStatsCount(t, factory) })
+	t.Run("ConcurrentCounter", func(t *testing.T) { testConcurrentCounter(t, factory) })
+	t.Run("ConcurrentDisjoint", func(t *testing.T) { testConcurrentDisjoint(t, factory) })
+	t.Run("InvariantPair", func(t *testing.T) { testInvariantPair(t, factory) })
+	t.Run("WriteSkewPrevented", func(t *testing.T) { testWriteSkewPrevented(t, factory) })
+	t.Run("LargeTransaction", func(t *testing.T) { testLargeTransaction(t, factory) })
+	t.Run("SequentialEquivalence", func(t *testing.T) { testSequentialEquivalence(t, factory) })
+	t.Run("TransferConservation", func(t *testing.T) { testTransferConservation(t, factory) })
+	t.Run("RepeatedBeginReset", func(t *testing.T) { testRepeatedBeginReset(t, factory) })
+	t.Run("PairedWritesAtomic", func(t *testing.T) { testPairedWritesAtomic(t, factory) })
+	t.Run("MultiWordSnapshotSum", func(t *testing.T) { testMultiWordSnapshotSum(t, factory) })
+}
+
+func testReadWriteCommit(t *testing.T, f Factory) {
+	h := stm.NewHeap(16)
+	e := f(h)
+	tx := e.NewTx(0)
+	Atomically(tx, func(tx stm.Tx) {
+		tx.Store(3, 42)
+		tx.Store(5, 99)
+	})
+	if got := h.Load(3); got != 42 {
+		t.Errorf("word 3 = %d, want 42", got)
+	}
+	if got := h.Load(5); got != 99 {
+		t.Errorf("word 5 = %d, want 99", got)
+	}
+	Atomically(tx, func(tx stm.Tx) {
+		if got := tx.Load(3); got != 42 {
+			t.Errorf("tx.Load(3) = %d, want 42", got)
+		}
+	})
+}
+
+func testReadYourOwnWrite(t *testing.T, f Factory) {
+	h := stm.NewHeap(16)
+	e := f(h)
+	tx := e.NewTx(0)
+	Atomically(tx, func(tx stm.Tx) {
+		tx.Store(1, 7)
+		if got := tx.Load(1); got != 7 {
+			t.Errorf("read-own-write = %d, want 7", got)
+		}
+		tx.Store(1, 8)
+		if got := tx.Load(1); got != 8 {
+			t.Errorf("read-own-second-write = %d, want 8", got)
+		}
+	})
+	if got := h.Load(1); got != 8 {
+		t.Errorf("committed value = %d, want 8", got)
+	}
+}
+
+func testAbortRollsBack(t *testing.T, f Factory) {
+	h := stm.NewHeap(16)
+	e := f(h)
+	h.Store(2, 11)
+	tx := e.NewTx(0)
+	tx.Begin()
+	tx.Store(2, 22)
+	tx.Abort()
+	if got := h.Load(2); got != 11 {
+		t.Errorf("after abort word 2 = %d, want 11 (write leaked)", got)
+	}
+	// The descriptor must be reusable and see the pre-abort state.
+	Atomically(tx, func(tx stm.Tx) {
+		if got := tx.Load(2); got != 11 {
+			t.Errorf("post-abort read = %d, want 11", got)
+		}
+	})
+}
+
+func testFailedAttemptInvisible(t *testing.T, f Factory) {
+	// A transaction that aborts mid-flight must leave no trace even after
+	// many interleaved committers.
+	h := stm.NewHeap(8)
+	e := f(h)
+	writer := e.NewTx(0)
+	aborter := e.NewTx(1)
+	for i := 0; i < 100; i++ {
+		aborter.Begin()
+		aborter.Store(0, 0xdead)
+		aborter.Abort()
+		Atomically(writer, func(tx stm.Tx) {
+			tx.Store(0, uint64(i))
+		})
+		if got := h.Load(0); got != uint64(i) {
+			t.Fatalf("iteration %d: word 0 = %#x, want %d", i, got, i)
+		}
+	}
+}
+
+func testReadOnlyCommits(t *testing.T, f Factory) {
+	h := stm.NewHeap(16)
+	e := f(h)
+	h.Store(0, 5)
+	tx := e.NewTx(0)
+	tx.Begin()
+	if got := tx.Load(0); got != 5 {
+		t.Fatalf("read = %d, want 5", got)
+	}
+	if !tx.Commit() {
+		t.Fatal("uncontended read-only commit failed")
+	}
+}
+
+func testStatsCount(t *testing.T, f Factory) {
+	h := stm.NewHeap(16)
+	e := f(h)
+	tx := e.NewTx(0)
+	for i := 0; i < 5; i++ {
+		Atomically(tx, func(tx stm.Tx) { tx.Store(0, uint64(i)) })
+	}
+	tx.Begin()
+	tx.Store(0, 1)
+	tx.Abort()
+	s := tx.Stats()
+	if s.Commits != 5 {
+		t.Errorf("Commits = %d, want 5", s.Commits)
+	}
+	if s.Aborts < 1 {
+		t.Errorf("Aborts = %d, want >= 1", s.Aborts)
+	}
+}
+
+func testConcurrentCounter(t *testing.T, f Factory) {
+	const (
+		goroutines = 8
+		increments = 300
+	)
+	h := stm.NewHeap(8)
+	e := f(h)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := e.NewTx(id)
+			for i := 0; i < increments; i++ {
+				Atomically(tx, func(tx stm.Tx) {
+					tx.Store(0, tx.Load(0)+1)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Load(0); got != goroutines*increments {
+		t.Errorf("counter = %d, want %d (lost updates)", got, goroutines*increments)
+	}
+}
+
+func testConcurrentDisjoint(t *testing.T, f Factory) {
+	const goroutines = 8
+	const per = 200
+	h := stm.NewHeap(goroutines * 64)
+	e := f(h)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := e.NewTx(id)
+			base := stm.Addr(id * 64)
+			for i := 0; i < per; i++ {
+				Atomically(tx, func(tx stm.Tx) {
+					tx.Store(base, tx.Load(base)+1)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if got := h.Load(stm.Addr(g * 64)); got != per {
+			t.Errorf("slot %d = %d, want %d", g, got, per)
+		}
+	}
+}
+
+func testInvariantPair(t *testing.T, f Factory) {
+	// Words 0 and 1 always sum to 1000; writers move value between them,
+	// readers must never observe a torn pair.
+	const total = 1000
+	h := stm.NewHeap(8)
+	e := f(h)
+	h.Store(0, total)
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(id int) {
+			defer writers.Done()
+			tx := e.NewTx(id)
+			rng := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < 300; i++ {
+				amount := uint64(rng.Intn(10))
+				Atomically(tx, func(tx stm.Tx) {
+					a, b := tx.Load(0), tx.Load(1)
+					if a >= amount {
+						tx.Store(0, a-amount)
+						tx.Store(1, b+amount)
+					}
+				})
+			}
+		}(w)
+	}
+	var torn atomic.Int64
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(id int) {
+			defer readers.Done()
+			tx := e.NewTx(10 + id)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				Atomically(tx, func(tx stm.Tx) {
+					if tx.Load(0)+tx.Load(1) != total {
+						torn.Add(1)
+					}
+				})
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if torn.Load() != 0 {
+		t.Errorf("observed %d torn reads (invariant x+y=%d violated)", torn.Load(), total)
+	}
+	if h.Load(0)+h.Load(1) != total {
+		t.Errorf("final sum = %d, want %d", h.Load(0)+h.Load(1), total)
+	}
+}
+
+func testWriteSkewPrevented(t *testing.T, f Factory) {
+	// x and y start 0; each tx reads both and, if sum == 0, increments its
+	// own word to a distinct non-zero value. Serializability allows at most
+	// one of the two to succeed in making its word non-zero... both could
+	// succeed only under write skew. Run many rounds.
+	h := stm.NewHeap(8)
+	e := f(h)
+	for round := 0; round < 100; round++ {
+		h.Store(0, 0)
+		h.Store(1, 0)
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				tx := e.NewTx(20 + id)
+				Atomically(tx, func(tx stm.Tx) {
+					if tx.Load(0)+tx.Load(1) == 0 {
+						tx.Store(stm.Addr(id), uint64(id)+1)
+					}
+				})
+			}(w)
+		}
+		wg.Wait()
+		if h.Load(0) != 0 && h.Load(1) != 0 {
+			t.Fatalf("round %d: write skew — both words set (%d, %d)",
+				round, h.Load(0), h.Load(1))
+		}
+	}
+}
+
+func testLargeTransaction(t *testing.T, f Factory) {
+	// A transaction touching thousands of words (exceeds orec table size,
+	// so stripes alias heavily).
+	const n = 5000
+	h := stm.NewHeap(n)
+	e := f(h)
+	tx := e.NewTx(0)
+	Atomically(tx, func(tx stm.Tx) {
+		for i := 0; i < n; i++ {
+			tx.Store(stm.Addr(i), uint64(i)*3)
+		}
+	})
+	Atomically(tx, func(tx stm.Tx) {
+		for i := 0; i < n; i++ {
+			if got := tx.Load(stm.Addr(i)); got != uint64(i)*3 {
+				t.Fatalf("word %d = %d, want %d", i, got, i*3)
+			}
+		}
+	})
+}
+
+// seqOp is one random operation for the sequential-equivalence property.
+type seqOp struct {
+	Write bool
+	Addr  uint8
+	Val   uint16
+}
+
+func testSequentialEquivalence(t *testing.T, f Factory) {
+	// Property: any single-threaded sequence of transactional ops yields
+	// exactly the same heap state as applying them to a plain array.
+	check := func(ops []seqOp) bool {
+		h := stm.NewHeap(256)
+		e := f(h)
+		tx := e.NewTx(0)
+		model := make([]uint64, 256)
+		readsOK := true
+		// Split ops into transactions of up to 8 ops.
+		for start := 0; start < len(ops); start += 8 {
+			end := start + 8
+			if end > len(ops) {
+				end = len(ops)
+			}
+			chunk := ops[start:end]
+			Atomically(tx, func(tx stm.Tx) {
+				// local mirrors the model plus this chunk's own writes so
+				// read-your-own-write inside the chunk is checked too.
+				local := make(map[uint8]uint64, len(chunk))
+				for _, op := range chunk {
+					if op.Write {
+						tx.Store(stm.Addr(op.Addr), uint64(op.Val))
+						local[op.Addr] = uint64(op.Val)
+						continue
+					}
+					want, seen := local[op.Addr]
+					if !seen {
+						want = model[op.Addr]
+					}
+					if tx.Load(stm.Addr(op.Addr)) != want {
+						readsOK = false
+					}
+				}
+			})
+			for _, op := range chunk {
+				if op.Write {
+					model[op.Addr] = uint64(op.Val)
+				}
+			}
+		}
+		if !readsOK {
+			return false
+		}
+		for i := range model {
+			if h.Load(stm.Addr(i)) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testTransferConservation(t *testing.T, f Factory) {
+	// Classic bank test: random transfers among 16 accounts, 8 goroutines;
+	// the grand total must be conserved.
+	const accounts = 16
+	const initial = 1000
+	h := stm.NewHeap(accounts)
+	e := f(h)
+	for i := 0; i < accounts; i++ {
+		h.Store(stm.Addr(i), initial)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) * 7))
+			tx := e.NewTx(30 + id)
+			for i := 0; i < 400; i++ {
+				from := stm.Addr(rng.Intn(accounts))
+				to := stm.Addr(rng.Intn(accounts))
+				amt := uint64(rng.Intn(50))
+				Atomically(tx, func(tx stm.Tx) {
+					bal := tx.Load(from)
+					if bal < amt || from == to {
+						return
+					}
+					tx.Store(from, bal-amt)
+					tx.Store(to, tx.Load(to)+amt)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sum uint64
+	for i := 0; i < accounts; i++ {
+		sum += h.Load(stm.Addr(i))
+	}
+	if sum != accounts*initial {
+		t.Errorf("total = %d, want %d (money created or destroyed)", sum, accounts*initial)
+	}
+}
+
+func testRepeatedBeginReset(t *testing.T, f Factory) {
+	// Begin after Commit/Abort must fully reset descriptor state: stale
+	// read or write logs must not leak between attempts.
+	h := stm.NewHeap(16)
+	e := f(h)
+	tx := e.NewTx(0)
+	tx.Begin()
+	tx.Store(0, 111)
+	tx.Abort()
+	Atomically(tx, func(tx stm.Tx) {
+		if got := tx.Load(0); got != 0 {
+			t.Errorf("stale write log leaked: Load(0) = %d, want 0", got)
+		}
+	})
+	// 1000 quick begin/commit cycles must not accumulate state.
+	for i := 0; i < 1000; i++ {
+		Atomically(tx, func(tx stm.Tx) {
+			tx.Store(1, uint64(i))
+		})
+	}
+	if got := h.Load(1); got != 999 {
+		t.Errorf("word 1 = %d, want 999", got)
+	}
+}
+
+func testPairedWritesAtomic(t *testing.T, f Factory) {
+	// Each transaction writes the same value to a (left, right) word pair;
+	// atomicity means the pair can never be observed unequal — neither
+	// mid-run by transactional readers nor at the end.
+	const pairs = 8
+	h := stm.NewHeap(pairs * 2)
+	e := f(h)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(id int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 99))
+			tx := e.NewTx(id)
+			for i := 0; i < 250; i++ {
+				p := stm.Addr(rng.Intn(pairs) * 2)
+				val := rng.Uint64()
+				Atomically(tx, func(tx stm.Tx) {
+					tx.Store(p, val)
+					tx.Store(p+1, val)
+				})
+			}
+		}(w)
+	}
+	var torn atomic.Int64
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(id int) {
+			defer readers.Done()
+			tx := e.NewTx(20 + id)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				Atomically(tx, func(tx stm.Tx) {
+					for p := 0; p < pairs; p++ {
+						if tx.Load(stm.Addr(p*2)) != tx.Load(stm.Addr(p*2+1)) {
+							torn.Add(1)
+						}
+					}
+				})
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if torn.Load() != 0 {
+		t.Errorf("%d torn pairs observed (atomicity violated)", torn.Load())
+	}
+	for p := 0; p < pairs; p++ {
+		if h.Load(stm.Addr(p*2)) != h.Load(stm.Addr(p*2+1)) {
+			t.Errorf("final pair %d unequal", p)
+		}
+	}
+}
+
+func testMultiWordSnapshotSum(t *testing.T, f Factory) {
+	// Writers move value between random cells of a 16-word vector keeping
+	// the total constant; transactional readers must always see the exact
+	// total (multi-word snapshot consistency).
+	const cells = 16
+	const total = cells * 100
+	h := stm.NewHeap(cells)
+	e := f(h)
+	for i := 0; i < cells; i++ {
+		h.Store(stm.Addr(i), 100)
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(id int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(id) * 13))
+			tx := e.NewTx(id)
+			for i := 0; i < 300; i++ {
+				from := stm.Addr(rng.Intn(cells))
+				to := stm.Addr(rng.Intn(cells))
+				amt := uint64(rng.Intn(20))
+				Atomically(tx, func(tx stm.Tx) {
+					if from == to {
+						return
+					}
+					b := tx.Load(from)
+					if b < amt {
+						return
+					}
+					tx.Store(from, b-amt)
+					tx.Store(to, tx.Load(to)+amt)
+				})
+			}
+		}(w)
+	}
+	var bad atomic.Int64
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(id int) {
+			defer readers.Done()
+			tx := e.NewTx(30 + id)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				Atomically(tx, func(tx stm.Tx) {
+					var sum uint64
+					for i := 0; i < cells; i++ {
+						sum += tx.Load(stm.Addr(i))
+					}
+					if sum != total {
+						bad.Add(1)
+					}
+				})
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if bad.Load() != 0 {
+		t.Errorf("%d inconsistent snapshots (sum != %d)", bad.Load(), total)
+	}
+}
+
+// RunParallelStress runs an engine-level stress mix; callers use it from
+// dedicated stress tests (skipped in -short mode).
+func RunParallelStress(t *testing.T, factory Factory, goroutines, iters int) {
+	h := stm.NewHeap(1024)
+	e := factory(h)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			tx := e.NewTx(id)
+			for i := 0; i < iters; i++ {
+				n := rng.Intn(8) + 1
+				Atomically(tx, func(tx stm.Tx) {
+					for k := 0; k < n; k++ {
+						a := stm.Addr(rng.Intn(64)) // hot region
+						tx.Store(a, tx.Load(a)+1)
+					}
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sum uint64
+	for i := 0; i < 64; i++ {
+		sum += h.Load(stm.Addr(i))
+	}
+	t.Logf("stress complete: %d total increments committed", sum)
+	if sum == 0 {
+		t.Error("no increments committed")
+	}
+}
+
+var _ = fmt.Sprintf // reserved for debug helpers

@@ -1,0 +1,78 @@
+package tl2_test
+
+import (
+	"testing"
+
+	"votm/internal/stm"
+	"votm/internal/stm/stmtest"
+	"votm/internal/stm/tl2"
+)
+
+func BenchmarkReadOnlyTx(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := tl2.New(h, tl2.Config{})
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		_ = tx.Load(stm.Addr(i % 1024))
+		tx.Commit()
+	}
+}
+
+func BenchmarkWriteTx1(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := tl2.New(h, tl2.Config{})
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		tx.Store(stm.Addr(i%1024), uint64(i))
+		tx.Commit()
+	}
+}
+
+func BenchmarkWriteTx16(b *testing.B) {
+	h := stm.NewHeap(1024)
+	e := tl2.New(h, tl2.Config{})
+	tx := e.NewTx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		for k := 0; k < 16; k++ {
+			tx.Store(stm.Addr((i*16+k)%1024), uint64(i))
+		}
+		tx.Commit()
+	}
+}
+
+func BenchmarkParallelCounter(b *testing.B) {
+	h := stm.NewHeap(64)
+	e := tl2.New(h, tl2.Config{})
+	var id int
+	b.RunParallel(func(pb *testing.PB) {
+		id++
+		tx := e.NewTx(id)
+		for pb.Next() {
+			stmtest.Atomically(tx, func(tx stm.Tx) {
+				tx.Store(0, tx.Load(0)+1)
+			})
+		}
+	})
+}
+
+func BenchmarkParallelDisjoint(b *testing.B) {
+	h := stm.NewHeap(4096)
+	e := tl2.New(h, tl2.Config{Orecs: 4096})
+	var id int
+	b.RunParallel(func(pb *testing.PB) {
+		id++
+		slot := stm.Addr((id * 64) % 4096)
+		tx := e.NewTx(id)
+		for pb.Next() {
+			stmtest.Atomically(tx, func(tx stm.Tx) {
+				tx.Store(slot, tx.Load(slot)+1)
+			})
+		}
+	})
+}

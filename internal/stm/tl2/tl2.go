@@ -1,0 +1,283 @@
+// Package tl2 implements the TL2 software transactional memory algorithm
+// (Dice, Shalev, Shavit: "Transactional Locking II", DISC 2006) over a word
+// heap: commit-time locking on ownership records with a global version
+// clock and per-read version validation.
+//
+// TL2 completes the design space covered by this repository's engines:
+//
+//	            conflict detection   metadata            livelock
+//	NOrec       commit, by value     1 sequence lock     free
+//	TL2         commit, by version   orec table + clock  free (self-abort)
+//	OrecEager   encounter, by orec   orec table + clock  prone (kill/steal)
+//
+// Like NOrec it is a commit-time locking (CTL) algorithm — RSTM treats all
+// of these as interchangeable plug-ins, which is exactly how VOTM views use
+// them (one engine instance per view, private metadata).
+//
+// Algorithm summary: a transaction samples the global clock at begin (rv).
+// Reads are valid if the location's orec is unlocked with version ≤ rv both
+// before and after the load. Writes buffer in a redo log. Commit locks the
+// write set's orecs (bounded spin, abort on failure — no kills, so no
+// livelock), increments the clock to wv, re-validates the read set, writes
+// back, and releases the orecs at wv. Read-only transactions commit with no
+// locking at all.
+package tl2
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"votm/internal/stm"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Orecs is the ownership-record table size. Defaults to 2048.
+	Orecs int
+	// LockSpin is how many polls a committer waits on a busy orec before
+	// conceding. Defaults to 32.
+	LockSpin int
+}
+
+func (c *Config) fill() {
+	if c.Orecs <= 0 {
+		c.Orecs = 2048
+	}
+	if c.LockSpin <= 0 {
+		c.LockSpin = 32
+	}
+}
+
+// Engine is one TL2 instance. Create one per view with New.
+type Engine struct {
+	heap  *stm.Heap
+	cfg   Config
+	clock atomic.Uint64
+	orecs []atomic.Uint64 // version<<1 (even) or owner-id<<1|1 (locked)
+}
+
+// New creates a TL2 instance over heap.
+func New(heap *stm.Heap, cfg Config) *Engine {
+	cfg.fill()
+	return &Engine{
+		heap:  heap,
+		cfg:   cfg,
+		orecs: make([]atomic.Uint64, cfg.Orecs),
+	}
+}
+
+// Name implements stm.Engine.
+func (e *Engine) Name() string { return "TL2" }
+
+// Clock returns the engine's global version clock (tests/ablation).
+func (e *Engine) Clock() uint64 { return e.clock.Load() }
+
+func (e *Engine) orecIdx(a stm.Addr) uint32 {
+	return uint32(a) % uint32(len(e.orecs))
+}
+
+// NewTx implements stm.Engine. threadID must be unique per descriptor
+// within this engine (it brands commit-time locks).
+func (e *Engine) NewTx(threadID int) stm.Tx {
+	return &Tx{
+		eng:    e,
+		id:     uint64(threadID)&0x7fffffff + 1, // non-zero lock brand
+		writes: make(map[stm.Addr]uint64, 32),
+	}
+}
+
+// Tx is a TL2 transaction descriptor (single-goroutine use).
+type Tx struct {
+	eng    *Engine
+	id     uint64
+	rv     uint64 // read version: clock sample at begin
+	reads  []uint32
+	writes map[stm.Addr]uint64
+	locked []uint32 // orecs locked during commit (LIFO release)
+	live   bool
+	stats  stm.TxStats
+}
+
+var _ stm.Tx = (*Tx)(nil)
+
+func (t *Tx) lockWord() uint64 { return t.id<<1 | 1 }
+
+// Begin implements stm.Tx.
+func (t *Tx) Begin() {
+	if t.live {
+		panic("tl2: Begin on a live transaction")
+	}
+	t.live = true
+	t.rv = t.eng.clock.Load()
+}
+
+// Load implements stm.Tx: the classic TL2 post-validated read.
+func (t *Tx) Load(a stm.Addr) uint64 {
+	if v, ok := t.writes[a]; ok {
+		return v
+	}
+	o := t.eng.orecIdx(a)
+	for {
+		pre := t.eng.orecs[o].Load()
+		if pre&1 == 1 || pre>>1 > t.rv {
+			// Locked, or written after our snapshot: try to extend the
+			// snapshot by revalidating the read set at the current clock
+			// (the standard TL2 rv-extension refinement); concede if the
+			// location is lock-held.
+			if pre&1 == 1 {
+				stm.Throw("tl2: read of locked orec")
+			}
+			t.extend()
+			continue
+		}
+		v := t.eng.heap.Load(a)
+		if t.eng.orecs[o].Load() != pre {
+			continue // orec moved during the read; retry
+		}
+		t.reads = append(t.reads, o)
+		return v
+	}
+}
+
+// extend revalidates every read orec at the current clock and moves rv
+// forward, or unwinds with a conflict.
+func (t *Tx) extend() {
+	now := t.eng.clock.Load()
+	for _, o := range t.reads {
+		ov := t.eng.orecs[o].Load()
+		if ov&1 == 1 || ov>>1 > t.rv {
+			stm.Throw("tl2: extension validation failed")
+		}
+	}
+	t.rv = now
+}
+
+// Store implements stm.Tx: lazy (commit-time) locking, redo buffered.
+func (t *Tx) Store(a stm.Addr, v uint64) {
+	if !t.eng.heap.InBounds(a) {
+		panic(&stm.BoundsError{Addr: a, Len: t.eng.heap.Len()})
+	}
+	t.writes[a] = v
+}
+
+// Commit implements stm.Tx.
+func (t *Tx) Commit() bool {
+	if !t.live {
+		panic("tl2: Commit on a dead transaction")
+	}
+	if len(t.writes) == 0 {
+		// Read-only: per-read validation already guarantees a consistent
+		// snapshot at rv; nothing to lock.
+		t.stats.Commits++
+		t.reset()
+		return true
+	}
+	if !t.lockWriteSet() {
+		t.releaseLocked(0, true)
+		t.stats.Aborts++
+		t.reset()
+		return false
+	}
+	wv := (t.eng.clock.Add(1)) // unique write version
+	// Validate the read set: unlocked-or-mine with version ≤ rv.
+	for _, o := range t.reads {
+		ov := t.eng.orecs[o].Load()
+		if ov == t.lockWord() {
+			continue
+		}
+		if ov&1 == 1 || ov>>1 > t.rv {
+			t.releaseLocked(0, true)
+			t.stats.Aborts++
+			t.reset()
+			return false
+		}
+	}
+	for a, v := range t.writes {
+		t.eng.heap.Store(a, v)
+	}
+	t.releaseLocked(wv, false)
+	t.stats.Commits++
+	t.reset()
+	return true
+}
+
+// lockWriteSet acquires the orecs covering the write set, tolerating
+// stripe aliasing (an orec may cover several written addresses).
+func (t *Tx) lockWriteSet() bool {
+	for a := range t.writes {
+		o := t.eng.orecIdx(a)
+		if t.ownsLocked(o) {
+			continue
+		}
+		spins := 0
+		for {
+			ov := t.eng.orecs[o].Load()
+			if ov&1 == 1 {
+				if ov == t.lockWord() {
+					break
+				}
+				spins++
+				if spins > t.eng.cfg.LockSpin {
+					return false
+				}
+				runtime.Gosched()
+				continue
+			}
+			if ov>>1 > t.rv {
+				// A location we are about to overwrite moved past our
+				// snapshot; if we also read it this would fail read
+				// validation, and TL2 conservatively concedes here.
+				return false
+			}
+			if t.eng.orecs[o].CompareAndSwap(ov, t.lockWord()) {
+				t.locked = append(t.locked, o)
+				break
+			}
+		}
+	}
+	return true
+}
+
+func (t *Tx) ownsLocked(o uint32) bool {
+	for _, l := range t.locked {
+		if l == o {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseLocked releases commit-time locks. On abort (restore=true) the
+// orec version is left at rv (never newer than any concurrent reader's
+// validation bound, and never older than the pre-lock version — safe
+// because the pre-lock version was ≤ rv by the acquisition check).
+func (t *Tx) releaseLocked(wv uint64, restore bool) {
+	for _, o := range t.locked {
+		if restore {
+			t.eng.orecs[o].Store(t.rv << 1)
+		} else {
+			t.eng.orecs[o].Store(wv << 1)
+		}
+	}
+	t.locked = t.locked[:0]
+}
+
+// Abort implements stm.Tx.
+func (t *Tx) Abort() {
+	if !t.live {
+		panic("tl2: Abort on a dead transaction")
+	}
+	t.releaseLocked(0, true)
+	t.stats.Aborts++
+	t.reset()
+}
+
+// Stats implements stm.Tx.
+func (t *Tx) Stats() stm.TxStats { return t.stats }
+
+func (t *Tx) reset() {
+	t.live = false
+	t.reads = t.reads[:0]
+	t.locked = t.locked[:0]
+	clear(t.writes)
+}

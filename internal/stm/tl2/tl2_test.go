@@ -1,0 +1,293 @@
+package tl2_test
+
+import (
+	"sync"
+	"testing"
+
+	"votm/internal/stm"
+	"votm/internal/stm/stmtest"
+	"votm/internal/stm/tl2"
+)
+
+func factory(h *stm.Heap) stm.Engine { return tl2.New(h, tl2.Config{}) }
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, factory)
+}
+
+func TestStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	stmtest.RunParallelStress(t, factory, 8, 500)
+}
+
+func TestName(t *testing.T) {
+	e := tl2.New(stm.NewHeap(1), tl2.Config{})
+	if e.Name() != "TL2" {
+		t.Errorf("Name() = %q", e.Name())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	e := tl2.New(stm.NewHeap(4), tl2.Config{Orecs: -1, LockSpin: -1})
+	tx := e.NewTx(0)
+	stmtest.Atomically(tx, func(tx stm.Tx) { tx.Store(0, 1) })
+	if e.Clock() != 1 {
+		t.Errorf("clock = %d, want 1", e.Clock())
+	}
+}
+
+func TestCommitTimeLocking(t *testing.T) {
+	// TL2 locks lazily: a writer's Store must NOT block a concurrent
+	// reader of the same stripe before commit (the defining difference
+	// from OrecEagerRedo).
+	h := stm.NewHeap(8)
+	e := tl2.New(h, tl2.Config{Orecs: 8})
+	w := e.NewTx(0)
+	r := e.NewTx(1)
+
+	w.Begin()
+	w.Store(0, 99) // no lock taken yet
+
+	r.Begin()
+	got := uint64(0)
+	completed := stm.Catch(func() { got = r.Load(0) })
+	if !completed {
+		t.Fatal("reader conflicted with an uncommitted lazy writer")
+	}
+	if got != 0 {
+		t.Fatalf("reader saw uncommitted value %d", got)
+	}
+	if !r.Commit() {
+		t.Fatal("read-only commit failed")
+	}
+	if !w.Commit() {
+		t.Fatal("writer commit failed")
+	}
+	if h.Load(0) != 99 {
+		t.Fatalf("write lost: %d", h.Load(0))
+	}
+}
+
+func TestReaderAbortsAfterCommit(t *testing.T) {
+	// Snapshot isolation: a reader that read word 0 must conflict when it
+	// later reads word 1 after a transaction committed to both.
+	h := stm.NewHeap(8)
+	e := tl2.New(h, tl2.Config{Orecs: 8})
+	r := e.NewTx(0)
+	w := e.NewTx(1)
+
+	r.Begin()
+	_ = r.Load(0)
+
+	stmtest.Atomically(w, func(tx stm.Tx) {
+		tx.Store(0, 5)
+		tx.Store(1, 6)
+	})
+
+	completed := stm.Catch(func() { _ = r.Load(1) })
+	if completed {
+		t.Fatal("inconsistent snapshot survived")
+	}
+	r.Abort()
+}
+
+func TestExtensionAllowsDisjointCommit(t *testing.T) {
+	// A commit to a word the reader never touched must not abort it: the
+	// rv-extension revalidates and proceeds.
+	h := stm.NewHeap(8)
+	e := tl2.New(h, tl2.Config{Orecs: 8})
+	r := e.NewTx(0)
+	w := e.NewTx(1)
+
+	r.Begin()
+	_ = r.Load(0)
+
+	stmtest.Atomically(w, func(tx stm.Tx) { tx.Store(1, 7) })
+
+	var v uint64
+	if !stm.Catch(func() { v = r.Load(1) }) {
+		t.Fatal("extension aborted a consistent reader")
+	}
+	if v != 7 {
+		t.Fatalf("Load(1) = %d, want 7", v)
+	}
+	if !r.Commit() {
+		t.Fatal("commit failed")
+	}
+}
+
+func TestWriteWriteConflictSelfAborts(t *testing.T) {
+	// Two lazy writers to the same stripe: the first to commit wins; the
+	// second must fail at its commit (no kills — TL2 is livelock-free).
+	h := stm.NewHeap(8)
+	e := tl2.New(h, tl2.Config{Orecs: 8})
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	t1.Begin()
+	t1.Store(0, 1)
+	t2.Begin()
+	_ = t2.Load(0) // t2 reads then writes: read-set entry forces validation
+	t2.Store(0, 2)
+
+	if !t1.Commit() {
+		t.Fatal("first committer failed")
+	}
+	if t2.Commit() {
+		t.Fatal("second committer overwrote a post-snapshot commit")
+	}
+	if h.Load(0) != 1 {
+		t.Fatalf("word 0 = %d, want 1", h.Load(0))
+	}
+}
+
+func TestBlindWriteAfterCommitSucceeds(t *testing.T) {
+	// A blind write (no read of the location) to a stripe committed after
+	// our snapshot conservatively aborts in lockWriteSet; verify it
+	// retries to success through the standard loop.
+	h := stm.NewHeap(8)
+	e := tl2.New(h, tl2.Config{Orecs: 8})
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	stmtest.Atomically(t1, func(tx stm.Tx) { tx.Store(0, 1) })
+	// t2's snapshot is fresh, so this must commit first try.
+	stmtest.Atomically(t2, func(tx stm.Tx) { tx.Store(0, 2) })
+	if h.Load(0) != 2 {
+		t.Fatalf("word 0 = %d, want 2", h.Load(0))
+	}
+}
+
+func TestClockUniquePerWriterCommit(t *testing.T) {
+	const writers, per = 4, 100
+	h := stm.NewHeap(256)
+	e := tl2.New(h, tl2.Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := e.NewTx(id)
+			for i := 0; i < per; i++ {
+				stmtest.Atomically(tx, func(tx stm.Tx) {
+					tx.Store(stm.Addr(id*8), uint64(i))
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := e.Clock(); got != writers*per {
+		t.Errorf("clock = %d, want %d (one tick per writer commit)", got, writers*per)
+	}
+}
+
+func TestOrecAliasingSingleLock(t *testing.T) {
+	// With a 1-entry orec table, a multi-word write set locks one orec
+	// once and still commits correctly.
+	h := stm.NewHeap(16)
+	e := tl2.New(h, tl2.Config{Orecs: 1})
+	tx := e.NewTx(0)
+	stmtest.Atomically(tx, func(tx stm.Tx) {
+		for i := 0; i < 10; i++ {
+			tx.Store(stm.Addr(i), uint64(i)*7)
+		}
+	})
+	for i := 0; i < 10; i++ {
+		if h.Load(stm.Addr(i)) != uint64(i)*7 {
+			t.Fatalf("word %d = %d", i, h.Load(stm.Addr(i)))
+		}
+	}
+}
+
+func TestAbortReleasesCommitLocks(t *testing.T) {
+	// Force a failed commit (invalid read set) and verify the orecs were
+	// released so a following transaction is unimpeded.
+	h := stm.NewHeap(8)
+	e := tl2.New(h, tl2.Config{Orecs: 8})
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	t1.Begin()
+	_ = t1.Load(1)
+	t1.Store(0, 9)
+
+	stmtest.Atomically(t2, func(tx stm.Tx) { tx.Store(1, 3) }) // invalidates t1
+
+	if t1.Commit() {
+		t.Fatal("t1 committed with an invalid read set")
+	}
+	// If t1 leaked its lock on orec(0), this would spin and abort forever.
+	stmtest.Atomically(t2, func(tx stm.Tx) { tx.Store(0, 4) })
+	if h.Load(0) != 4 {
+		t.Fatalf("word 0 = %d, want 4", h.Load(0))
+	}
+}
+
+func TestStoreOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(*stm.BoundsError); !ok {
+			t.Error("expected *stm.BoundsError")
+		}
+	}()
+	e := tl2.New(stm.NewHeap(4), tl2.Config{})
+	tx := e.NewTx(0)
+	tx.Begin()
+	tx.Store(100, 1)
+}
+
+func TestBeginOnLivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	e := tl2.New(stm.NewHeap(4), tl2.Config{})
+	tx := e.NewTx(0)
+	tx.Begin()
+	tx.Begin()
+}
+
+func TestAbortAndCommitOnDeadDescriptorPanic(t *testing.T) {
+	e := tl2.New(stm.NewHeap(4), tl2.Config{})
+	for name, fn := range map[string]func(stm.Tx){
+		"abort":  func(tx stm.Tx) { tx.Abort() },
+		"commit": func(tx stm.Tx) { tx.Commit() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on dead tx did not panic", name)
+				}
+			}()
+			fn(e.NewTx(0))
+		}()
+	}
+}
+
+func TestCommitConcedesOnHeldLock(t *testing.T) {
+	// t2 commits while t1 holds t2's write-set orec: t2's bounded
+	// lock-acquisition spin must concede (lockWriteSet failure path).
+	h := stm.NewHeap(8)
+	e := tl2.New(h, tl2.Config{Orecs: 8, LockSpin: 2})
+	t1 := e.NewTx(0)
+	t2 := e.NewTx(1)
+
+	// t1 enters commit and holds the orec by racing: simulate by having
+	// t1 acquire via a write-write alias — we cannot pause a commit
+	// mid-flight deterministically, so instead occupy the orec with a
+	// long-running *second engine descriptor trick*: a transaction that
+	// locked the orec and has not yet released it only exists mid-commit.
+	// Approximate with stale-version conflict instead: t2 writes to a
+	// stripe whose version moved past its snapshot.
+	t2.Begin()
+	t2.Store(0, 2)
+	stmtest.Atomically(t1, func(tx stm.Tx) { tx.Store(0, 1) }) // version moves
+	if t2.Commit() {
+		t.Fatal("t2 committed over a post-snapshot version")
+	}
+	if h.Load(0) != 1 {
+		t.Errorf("word 0 = %d, want 1", h.Load(0))
+	}
+}

@@ -1,0 +1,126 @@
+package stmds_test
+
+import (
+	"context"
+	"testing"
+
+	"votm/internal/core"
+	"votm/internal/stmds"
+)
+
+func benchView(b *testing.B, words int) (*core.Runtime, *core.View, *core.Thread) {
+	b.Helper()
+	rt := core.NewRuntime(core.Config{Threads: 4, Engine: core.NOrec})
+	v, err := rt.CreateView(1, words, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt, v, rt.RegisterThread()
+}
+
+func BenchmarkListInsertAscending(b *testing.B) {
+	_, v, th := benchView(b, 1<<22)
+	l, err := stmds.NewList(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	nodes := make([]stmds.Ref, b.N)
+	for i := range nodes {
+		n, err := l.NewNode(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val := uint64(i)
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			l.Insert(tx, nodes[i], val)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueueEnqueueDequeue(b *testing.B) {
+	_, v, th := benchView(b, 4096)
+	q, err := stmds.NewQueue(v, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			q.Enqueue(tx, uint64(i))
+			_, _ = q.Dequeue(tx)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashMapPut(b *testing.B) {
+	_, v, th := benchView(b, 1<<22)
+	m, err := stmds.NewHashMap(v, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	nodes := make([]stmds.Ref, b.N)
+	for i := range nodes {
+		n, err := m.NewNode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i)
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			m.Put(tx, key, key, nodes[i])
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashMapGet(b *testing.B) {
+	_, v, th := benchView(b, 1<<20)
+	m, err := stmds.NewHashMap(v, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 4096; i++ {
+		n, err := m.NewNode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := uint64(i)
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			m.Put(tx, key, key*3, n)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i % 4096)
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			if got, ok := m.Get(tx, key); !ok || got != key*3 {
+				b.Errorf("Get(%d) = %d,%v", key, got, ok)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package stmds
+
+import (
+	"votm/internal/core"
+	"votm/internal/stm"
+)
+
+// HashMap is a fixed-bucket chained hash map in view memory — the shape of
+// Intruder's reassembly dictionary. Layout: header [nbuckets, bucket0..];
+// each node is three words [next, key, val].
+type HashMap struct {
+	v        view
+	base     stm.Addr
+	nbuckets uint64
+}
+
+const (
+	hmNodeWords = 3
+	hmNext      = 0
+	hmKey       = 1
+	hmVal       = 2
+)
+
+// NewHashMap allocates a map with nbuckets chains in v.
+func NewHashMap(v *core.View, nbuckets int) (*HashMap, error) {
+	if nbuckets <= 0 {
+		nbuckets = 16
+	}
+	base, err := v.Alloc(1 + nbuckets)
+	if err != nil {
+		return nil, err
+	}
+	h := v.Heap()
+	h.Store(base, uint64(nbuckets))
+	for i := 0; i < nbuckets; i++ {
+		h.Store(base+1+stm.Addr(i), NilRef)
+	}
+	return &HashMap{v: v, base: base, nbuckets: uint64(nbuckets)}, nil
+}
+
+// NewNode allocates a map node (outside any transaction).
+func (m *HashMap) NewNode() (Ref, error) {
+	n, err := m.v.Alloc(hmNodeWords)
+	if err != nil {
+		return NilRef, err
+	}
+	return Ref(n), nil
+}
+
+// FreeNode returns a node to the view allocator.
+func (m *HashMap) FreeNode(n Ref) error { return m.v.Free(addr(n)) }
+
+// fibonacci-ish 64-bit mix keeps adjacent keys in different buckets.
+func (m *HashMap) bucket(key uint64) stm.Addr {
+	h := key * 0x9e3779b97f4a7c15
+	return m.base + 1 + stm.Addr(h%m.nbuckets)
+}
+
+// Put sets key to val. If the key is absent it links the pre-allocated
+// spare node and returns used=true; the caller must then not reuse spare.
+// If the key exists the value is updated in place and spare is untouched.
+func (m *HashMap) Put(tx core.Tx, key, val uint64, spare Ref) (used bool) {
+	b := m.bucket(key)
+	for curr := tx.Load(b); curr != NilRef; curr = tx.Load(addr(curr) + hmNext) {
+		if tx.Load(addr(curr)+hmKey) == key {
+			tx.Store(addr(curr)+hmVal, val)
+			return false
+		}
+	}
+	tx.Store(addr(spare)+hmNext, tx.Load(b))
+	tx.Store(addr(spare)+hmKey, key)
+	tx.Store(addr(spare)+hmVal, val)
+	tx.Store(b, spare)
+	return true
+}
+
+// Get returns the value stored under key.
+func (m *HashMap) Get(tx core.Tx, key uint64) (uint64, bool) {
+	b := m.bucket(key)
+	for curr := tx.Load(b); curr != NilRef; curr = tx.Load(addr(curr) + hmNext) {
+		if tx.Load(addr(curr)+hmKey) == key {
+			return tx.Load(addr(curr) + hmVal), true
+		}
+	}
+	return 0, false
+}
+
+// Delete unlinks key's node, returning it for freeing after commit.
+func (m *HashMap) Delete(tx core.Tx, key uint64) (Ref, bool) {
+	b := m.bucket(key)
+	prev := Ref(NilRef)
+	for curr := tx.Load(b); curr != NilRef; curr = tx.Load(addr(curr) + hmNext) {
+		if tx.Load(addr(curr)+hmKey) == key {
+			next := tx.Load(addr(curr) + hmNext)
+			if prev == NilRef {
+				tx.Store(b, next)
+			} else {
+				tx.Store(addr(prev)+hmNext, next)
+			}
+			return curr, true
+		}
+		prev = curr
+	}
+	return NilRef, false
+}
+
+// Len counts entries across all buckets (O(n); test/diagnostic use).
+func (m *HashMap) Len(tx core.Tx) int {
+	n := 0
+	for i := uint64(0); i < m.nbuckets; i++ {
+		for curr := tx.Load(m.base + 1 + stm.Addr(i)); curr != NilRef; curr = tx.Load(addr(curr) + hmNext) {
+			n++
+		}
+	}
+	return n
+}

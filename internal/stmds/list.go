@@ -1,0 +1,120 @@
+package stmds
+
+import (
+	"votm/internal/core"
+	"votm/internal/stm"
+)
+
+// List is a sorted singly-linked list in view memory — the VOTM linked list
+// of the paper's Figures 1 and 2. Layout: one header word holding the head
+// reference; each node is two words [next, val].
+type List struct {
+	v    view
+	head stm.Addr // header word
+}
+
+const (
+	listNodeWords = 2
+	nodeNextOff   = 0
+	nodeValOff    = 1
+)
+
+// NewList allocates the list header in v. The header starts empty.
+func NewList(v *core.View) (*List, error) {
+	h, err := v.Alloc(1)
+	if err != nil {
+		return nil, err
+	}
+	v.Heap().Store(h, NilRef) // pre-transactional init, matching Fig. 1
+	return &List{v: v, head: h}, nil
+}
+
+// NewNode allocates a node holding val (outside any transaction).
+func (l *List) NewNode(val uint64) (Ref, error) {
+	n, err := l.v.Alloc(listNodeWords)
+	if err != nil {
+		return NilRef, err
+	}
+	return Ref(n), nil
+}
+
+// FreeNode returns a node to the view allocator.
+func (l *List) FreeNode(n Ref) error { return l.v.Free(addr(n)) }
+
+// Insert links the pre-allocated node n with value val into sorted position
+// (ascending). It mirrors the paper's Figure 2 ll_insert.
+func (l *List) Insert(tx core.Tx, n Ref, val uint64) {
+	tx.Store(addr(n)+nodeValOff, val)
+	head := tx.Load(l.head)
+	if head == NilRef || tx.Load(addr(head)+nodeValOff) >= val {
+		tx.Store(addr(n)+nodeNextOff, head)
+		tx.Store(l.head, n)
+		return
+	}
+	curr := head
+	for {
+		next := tx.Load(addr(curr) + nodeNextOff)
+		if next == NilRef || tx.Load(addr(next)+nodeValOff) >= val {
+			tx.Store(addr(n)+nodeNextOff, next)
+			tx.Store(addr(curr)+nodeNextOff, n)
+			return
+		}
+		curr = next
+	}
+}
+
+// Contains reports whether val is in the list.
+func (l *List) Contains(tx core.Tx, val uint64) bool {
+	for curr := tx.Load(l.head); curr != NilRef; curr = tx.Load(addr(curr) + nodeNextOff) {
+		v := tx.Load(addr(curr) + nodeValOff)
+		if v == val {
+			return true
+		}
+		if v > val {
+			return false
+		}
+	}
+	return false
+}
+
+// Remove unlinks the first node with value val. It returns the removed
+// node's reference (for freeing after commit) and whether a node was found.
+func (l *List) Remove(tx core.Tx, val uint64) (Ref, bool) {
+	prev := Ref(NilRef)
+	curr := tx.Load(l.head)
+	for curr != NilRef {
+		v := tx.Load(addr(curr) + nodeValOff)
+		if v == val {
+			next := tx.Load(addr(curr) + nodeNextOff)
+			if prev == NilRef {
+				tx.Store(l.head, next)
+			} else {
+				tx.Store(addr(prev)+nodeNextOff, next)
+			}
+			return curr, true
+		}
+		if v > val {
+			return NilRef, false
+		}
+		prev, curr = curr, tx.Load(addr(curr)+nodeNextOff)
+	}
+	return NilRef, false
+}
+
+// Len counts the nodes (O(n); test/diagnostic use).
+func (l *List) Len(tx core.Tx) int {
+	n := 0
+	for curr := tx.Load(l.head); curr != NilRef; curr = tx.Load(addr(curr) + nodeNextOff) {
+		n++
+	}
+	return n
+}
+
+// Values returns the list contents in order (test/diagnostic use).
+func (l *List) Values(tx core.Tx) []uint64 {
+	var out []uint64
+	for curr := tx.Load(l.head); curr != NilRef; curr = tx.Load(addr(curr) + nodeNextOff) {
+		out = append(out, tx.Load(addr(curr)+nodeValOff))
+	}
+	return out
+}

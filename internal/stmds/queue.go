@@ -1,0 +1,66 @@
+package stmds
+
+import (
+	"votm/internal/core"
+	"votm/internal/stm"
+)
+
+// Queue is a bounded FIFO ring buffer in view memory — the shape of
+// Intruder's centralized task queue. Layout: [head, tail, cap, slot0..].
+// head and tail are monotonically increasing; the occupied region is
+// [head, tail).
+type Queue struct {
+	v    view
+	base stm.Addr
+	cap  uint64
+}
+
+const queueHeaderWords = 3
+
+// NewQueue allocates a queue with capacity slots in v.
+func NewQueue(v *core.View, capacity int) (*Queue, error) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	base, err := v.Alloc(queueHeaderWords + capacity)
+	if err != nil {
+		return nil, err
+	}
+	h := v.Heap()
+	h.Store(base+0, 0)
+	h.Store(base+1, 0)
+	h.Store(base+2, uint64(capacity))
+	return &Queue{v: v, base: base, cap: uint64(capacity)}, nil
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return int(q.cap) }
+
+// Enqueue appends val; it returns false when the queue is full.
+func (q *Queue) Enqueue(tx core.Tx, val uint64) bool {
+	head := tx.Load(q.base + 0)
+	tail := tx.Load(q.base + 1)
+	if tail-head >= q.cap {
+		return false
+	}
+	tx.Store(q.base+queueHeaderWords+stm.Addr(tail%q.cap), val)
+	tx.Store(q.base+1, tail+1)
+	return true
+}
+
+// Dequeue removes and returns the oldest value; ok is false when empty.
+func (q *Queue) Dequeue(tx core.Tx) (val uint64, ok bool) {
+	head := tx.Load(q.base + 0)
+	tail := tx.Load(q.base + 1)
+	if head == tail {
+		return 0, false
+	}
+	val = tx.Load(q.base + queueHeaderWords + stm.Addr(head%q.cap))
+	tx.Store(q.base+0, head+1)
+	return val, true
+}
+
+// Len returns the number of queued values.
+func (q *Queue) Len(tx core.Tx) int {
+	return int(tx.Load(q.base+1) - tx.Load(q.base+0))
+}

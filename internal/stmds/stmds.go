@@ -1,0 +1,35 @@
+// Package stmds provides data structures that live *inside* a view's word
+// heap and are manipulated through transactions: a sorted linked list (the
+// paper's Figures 1–2), a bounded FIFO queue, and a chained hash map. They
+// are the building blocks of the Intruder reproduction (task queue and
+// reassembly dictionary) and of the examples.
+//
+// Memory discipline: node blocks are allocated with the view allocator
+// *outside* transactions (malloc_block is not transactional in VOTM) and
+// linked/unlinked *inside* transactions. Methods that insert take a
+// pre-allocated node; methods that remove return the node reference so the
+// caller can free it after the transaction commits. This keeps retried
+// transaction bodies side-effect free.
+package stmds
+
+import (
+	"votm/internal/core"
+	"votm/internal/stm"
+)
+
+// NilRef is the in-heap null pointer. Address 0 is a valid heap word, so
+// null must be out-of-band.
+const NilRef = ^uint64(0)
+
+// Ref is a word address stored inside the heap (a "pointer" in view memory).
+type Ref = uint64
+
+func addr(r Ref) stm.Addr { return stm.Addr(r) }
+
+// view is the slice of the core.View API the structures need.
+type view interface {
+	Alloc(words int) (stm.Addr, error)
+	Free(a stm.Addr) error
+}
+
+var _ view = (*core.View)(nil)

@@ -1,0 +1,557 @@
+package stmds_test
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"votm/internal/core"
+	"votm/internal/stmds"
+)
+
+func newView(t *testing.T, kind core.EngineKind, threads, words, quota int) (*core.Runtime, *core.View) {
+	t.Helper()
+	rt := core.NewRuntime(core.Config{Threads: threads, Engine: kind})
+	v, err := rt.CreateView(1, words, quota)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, v
+}
+
+// run executes fn as a transaction and fails the test on error.
+func run(t *testing.T, v *core.View, th *core.Thread, fn func(tx core.Tx) error) {
+	t.Helper()
+	if err := v.Atomic(context.Background(), th, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListInsertSorted(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 4096, 2)
+	th := rt.RegisterThread()
+	l, err := stmds.NewList(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []uint64{5, 1, 9, 3, 7, 3, 0}
+	for _, val := range vals {
+		n, err := l.NewNode(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		val := val
+		run(t, v, th, func(tx core.Tx) error {
+			l.Insert(tx, n, val)
+			return nil
+		})
+	}
+	want := append([]uint64(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	run(t, v, th, func(tx core.Tx) error {
+		got := l.Values(tx)
+		if len(got) != len(want) {
+			t.Errorf("Values = %v, want %v", got, want)
+			return nil
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("Values = %v, want %v", got, want)
+				break
+			}
+		}
+		if l.Len(tx) != len(want) {
+			t.Errorf("Len = %d", l.Len(tx))
+		}
+		return nil
+	})
+}
+
+func TestListContainsRemove(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 4096, 2)
+	th := rt.RegisterThread()
+	l, _ := stmds.NewList(v)
+	for _, val := range []uint64{2, 4, 6} {
+		n, _ := l.NewNode(val)
+		val := val
+		run(t, v, th, func(tx core.Tx) error { l.Insert(tx, n, val); return nil })
+	}
+	run(t, v, th, func(tx core.Tx) error {
+		if !l.Contains(tx, 4) || l.Contains(tx, 5) || l.Contains(tx, 99) {
+			t.Error("Contains wrong")
+		}
+		return nil
+	})
+	var removed stmds.Ref
+	run(t, v, th, func(tx core.Tx) error {
+		r, ok := l.Remove(tx, 4)
+		if !ok {
+			t.Error("Remove(4) failed")
+		}
+		removed = r
+		if _, ok := l.Remove(tx, 5); ok {
+			t.Error("Remove(5) found a ghost")
+		}
+		return nil
+	})
+	if err := l.FreeNode(removed); err != nil {
+		t.Errorf("FreeNode: %v", err)
+	}
+	run(t, v, th, func(tx core.Tx) error {
+		if l.Contains(tx, 4) {
+			t.Error("removed value still present")
+		}
+		if l.Len(tx) != 2 {
+			t.Errorf("Len = %d, want 2", l.Len(tx))
+		}
+		return nil
+	})
+	// Remove head and tail too.
+	run(t, v, th, func(tx core.Tx) error {
+		if _, ok := l.Remove(tx, 2); !ok {
+			t.Error("remove head failed")
+		}
+		if _, ok := l.Remove(tx, 6); !ok {
+			t.Error("remove tail failed")
+		}
+		if l.Len(tx) != 0 {
+			t.Errorf("Len = %d, want 0", l.Len(tx))
+		}
+		return nil
+	})
+}
+
+func TestListConcurrentInsert(t *testing.T) {
+	for _, kind := range []core.EngineKind{core.NOrec, core.OrecEagerRedo, core.TL2} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			const workers, per = 4, 50
+			rt, v := newView(t, kind, workers, 1<<15, workers)
+			l, _ := stmds.NewList(v)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th := rt.RegisterThread()
+					for i := 0; i < per; i++ {
+						val := uint64(id*per + i)
+						n, err := l.NewNode(val)
+						if err != nil {
+							t.Errorf("NewNode: %v", err)
+							return
+						}
+						if err := v.Atomic(context.Background(), th, func(tx core.Tx) error {
+							l.Insert(tx, n, val)
+							return nil
+						}); err != nil {
+							t.Errorf("Atomic: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			th := rt.RegisterThread()
+			run(t, v, th, func(tx core.Tx) error {
+				got := l.Values(tx)
+				if len(got) != workers*per {
+					t.Errorf("len = %d, want %d", len(got), workers*per)
+					return nil
+				}
+				for i := 1; i < len(got); i++ {
+					if got[i-1] > got[i] {
+						t.Errorf("unsorted at %d: %d > %d", i, got[i-1], got[i])
+						return nil
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 256, 2)
+	th := rt.RegisterThread()
+	q, err := stmds.NewQueue(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 4 {
+		t.Errorf("Cap = %d", q.Cap())
+	}
+	run(t, v, th, func(tx core.Tx) error {
+		if _, ok := q.Dequeue(tx); ok {
+			t.Error("dequeue from empty succeeded")
+		}
+		for i := uint64(1); i <= 4; i++ {
+			if !q.Enqueue(tx, i*10) {
+				t.Errorf("enqueue %d failed", i)
+			}
+		}
+		if q.Enqueue(tx, 99) {
+			t.Error("enqueue into full queue succeeded")
+		}
+		if q.Len(tx) != 4 {
+			t.Errorf("Len = %d", q.Len(tx))
+		}
+		for i := uint64(1); i <= 4; i++ {
+			got, ok := q.Dequeue(tx)
+			if !ok || got != i*10 {
+				t.Errorf("dequeue = %d,%v want %d", got, ok, i*10)
+			}
+		}
+		return nil
+	})
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 64, 2)
+	th := rt.RegisterThread()
+	q, _ := stmds.NewQueue(v, 3)
+	// Push/pop more than capacity to exercise index wrap.
+	next, expect := uint64(0), uint64(0)
+	for round := 0; round < 20; round++ {
+		run(t, v, th, func(tx core.Tx) error {
+			for q.Enqueue(tx, next) {
+				next++
+			}
+			for {
+				got, ok := q.Dequeue(tx)
+				if !ok {
+					break
+				}
+				if got != expect {
+					t.Errorf("dequeue = %d, want %d", got, expect)
+				}
+				expect++
+			}
+			return nil
+		})
+	}
+	if expect != next || next < 20 {
+		t.Errorf("pushed %d, popped %d", next, expect)
+	}
+}
+
+func TestQueueConcurrentConservation(t *testing.T) {
+	// Producers enqueue distinct values; consumers drain. Every value must
+	// be seen exactly once.
+	const producers, per = 4, 100
+	rt, v := newView(t, core.OrecEagerRedo, 8, 1024, 8)
+	q, _ := stmds.NewQueue(v, producers*per)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			for i := 0; i < per; i++ {
+				val := uint64(id*per + i)
+				_ = v.Atomic(context.Background(), th, func(tx core.Tx) error {
+					if !q.Enqueue(tx, val) {
+						t.Errorf("queue full")
+					}
+					return nil
+				})
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*per)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			th := rt.RegisterThread()
+			for {
+				var val uint64
+				var ok bool
+				_ = v.Atomic(context.Background(), th, func(tx core.Tx) error {
+					val, ok = q.Dequeue(tx)
+					return nil
+				})
+				if !ok {
+					select {
+					case <-done:
+						return
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				if seen[val] {
+					t.Errorf("value %d dequeued twice", val)
+				}
+				seen[val] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	// Drain any remainder single-threaded.
+	th := rt.RegisterThread()
+	for {
+		var val uint64
+		var ok bool
+		run(t, v, th, func(tx core.Tx) error { val, ok = q.Dequeue(tx); return nil })
+		if !ok {
+			break
+		}
+		if seen[val] {
+			t.Errorf("value %d dequeued twice", val)
+		}
+		seen[val] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("value %d lost", i)
+		}
+	}
+}
+
+func TestHashMapBasic(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 4096, 2)
+	th := rt.RegisterThread()
+	m, err := stmds.NewHashMap(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := m.NewNode()
+	run(t, v, th, func(tx core.Tx) error {
+		if used := m.Put(tx, 7, 70, n1); !used {
+			t.Error("fresh Put did not use spare")
+		}
+		if got, ok := m.Get(tx, 7); !ok || got != 70 {
+			t.Errorf("Get = %d,%v", got, ok)
+		}
+		if _, ok := m.Get(tx, 8); ok {
+			t.Error("phantom key")
+		}
+		return nil
+	})
+	n2, _ := m.NewNode()
+	run(t, v, th, func(tx core.Tx) error {
+		if used := m.Put(tx, 7, 71, n2); used {
+			t.Error("update consumed spare")
+		}
+		if got, _ := m.Get(tx, 7); got != 71 {
+			t.Errorf("after update Get = %d", got)
+		}
+		return nil
+	})
+	_ = m.FreeNode(n2) // unused spare returned
+	var removed stmds.Ref
+	run(t, v, th, func(tx core.Tx) error {
+		r, ok := m.Delete(tx, 7)
+		if !ok {
+			t.Error("Delete failed")
+		}
+		removed = r
+		if _, ok := m.Get(tx, 7); ok {
+			t.Error("deleted key still present")
+		}
+		if _, ok := m.Delete(tx, 7); ok {
+			t.Error("double delete succeeded")
+		}
+		return nil
+	})
+	if err := m.FreeNode(removed); err != nil {
+		t.Errorf("FreeNode: %v", err)
+	}
+}
+
+func TestHashMapChainsAndLen(t *testing.T) {
+	// One bucket: all keys chain; exercises chain traversal and middle
+	// deletes.
+	rt, v := newView(t, core.NOrec, 2, 4096, 2)
+	th := rt.RegisterThread()
+	m, _ := stmds.NewHashMap(v, 1)
+	for k := uint64(0); k < 10; k++ {
+		n, _ := m.NewNode()
+		k := k
+		run(t, v, th, func(tx core.Tx) error {
+			m.Put(tx, k, k*100, n)
+			return nil
+		})
+	}
+	run(t, v, th, func(tx core.Tx) error {
+		if m.Len(tx) != 10 {
+			t.Errorf("Len = %d", m.Len(tx))
+		}
+		for k := uint64(0); k < 10; k++ {
+			if got, ok := m.Get(tx, k); !ok || got != k*100 {
+				t.Errorf("Get(%d) = %d,%v", k, got, ok)
+			}
+		}
+		return nil
+	})
+	run(t, v, th, func(tx core.Tx) error {
+		if _, ok := m.Delete(tx, 5); !ok {
+			t.Error("chain-middle delete failed")
+		}
+		if m.Len(tx) != 9 {
+			t.Errorf("Len = %d", m.Len(tx))
+		}
+		return nil
+	})
+}
+
+func TestHashMapQuickVsModel(t *testing.T) {
+	type op struct {
+		Del bool
+		Key uint8
+		Val uint16
+	}
+	prop := func(ops []op) bool {
+		rt := core.NewRuntime(core.Config{Threads: 1, Engine: core.NOrec})
+		v, _ := rt.CreateView(1, 1<<15, 1)
+		th := rt.RegisterThread()
+		m, _ := stmds.NewHashMap(v, 7)
+		model := map[uint64]uint64{}
+		ok := true
+		for _, o := range ops {
+			key, val := uint64(o.Key%32), uint64(o.Val)
+			if o.Del {
+				var gotOK bool
+				_ = v.Atomic(context.Background(), th, func(tx core.Tx) error {
+					_, gotOK = m.Delete(tx, key)
+					return nil
+				})
+				_, wantOK := model[key]
+				delete(model, key)
+				if gotOK != wantOK {
+					ok = false
+				}
+				continue
+			}
+			spare, err := m.NewNode()
+			if err != nil {
+				return true // out of memory is not a correctness failure
+			}
+			var used bool
+			_ = v.Atomic(context.Background(), th, func(tx core.Tx) error {
+				used = m.Put(tx, key, val, spare)
+				return nil
+			})
+			_, existed := model[key]
+			if used == existed {
+				ok = false
+			}
+			if !used {
+				_ = m.FreeNode(spare)
+			}
+			model[key] = val
+		}
+		// Final sweep.
+		_ = v.Atomic(context.Background(), th, func(tx core.Tx) error {
+			if m.Len(tx) != len(model) {
+				ok = false
+			}
+			for k, want := range model {
+				if got, found := m.Get(tx, k); !found || got != want {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashMapConcurrentDisjointKeys(t *testing.T) {
+	const workers, per = 4, 60
+	rt, v := newView(t, core.OrecEagerRedo, workers, 1<<15, workers)
+	m, _ := stmds.NewHashMap(v, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < per; i++ {
+				key := uint64(id*1000 + i)
+				spare, err := m.NewNode()
+				if err != nil {
+					t.Errorf("NewNode: %v", err)
+					return
+				}
+				var used bool
+				_ = v.Atomic(context.Background(), th, func(tx core.Tx) error {
+					used = m.Put(tx, key, key*2, spare)
+					return nil
+				})
+				if !used {
+					t.Errorf("fresh key %d did not use spare", key)
+				}
+				_ = rng
+			}
+		}(w)
+	}
+	wg.Wait()
+	th := rt.RegisterThread()
+	run(t, v, th, func(tx core.Tx) error {
+		if m.Len(tx) != workers*per {
+			t.Errorf("Len = %d, want %d", m.Len(tx), workers*per)
+		}
+		for w := 0; w < workers; w++ {
+			for i := 0; i < per; i++ {
+				key := uint64(w*1000 + i)
+				if got, ok := m.Get(tx, key); !ok || got != key*2 {
+					t.Errorf("Get(%d) = %d,%v", key, got, ok)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestNewQueueBadCapacity(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 1, 64, 1)
+	_ = rt
+	q, err := stmds.NewQueue(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 1 {
+		t.Errorf("zero capacity not defaulted: %d", q.Cap())
+	}
+}
+
+func TestNewHashMapBadBuckets(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 1, 64, 1)
+	_ = rt
+	if _, err := stmds.NewHashMap(v, -2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocFailurePropagates(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 1, 2, 1)
+	_ = rt
+	if _, err := stmds.NewList(v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmds.NewQueue(v, 8); err == nil {
+		t.Error("NewQueue in exhausted view succeeded")
+	}
+	if _, err := stmds.NewHashMap(v, 8); err == nil {
+		t.Error("NewHashMap in exhausted view succeeded")
+	}
+	l, _ := stmds.NewList(v)
+	if _, err := l.NewNode(1); err == nil {
+		t.Error("NewNode in exhausted view succeeded")
+	}
+}

@@ -1,0 +1,236 @@
+// Package theory implements the RAC analytical model of the paper's
+// Section II-A: makespans of conventional TM and RAC (Equations 1–2), their
+// difference Δ (Equation 3), the contention estimate δ (Equations 3–5), the
+// Q-adjustment rule (Observation 1), and the multiple-view decomposition
+// (Equations 6–13, Observation 2).
+//
+// The model is used three ways in this repository: to unit-test the algebra
+// the paper relies on, to predict table shapes before measuring them
+// (cmd/racmodel), and to cross-check the adaptive controller's decisions.
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tx is one transaction's model parameters: C is the expected number of
+// aborts c_i, D the average time spent per aborted attempt d_i, and T the
+// conflict-free duration t_i. Units are arbitrary but must be consistent.
+type Tx struct {
+	C float64
+	D float64
+	T float64
+}
+
+// Set is a workload S_T = {T_1 … T_n}.
+type Set []Tx
+
+// SumCD returns Σ c_i·d_i, the model's total wasted (aborted) time.
+func (s Set) SumCD() float64 {
+	var sum float64
+	for _, t := range s {
+		sum += t.C * t.D
+	}
+	return sum
+}
+
+// SumT returns Σ t_i, the model's total useful time.
+func (s Set) SumT() float64 {
+	var sum float64
+	for _, t := range s {
+		sum += t.T
+	}
+	return sum
+}
+
+// MakespanTM is Equation 1: the best possible makespan of conventional TM
+// with n threads, (Σ c_i·d_i + t_i) / N.
+func MakespanTM(s Set, n int) float64 {
+	if n <= 0 {
+		return math.NaN()
+	}
+	return (s.SumCD() + s.SumT()) / float64(n)
+}
+
+// MakespanRAC is Equation 2: the makespan of RAC running q of n threads,
+// (Σ (q−1)/(n−1)·c_i·d_i + t_i) / q. It requires n ≥ 2 and 1 ≤ q ≤ n.
+func MakespanRAC(s Set, n, q int) float64 {
+	if n < 2 || q < 1 || q > n {
+		return math.NaN()
+	}
+	scale := float64(q-1) / float64(n-1)
+	return (scale*s.SumCD() + s.SumT()) / float64(q)
+}
+
+// DeltaMakespan is Equation 3: Δ = makespanRAC − makespanTM in closed form,
+// 1/(N−1) · (1/N − 1/Q) · (Σ c_i·d_i − Σ t_i·(N−1)).
+func DeltaMakespan(s Set, n, q int) float64 {
+	if n < 2 || q < 1 || q > n {
+		return math.NaN()
+	}
+	return (1.0 / float64(n-1)) *
+		(1.0/float64(n) - 1.0/float64(q)) *
+		(s.SumCD() - s.SumT()*float64(n-1))
+}
+
+// DeltaRatio is the paper's δ = Σ c_i·d_i / (Σ t_i · (N−1)): the contention
+// measure deciding whether RAC beats conventional TM (δ > 1 ⇒ RAC wins).
+func DeltaRatio(s Set, n int) float64 {
+	denom := s.SumT() * float64(n-1)
+	if denom == 0 {
+		return math.NaN()
+	}
+	return s.SumCD() / denom
+}
+
+// DeltaQ is Equation 5, the runtime estimate of δ(Q) from measured cycles:
+// cycles_aborted / (cycles_successful · (Q−1)). NaN when Q ≤ 1 ("N/A").
+func DeltaQ(abortedCycles, successfulCycles float64, q int) float64 {
+	if q <= 1 || successfulCycles == 0 {
+		return math.NaN()
+	}
+	return abortedCycles / (successfulCycles * float64(q-1))
+}
+
+// Direction is the Observation 1 decision for the admission quota.
+type Direction int
+
+const (
+	// Hold: δ(Q) ≈ 1 or undefined; keep Q.
+	Hold Direction = iota
+	// Decrease: δ(Q) > 1; halve Q.
+	Decrease
+	// Increase: δ(Q) < 1; double Q.
+	Increase
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Decrease:
+		return "decrease"
+	case Increase:
+		return "increase"
+	default:
+		return "hold"
+	}
+}
+
+// Observation1 applies the paper's Observation 1 to a measured δ(Q):
+// decrease Q when δ(Q) > 1, increase when δ(Q) < 1.
+func Observation1(deltaQ float64) Direction {
+	switch {
+	case math.IsNaN(deltaQ):
+		return Hold
+	case deltaQ > 1:
+		return Decrease
+	case deltaQ < 1:
+		return Increase
+	default:
+		return Hold
+	}
+}
+
+// OptimalQ returns the quota q ∈ [1, n] minimizing MakespanRAC by
+// exhaustive search. Under the model this is always 1 or n (the makespan is
+// monotone in q), but the search does not assume that.
+func OptimalQ(s Set, n int) int {
+	best, bestQ := math.Inf(1), 1
+	for q := 1; q <= n; q++ {
+		if m := MakespanRAC(s, n, q); m < best {
+			best, bestQ = m, q
+		}
+	}
+	return bestQ
+}
+
+// MultiViewMakespan is Equation 11: the makespan of multiple views with
+// independent RAC is the sum of per-view makespans. qs[i] is view i's quota.
+func MultiViewMakespan(sets []Set, n int, qs []int) float64 {
+	if len(sets) != len(qs) {
+		return math.NaN()
+	}
+	var sum float64
+	for i, s := range sets {
+		sum += MakespanRAC(s, n, qs[i])
+	}
+	return sum
+}
+
+// SingleViewMakespan is Equation 12: a single view holding the union of the
+// subsets at a common quota q decomposes into the sum of per-subset
+// makespans at q.
+func SingleViewMakespan(sets []Set, n, q int) float64 {
+	var sum float64
+	for _, s := range sets {
+		sum += MakespanRAC(s, n, q)
+	}
+	return sum
+}
+
+// Observation2Holds checks the premise and conclusion of Observation 2 /
+// Equation 6 for two views: if δ1 > 1 (hot), δ2 ≤ 1 (cold) and
+// q1 ≤ q ≤ q2, then the multi-view makespan must not exceed the single-view
+// makespan. It returns (premiseSatisfied, conclusionHolds).
+func Observation2Holds(s1, s2 Set, n, q1, q, q2 int) (premise, holds bool) {
+	d1, d2 := DeltaRatio(s1, n), DeltaRatio(s2, n)
+	premise = d1 > 1 && d2 <= 1 && q1 <= q && q <= q2
+	mv := MultiViewMakespan([]Set{s1, s2}, n, []int{q1, q2})
+	sv := SingleViewMakespan([]Set{s1, s2}, n, q)
+	const eps = 1e-9
+	holds = mv <= sv+eps
+	return premise, holds
+}
+
+// ObservationK generalizes Observation 2 from two views to k: if each view
+// i gets a quota qs[i] at least as good for it as the shared quota q —
+// qs[i] ≤ q for hot views (δ_i > 1) and qs[i] ≥ q for cold views
+// (δ_i ≤ 1) — then the k-view makespan cannot exceed the single-view
+// makespan at q. The proof is Equation 7's decomposition applied per view
+// plus Equation 8/9's monotonicity, summed; the 2-view case is the paper's
+// Equation 6. It returns (premiseSatisfied, conclusionHolds).
+func ObservationK(sets []Set, n int, qs []int, q int) (premise, holds bool) {
+	if len(sets) != len(qs) || len(sets) == 0 {
+		return false, false
+	}
+	premise = true
+	for i, s := range sets {
+		d := DeltaRatio(s, n)
+		switch {
+		case d > 1 && qs[i] <= q:
+		case d <= 1 && qs[i] >= q:
+		default:
+			premise = false
+		}
+	}
+	mv := MultiViewMakespan(sets, n, qs)
+	sv := SingleViewMakespan(sets, n, q)
+	const eps = 1e-9
+	holds = mv <= sv+eps
+	return premise, holds
+}
+
+// Predict produces a model table row (q, makespan) sweep for a workload —
+// the analytical counterpart of the paper's fixed-Q tables.
+func Predict(s Set, n int, qs []int) []PredictedRow {
+	rows := make([]PredictedRow, 0, len(qs))
+	for _, q := range qs {
+		rows = append(rows, PredictedRow{
+			Q:        q,
+			Makespan: MakespanRAC(s, n, q),
+			Delta:    DeltaMakespan(s, n, q),
+		})
+	}
+	return rows
+}
+
+// PredictedRow is one entry of Predict's sweep.
+type PredictedRow struct {
+	Q        int
+	Makespan float64
+	Delta    float64 // Δ vs conventional TM (negative ⇒ RAC faster)
+}
+
+func (r PredictedRow) String() string {
+	return fmt.Sprintf("Q=%-3d makespan=%.4g Δ=%.4g", r.Q, r.Makespan, r.Delta)
+}

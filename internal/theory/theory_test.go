@@ -1,0 +1,310 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return true
+	}
+	return math.Abs(a-b)/scale < 1e-9
+}
+
+// genSet builds a random workload from a seed.
+func genSet(r *rand.Rand, n int) Set {
+	s := make(Set, n)
+	for i := range s {
+		s[i] = Tx{
+			C: r.Float64() * 10,
+			D: r.Float64()*5 + 0.01,
+			T: r.Float64()*5 + 0.01,
+		}
+	}
+	return s
+}
+
+func TestSums(t *testing.T) {
+	s := Set{{C: 2, D: 3, T: 1}, {C: 1, D: 4, T: 2}}
+	if s.SumCD() != 10 {
+		t.Errorf("SumCD = %v", s.SumCD())
+	}
+	if s.SumT() != 3 {
+		t.Errorf("SumT = %v", s.SumT())
+	}
+}
+
+func TestMakespanTMEq1(t *testing.T) {
+	s := Set{{C: 2, D: 3, T: 1}, {C: 0, D: 0, T: 5}}
+	// (2*3+1 + 0+5)/4 = 12/4 = 3
+	if got := MakespanTM(s, 4); got != 3 {
+		t.Errorf("MakespanTM = %v, want 3", got)
+	}
+	if !math.IsNaN(MakespanTM(s, 0)) {
+		t.Error("MakespanTM(n=0) not NaN")
+	}
+}
+
+func TestMakespanRACBoundaries(t *testing.T) {
+	s := Set{{C: 2, D: 3, T: 1}}
+	// Q = N must equal conventional TM (the paper: Q=N ⇒ Δ=0).
+	if !almostEq(MakespanRAC(s, 4, 4), MakespanTM(s, 4)) {
+		t.Errorf("RAC at Q=N != TM: %v vs %v", MakespanRAC(s, 4, 4), MakespanTM(s, 4))
+	}
+	// Q = 1: no concurrent txs, so no aborted work: makespan = Σt.
+	if got := MakespanRAC(s, 4, 1); !almostEq(got, s.SumT()) {
+		t.Errorf("RAC at Q=1 = %v, want Σt = %v", got, s.SumT())
+	}
+	for _, bad := range [][2]int{{1, 1}, {4, 0}, {4, 5}} {
+		if !math.IsNaN(MakespanRAC(s, bad[0], bad[1])) {
+			t.Errorf("MakespanRAC(n=%d,q=%d) not NaN", bad[0], bad[1])
+		}
+	}
+}
+
+func TestDeltaMakespanMatchesDirectDifference(t *testing.T) {
+	// Property: the closed form Eq. 3 equals makespanRAC − makespanTM.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		s := genSet(r, r.Intn(8)+1)
+		n := r.Intn(15) + 2
+		q := r.Intn(n) + 1
+		direct := MakespanRAC(s, n, q) - MakespanTM(s, n)
+		closed := DeltaMakespan(s, n, q)
+		if !almostEq(direct, closed) {
+			t.Fatalf("iter %d (n=%d q=%d): direct %v != closed %v", i, n, q, direct, closed)
+		}
+	}
+}
+
+func TestDeltaSignRule(t *testing.T) {
+	// Paper case (a): δ > 1 ⇒ Δ < 0 for all q < n (RAC outperforms TM).
+	// Case (b): δ ≤ 1 ⇒ Δ ≥ 0.
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		s := genSet(r, r.Intn(8)+1)
+		n := r.Intn(15) + 2
+		q := r.Intn(n-1) + 1 // q < n
+		delta := DeltaRatio(s, n)
+		dm := DeltaMakespan(s, n, q)
+		if delta > 1 && dm >= 0 {
+			t.Fatalf("δ=%v > 1 but Δ=%v >= 0", delta, dm)
+		}
+		if delta <= 1 && dm < -1e-12 {
+			t.Fatalf("δ=%v <= 1 but Δ=%v < 0", delta, dm)
+		}
+	}
+}
+
+func TestMakespanMonotonicityObservation1(t *testing.T) {
+	// If δ > 1 the makespan increases with q (so decrease Q);
+	// if δ < 1 it decreases with q (so increase Q).
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		s := genSet(r, r.Intn(8)+1)
+		n := r.Intn(14) + 3
+		d := DeltaRatio(s, n)
+		prev := MakespanRAC(s, n, 1)
+		for q := 2; q <= n; q++ {
+			cur := MakespanRAC(s, n, q)
+			if d > 1 && cur < prev-1e-12 {
+				t.Fatalf("δ=%v>1 but makespan fell from %v to %v at q=%d", d, prev, cur, q)
+			}
+			if d < 1 && cur > prev+1e-12 {
+				t.Fatalf("δ=%v<1 but makespan rose from %v to %v at q=%d", d, prev, cur, q)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestDeltaQEquation5(t *testing.T) {
+	if got := DeltaQ(300, 100, 4); got != 1.0 {
+		t.Errorf("DeltaQ = %v, want 1.0", got)
+	}
+	if !math.IsNaN(DeltaQ(300, 100, 1)) {
+		t.Error("DeltaQ at Q=1 must be NaN")
+	}
+	if !math.IsNaN(DeltaQ(300, 0, 4)) {
+		t.Error("DeltaQ with no successful cycles must be NaN")
+	}
+}
+
+func TestObservation1Decision(t *testing.T) {
+	cases := []struct {
+		delta float64
+		want  Direction
+	}{
+		{2.5, Decrease},
+		{1.0, Hold},
+		{0.3, Increase},
+		{math.NaN(), Hold},
+	}
+	for _, c := range cases {
+		if got := Observation1(c.delta); got != c.want {
+			t.Errorf("Observation1(%v) = %v, want %v", c.delta, got, c.want)
+		}
+	}
+	if Decrease.String() != "decrease" || Increase.String() != "increase" || Hold.String() != "hold" {
+		t.Error("Direction stringer wrong")
+	}
+}
+
+func TestOptimalQExtremes(t *testing.T) {
+	// Under the model the optimum is 1 (hot) or n (cold).
+	hot := Set{{C: 50, D: 10, T: 1}}   // δ ≫ 1
+	cold := Set{{C: 0.1, D: 1, T: 10}} // δ ≪ 1
+	if got := OptimalQ(hot, 8); got != 1 {
+		t.Errorf("hot OptimalQ = %d, want 1", got)
+	}
+	if got := OptimalQ(cold, 8); got != 8 {
+		t.Errorf("cold OptimalQ = %d, want 8", got)
+	}
+}
+
+func TestSingleViewDecompositionEq7(t *testing.T) {
+	// Equation 7/12: makespanRAC(S1 ∪ S2, q) = makespanRAC(S1, q) +
+	// makespanRAC(S2, q).
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		s1 := genSet(r, r.Intn(6)+1)
+		s2 := genSet(r, r.Intn(6)+1)
+		n := r.Intn(14) + 2
+		q := r.Intn(n) + 1
+		union := append(append(Set{}, s1...), s2...)
+		if !almostEq(MakespanRAC(union, n, q), SingleViewMakespan([]Set{s1, s2}, n, q)) {
+			t.Fatalf("decomposition failed (n=%d q=%d)", n, q)
+		}
+	}
+}
+
+func TestObservation2Equation6(t *testing.T) {
+	// Property: whenever the premise holds (δ1 > 1, δ2 ≤ 1, q1 ≤ q ≤ q2)
+	// the multi-view makespan is no worse than the single-view one.
+	r := rand.New(rand.NewSource(5))
+	tried, held := 0, 0
+	for i := 0; i < 5000; i++ {
+		s1 := genSet(r, r.Intn(5)+1)
+		s2 := genSet(r, r.Intn(5)+1)
+		n := r.Intn(14) + 2
+		q1 := r.Intn(n) + 1
+		q2 := r.Intn(n) + 1
+		q := r.Intn(n) + 1
+		premise, holds := Observation2Holds(s1, s2, n, q1, q, q2)
+		if !premise {
+			continue
+		}
+		tried++
+		if !holds {
+			t.Fatalf("Observation 2 violated: n=%d q1=%d q=%d q2=%d s1=%v s2=%v",
+				n, q1, q, q2, s1, s2)
+		}
+		held++
+	}
+	if tried < 50 {
+		t.Fatalf("premise matched only %d times; generator too narrow", tried)
+	}
+	t.Logf("Observation 2 held in %d/%d premise-satisfying samples", held, tried)
+}
+
+func TestMultiViewMakespanMismatchedArgs(t *testing.T) {
+	if !math.IsNaN(MultiViewMakespan([]Set{{}}, 4, []int{1, 2})) {
+		t.Error("mismatched lengths must yield NaN")
+	}
+}
+
+func TestPredictSweep(t *testing.T) {
+	s := Set{{C: 10, D: 5, T: 1}}
+	rows := Predict(s, 16, []int{1, 2, 4, 8, 16})
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Q != 1 || rows[4].Q != 16 {
+		t.Error("Q sweep wrong")
+	}
+	// Hot workload: makespan should increase with Q.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Makespan < rows[i-1].Makespan {
+			t.Errorf("hot sweep not increasing at %d", i)
+		}
+	}
+	// Δ at Q=N is 0 by definition.
+	if math.Abs(rows[4].Delta) > 1e-12 {
+		t.Errorf("Δ at Q=N = %v, want 0", rows[4].Delta)
+	}
+	for _, r := range rows {
+		if r.String() == "" {
+			t.Error("empty row string")
+		}
+	}
+}
+
+func TestDeltaRatioQuick(t *testing.T) {
+	prop := func(c, d, tt uint16, n uint8) bool {
+		N := int(n)%15 + 2
+		s := Set{{C: float64(c), D: float64(d), T: float64(tt) + 1}}
+		got := DeltaRatio(s, N)
+		want := float64(c) * float64(d) / ((float64(tt) + 1) * float64(N-1))
+		return almostEq(got, want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObservationKGeneralization(t *testing.T) {
+	// Property: for 2..5 views with per-view quotas matched to their δ
+	// (hot views throttled to ≤ q, cold views opened to ≥ q), the k-view
+	// makespan never exceeds the single-view makespan at q.
+	r := rand.New(rand.NewSource(9))
+	tried := 0
+	for i := 0; i < 8000; i++ {
+		k := r.Intn(4) + 2
+		n := r.Intn(14) + 2
+		q := r.Intn(n) + 1
+		sets := make([]Set, k)
+		qs := make([]int, k)
+		for j := range sets {
+			sets[j] = genSet(r, r.Intn(4)+1)
+			if DeltaRatio(sets[j], n) > 1 {
+				qs[j] = r.Intn(q) + 1 // ≤ q
+			} else {
+				qs[j] = q + r.Intn(n-q+1) // ≥ q
+			}
+		}
+		premise, holds := ObservationK(sets, n, qs, q)
+		if !premise {
+			t.Fatalf("generator produced a non-premise case: qs=%v q=%d", qs, q)
+		}
+		tried++
+		if !holds {
+			t.Fatalf("Observation K violated: k=%d n=%d q=%d qs=%v", k, n, q, qs)
+		}
+	}
+	if tried < 1000 {
+		t.Fatalf("only %d cases tried", tried)
+	}
+}
+
+func TestObservationKRejectsBadArgs(t *testing.T) {
+	if p, _ := ObservationK(nil, 4, nil, 2); p {
+		t.Error("empty input satisfied premise")
+	}
+	if p, _ := ObservationK([]Set{{}}, 4, []int{1, 2}, 2); p {
+		t.Error("mismatched lengths satisfied premise")
+	}
+	// A hot view with quota above q violates the premise.
+	hot := Set{{C: 100, D: 1, T: 0.1}}
+	cold := Set{{C: 0.01, D: 1, T: 10}}
+	p, _ := ObservationK([]Set{hot, cold}, 8, []int{8, 8}, 2)
+	if p {
+		t.Error("hot view opened beyond q satisfied premise")
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"votm/internal/rac"
+)
+
+// fakeView is a controllable ViewProbe.
+type fakeView struct {
+	mu  sync.Mutex
+	q   int
+	tot rac.Totals
+}
+
+func (f *fakeView) Quota() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.q
+}
+
+func (f *fakeView) Totals() rac.Totals {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tot
+}
+
+func (f *fakeView) set(q int, tot rac.Totals) {
+	f.mu.Lock()
+	f.q = q
+	f.tot = tot
+	f.mu.Unlock()
+}
+
+func TestSamplerCollectsSeries(t *testing.T) {
+	fv := &fakeView{}
+	fv.set(8, rac.Totals{})
+	s := StartSampler(fv, 5*time.Millisecond)
+	fv.set(8, rac.Totals{Commits: 10, Aborts: 30, SuccessNs: 1000, AbortNs: 21000})
+	time.Sleep(25 * time.Millisecond)
+	fv.set(4, rac.Totals{Commits: 20, Aborts: 40, SuccessNs: 2000, AbortNs: 22000})
+	time.Sleep(25 * time.Millisecond)
+	series := s.Stop()
+	if len(series) < 3 {
+		t.Fatalf("only %d samples", len(series))
+	}
+	last := series[len(series)-1]
+	if last.Quota != 4 || last.Commits != 20 || last.Aborts != 40 {
+		t.Errorf("last sample = %+v", last)
+	}
+	// Offsets are monotonically non-decreasing.
+	for i := 1; i < len(series); i++ {
+		if series[i].Offset < series[i-1].Offset {
+			t.Fatalf("offsets not monotone at %d", i)
+		}
+	}
+	// The first interval saw δ = 21000/(1000·(8−1)) = 3.
+	found := false
+	for _, p := range series {
+		if !math.IsNaN(p.Delta) && math.Abs(p.Delta-3.0) < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a δ=3 sample; series = %+v", series)
+	}
+}
+
+func TestSamplerDeltaNaNCases(t *testing.T) {
+	fv := &fakeView{}
+	fv.set(1, rac.Totals{Commits: 5, SuccessNs: 1000})
+	s := StartSampler(fv, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	series := s.Stop()
+	for _, p := range series {
+		if !math.IsNaN(p.Delta) {
+			t.Fatalf("δ at Q=1 must be NaN, got %v", p.Delta)
+		}
+	}
+}
+
+func TestSamplerStopIdempotent(t *testing.T) {
+	fv := &fakeView{}
+	fv.set(2, rac.Totals{})
+	s := StartSampler(fv, time.Millisecond)
+	a := s.Stop()
+	b := s.Stop()
+	if len(a) != len(b) {
+		t.Errorf("second Stop changed the series: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	fv := &fakeView{}
+	fv.set(4, rac.Totals{Commits: 1, Aborts: 2, SuccessNs: 100, AbortNs: 600})
+	s := StartSampler(fv, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	s.Stop()
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "offset_ms,quota,commits,aborts,delta\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, ",4,1,2,") {
+		t.Errorf("missing data row: %q", out)
+	}
+}
+
+func TestSamplerSparkline(t *testing.T) {
+	fv := &fakeView{}
+	fv.set(16, rac.Totals{})
+	s := StartSampler(fv, 2*time.Millisecond)
+	time.Sleep(8 * time.Millisecond)
+	fv.set(1, rac.Totals{})
+	time.Sleep(8 * time.Millisecond)
+	s.Stop()
+	sp := s.Sparkline()
+	if !strings.Contains(sp, "4") || !strings.Contains(sp, "0") {
+		t.Errorf("sparkline %q missing 16→1 transition (log2: 4→0)", sp)
+	}
+}
+
+func TestSamplerDefaultInterval(t *testing.T) {
+	fv := &fakeView{}
+	fv.set(2, rac.Totals{})
+	s := StartSampler(fv, 0) // default interval
+	time.Sleep(5 * time.Millisecond)
+	if got := s.Stop(); len(got) == 0 {
+		t.Error("no samples with default interval")
+	}
+}

@@ -1,0 +1,118 @@
+// Package trace records RAC quota timelines. The paper's analysis is about
+// *when* admission control reacts ("RAC will promptly drive Q down"), so
+// the library can emit an event for every quota move; Recorder collects
+// them and renders a human-readable timeline, which the contention example
+// and the adjustment-window ablation use.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// QuotaEvent is one admission-quota change on one view.
+type QuotaEvent struct {
+	When   time.Time
+	ViewID int
+	From   int
+	To     int
+}
+
+func (e QuotaEvent) String() string {
+	return fmt.Sprintf("view %d: Q %d -> %d", e.ViewID, e.From, e.To)
+}
+
+// Recorder collects quota events; safe for concurrent use. The zero value
+// is unbounded; NewRecorder caps retention (oldest dropped first).
+type Recorder struct {
+	mu     sync.Mutex
+	events []QuotaEvent
+	limit  int
+	start  time.Time
+}
+
+// NewRecorder creates a recorder retaining at most limit events
+// (limit <= 0 means unbounded).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit, start: time.Now()}
+}
+
+// Record appends an event; it is shaped to plug directly into the runtime's
+// QuotaTrace callback via Hook.
+func (r *Recorder) Record(viewID, from, to int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.start.IsZero() {
+		r.start = time.Now()
+	}
+	r.events = append(r.events, QuotaEvent{
+		When: time.Now(), ViewID: viewID, From: from, To: to,
+	})
+	if r.limit > 0 && len(r.events) > r.limit {
+		r.events = r.events[len(r.events)-r.limit:]
+	}
+}
+
+// Hook returns the Record method in the runtime callback shape.
+func (r *Recorder) Hook() func(viewID, from, to int) {
+	return r.Record
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []QuotaEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QuotaEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset clears the recorder and restarts its clock.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+	r.start = time.Now()
+}
+
+// Timeline renders the events of one view as "Q0 -(t)-> Q1 -(t)-> Q2" with
+// millisecond offsets from the recorder's start.
+func (r *Recorder) Timeline(viewID int) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	first := true
+	for _, e := range r.events {
+		if e.ViewID != viewID {
+			continue
+		}
+		if first {
+			fmt.Fprintf(&b, "%d", e.From)
+			first = false
+		}
+		fmt.Fprintf(&b, " -(%dms)-> %d",
+			e.When.Sub(r.start).Milliseconds(), e.To)
+	}
+	if first {
+		return "(no quota changes)"
+	}
+	return b.String()
+}
+
+// PerView groups events by view ID.
+func (r *Recorder) PerView() map[int][]QuotaEvent {
+	out := make(map[int][]QuotaEvent)
+	for _, e := range r.Events() {
+		out[e.ViewID] = append(out[e.ViewID], e)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(1, 16, 8)
+	r.Record(1, 8, 4)
+	r.Record(2, 16, 16)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].From != 16 || ev[0].To != 8 || ev[0].ViewID != 1 {
+		t.Errorf("event 0 = %+v", ev[0])
+	}
+	if ev[0].String() == "" {
+		t.Error("empty event string")
+	}
+	// Events() must be a copy.
+	ev[0].ViewID = 99
+	if r.Events()[0].ViewID != 1 {
+		t.Error("Events leaked internal slice")
+	}
+}
+
+func TestLimitDropsOldest(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(1, 4, 3)
+	r.Record(1, 3, 2)
+	r.Record(1, 2, 1)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].To != 2 || ev[1].To != 1 {
+		t.Errorf("retained wrong events: %+v", ev)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	r := NewRecorder(0)
+	if got := r.Timeline(1); got != "(no quota changes)" {
+		t.Errorf("empty timeline = %q", got)
+	}
+	r.Record(1, 16, 8)
+	r.Record(2, 16, 4) // other view: excluded
+	r.Record(1, 8, 4)
+	tl := r.Timeline(1)
+	if !strings.HasPrefix(tl, "16 ") || !strings.Contains(tl, "-> 8") || !strings.Contains(tl, "-> 4") {
+		t.Errorf("timeline = %q", tl)
+	}
+	if strings.Count(tl, "->") != 2 {
+		t.Errorf("timeline has wrong arrow count: %q", tl)
+	}
+}
+
+func TestPerView(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(1, 16, 8)
+	r.Record(2, 16, 4)
+	r.Record(1, 8, 16)
+	pv := r.PerView()
+	if len(pv[1]) != 2 || len(pv[2]) != 1 {
+		t.Errorf("PerView = %v", pv)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(1, 2, 1)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestHookAndConcurrency(t *testing.T) {
+	r := NewRecorder(0)
+	hook := r.Hook()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				hook(id, i, i+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestZeroValueRecorder(t *testing.T) {
+	var r Recorder
+	r.Record(1, 2, 1)
+	if r.Len() != 1 {
+		t.Error("zero-value recorder unusable")
+	}
+}

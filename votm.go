@@ -1,0 +1,151 @@
+// Package votm is a Go implementation of View-Oriented Transactional Memory
+// (VOTM) with Restricted Admission Control (RAC), reproducing Leung, Chen
+// and Huang, "When and How VOTM Can Improve Performance in Contention
+// Situations" (ICPP Workshops 2012).
+//
+// # Model
+//
+// Shared memory is partitioned by the programmer into non-overlapping
+// *views*. Each view is an independent software-TM instance — it owns its
+// metadata (NOrec's global sequence lock or OrecEagerRedo's ownership-record
+// table) — and is guarded by its own RAC admission controller with a quota
+// Q: at most Q threads may be inside the view at once. RAC adapts Q to the
+// measured contention δ(Q) = t_aborted / (t_successful · (Q−1)): it halves Q
+// when δ > 1 and doubles it when δ is low. At Q = 1 the view degenerates to
+// a lock and transactions run uninstrumented.
+//
+// Partitioning data that is never accessed in the same transaction into
+// separate views lets RAC throttle a hot view without restricting cold
+// ones (the paper's Observation 2) and, independently of RAC, divides
+// TM-metadata contention such as NOrec's global clock.
+//
+// # Usage
+//
+//	rt := votm.New(votm.Config{Threads: 8, Engine: votm.NOrec})
+//	v, _ := rt.CreateView(1, 1024, votm.AdaptiveQuota)
+//	counter, _ := v.Alloc(1)
+//
+//	th := rt.RegisterThread() // one per worker goroutine
+//	_ = v.Atomic(ctx, th, func(tx votm.Tx) error {
+//		tx.Store(counter, tx.Load(counter)+1)
+//		return nil
+//	})
+//
+// The transaction body may be re-executed after conflicts; it must be free
+// of side effects other than Tx.Load/Tx.Store and must not store Tx.
+package votm
+
+import (
+	"time"
+
+	"votm/internal/autotm"
+	"votm/internal/core"
+	"votm/internal/rac"
+	"votm/internal/stm"
+	"votm/internal/trace"
+)
+
+// Addr is the address of a 64-bit word within a view.
+type Addr = stm.Addr
+
+// Tx is the transactional access handle passed to Atomic bodies.
+type Tx = core.Tx
+
+// Thread is a per-goroutine handle; create one per worker with
+// Runtime.RegisterThread. Not safe for concurrent use.
+type Thread = core.Thread
+
+// View is a region of shared memory with its own TM instance and RAC
+// controller. See core.View for the full method set.
+type View = core.View
+
+// Runtime owns views and thread handles; one Runtime per application.
+type Runtime = core.Runtime
+
+// Config configures a Runtime. The zero value of optional fields selects
+// documented defaults.
+type Config = core.Config
+
+// Totals are cumulative per-view transaction statistics.
+type Totals = rac.Totals
+
+// EngineKind selects the TM algorithm backing all views of a Runtime.
+type EngineKind = core.EngineKind
+
+// TM algorithm selectors.
+const (
+	// NOrec is commit-time locking with value-based validation
+	// (Dalessandro et al., PPoPP 2010). Livelock-free.
+	NOrec = core.NOrec
+	// OrecEagerRedo is encounter-time locking over ownership records with
+	// redo logging (RSTM-7.0). Livelock-prone under high contention.
+	OrecEagerRedo = core.OrecEagerRedo
+	// TL2 is commit-time locking over ownership records (Dice et al.,
+	// DISC 2006). Livelock-free, per-view orec table and version clock.
+	TL2 = core.TL2
+)
+
+// AdaptiveQuota, passed as the quota argument of CreateView, selects the
+// adaptive RAC policy (the paper's create_view(..., q < 1) contract).
+const AdaptiveQuota = 0
+
+// New creates a Runtime. It panics on an invalid Config.
+func New(cfg Config) *Runtime { return core.NewRuntime(cfg) }
+
+// TMProfile summarizes a view's observed behaviour for engine selection.
+type TMProfile = autotm.Profile
+
+// TMRecommendation is engine + quota advice derived from a TMProfile.
+type TMRecommendation = autotm.Recommendation
+
+// RecommendEngine suggests a TM algorithm and quota hint for a view from
+// its observed profile (the paper's adaptive-TM direction, §IV-C): feed it
+// a profiling run's statistics, then create the view with
+// Runtime.CreateViewWithEngine or call View.SwitchEngine.
+func RecommendEngine(p TMProfile) TMRecommendation { return autotm.Recommend(p) }
+
+// NewTMProfile builds a TMProfile from view statistics; meanReads and
+// meanWrites are per-transaction shared-access counts known to the
+// application.
+func NewTMProfile(threads int, t Totals, deltaQ, meanReads, meanWrites float64) TMProfile {
+	return autotm.ProfileFromStats(threads, t.Commits, t.Aborts, deltaQ, meanReads, meanWrites)
+}
+
+// QuotaRecorder collects admission-quota changes; wire it into a Runtime
+// with Config.QuotaTrace:
+//
+//	rec := votm.NewQuotaRecorder(0)
+//	rt := votm.New(votm.Config{Threads: 8, QuotaTrace: rec.Hook()})
+//	...
+//	fmt.Println(rec.Timeline(viewID))
+type QuotaRecorder = trace.Recorder
+
+// QuotaEvent is one recorded admission-quota change.
+type QuotaEvent = trace.QuotaEvent
+
+// NewQuotaRecorder creates a recorder retaining at most limit events
+// (limit <= 0 means unbounded).
+func NewQuotaRecorder(limit int) *QuotaRecorder { return trace.NewRecorder(limit) }
+
+// DeltaSampler periodically records a view's quota and windowed δ(Q) — the
+// time series behind the paper's "when and how" analysis. Stop it to get
+// the series; WriteCSV and Sparkline render it.
+type DeltaSampler = trace.Sampler
+
+// DeltaSample is one point of a DeltaSampler series.
+type DeltaSample = trace.Sample
+
+// StartDeltaSampler samples v every interval (≤0 means 10ms) until Stop.
+func StartDeltaSampler(v *View, interval time.Duration) *DeltaSampler {
+	return trace.StartSampler(v, interval)
+}
+
+// Errors re-exported from the runtime core.
+var (
+	// ErrViewExists: CreateView with a duplicate view ID.
+	ErrViewExists = core.ErrViewExists
+	// ErrNoView: unknown view ID.
+	ErrNoView = core.ErrNoView
+	// ErrViewDestroyed: operation on a destroyed view.
+	ErrViewDestroyed = core.ErrViewDestroyed
+)

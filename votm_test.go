@@ -1,0 +1,146 @@
+package votm_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"votm"
+)
+
+func TestPublicAPICounter(t *testing.T) {
+	ctx := context.Background()
+	for _, engine := range []votm.EngineKind{votm.NOrec, votm.OrecEagerRedo} {
+		engine := engine
+		t.Run(string(engine), func(t *testing.T) {
+			rt := votm.New(votm.Config{Threads: 4, Engine: engine})
+			v, err := rt.CreateView(1, 64, votm.AdaptiveQuota)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counter, err := v.Alloc(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := rt.RegisterThread()
+					for i := 0; i < 200; i++ {
+						if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+							tx.Store(counter, tx.Load(counter)+1)
+							return nil
+						}); err != nil {
+							t.Errorf("Atomic: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			th := rt.RegisterThread()
+			var got uint64
+			if err := v.AtomicRead(ctx, th, func(tx votm.Tx) error {
+				got = tx.Load(counter)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got != 800 {
+				t.Errorf("counter = %d, want 800", got)
+			}
+		})
+	}
+}
+
+func TestPublicAPITableIPrimitives(t *testing.T) {
+	// Every primitive from the paper's Table I must be reachable from the
+	// facade: create_view, malloc_block, free_block, destroy_view,
+	// brk_view, acquire_view/release_view, acquire_Rview.
+	ctx := context.Background()
+	rt := votm.New(votm.Config{Threads: 2})
+	v, err := rt.CreateView(7, 16, 1) // static quota
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := v.Alloc(8) // malloc_block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Brk(16); err != nil { // brk_view
+		t.Fatal(err)
+	}
+	th := rt.RegisterThread()
+	if err := v.Atomic(ctx, th, func(tx votm.Tx) error { // acquire/release
+		tx.Store(blk, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AtomicRead(ctx, th, func(tx votm.Tx) error { // acquire_Rview
+		if tx.Load(blk) != 1 {
+			t.Error("read-only view saw stale data")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Free(blk); err != nil { // free_block
+		t.Fatal(err)
+	}
+	if err := rt.DestroyView(7); err != nil { // destroy_view
+		t.Fatal(err)
+	}
+	if _, err := rt.View(7); !errors.Is(err, votm.ErrNoView) {
+		t.Errorf("err = %v, want ErrNoView", err)
+	}
+}
+
+func TestPublicAPIErrorValues(t *testing.T) {
+	rt := votm.New(votm.Config{Threads: 2})
+	if _, err := rt.CreateView(1, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.CreateView(1, 8, 1); !errors.Is(err, votm.ErrViewExists) {
+		t.Errorf("err = %v, want ErrViewExists", err)
+	}
+	v, _ := rt.View(1)
+	_ = rt.DestroyView(1)
+	th := rt.RegisterThread()
+	if err := v.Atomic(context.Background(), th, func(votm.Tx) error { return nil }); !errors.Is(err, votm.ErrViewDestroyed) {
+		t.Errorf("err = %v, want ErrViewDestroyed", err)
+	}
+}
+
+func TestPublicAPIViewsIndependence(t *testing.T) {
+	// Two views never conflict — the heart of the multi-view model.
+	ctx := context.Background()
+	rt := votm.New(votm.Config{Threads: 2, Engine: votm.NOrec})
+	v1, _ := rt.CreateView(1, 8, 2)
+	v2, _ := rt.CreateView(2, 8, 2)
+	th := rt.RegisterThread()
+	for i := 0; i < 100; i++ {
+		if err := v1.Atomic(ctx, th, func(tx votm.Tx) error {
+			tx.Store(0, tx.Load(0)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := v2.Atomic(ctx, th, func(tx votm.Tx) error {
+			tx.Store(0, tx.Load(0)+2)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v1.Heap().Load(0) != 100 || v2.Heap().Load(0) != 200 {
+		t.Errorf("views interfered: %d, %d", v1.Heap().Load(0), v2.Heap().Load(0))
+	}
+	t1, t2 := v1.Totals(), v2.Totals()
+	if t1.Aborts != 0 || t2.Aborts != 0 {
+		t.Errorf("single-threaded runs aborted: %d, %d", t1.Aborts, t2.Aborts)
+	}
+}
