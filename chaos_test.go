@@ -1,0 +1,329 @@
+package votm_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"votm"
+)
+
+// TestChaosSoak hammers a multi-view runtime with injected conflicts, user
+// panics, latency and quota flaps while real contention, engine switches and
+// a mid-flight view destruction run alongside. It then asserts the hardened
+// lifecycle guarantees:
+//
+//   - no wedged views: a fresh transaction commits on every view afterwards;
+//   - no leaked admission slots: InFlight() == 0 everywhere;
+//   - Quota() >= 1 on every view;
+//   - heap state equals a sequential oracle: every account holds exactly its
+//     initial balance plus the committed transfer deltas (uint64-exact), and
+//     read snapshots always saw the conserved total (opacity).
+//
+// Iteration count shrinks under -short so CI can run it with -race quickly.
+func TestChaosSoak(t *testing.T) {
+	const (
+		workers  = 8
+		nviews   = 4
+		accounts = 8
+		initBal  = uint64(100)
+	)
+	rounds := 250
+	if testing.Short() {
+		rounds = 60
+	}
+	ctx := context.Background()
+
+	// Quota flapping targets a view that is created after the injector, so
+	// the callback goes through an atomic pointer.
+	var flapView atomic.Pointer[votm.View]
+	var flapFlip atomic.Uint64
+	inj := votm.NewFaultInjector(votm.FaultConfig{
+		ConflictEvery: 29,
+		PanicEvery:    97,
+		LatencyEvery:  151,
+		Latency:       20 * time.Microsecond,
+		FlapEvery:     61,
+		Flap: func() {
+			if v := flapView.Load(); v != nil {
+				if flapFlip.Add(1)%2 == 0 {
+					v.SetQuota(1)
+				} else {
+					v.SetQuota(workers)
+				}
+			}
+		},
+	})
+
+	rt := votm.New(votm.Config{
+		Threads:            workers,
+		Engine:             votm.NOrec,
+		AdjustEvery:        64,
+		MaxConflictRetries: 5,
+		FaultHook:          inj.Hook(),
+	})
+
+	// Four personality views: adaptive NOrec (live-switched below), adaptive
+	// livelock-prone OrecEagerRedo, quota-flapped TL2, and a sticky Q = 1
+	// lock-mode view.
+	specs := []struct {
+		engine votm.EngineKind
+		quota  int
+	}{
+		{votm.NOrec, votm.AdaptiveQuota},
+		{votm.OrecEagerRedo, votm.AdaptiveQuota},
+		{votm.TL2, workers},
+		{votm.NOrec, 1},
+	}
+	views := make([]*votm.View, nviews)
+	bases := make([]votm.Addr, nviews)
+	setup := rt.RegisterThread()
+	for i, s := range specs {
+		v, err := rt.CreateViewWithEngine(i+1, 64, s.quota, s.engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := v.Alloc(accounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Atomic(ctx, setup, func(tx votm.Tx) error {
+			for a := 0; a < accounts; a++ {
+				tx.Store(base+votm.Addr(a), initBal)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		views[i], bases[i] = v, base
+	}
+	flapView.Store(views[2])
+
+	// Destroy victim: a fifth view torn down mid-flight under panicking load.
+	victim, err := rt.CreateView(99, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var deliberatePanics atomic.Int64
+	// tallies[w][view][account]: per-worker committed transfer deltas,
+	// uint64-wrapping so the oracle comparison is exact.
+	tallies := make([][][]uint64, workers)
+	for w := range tallies {
+		tallies[w] = make([][]uint64, nviews)
+		for i := range tallies[w] {
+			tallies[w][i] = make([]uint64, accounts)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+			for i := 0; i < rounds; i++ {
+				for vi, v := range views {
+					from := rng.Intn(accounts)
+					to := rng.Intn(accounts)
+					base := bases[vi]
+					panicked := false
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								if _, ok := r.(votm.InjectedPanic); !ok {
+									panic(r) // a real bug, not chaos
+								}
+								panicked = true
+							}
+						}()
+						if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+							tx.Store(base+votm.Addr(from), tx.Load(base+votm.Addr(from))-1)
+							tx.Store(base+votm.Addr(to), tx.Load(base+votm.Addr(to))+1)
+							return nil
+						}); err != nil {
+							t.Errorf("worker %d view %d: %v", id, vi, err)
+						}
+					}()
+					if !panicked {
+						tallies[id][vi][from]--
+						tallies[id][vi][to]++
+					}
+
+					// Deliberate user panic: the original value must come
+					// back through the hardened abort path byte-for-byte.
+					if i%17 == id%17 {
+						want := fmt.Sprintf("chaos-%d-%d-%d", id, i, vi)
+						got := func() (r any) {
+							defer func() { r = recover() }()
+							_ = v.Atomic(ctx, th, func(votm.Tx) error { panic(want) })
+							return nil
+						}()
+						if got != want {
+							t.Errorf("panic value = %v, want %q", got, want)
+						}
+						deliberatePanics.Add(1)
+					}
+
+					// Snapshot isolation check: transfers conserve the
+					// total, so every read snapshot must sum to it exactly.
+					if i%13 == 0 {
+						var sum uint64
+						func() {
+							defer func() {
+								if r := recover(); r != nil {
+									if _, ok := r.(votm.InjectedPanic); !ok {
+										panic(r)
+									}
+									sum = accounts * initBal // injected: skip check
+								}
+							}()
+							if err := v.AtomicRead(ctx, th, func(tx votm.Tx) error {
+								sum = 0
+								for a := 0; a < accounts; a++ {
+									sum += tx.Load(base + votm.Addr(a))
+								}
+								return nil
+							}); err != nil {
+								t.Errorf("read view %d: %v", vi, err)
+							}
+						}()
+						if sum != accounts*initBal {
+							t.Errorf("worker %d view %d: snapshot sum %d, want %d", id, vi, sum, accounts*initBal)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Background engine switcher on view 0: quiescence must keep working
+	// under injected faults and panicking bodies.
+	stopSwitch := make(chan struct{})
+	switchDone := make(chan struct{})
+	go func() {
+		defer close(switchDone)
+		kinds := []votm.EngineKind{votm.TL2, votm.OrecEagerRedo, votm.NOrec}
+		for i := 0; ; i++ {
+			select {
+			case <-stopSwitch:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			sctx, cancel := context.WithTimeout(ctx, 20*time.Second)
+			err := views[0].SwitchEngine(sctx, kinds[i%len(kinds)])
+			cancel()
+			if err != nil {
+				t.Errorf("switch: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Victim hammering + destruction.
+	victimDone := make(chan struct{})
+	go func() {
+		defer close(victimDone)
+		th := rt.RegisterThread()
+		for i := 0; ; i++ {
+			var aerr error
+			func() {
+				defer func() { _ = recover() }()
+				aerr = victim.Atomic(ctx, th, func(tx votm.Tx) error {
+					if i%2 == 0 {
+						panic(votm.InjectedPanic{}) // crash-heavy workload
+					}
+					tx.Store(0, tx.Load(0)+1)
+					return nil
+				})
+			}()
+			if errors.Is(aerr, votm.ErrViewDestroyed) {
+				return
+			}
+			if aerr != nil {
+				t.Errorf("victim: %v", aerr)
+				return
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := rt.DestroyView(99); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-victimDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim worker wedged after DestroyView")
+	}
+
+	wg.Wait()
+	close(stopSwitch)
+	<-switchDone
+
+	// --- Post-chaos invariants -------------------------------------------
+	checker := rt.RegisterThread()
+	for vi, v := range views {
+		if got := v.Controller().InFlight(); got != 0 {
+			t.Errorf("view %d: InFlight = %d, want 0 (leaked admission slot)", vi, got)
+		}
+		if q := v.Quota(); q < 1 {
+			t.Errorf("view %d: quota %d < 1", vi, q)
+		}
+		// Wedge check: a fresh transaction must commit promptly. The fault
+		// hook is still armed, so tolerate injected panics and retry.
+		committed := false
+		deadline := time.Now().Add(10 * time.Second)
+		for !committed && time.Now().Before(deadline) {
+			func() {
+				defer func() { _ = recover() }()
+				cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				defer cancel()
+				if err := v.Atomic(cctx, checker, func(tx votm.Tx) error {
+					_ = tx.Load(bases[vi])
+					return nil
+				}); err == nil {
+					committed = true
+				}
+			}()
+		}
+		if !committed {
+			t.Errorf("view %d: wedged (no commit within deadline)", vi)
+		}
+
+		// Sequential oracle: initial balance plus all committed deltas.
+		for a := 0; a < accounts; a++ {
+			want := initBal
+			for w := 0; w < workers; w++ {
+				want += tallies[w][vi][a]
+			}
+			if got := v.Heap().Load(bases[vi] + votm.Addr(a)); got != want {
+				t.Errorf("view %d account %d: heap %d, want oracle %d", vi, a, got, want)
+			}
+		}
+
+		tot := v.Totals()
+		t.Logf("view %d [%s]: commits=%d aborts=%d escalations=%d panics=%d Q=%d",
+			vi, v.EngineName(), tot.Commits, tot.Aborts, tot.Escalations, tot.Panics, v.Quota())
+	}
+
+	// The chaos actually happened: every enabled fault kind fired, and the
+	// runtime saw both injected and deliberate panics.
+	st := inj.Stats()
+	if st.Conflicts == 0 || st.Panics == 0 || st.Latencies == 0 || st.Flaps == 0 {
+		t.Errorf("injector idle: %+v (rates misconfigured?)", st)
+	}
+	var totalPanics int64
+	for _, v := range views {
+		totalPanics += v.Totals().Panics
+	}
+	if dp := deliberatePanics.Load(); totalPanics < dp {
+		t.Errorf("runtime counted %d panics, want >= %d deliberate ones", totalPanics, dp)
+	}
+	t.Logf("chaos: injector=%+v deliberatePanics=%d", st, deliberatePanics.Load())
+}

@@ -1,17 +1,19 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 )
 
 func TestBackoffBounded(t *testing.T) {
 	th := &Thread{id: 3}
+	ctx := context.Background()
 	// Every attempt count, including absurd ones, must return promptly
 	// (window is capped at 2^8 yields).
 	for _, attempt := range []int{0, 1, 2, 8, 9, 100, 1 << 20} {
 		start := time.Now()
-		th.backoff(attempt)
+		th.backoff(ctx, attempt)
 		if d := time.Since(start); d > time.Second {
 			t.Fatalf("backoff(%d) took %v", attempt, d)
 		}
@@ -21,7 +23,7 @@ func TestBackoffBounded(t *testing.T) {
 func TestBackoffAdvancesRNG(t *testing.T) {
 	th := &Thread{id: 1}
 	before := th.rng
-	th.backoff(1)
+	th.backoff(context.Background(), 1)
 	if th.rng == before {
 		t.Error("backoff did not advance the RNG state")
 	}
@@ -30,9 +32,52 @@ func TestBackoffAdvancesRNG(t *testing.T) {
 func TestBackoffZeroAttemptNoop(t *testing.T) {
 	th := &Thread{id: 1}
 	before := th.rng
-	th.backoff(0)
-	th.backoff(-5)
+	ctx := context.Background()
+	th.backoff(ctx, 0)
+	th.backoff(ctx, -5)
 	if th.rng != before {
 		t.Error("non-positive attempt advanced RNG")
+	}
+}
+
+func TestBackoffCancelledContextReturnsPromptly(t *testing.T) {
+	th := &Thread{id: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// With a cancelled context even the deepest backoff window must return
+	// without yielding it out; run many rounds so a regression (ignoring
+	// ctx) would show up as a measurable pile of Gosched calls.
+	start := time.Now()
+	for i := 0; i < 10000; i++ {
+		th.backoff(ctx, 8)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled backoff not prompt: %v for 10k rounds", d)
+	}
+}
+
+func TestCancelledAtomicReturnsPromptlyFromBackoff(t *testing.T) {
+	rt := NewRuntime(Config{Threads: 2, Engine: NOrec, FaultHook: alwaysConflictHook()})
+	v, err := rt.CreateView(1, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.RegisterThread()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- v.Atomic(ctx, th, func(tx Tx) error {
+			tx.Load(0)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != context.DeadlineExceeded {
+			t.Errorf("err = %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Atomic did not return (stuck retrying/backoff)")
 	}
 }

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"votm/internal/faultinject"
 	"votm/internal/stm"
 	"votm/internal/stm/norec"
 	"votm/internal/stm/oreceager"
@@ -61,6 +62,22 @@ type Config struct {
 	// hot path with the view's controller lock held: keep it fast and do
 	// not call back into the runtime. Pair it with trace.Recorder.
 	QuotaTrace func(viewID, from, to int)
+
+	// MaxConflictRetries is the per-transaction conflict-retry budget K:
+	// after K consecutive conflict aborts, the transaction escalates to an
+	// irrevocable exclusive execution (admissions drained, Q = 1 semantics,
+	// then resumed), bounding starvation under livelock-prone engines such
+	// as OrecEagerRedo. 0 (the default) disables escalation — transactions
+	// retry forever, the pre-budget behaviour. Escalation requires
+	// admission control and is ignored on NoAdmission runtimes.
+	MaxConflictRetries int
+
+	// FaultHook, when non-nil, is invoked at instrumented fault-injection
+	// sites: every engine Load/Store/Commit and after every admission.
+	// It exists for chaos testing (see internal/faultinject); leave nil in
+	// production, where engines hand out uninstrumented descriptors and the
+	// hot paths carry no hook code at all.
+	FaultHook faultinject.Hook
 }
 
 func (c *Config) validate() error {
@@ -78,18 +95,23 @@ func (c *Config) validate() error {
 }
 
 // newEngine builds one TM instance of the given kind over heap, applying
-// the runtime's engine tuning.
+// the runtime's engine tuning and fault hook.
 func (c *Config) newEngine(kind EngineKind, heap *stm.Heap) stm.Engine {
+	var eng stm.Engine
 	switch kind {
 	case OrecEagerRedo:
 		pol := oreceager.Aggressive
 		if c.SuicideCM {
 			pol = oreceager.Suicide
 		}
-		return oreceager.New(heap, oreceager.Config{Orecs: c.Orecs, Policy: pol})
+		eng = oreceager.New(heap, oreceager.Config{Orecs: c.Orecs, Policy: pol})
 	case TL2:
-		return tl2.New(heap, tl2.Config{Orecs: c.Orecs})
+		eng = tl2.New(heap, tl2.Config{Orecs: c.Orecs})
 	default:
-		return norec.New(heap)
+		eng = norec.New(heap)
 	}
+	if c.FaultHook != nil {
+		eng.(interface{ SetFaultHook(faultinject.Hook) }).SetFaultHook(c.FaultHook)
+	}
+	return eng
 }

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"votm/internal/faultinject"
+	"votm/internal/stm"
+)
+
+// alwaysConflictHook forces a conflict at every commit attempt, making
+// optimistic execution hopeless — the scenario the retry budget exists for.
+func alwaysConflictHook() faultinject.Hook {
+	return func(op faultinject.Op, thread int, addr stm.Addr) {
+		if op == faultinject.OpCommit {
+			stm.Throw("test: forced commit conflict")
+		}
+	}
+}
+
+// TestLockModeErrorCountsAborted is the accounting regression: a lock-mode
+// body that returns an error must be recorded as Aborted, not Committed,
+// or δ(Q) is skewed toward keeping the view in lock mode.
+func TestLockModeErrorCountsAborted(t *testing.T) {
+	ctx := context.Background()
+	rt := NewRuntime(Config{Threads: 2})
+	v, err := rt.CreateView(1, 8, 1) // Q = 1: lock mode
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.RegisterThread()
+
+	sentinel := errors.New("business rule violated")
+	if err := v.Atomic(ctx, th, func(Tx) error { return sentinel }); err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	tot := v.Totals()
+	if tot.Commits != 0 || tot.Aborts != 1 {
+		t.Fatalf("totals after error = %+v, want 0 commits / 1 abort", tot)
+	}
+	if err := v.Atomic(ctx, th, func(Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	tot = v.Totals()
+	if tot.Commits != 1 || tot.Aborts != 1 {
+		t.Fatalf("totals after success = %+v, want 1 commit / 1 abort", tot)
+	}
+}
+
+// TestEscalationAfterRetryBudget: with every optimistic commit forced to
+// conflict, a transaction must escalate after exactly MaxConflictRetries
+// aborts and complete exclusively.
+func TestEscalationAfterRetryBudget(t *testing.T) {
+	ctx := context.Background()
+	for _, kind := range []EngineKind{NOrec, OrecEagerRedo, TL2} {
+		t.Run(string(kind), func(t *testing.T) {
+			rt := NewRuntime(Config{
+				Threads:            2,
+				Engine:             kind,
+				MaxConflictRetries: 3,
+				FaultHook:          alwaysConflictHook(),
+			})
+			v, err := rt.CreateView(1, 8, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := rt.RegisterThread()
+			if err := v.Atomic(ctx, th, func(tx Tx) error {
+				tx.Store(0, 9)
+				return nil
+			}); err != nil {
+				t.Fatalf("Atomic: %v", err)
+			}
+			if got := v.Heap().Load(0); got != 9 {
+				t.Fatalf("word = %d, want 9 (escalated run must commit)", got)
+			}
+			tot := v.Totals()
+			if tot.Escalations != 1 {
+				t.Fatalf("escalations = %d, want 1 (totals %+v)", tot.Escalations, tot)
+			}
+			if tot.Aborts != 3 {
+				t.Fatalf("aborts = %d, want exactly MaxConflictRetries=3", tot.Aborts)
+			}
+			if tot.Commits != 1 {
+				t.Fatalf("commits = %d, want 1", tot.Commits)
+			}
+			if got := v.Controller().InFlight(); got != 0 {
+				t.Fatalf("InFlight = %d, want 0", got)
+			}
+			// Admissions must flow again after the escalation resumed.
+			if err := v.Atomic(ctx, th, func(tx Tx) error { _ = tx.Load(0); return nil }); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEscalationReadOnly: AtomicRead escalates with read-only semantics.
+func TestEscalationReadOnly(t *testing.T) {
+	ctx := context.Background()
+	rt := NewRuntime(Config{
+		Threads:            2,
+		MaxConflictRetries: 2,
+		FaultHook:          alwaysConflictHook(),
+	})
+	v, _ := rt.CreateView(1, 8, 2)
+	th := rt.RegisterThread()
+	_ = v.Atomic(ctx, th, func(tx Tx) error { tx.Store(2, 5); return nil }) // escalates too
+	var got uint64
+	if err := v.AtomicRead(ctx, th, func(tx Tx) error {
+		got = tx.Load(2)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("read %d, want 5", got)
+	}
+	r := recoverFrom(func() {
+		_ = v.AtomicRead(ctx, th, func(tx Tx) error {
+			tx.Store(2, 6) // must panic: read-only escalated run
+			return nil
+		})
+	})
+	if r == nil {
+		t.Fatal("Store in escalated read-only run did not panic")
+	}
+}
+
+// TestEscalationConcurrentExclusive: many threads escalating at once must
+// serialize (the pauser semaphore), never deadlock, and leave the view
+// consistent.
+func TestEscalationConcurrentExclusive(t *testing.T) {
+	ctx := context.Background()
+	rt := NewRuntime(Config{
+		Threads:            8,
+		Engine:             OrecEagerRedo,
+		MaxConflictRetries: 1,
+		FaultHook:          alwaysConflictHook(),
+	})
+	v, err := rt.CreateView(1, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var inEscalation, maxInEscalation int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			for i := 0; i < 20; i++ {
+				if err := v.Atomic(ctx, th, func(tx Tx) error {
+					if _, ok := tx.(*lockTx); ok {
+						// Exclusive run: count overlap — must always be 1.
+						mu.Lock()
+						inEscalation++
+						if inEscalation > maxInEscalation {
+							maxInEscalation = inEscalation
+						}
+						mu.Unlock()
+						tx.Store(0, tx.Load(0)+1)
+						mu.Lock()
+						inEscalation--
+						mu.Unlock()
+					} else {
+						tx.Store(0, tx.Load(0)+1)
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent escalation deadlocked")
+	}
+	if maxInEscalation > 1 {
+		t.Fatalf("escalated runs overlapped (max %d concurrent)", maxInEscalation)
+	}
+	if got := v.Heap().Load(0); got != workers*20 {
+		t.Fatalf("counter = %d, want %d", got, workers*20)
+	}
+	if tot := v.Totals(); tot.Escalations != workers*20 {
+		t.Fatalf("escalations = %d, want %d (every tx budget-limited)", tot.Escalations, workers*20)
+	}
+}
+
+// TestEscalationDisabledByDefault: zero MaxConflictRetries keeps the
+// pre-budget retry-forever behaviour (here bounded by ctx).
+func TestEscalationDisabledByDefault(t *testing.T) {
+	rt := NewRuntime(Config{Threads: 2, FaultHook: alwaysConflictHook()})
+	v, _ := rt.CreateView(1, 8, 2)
+	th := rt.RegisterThread()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := v.Atomic(ctx, th, func(tx Tx) error { tx.Store(0, 1); return nil })
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded (no escalation configured)", err)
+	}
+	if tot := v.Totals(); tot.Escalations != 0 {
+		t.Fatalf("escalations = %d, want 0", tot.Escalations)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recoverFrom runs fn and returns the panic value it unwound with (nil if
+// it returned normally).
+func recoverFrom(fn func()) (r any) {
+	defer func() { r = recover() }()
+	fn()
+	return nil
+}
+
+// TestPanicInBodyAllEngines is the tentpole regression: a user panic inside
+// Atomic must surface with its original value, the attempt must be rolled
+// back and counted as aborted, and the view must stay fully usable — no
+// leaked admission slots, no leaked orec locks.
+func TestPanicInBodyAllEngines(t *testing.T) {
+	for _, kind := range []EngineKind{NOrec, OrecEagerRedo, TL2} {
+		t.Run(string(kind), func(t *testing.T) {
+			ctx := context.Background()
+			rt := NewRuntime(Config{Threads: 4, Engine: kind})
+			v, err := rt.CreateView(1, 16, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := rt.RegisterThread()
+
+			boom := fmt.Sprintf("boom-%s", kind)
+			r := recoverFrom(func() {
+				_ = v.Atomic(ctx, th, func(tx Tx) error {
+					// Store first so encounter-time engines hold an orec
+					// lock at the moment of the crash.
+					tx.Store(0, 42)
+					panic(boom)
+				})
+			})
+			if r != boom {
+				t.Fatalf("recovered %v, want %q", r, boom)
+			}
+			if got := v.Controller().InFlight(); got != 0 {
+				t.Fatalf("InFlight = %d after panic, want 0 (leaked slot)", got)
+			}
+			tot := v.Totals()
+			if tot.Panics != 1 || tot.Aborts != 1 || tot.Commits != 0 {
+				t.Fatalf("totals = %+v, want 1 panic, 1 abort, 0 commits", tot)
+			}
+
+			// A different thread (fresh descriptor) must be able to write
+			// the same word: proves the panicking attempt released its
+			// engine-side locks and rolled its redo log back.
+			th2 := rt.RegisterThread()
+			cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			if err := v.Atomic(cctx, th2, func(tx Tx) error {
+				tx.Store(0, 7)
+				return nil
+			}); err != nil {
+				t.Fatalf("view unusable after panic: %v", err)
+			}
+			var got uint64
+			_ = v.AtomicRead(ctx, th2, func(tx Tx) error {
+				got = tx.Load(0)
+				return nil
+			})
+			if got != 7 {
+				t.Fatalf("word = %d, want 7 (panicking store must not survive)", got)
+			}
+			// And the original thread's descriptor is reusable too.
+			if err := v.Atomic(cctx, th, func(tx Tx) error {
+				tx.Store(1, tx.Load(0))
+				return nil
+			}); err != nil {
+				t.Fatalf("panicking thread's descriptor unusable: %v", err)
+			}
+		})
+	}
+}
+
+// TestPanicInLockMode covers the uninstrumented Q == 1 path: the admission
+// slot (and the lock-mode interlock) must be released before the panic
+// continues, or the view is wedged forever.
+func TestPanicInLockMode(t *testing.T) {
+	ctx := context.Background()
+	rt := NewRuntime(Config{Threads: 2})
+	v, err := rt.CreateView(1, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.RegisterThread()
+
+	r := recoverFrom(func() {
+		_ = v.Atomic(ctx, th, func(tx Tx) error {
+			_ = tx.Load(0) // panic before any store: lock mode has no rollback
+			panic("lock-boom")
+		})
+	})
+	if r != "lock-boom" {
+		t.Fatalf("recovered %v, want lock-boom", r)
+	}
+	if got := v.Controller().InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+	tot := v.Totals()
+	if tot.Panics != 1 || tot.Aborts != 1 {
+		t.Fatalf("totals = %+v, want 1 panic / 1 abort", tot)
+	}
+	// Another thread must be admitted (lockActive was cleared).
+	th2 := rt.RegisterThread()
+	cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := v.Atomic(cctx, th2, func(tx Tx) error {
+		tx.Store(0, 1)
+		return nil
+	}); err != nil {
+		t.Fatalf("lock-mode view wedged after panic: %v", err)
+	}
+}
+
+// TestPanicInReadOnlyBody covers AtomicRead.
+func TestPanicInReadOnlyBody(t *testing.T) {
+	ctx := context.Background()
+	rt := NewRuntime(Config{Threads: 2, Engine: TL2})
+	v, _ := rt.CreateView(1, 8, 2)
+	th := rt.RegisterThread()
+	wantErr := errors.New("read-boom")
+	r := recoverFrom(func() {
+		_ = v.AtomicRead(ctx, th, func(tx Tx) error {
+			_ = tx.Load(3)
+			panic(wantErr)
+		})
+	})
+	if r != wantErr {
+		t.Fatalf("recovered %v, want %v", r, wantErr)
+	}
+	if err := v.Atomic(ctx, th, func(tx Tx) error { tx.Store(3, 9); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwitchEngineSurvivesPanickingTransactions: the quiescence drain must
+// complete even while bodies crash left and right — a panicking transaction
+// that leaked its admission slot would hang the switch forever.
+func TestSwitchEngineSurvivesPanickingTransactions(t *testing.T) {
+	ctx := context.Background()
+	rt := NewRuntime(Config{Threads: 4})
+	v, err := rt.CreateView(1, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = recoverFrom(func() {
+					_ = v.Atomic(ctx, th, func(tx Tx) error {
+						tx.Store(0, tx.Load(0)+1)
+						panic("die")
+					})
+				})
+			}
+		}()
+	}
+	kinds := []EngineKind{TL2, OrecEagerRedo, NOrec}
+	for i := 0; i < 12; i++ {
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		err := v.SwitchEngine(sctx, kinds[i%len(kinds)])
+		cancel()
+		if err != nil {
+			t.Fatalf("switch %d (%s): %v", i, kinds[i%len(kinds)], err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := v.Controller().InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+}
+
+// TestDestroyViewSurvivesPanickingTransactions: destroying a view while
+// bodies panic must not wedge anything; blocked admissions wake up with
+// ErrViewDestroyed.
+func TestDestroyViewSurvivesPanickingTransactions(t *testing.T) {
+	ctx := context.Background()
+	rt := NewRuntime(Config{Threads: 4})
+	v, err := rt.CreateView(7, 8, 1) // Q = 1: admissions genuinely queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			for i := 0; i < 200; i++ {
+				var err error
+				_ = recoverFrom(func() {
+					err = v.Atomic(ctx, th, func(tx Tx) error {
+						if i%3 == 0 {
+							panic("destroy-chaos")
+						}
+						tx.Store(0, tx.Load(0)+1)
+						return nil
+					})
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := rt.DestroyView(7); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("workers wedged after DestroyView")
+	}
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrViewDestroyed) {
+			t.Errorf("worker error = %v, want ErrViewDestroyed", err)
+		}
+	}
+	th := rt.RegisterThread()
+	if err := v.Atomic(ctx, th, func(Tx) error { return nil }); !errors.Is(err, ErrViewDestroyed) {
+		t.Errorf("Atomic on destroyed view = %v, want ErrViewDestroyed", err)
+	}
+}

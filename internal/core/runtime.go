@@ -89,8 +89,10 @@ func (r *Runtime) Views() []*View {
 }
 
 // DestroyView implements destroy_view(vid). Destroying a view with
-// transactions still inside it is a caller error; the view only rejects new
-// admissions.
+// transactions still inside it is a caller error; the view rejects new
+// admissions, and threads blocked waiting for admission are woken and
+// return ErrViewDestroyed instead of hanging (so a destroy racing a
+// panicking or stalled transaction cannot wedge its neighbours).
 func (r *Runtime) DestroyView(vid int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -99,6 +101,7 @@ func (r *Runtime) DestroyView(vid int) error {
 		return fmt.Errorf("%w: %d", ErrNoView, vid)
 	}
 	v.destroyed.Store(true)
+	v.ctl.Close()
 	delete(r.views, vid)
 	return nil
 }

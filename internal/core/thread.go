@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 
 	"votm/internal/stm"
@@ -41,7 +42,11 @@ func (t *Thread) tx(v *View) stm.Tx {
 // kill/steal cycles can starve forever; randomization breaks the symmetry
 // exactly like the backoff contention managers in RSTM. Yield-based waiting
 // keeps it effective when conflicting goroutines share a core.
-func (t *Thread) backoff(attempt int) {
+//
+// The wait is context-aware: a cancelled ctx returns promptly from deep
+// backoff instead of yielding out the full window, so a cancelled Atomic is
+// never stuck behind its own backoff.
+func (t *Thread) backoff(ctx context.Context, attempt int) {
 	if attempt < 1 {
 		return
 	}
@@ -52,6 +57,9 @@ func (t *Thread) backoff(attempt int) {
 	window := uint64(1) << uint(attempt) // 2 … 256
 	n := (t.rng >> 33) % window
 	for i := uint64(0); i < n; i++ {
+		if i&7 == 0 && ctx.Err() != nil {
+			return
+		}
 		runtime.Gosched()
 	}
 }

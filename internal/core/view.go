@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"votm/internal/faultinject"
 	"votm/internal/memheap"
 	"votm/internal/rac"
 	"votm/internal/stm"
@@ -98,7 +99,6 @@ func (v *View) SwitchEngine(ctx context.Context, kind EngineKind) error {
 		return nil
 	}
 	if err := v.ctl.PauseAndDrain(ctx); err != nil {
-		v.ctl.Resume()
 		return err
 	}
 	v.engh.Store(&engineHolder{kind: kind, eng: v.rt.cfg.newEngine(kind, v.heap)})
@@ -184,6 +184,15 @@ func (v *View) AtomicRead(ctx context.Context, th *Thread, fn func(Tx) error) er
 	return v.atomic(ctx, th, fn, true)
 }
 
+// attemptOutcome classifies one TM-mode transaction attempt.
+type attemptOutcome int
+
+const (
+	attemptCommitted attemptOutcome = iota
+	attemptConflict                 // body unwound by a conflict or commit lost: retry
+	attemptUserErr                  // fn returned an error: rolled back, no retry
+)
+
 func (v *View) atomic(ctx context.Context, th *Thread, fn func(Tx) error, readonly bool) error {
 	if th == nil {
 		return errors.New("core: nil thread handle")
@@ -197,6 +206,13 @@ func (v *View) atomic(ctx context.Context, th *Thread, fn func(Tx) error, readon
 			return err
 		}
 
+		// Retry budget exhausted: escalate to an irrevocable exclusive
+		// execution instead of another optimistic attempt, bounding
+		// starvation under kill/steal contention management.
+		if k := v.rt.cfg.MaxConflictRetries; k > 0 && conflicts >= k && !v.rt.cfg.NoAdmission {
+			return v.runEscalated(ctx, th, fn, readonly)
+		}
+
 		mode := rac.ModeTM
 		if v.rt.cfg.NoAdmission {
 			// multi-TM / plain-TM baselines: no admission control at all.
@@ -204,46 +220,147 @@ func (v *View) atomic(ctx context.Context, th *Thread, fn func(Tx) error, readon
 			var err error
 			mode, err = v.ctl.Enter(ctx)
 			if err != nil {
+				if errors.Is(err, rac.ErrClosed) {
+					return ErrViewDestroyed
+				}
 				return err
 			}
 		}
 		start := time.Now()
 
 		if mode == rac.ModeLock {
-			err := fn(&lockTx{heap: v.heap, readonly: readonly})
-			v.exit(mode, rac.Committed, start)
-			return err
+			return v.runLock(th, fn, readonly, start)
 		}
 
-		tx := th.tx(v)
-		tx.Begin()
-		var body Tx = tx
-		if readonly {
-			body = &roTx{inner: tx}
-		}
-		var userErr error
-		completed := stm.Catch(func() { userErr = fn(body) })
-		switch {
-		case !completed:
-			tx.Abort()
-			v.exit(mode, rac.Aborted, start)
-			conflicts++
-			th.backoff(conflicts)
-			continue // conflict: reacquire and re-execute
-		case userErr != nil:
-			tx.Abort()
-			v.exit(mode, rac.Aborted, start)
-			return userErr
-		case tx.Commit():
-			v.exit(mode, rac.Committed, start)
+		outcome, err := v.attemptTM(th, fn, readonly, mode, start)
+		switch outcome {
+		case attemptCommitted:
 			return nil
+		case attemptUserErr:
+			return err
 		default:
-			v.exit(mode, rac.Aborted, start)
 			conflicts++
-			th.backoff(conflicts)
-			continue // commit-time conflict: reacquire and re-execute
+			th.backoff(ctx, conflicts)
 		}
 	}
+}
+
+// attemptTM runs one optimistic attempt on the view's STM engine. It is
+// panic-safe: a user panic unwinding out of the body (or out of the engine's
+// commit path) rolls the transaction back and releases the admission slot
+// before continuing to unwind, so a crashing body can never leak orec locks
+// or shrink the view's effective quota.
+func (v *View) attemptTM(th *Thread, fn func(Tx) error, readonly bool, mode rac.Mode, start time.Time) (attemptOutcome, error) {
+	tx := th.tx(v)
+	tx.Begin()
+	settled := false
+	defer func() {
+		if !settled {
+			// A panic is unwinding through us (injected fault at commit, or
+			// an engine invariant violation): roll back, account the
+			// attempt, release admission, and let the panic continue with
+			// its original value and stack.
+			tx.Abort()
+			v.ctl.RecordPanic()
+			v.exit(mode, rac.Aborted, start)
+		}
+	}()
+	if h := v.rt.cfg.FaultHook; h != nil {
+		h(faultinject.OpAdmit, th.id, 0)
+	}
+	var body Tx = tx
+	if readonly {
+		body = &roTx{inner: tx}
+	}
+	var userErr error
+	conflicted, up := stm.CatchBody(func() { userErr = fn(body) })
+	switch {
+	case up != nil:
+		// User panic inside the body: roll back, release admission, then
+		// re-raise the original panic value.
+		tx.Abort()
+		settled = true
+		v.ctl.RecordPanic()
+		v.exit(mode, rac.Aborted, start)
+		up.Rethrow()
+		return attemptConflict, nil // unreachable
+	case conflicted:
+		tx.Abort()
+		settled = true
+		v.exit(mode, rac.Aborted, start)
+		return attemptConflict, nil
+	case userErr != nil:
+		tx.Abort()
+		settled = true
+		v.exit(mode, rac.Aborted, start)
+		return attemptUserErr, userErr
+	case tx.Commit():
+		settled = true
+		v.exit(mode, rac.Committed, start)
+		return attemptCommitted, nil
+	default:
+		settled = true
+		v.exit(mode, rac.Aborted, start)
+		return attemptConflict, nil
+	}
+}
+
+// runLock executes fn in uninstrumented lock mode (admitted at Q == 1).
+// There is no rollback machinery: writes performed before an error or a
+// panic remain in the heap, matching the paper's lock-based fallback. The
+// admission slot is always released — a panicking body keeps unwinding with
+// its original value and stack after release, and an error is accounted as
+// an aborted attempt so δ(Q) is not skewed by failed lock-mode runs.
+func (v *View) runLock(th *Thread, fn func(Tx) error, readonly bool, start time.Time) (err error) {
+	settled := false
+	defer func() {
+		if !settled {
+			v.ctl.RecordPanic()
+			v.exit(rac.ModeLock, rac.Aborted, start)
+		}
+	}()
+	if h := v.rt.cfg.FaultHook; h != nil {
+		h(faultinject.OpAdmit, th.id, 0)
+	}
+	err = fn(&lockTx{heap: v.heap, readonly: readonly})
+	settled = true
+	outcome := rac.Committed
+	if err != nil {
+		outcome = rac.Aborted
+	}
+	v.exit(rac.ModeLock, outcome, start)
+	return err
+}
+
+// runEscalated is the starvation escape hatch: it drains the view's
+// admissions, runs fn exactly once with exclusive Q = 1 semantics
+// (uninstrumented, irrevocable — it cannot conflict), then resumes
+// admissions. Like lock mode there is no rollback: writes before an error
+// or panic remain. The pause is always released, even if fn panics.
+func (v *View) runEscalated(ctx context.Context, th *Thread, fn func(Tx) error, readonly bool) (err error) {
+	if err := v.ctl.PauseAndDrain(ctx); err != nil {
+		return err
+	}
+	start := time.Now()
+	settled := false
+	defer func() {
+		if !settled {
+			v.ctl.RecordPanic()
+			v.ctl.RecordEscalated(rac.Aborted, time.Since(start))
+		}
+		v.ctl.Resume()
+	}()
+	if h := v.rt.cfg.FaultHook; h != nil {
+		h(faultinject.OpAdmit, th.id, 0)
+	}
+	err = fn(&lockTx{heap: v.heap, readonly: readonly})
+	settled = true
+	outcome := rac.Committed
+	if err != nil {
+		outcome = rac.Aborted
+	}
+	v.ctl.RecordEscalated(outcome, time.Since(start))
+	return err
 }
 
 func (v *View) exit(mode rac.Mode, outcome rac.Outcome, start time.Time) {

@@ -1,0 +1,211 @@
+// Package faultinject provides systematic fault injection for the VOTM
+// runtime. Hook points in the three TM engines (transaction Load, Store and
+// Commit) and in the core admission path let a test force conflicts, inject
+// user panics, add latency, and flap admission quotas at controlled,
+// deterministic rates — the raw material for chaos testing the transaction
+// lifecycle (panic-safe aborts, retry budgets, escalation).
+//
+// Production cost is zero: with a nil Config.FaultHook engines hand out
+// their ordinary descriptors, whose hot paths contain no hook code at all.
+// With a hook installed, Engine.NewTx wraps the descriptor in WrapTx, which
+// fires the hook around every Load, Store and Commit.
+//
+// A hook injects a fault by acting, not by returning a verdict:
+//
+//   - call stm.Throw        → a forced conflict. At Load/Store it unwinds
+//     exactly like a real mid-transaction conflict; at Commit the engines
+//     catch it and run their commit-time abort path (rollback, orec
+//     release) before reporting a failed commit.
+//   - panic                 → a simulated crashing transaction body. The
+//     runtime must roll back, release admission, and re-raise.
+//   - time.Sleep            → injected latency (stretches the contention
+//     window, exercising kill/steal and validation races).
+//   - any callback          → e.g. a quota flap at the admission site.
+//
+// Returning normally injects nothing.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"votm/internal/stm"
+)
+
+// Op identifies a hook site in the runtime.
+type Op uint8
+
+const (
+	// OpLoad fires at the top of an instrumented transactional Load.
+	OpLoad Op = iota
+	// OpStore fires at the top of an instrumented transactional Store.
+	OpStore
+	// OpCommit fires at the start of Tx.Commit, before any commit work.
+	OpCommit
+	// OpAdmit fires in core after RAC admission is granted (any mode,
+	// including escalated exclusive runs), before the body executes.
+	OpAdmit
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpCommit:
+		return "commit"
+	case OpAdmit:
+		return "admit"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Hook is the runtime's fault hook: called at every hook site with the site,
+// the calling thread's ID, and (for Load/Store) the address being accessed.
+// Hooks run on hot paths under no locks; they must be safe for concurrent
+// use from many goroutines.
+type Hook func(op Op, thread int, addr stm.Addr)
+
+// InjectedPanic is the panic value Injector uses for its panic faults, so
+// chaos tests can tell injected crashes from real bugs when recovering.
+type InjectedPanic struct {
+	Seq uint64 // global injection sequence number of this fault
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic (seq %d)", p.Seq)
+}
+
+// Config sets deterministic injection rates. Each rate is "one fault per N
+// eligible hook calls" on a shared global counter; zero disables that fault.
+// Use mutually prime rates so distinct faults do not always coincide.
+type Config struct {
+	// ConflictEvery forces a conflict (stm.Throw) at every Nth eligible
+	// Load/Store/Commit site.
+	ConflictEvery int
+	// PanicEvery raises an InjectedPanic at every Nth eligible Load/Store
+	// site — a crash in the middle of a transaction body.
+	PanicEvery int
+	// LatencyEvery sleeps for Latency at every Nth hook call (any site).
+	LatencyEvery int
+	// Latency is the injected sleep; defaults to 50µs when LatencyEvery > 0.
+	Latency time.Duration
+	// FlapEvery invokes Flap at every Nth OpAdmit site. Wire Flap to
+	// View.SetQuota to force admission-quota flapping.
+	FlapEvery int
+	// Flap is the quota-flap callback (must be non-nil if FlapEvery > 0).
+	Flap func()
+}
+
+// Stats counts the faults an Injector actually injected.
+type Stats struct {
+	Calls     uint64 // total hook invocations
+	Conflicts uint64
+	Panics    uint64
+	Latencies uint64
+	Flaps     uint64
+}
+
+// Injector builds a Hook from a Config and counts what it injects.
+// Safe for concurrent use.
+type Injector struct {
+	cfg  Config
+	seq  atomic.Uint64
+	stat struct {
+		conflicts, panics, latencies, flaps atomic.Uint64
+	}
+}
+
+// New creates an Injector. It panics if FlapEvery > 0 with a nil Flap
+// (programming error in the test harness).
+func New(cfg Config) *Injector {
+	if cfg.FlapEvery > 0 && cfg.Flap == nil {
+		panic("faultinject: FlapEvery set with nil Flap callback")
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 50 * time.Microsecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Calls:     in.seq.Load(),
+		Conflicts: in.stat.conflicts.Load(),
+		Panics:    in.stat.panics.Load(),
+		Latencies: in.stat.latencies.Load(),
+		Flaps:     in.stat.flaps.Load(),
+	}
+}
+
+// Hook returns the fault hook implementing the configured rates.
+func (in *Injector) Hook() Hook {
+	return in.hook
+}
+
+// WrapTx instruments a transaction descriptor with hook: the hook fires at
+// the top of every Load and Store and at the entry of Commit. A conflict
+// thrown from the Commit hook aborts the inner transaction and reports a
+// failed commit — indistinguishable from losing a real commit-time conflict
+// — so the caller's retry loop never misreads it as a user panic. Engines
+// call this from NewTx when a hook is installed; their plain descriptors
+// stay completely uninstrumented.
+func WrapTx(inner stm.Tx, hook Hook, thread int) stm.Tx {
+	return &hookedTx{inner: inner, hook: hook, thread: thread}
+}
+
+type hookedTx struct {
+	inner  stm.Tx
+	hook   Hook
+	thread int
+}
+
+func (t *hookedTx) Begin() { t.inner.Begin() }
+
+func (t *hookedTx) Load(a stm.Addr) uint64 {
+	t.hook(OpLoad, t.thread, a)
+	return t.inner.Load(a)
+}
+
+func (t *hookedTx) Store(a stm.Addr, v uint64) {
+	t.hook(OpStore, t.thread, a)
+	t.inner.Store(a, v)
+}
+
+func (t *hookedTx) Commit() bool {
+	if !stm.Catch(func() { t.hook(OpCommit, t.thread, 0) }) {
+		t.inner.Abort() // full engine rollback: redo log, orecs, stats
+		return false
+	}
+	return t.inner.Commit()
+}
+
+func (t *hookedTx) Abort() { t.inner.Abort() }
+
+func (t *hookedTx) Stats() stm.TxStats { return t.inner.Stats() }
+
+func (in *Injector) hook(op Op, thread int, addr stm.Addr) {
+	seq := in.seq.Add(1)
+	if n := in.cfg.LatencyEvery; n > 0 && seq%uint64(n) == 0 {
+		in.stat.latencies.Add(1)
+		time.Sleep(in.cfg.Latency)
+	}
+	if n := in.cfg.FlapEvery; n > 0 && op == OpAdmit && seq%uint64(n) == 0 {
+		in.stat.flaps.Add(1)
+		in.cfg.Flap()
+	}
+	// Panics only at body sites (Load/Store): an injected crash models user
+	// code panicking mid-transaction. Commit-entry panics are covered by the
+	// conflict fault below, which engines turn into a clean failed commit.
+	if n := in.cfg.PanicEvery; n > 0 && (op == OpLoad || op == OpStore) && seq%uint64(n) == 0 {
+		in.stat.panics.Add(1)
+		panic(InjectedPanic{Seq: seq})
+	}
+	if n := in.cfg.ConflictEvery; n > 0 && op != OpAdmit && seq%uint64(n) == 0 {
+		in.stat.conflicts.Add(1)
+		stm.Throw("faultinject: forced conflict")
+	}
+}

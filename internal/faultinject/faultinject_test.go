@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"votm/internal/stm"
+)
+
+func TestInjectorConflictRate(t *testing.T) {
+	in := New(Config{ConflictEvery: 4})
+	h := in.Hook()
+	thrown := 0
+	for i := 0; i < 40; i++ {
+		if !stm.Catch(func() { h(OpLoad, 0, 0) }) {
+			thrown++
+		}
+	}
+	if thrown != 10 {
+		t.Errorf("conflicts thrown = %d, want 10", thrown)
+	}
+	if s := in.Stats(); s.Conflicts != 10 || s.Calls != 40 {
+		t.Errorf("stats = %+v, want 10 conflicts over 40 calls", s)
+	}
+}
+
+func TestInjectorPanicOnlyAtBodySites(t *testing.T) {
+	in := New(Config{PanicEvery: 1})
+	h := in.Hook()
+
+	recovered := func(op Op) (r any) {
+		defer func() { r = recover() }()
+		h(op, 3, 7)
+		return nil
+	}
+	if r := recovered(OpStore); r == nil {
+		t.Fatal("no panic at OpStore with PanicEvery=1")
+	} else if ip, ok := r.(InjectedPanic); !ok || ip.Seq == 0 {
+		t.Fatalf("panic value = %#v, want InjectedPanic with Seq", r)
+	}
+	if r := recovered(OpCommit); r != nil {
+		t.Errorf("OpCommit panicked: %v", r)
+	}
+	if r := recovered(OpAdmit); r != nil {
+		t.Errorf("OpAdmit panicked: %v", r)
+	}
+	if s := in.Stats(); s.Panics != 1 {
+		t.Errorf("panics = %d, want 1", s.Panics)
+	}
+}
+
+func TestInjectorFlapAtAdmitOnly(t *testing.T) {
+	flaps := 0
+	in := New(Config{FlapEvery: 2, Flap: func() { flaps++ }})
+	h := in.Hook()
+	for i := 0; i < 10; i++ {
+		h(OpAdmit, 0, 0)
+	}
+	for i := 0; i < 10; i++ {
+		h(OpCommit, 0, 0)
+	}
+	if flaps != 5 {
+		t.Errorf("flaps = %d, want 5 (only OpAdmit sites eligible)", flaps)
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	in := New(Config{LatencyEvery: 1, Latency: time.Millisecond})
+	h := in.Hook()
+	start := time.Now()
+	h(OpLoad, 0, 0)
+	if d := time.Since(start); d < time.Millisecond {
+		t.Errorf("latency injection slept %v, want >= 1ms", d)
+	}
+	if s := in.Stats(); s.Latencies != 1 {
+		t.Errorf("latencies = %d, want 1", s.Latencies)
+	}
+}
+
+func TestNewRejectsFlapWithoutCallback(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted FlapEvery without Flap")
+		}
+	}()
+	New(Config{FlapEvery: 3})
+}
+
+// fakeTx records calls for WrapTx delegation tests.
+type fakeTx struct {
+	ops     []string
+	aborted bool
+}
+
+func (f *fakeTx) Begin()                     { f.ops = append(f.ops, "begin") }
+func (f *fakeTx) Load(a stm.Addr) uint64     { f.ops = append(f.ops, "load"); return 7 }
+func (f *fakeTx) Store(a stm.Addr, v uint64) { f.ops = append(f.ops, "store") }
+func (f *fakeTx) Commit() bool               { f.ops = append(f.ops, "commit"); return true }
+func (f *fakeTx) Abort()                     { f.aborted = true; f.ops = append(f.ops, "abort") }
+func (f *fakeTx) Stats() (s stm.TxStats)     { return s }
+
+func TestWrapTxFiresHookAroundOps(t *testing.T) {
+	inner := &fakeTx{}
+	var hooked []Op
+	tx := WrapTx(inner, func(op Op, thread int, addr stm.Addr) {
+		hooked = append(hooked, op)
+	}, 3)
+	tx.Begin()
+	if got := tx.Load(1); got != 7 {
+		t.Fatalf("Load = %d, want 7 (not delegated)", got)
+	}
+	tx.Store(1, 9)
+	if !tx.Commit() {
+		t.Fatal("Commit not delegated")
+	}
+	want := []Op{OpLoad, OpStore, OpCommit}
+	if len(hooked) != len(want) {
+		t.Fatalf("hook fired at %v, want %v", hooked, want)
+	}
+	for i := range want {
+		if hooked[i] != want[i] {
+			t.Fatalf("hook fired at %v, want %v", hooked, want)
+		}
+	}
+}
+
+// TestWrapTxCommitConflictAborts: a conflict thrown from the Commit hook
+// must roll the inner transaction back and read as a failed commit, never
+// escape as a panic the caller would misclassify.
+func TestWrapTxCommitConflictAborts(t *testing.T) {
+	inner := &fakeTx{}
+	tx := WrapTx(inner, func(op Op, thread int, addr stm.Addr) {
+		if op == OpCommit {
+			stm.Throw("forced")
+		}
+	}, 0)
+	if tx.Commit() {
+		t.Fatal("Commit succeeded through a forced conflict")
+	}
+	if !inner.aborted {
+		t.Fatal("inner transaction not aborted")
+	}
+}

@@ -71,6 +71,99 @@ func TestPauseAndDrainImmediateWhenEmpty(t *testing.T) {
 	c.Exit(m, Committed, time.Nanosecond)
 }
 
+// TestPausersAreMutuallyExclusive: two concurrent PauseAndDrain calls must
+// serialize — both believing they hold the view exclusively is the data race
+// the pause semaphore exists to prevent.
+func TestPausersAreMutuallyExclusive(t *testing.T) {
+	c := New(Params{Threads: 4, InitialQuota: 4})
+	ctx := context.Background()
+	if err := c.PauseAndDrain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	second := make(chan error, 1)
+	go func() { second <- c.PauseAndDrain(ctx) }()
+	select {
+	case <-second:
+		t.Fatal("second pauser acquired while first still paused")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Resume()
+	select {
+	case err := <-second:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second pauser never acquired after Resume")
+	}
+	c.Resume()
+}
+
+// TestPauseAndDrainCancelWhileQueued: a pauser cancelled while waiting for
+// another pauser must return without corrupting pause ownership.
+func TestPauseAndDrainCancelWhileQueued(t *testing.T) {
+	c := New(Params{Threads: 4, InitialQuota: 4})
+	if err := c.PauseAndDrain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.PauseAndDrain(ctx) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("queued pauser err = %v, want Canceled", err)
+	}
+	// First pauser still owns the pause: admissions stay blocked.
+	admitted := make(chan struct{})
+	go func() {
+		m, err := c.Enter(context.Background())
+		if err == nil {
+			c.Exit(m, Committed, time.Nanosecond)
+		}
+		close(admitted)
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("admission slipped through while still paused")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Resume()
+	select {
+	case <-admitted:
+	case <-time.After(time.Second):
+		t.Fatal("admission blocked after Resume")
+	}
+}
+
+func TestCloseWakesWaitersWithErrClosed(t *testing.T) {
+	c := New(Params{Threads: 2, InitialQuota: 1})
+	m, err := c.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Enter(context.Background())
+		got <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-got:
+		if err != ErrClosed {
+			t.Errorf("waiter err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken by Close")
+	}
+	// The in-flight holder can still exit cleanly.
+	c.Exit(m, Committed, time.Nanosecond)
+	if _, err := c.Enter(context.Background()); err != ErrClosed {
+		t.Errorf("Enter after Close = %v, want ErrClosed", err)
+	}
+}
+
 func TestPauseAndDrainContextCancel(t *testing.T) {
 	c := New(Params{Threads: 4, InitialQuota: 4})
 	m, _ := c.Enter(context.Background())
@@ -87,7 +180,8 @@ func TestPauseAndDrainContextCancel(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("cancelled drain never returned")
 	}
-	// Controller must recover after Resume.
+	// A cancelled drain rolls the pause back itself; a spurious Resume is
+	// harmless, and the controller keeps working.
 	c.Resume()
 	c.Exit(m, Committed, time.Nanosecond)
 	m2, err := c.Enter(context.Background())

@@ -17,11 +17,16 @@ package rac
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 )
+
+// ErrClosed is returned by Enter once the controller has been closed
+// (its view was destroyed): no further admissions are granted.
+var ErrClosed = errors.New("rac: controller closed")
 
 // Mode says how an admitted thread must execute its transaction.
 type Mode int
@@ -136,6 +141,14 @@ type Totals struct {
 	Aborts    int64
 	SuccessNs int64 // time spent in attempts that committed
 	AbortNs   int64 // time spent in attempts that aborted
+
+	// Escalations counts transactions that exhausted their conflict-retry
+	// budget and ran to completion in exclusive lock mode — the starvation
+	// escape hatch (each escalation is one starved transaction rescued).
+	Escalations int64
+	// Panics counts user panics that unwound a transaction body; every one
+	// was rolled back and its admission slot released before re-raising.
+	Panics int64
 }
 
 // Delta evaluates Equation 5 over the totals at quota q.
@@ -154,9 +167,15 @@ type Controller struct {
 	q          int
 	p          int // threads currently admitted
 	lockActive bool
-	paused     bool // admissions suspended (engine switch in progress)
+	paused     bool // admissions suspended (engine switch or escalation)
+	closed     bool // view destroyed: admissions permanently rejected
 	waiters    int
 	gate       chan struct{}
+
+	// pauseSem serializes pausers (engine switches and escalations): without
+	// it two concurrent PauseAndDrain calls could both observe p == 0 and
+	// both believe they hold the view exclusively.
+	pauseSem chan struct{}
 
 	totals Totals
 
@@ -179,6 +198,7 @@ func New(p Params) *Controller {
 		params:     p,
 		q:          p.InitialQuota,
 		gate:       make(chan struct{}),
+		pauseSem:   make(chan struct{}, 1),
 		residence:  make(map[int]time.Duration),
 		lastChange: time.Now(),
 	}
@@ -194,6 +214,10 @@ func New(p Params) *Controller {
 func (c *Controller) Enter(ctx context.Context) (Mode, error) {
 	c.mu.Lock()
 	for {
+		if c.closed {
+			c.mu.Unlock()
+			return ModeTM, ErrClosed
+		}
 		if !c.paused && !c.lockActive && c.p < c.q {
 			c.p++
 			mode := ModeTM
@@ -311,11 +335,21 @@ func (c *Controller) broadcastLocked() {
 }
 
 // PauseAndDrain suspends new admissions and blocks until every admitted
-// thread has exited (the quiescence point for an engine switch). It must be
-// paired with Resume. Returns ctx.Err() if cancelled while draining (the
-// controller stays paused in that case only if draining hadn't finished —
-// callers should still Resume).
+// thread has exited — the quiescence point for an engine switch or an
+// escalated (exclusive) execution. Pausers are mutually exclusive: a second
+// PauseAndDrain blocks until the first pauser Resumes, so two callers can
+// never both believe they hold the view exclusively.
+//
+// On success the caller owns the pause and must call Resume exactly once.
+// On error (ctx cancelled while waiting or draining) the pause has been
+// rolled back; the caller must not call Resume (a spurious Resume is
+// harmless but releases nothing).
 func (c *Controller) PauseAndDrain(ctx context.Context) error {
+	select {
+	case c.pauseSem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	c.mu.Lock()
 	c.paused = true
 	for c.p > 0 {
@@ -327,7 +361,10 @@ func (c *Controller) PauseAndDrain(ctx context.Context) error {
 		case <-ctx.Done():
 			c.mu.Lock()
 			c.waiters--
+			c.paused = false
+			c.broadcastLocked()
 			c.mu.Unlock()
+			<-c.pauseSem
 			return ctx.Err()
 		}
 		c.mu.Lock()
@@ -337,11 +374,56 @@ func (c *Controller) PauseAndDrain(ctx context.Context) error {
 	return nil
 }
 
-// Resume lifts a PauseAndDrain suspension.
+// Resume lifts a successful PauseAndDrain suspension and releases pause
+// ownership to the next waiting pauser, if any.
 func (c *Controller) Resume() {
 	c.mu.Lock()
+	owned := c.paused
 	c.paused = false
 	c.broadcastLocked()
+	c.mu.Unlock()
+	if owned {
+		select {
+		case <-c.pauseSem:
+		default:
+		}
+	}
+}
+
+// Close permanently rejects admissions (the view was destroyed) and wakes
+// every waiter so blocked Enter calls return ErrClosed promptly instead of
+// hanging until their context expires.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.broadcastLocked()
+	c.mu.Unlock()
+}
+
+// RecordEscalated accounts one escalated execution: a transaction that
+// exhausted its conflict-retry budget and ran in exclusive lock mode while
+// admissions were drained (so it never passed Enter/Exit).
+func (c *Controller) RecordEscalated(outcome Outcome, d time.Duration) {
+	ns := d.Nanoseconds()
+	c.mu.Lock()
+	c.totals.Escalations++
+	switch outcome {
+	case Committed:
+		c.totals.Commits++
+		c.totals.SuccessNs += ns
+	case Aborted:
+		c.totals.Aborts++
+		c.totals.AbortNs += ns
+	}
+	c.mu.Unlock()
+}
+
+// RecordPanic counts a user panic that unwound a transaction body on this
+// view (the attempt itself is accounted separately as Aborted via Exit or
+// Record).
+func (c *Controller) RecordPanic() {
+	c.mu.Lock()
+	c.totals.Panics++
 	c.mu.Unlock()
 }
 

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"votm/internal/faultinject"
 	"votm/internal/stm"
 )
 
@@ -31,6 +32,7 @@ import (
 type Engine struct {
 	heap  *stm.Heap
 	clock atomic.Uint64 // sequence lock: odd while a writer commits
+	fault faultinject.Hook
 }
 
 // New creates a NOrec instance over heap.
@@ -45,13 +47,22 @@ func (e *Engine) Name() string { return "NOrec" }
 // Exposed for tests and the ablation benchmarks.
 func (e *Engine) Clock() uint64 { return e.clock.Load() }
 
+// SetFaultHook installs a fault-injection hook on Load/Store/Commit. It must
+// be called before any NewTx (no synchronization of its own); with a nil
+// hook (the default) descriptors carry no instrumentation at all.
+func (e *Engine) SetFaultHook(h faultinject.Hook) { e.fault = h }
+
 // NewTx implements stm.Engine.
 func (e *Engine) NewTx(threadID int) stm.Tx {
-	return &Tx{
+	t := &Tx{
 		eng:    e,
 		id:     threadID,
 		writes: make(map[stm.Addr]uint64, 32),
 	}
+	if e.fault != nil {
+		return faultinject.WrapTx(t, e.fault, threadID)
+	}
+	return t
 }
 
 type readEntry struct {

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"votm/internal/faultinject"
 	"votm/internal/stm"
 )
 
@@ -81,6 +82,7 @@ type Engine struct {
 	cfg   Config
 	clock atomic.Uint64
 	orecs []atomic.Uint64
+	fault faultinject.Hook
 
 	mu  sync.Mutex            // serializes NewTx
 	txs atomic.Pointer[[]*Tx] // registry snapshot: orec owner IDs index into it
@@ -105,6 +107,11 @@ func (e *Engine) Policy() CM { return e.cfg.Policy }
 // Clock returns the engine's global version clock (tests/ablation).
 func (e *Engine) Clock() uint64 { return e.clock.Load() }
 
+// SetFaultHook installs a fault-injection hook on Load/Store/Commit. It must
+// be called before any NewTx (no synchronization of its own); with a nil
+// hook (the default) descriptors carry no instrumentation at all.
+func (e *Engine) SetFaultHook(h faultinject.Hook) { e.fault = h }
+
 func (e *Engine) orecIdx(a stm.Addr) uint32 {
 	return uint32(a) % uint32(len(e.orecs))
 }
@@ -121,7 +128,6 @@ func (e *Engine) NewTx(threadID int) stm.Tx {
 	t := &Tx{
 		eng:    e,
 		id:     uint64(len(prev)),
-		thread: threadID,
 		writes: make(map[stm.Addr]uint64, 32),
 		owned:  make(map[uint32]ownedOrec, 8),
 	}
@@ -129,6 +135,9 @@ func (e *Engine) NewTx(threadID int) stm.Tx {
 	copy(next, prev)
 	next[len(prev)] = t
 	e.txs.Store(&next)
+	if e.fault != nil {
+		return faultinject.WrapTx(t, e.fault, threadID)
+	}
 	return t
 }
 
@@ -153,7 +162,6 @@ type ownedOrec struct {
 type Tx struct {
 	eng    *Engine
 	id     uint64
-	thread int
 	status atomic.Uint32
 	start  uint64 // snapshot of the version clock
 	reads  []readEntry

@@ -13,7 +13,10 @@
 // transaction bodies never observe the panic.
 package stm
 
-import "fmt"
+import (
+	"fmt"
+	"runtime/debug"
+)
 
 // Addr is the address of a 64-bit word within a view's Heap.
 type Addr uint32
@@ -100,6 +103,58 @@ func Catch(fn func()) (completed bool) {
 func IsConflict(r any) bool {
 	_, ok := r.(conflictSignal)
 	return ok
+}
+
+// UserPanic captures a panic raised by user code inside a transaction body —
+// any panic that is not the engines' conflict sentinel. The runtime uses it
+// to roll the transaction back and release admission before re-raising the
+// original value, so a crashing body can never wedge a view.
+type UserPanic struct {
+	Value any    // the original panic value, re-raised by Rethrow
+	Stack []byte // stack at the panic site, captured before unwinding
+}
+
+func (p *UserPanic) Error() string {
+	return fmt.Sprintf("stm: user panic in transaction body: %v", p.Value)
+}
+
+// Unwrap exposes the panic value when it is an error (errors.Is/As support).
+func (p *UserPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Rethrow re-raises the captured panic with its original value, after the
+// caller has finished cleanup. The stack at the original panic site remains
+// available in Stack for logging before the re-raise.
+func (p *UserPanic) Rethrow() {
+	panic(p.Value)
+}
+
+// CatchBody is Catch extended to distinguish the conflict sentinel from user
+// panics. It runs a transaction body and classifies how it finished:
+//
+//	fn returned:        (false, nil)
+//	conflict sentinel:  (true, nil)   — abort and retry
+//	user panic:         (false, up)   — clean up, then up.Rethrow()
+//
+// The user panic's stack is captured at the panic site (the deferred
+// classifier still sees the panicking frames), so diagnostics survive the
+// abort path.
+func CatchBody(fn func()) (conflict bool, up *UserPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(conflictSignal); ok {
+				conflict = true
+				return
+			}
+			up = &UserPanic{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return false, nil
 }
 
 // BoundsError is returned (via panic conversion in core) when an address is

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"votm/internal/faultinject"
 	"votm/internal/stm"
 )
 
@@ -54,6 +55,7 @@ type Engine struct {
 	cfg   Config
 	clock atomic.Uint64
 	orecs []atomic.Uint64 // version<<1 (even) or owner-id<<1|1 (locked)
+	fault faultinject.Hook
 }
 
 // New creates a TL2 instance over heap.
@@ -72,6 +74,11 @@ func (e *Engine) Name() string { return "TL2" }
 // Clock returns the engine's global version clock (tests/ablation).
 func (e *Engine) Clock() uint64 { return e.clock.Load() }
 
+// SetFaultHook installs a fault-injection hook on Load/Store/Commit. It must
+// be called before any NewTx (no synchronization of its own); with a nil
+// hook (the default) descriptors carry no instrumentation at all.
+func (e *Engine) SetFaultHook(h faultinject.Hook) { e.fault = h }
+
 func (e *Engine) orecIdx(a stm.Addr) uint32 {
 	return uint32(a) % uint32(len(e.orecs))
 }
@@ -79,11 +86,15 @@ func (e *Engine) orecIdx(a stm.Addr) uint32 {
 // NewTx implements stm.Engine. threadID must be unique per descriptor
 // within this engine (it brands commit-time locks).
 func (e *Engine) NewTx(threadID int) stm.Tx {
-	return &Tx{
+	t := &Tx{
 		eng:    e,
 		id:     uint64(threadID)&0x7fffffff + 1, // non-zero lock brand
 		writes: make(map[stm.Addr]uint64, 32),
 	}
+	if e.fault != nil {
+		return faultinject.WrapTx(t, e.fault, threadID)
+	}
+	return t
 }
 
 // Tx is a TL2 transaction descriptor (single-goroutine use).

@@ -13,11 +13,13 @@ import (
 
 // Sample is one point of a view's contention time series.
 type Sample struct {
-	Offset  time.Duration // since sampling started
-	Quota   int
-	Commits int64
-	Aborts  int64
-	Delta   float64 // δ(Q) over the interval since the previous sample
+	Offset      time.Duration // since sampling started
+	Quota       int
+	Commits     int64
+	Aborts      int64
+	Escalations int64   // retry-budget escalations to exclusive mode
+	Panics      int64   // user panics unwound through the runtime
+	Delta       float64 // δ(Q) over the interval since the previous sample
 }
 
 // ViewProbe is the slice of the view API the sampler needs (satisfied by
@@ -79,11 +81,13 @@ func (s *Sampler) record(view ViewProbe) {
 		delta = float64(dAbort) / (float64(dSuccess) * float64(q-1))
 	}
 	s.samples = append(s.samples, Sample{
-		Offset:  time.Since(s.start),
-		Quota:   q,
-		Commits: cur.Commits,
-		Aborts:  cur.Aborts,
-		Delta:   delta,
+		Offset:      time.Since(s.start),
+		Quota:       q,
+		Commits:     cur.Commits,
+		Aborts:      cur.Aborts,
+		Escalations: cur.Escalations,
+		Panics:      cur.Panics,
+		Delta:       delta,
 	})
 	s.prev = cur
 }
@@ -110,7 +114,7 @@ func (s *Sampler) Samples() []Sample {
 
 // WriteCSV emits the series as CSV with a header row.
 func (s *Sampler) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "offset_ms,quota,commits,aborts,delta"); err != nil {
+	if _, err := fmt.Fprintln(w, "offset_ms,quota,commits,aborts,escalations,panics,delta"); err != nil {
 		return err
 	}
 	for _, p := range s.Samples() {
@@ -118,8 +122,9 @@ func (s *Sampler) WriteCSV(w io.Writer) error {
 		if !math.IsNaN(p.Delta) {
 			d = fmt.Sprintf("%.6f", p.Delta)
 		}
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%s\n",
-			p.Offset.Milliseconds(), p.Quota, p.Commits, p.Aborts, d); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%s\n",
+			p.Offset.Milliseconds(), p.Quota, p.Commits, p.Aborts,
+			p.Escalations, p.Panics, d); err != nil {
 			return err
 		}
 	}

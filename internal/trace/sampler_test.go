@@ -105,7 +105,7 @@ func TestSamplerCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.HasPrefix(out, "offset_ms,quota,commits,aborts,delta\n") {
+	if !strings.HasPrefix(out, "offset_ms,quota,commits,aborts,escalations,panics,delta\n") {
 		t.Errorf("missing header: %q", out)
 	}
 	if !strings.Contains(out, ",4,1,2,") {

@@ -40,6 +40,7 @@ import (
 
 	"votm/internal/autotm"
 	"votm/internal/core"
+	"votm/internal/faultinject"
 	"votm/internal/rac"
 	"votm/internal/stm"
 	"votm/internal/trace"
@@ -149,3 +150,50 @@ var (
 	// ErrViewDestroyed: operation on a destroyed view.
 	ErrViewDestroyed = core.ErrViewDestroyed
 )
+
+// Fault injection — chaos-testing hooks threaded through every engine's
+// Load/Store/Commit and the admission path. Wire an injector's Hook into
+// Config.FaultHook; with a nil hook the hot paths are uninstrumented. See
+// internal/faultinject for the full fault model.
+
+// FaultOp identifies a fault-injection hook site.
+type FaultOp = faultinject.Op
+
+// Fault-injection hook sites.
+const (
+	FaultLoad   = faultinject.OpLoad
+	FaultStore  = faultinject.OpStore
+	FaultCommit = faultinject.OpCommit
+	FaultAdmit  = faultinject.OpAdmit
+)
+
+// FaultHook is the hook signature for Config.FaultHook.
+type FaultHook = faultinject.Hook
+
+// FaultConfig sets deterministic injection rates for a FaultInjector.
+type FaultConfig = faultinject.Config
+
+// FaultStats counts the faults a FaultInjector injected.
+type FaultStats = faultinject.Stats
+
+// FaultInjector builds a FaultHook that forces conflicts, injects user
+// panics and latency, and flaps quotas at configured rates.
+type FaultInjector = faultinject.Injector
+
+// InjectedPanic is the panic value a FaultInjector's panic faults raise, so
+// chaos tests can tell injected crashes from real bugs.
+type InjectedPanic = faultinject.InjectedPanic
+
+// NewFaultInjector creates a FaultInjector from deterministic rates.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultinject.New(cfg) }
+
+// ThrowConflict unwinds the current transaction with the engines' conflict
+// sentinel — the primitive custom FaultHooks use to force a conflict. Only
+// call it from inside a hook or transaction body; the runtime treats the
+// unwind exactly like a real conflict (abort, backoff, retry).
+func ThrowConflict(msg string) { stm.Throw(msg) }
+
+// UserPanic captures a panic raised by user code inside a transaction body;
+// the runtime rolls the transaction back and releases admission before
+// re-raising the original value. Exposed for diagnostics and tests.
+type UserPanic = stm.UserPanic
