@@ -21,10 +21,19 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# One iteration of every table/ablation benchmark (fast); drop -benchtime
-# for the full timing runs.
+# Committed performance baseline: engine/infra micro-benchmarks plus one
+# short-mode iteration of every table/ablation experiment, captured as JSON
+# via cmd/benchreport. BENCH_DIR=. refreshes the committed BENCH_*.json
+# baselines in place; CI points it at a scratch dir and runs benchstat
+# against the committed files (report-only). Drop -benchtime for full runs.
+BENCH_DIR ?= .
+
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1000x \
+		./internal/stm/... ./internal/rac ./internal/memheap ./internal/stmds \
+		| tee /dev/stderr | $(GO) run ./cmd/benchreport -o $(BENCH_DIR)/BENCH_engines.json
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x -short . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchreport -o $(BENCH_DIR)/BENCH_tables.json
 
 tables:
 	$(GO) run ./cmd/votm-bench -table all -scale default

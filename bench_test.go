@@ -16,7 +16,21 @@ import (
 
 // benchScale keeps the full `go test -bench=.` suite around two minutes on
 // a small host while preserving contention shapes (livelock cells included).
+// Under -short (what `make bench` runs to refresh the committed BENCH_*.json
+// baselines) the sweep shrinks further; the shapes survive, the livelock
+// cells still livelock, and the whole table suite finishes in well under a
+// minute.
 func benchScale() harness.Scale {
+	if testing.Short() {
+		return harness.Scale{
+			Threads:       8,
+			EigenLoops:    30,
+			IntruderFlows: 128,
+			Qs:            []int{1, 2, 8},
+			StallWindow:   500 * time.Millisecond,
+			Deadline:      5 * time.Second,
+		}
+	}
 	return harness.Scale{
 		Threads:       8,
 		EigenLoops:    50,

@@ -129,6 +129,13 @@ func TestChaosSoak(t *testing.T) {
 			th := rt.RegisterThread()
 			rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
 			for i := 0; i < rounds; i++ {
+				// Periodically hand every cached descriptor back to its
+				// engine's pool mid-soak: the next Atomic draws a recycled
+				// descriptor, so pooling is exercised under injected faults,
+				// panics, live SwitchEngine and DestroyView.
+				if i%11 == id%11 {
+					th.Release()
+				}
 				for vi, v := range views {
 					from := rng.Intn(accounts)
 					to := rng.Intn(accounts)
@@ -231,6 +238,7 @@ func TestChaosSoak(t *testing.T) {
 	go func() {
 		defer close(victimDone)
 		th := rt.RegisterThread()
+		defer th.Release() // post-destroy release: descriptors of a dead view
 		for i := 0; ; i++ {
 			var aerr error
 			func() {

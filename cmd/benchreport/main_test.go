@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: votm/internal/stm/norec
+cpu: AMD EPYC 7B13
+BenchmarkReadOnlyTx-8   	 2000000	       601.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWriteTx1-8     	 1000000	      1042 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	votm/internal/stm/norec	3.100s
+pkg: votm/internal/stm/tl2
+BenchmarkReadOnlyTx-8   	 1500000	       822 ns/op	       0 B/op	       0 allocs/op
+ok  	votm/internal/stm/tl2	1.900s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Pkg != "votm/internal/stm/norec" || b.Name != "BenchmarkReadOnlyTx-8" {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.Iterations != 2000000 || b.Metrics["ns/op"] != 601.5 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("first metrics = %+v", b)
+	}
+	if rep.Benchmarks[2].Pkg != "votm/internal/stm/tl2" {
+		t.Fatalf("pkg context not tracked: %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestParseCustomMetrics(t *testing.T) {
+	line := "BenchmarkTableIV-8 1 2043408682 ns/op 94702469 hiQ-ns 0 livelocks 35559224 loQ-ns"
+	b, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Metrics["hiQ-ns"] != 94702469 || b.Metrics["livelocks"] != 0 {
+		t.Fatalf("metrics = %+v", b.Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-8",
+		"BenchmarkBroken-8 notanint 5 ns/op",
+		"BenchmarkBroken-8 10 nan-ish",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestRoundTripToText(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := writeText(rep, &sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	// Same-named benchmarks from different packages must stay distinct.
+	for _, want := range []string{
+		"Benchmarkvotm_internal_stm_norec/ReadOnlyTx-8 2000000 601.5 ns/op 0 B/op 0 allocs/op",
+		"Benchmarkvotm_internal_stm_tl2/ReadOnlyTx-8 1500000 822 ns/op",
+		"cpu: AMD EPYC 7B13",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+	// And the text must itself be parseable benchmark format.
+	rep2, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("reparse saw %d benchmarks, want %d", len(rep2.Benchmarks), len(rep.Benchmarks))
+	}
+	if rep2.Benchmarks[0].Metrics["ns/op"] != 601.5 {
+		t.Fatalf("reparse metrics = %+v", rep2.Benchmarks[0].Metrics)
+	}
+}

@@ -24,16 +24,42 @@ type txCacheEntry struct {
 // ID returns the thread's runtime-unique ID.
 func (t *Thread) ID() int { return t.id }
 
-// tx returns the cached descriptor for v's current engine, creating a new
-// one on first use or after a SwitchEngine.
+// tx returns the cached descriptor for v's current engine, creating (or
+// recycling from the engine's pool) a new one on first use or after a
+// SwitchEngine. The stale descriptor of a switched-out engine is returned to
+// that engine's pool — it is dead by construction, because SwitchEngine
+// quiesces the view before swapping the holder.
 func (t *Thread) tx(v *View) stm.Tx {
 	h := v.engine()
-	if e, ok := t.txs[v]; ok && e.holder == h {
-		return e.tx
+	if e, ok := t.txs[v]; ok {
+		if e.holder == h {
+			return e.tx
+		}
+		release(e.holder, e.tx)
 	}
 	tx := h.eng.NewTx(t.id)
 	t.txs[v] = txCacheEntry{holder: h, tx: tx}
 	return tx
+}
+
+// release returns a dead descriptor to its engine's pool, if the engine
+// pools descriptors.
+func release(h *engineHolder, tx stm.Tx) {
+	if p, ok := h.eng.(stm.TxPooler); ok {
+		p.ReleaseTx(tx)
+	}
+}
+
+// Release returns every cached transaction descriptor to its engine's pool
+// and empties the cache. Call it when the goroutine is done using the
+// runtime (worker teardown); the Thread itself remains usable — the next
+// Atomic simply draws a recycled descriptor. All of the thread's
+// transactions must have finished: releasing a live descriptor panics.
+func (t *Thread) Release() {
+	for v, e := range t.txs {
+		release(e.holder, e.tx)
+		delete(t.txs, v)
+	}
 }
 
 // backoff performs randomized exponential backoff after the attempt-th

@@ -246,6 +246,7 @@ func runWorker(ctx context.Context, rt *core.Runtime, p Params, cfg RunConfig,
 
 	rng := rand.New(rand.NewSource(p.Seed + int64(idx)*7919))
 	th := rt.RegisterThread()
+	defer th.Release() // recycle descriptors into the engines' pools
 	yield := cfg.yieldEnabled(p.Threads)
 
 	cold := [2][]uint64{

@@ -157,6 +157,20 @@ func WrapTx(inner stm.Tx, hook Hook, thread int) stm.Tx {
 	return &hookedTx{inner: inner, hook: hook, thread: thread}
 }
 
+// Unwrap returns the engine descriptor underneath any fault-injection
+// wrappers (identity for plain descriptors). Engines use it so that pooled
+// descriptors can be released through stm.TxPooler whether or not a hook was
+// installed when they were created.
+func Unwrap(tx stm.Tx) stm.Tx {
+	for {
+		h, ok := tx.(*hookedTx)
+		if !ok {
+			return tx
+		}
+		tx = h.inner
+	}
+}
+
 type hookedTx struct {
 	inner  stm.Tx
 	hook   Hook

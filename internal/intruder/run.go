@@ -328,6 +328,7 @@ func (s *sharedState) allocOrGrow(words int) (stm.Addr, error) {
 // until the capture queue drains.
 func (s *sharedState) worker(ctx context.Context) {
 	th := s.rt.RegisterThread()
+	defer th.Release() // recycle descriptors into the engines' pools
 	for {
 		if ctx.Err() != nil {
 			return

@@ -1,0 +1,14 @@
+package norec_test
+
+import (
+	"testing"
+
+	"votm/internal/stm/stmtest"
+)
+
+// TestAllocGuards pins the steady-state allocation contract: a warmed NOrec
+// descriptor runs read-only and small-write transactions — and full
+// NewTx/ReleaseTx recycle cycles — with zero allocations per op.
+func TestAllocGuards(t *testing.T) {
+	stmtest.RunAllocGuards(t, factory)
+}

@@ -22,6 +22,7 @@ package norec
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"votm/internal/faultinject"
@@ -33,6 +34,9 @@ type Engine struct {
 	heap  *stm.Heap
 	clock atomic.Uint64 // sequence lock: odd while a writer commits
 	fault faultinject.Hook
+
+	poolMu sync.Mutex
+	pool   []*Tx // released descriptors, LIFO
 }
 
 // New creates a NOrec instance over heap.
@@ -52,18 +56,50 @@ func (e *Engine) Clock() uint64 { return e.clock.Load() }
 // hook (the default) descriptors carry no instrumentation at all.
 func (e *Engine) SetFaultHook(h faultinject.Hook) { e.fault = h }
 
-// NewTx implements stm.Engine.
+// NewTx implements stm.Engine. Descriptors come from the engine's pool when
+// one is free (reset by ReleaseTx), so a recycled descriptor — and, once its
+// logs have grown to the workload's footprint, a fresh attempt on any
+// descriptor — allocates nothing.
 func (e *Engine) NewTx(threadID int) stm.Tx {
-	t := &Tx{
-		eng:    e,
-		id:     threadID,
-		writes: make(map[stm.Addr]uint64, 32),
+	e.poolMu.Lock()
+	var t *Tx
+	if n := len(e.pool); n > 0 {
+		t = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
 	}
+	e.poolMu.Unlock()
+	if t == nil {
+		t = &Tx{eng: e, reads: make([]readEntry, 0, initialReadCap)}
+	}
+	t.id = threadID
 	if e.fault != nil {
 		return faultinject.WrapTx(t, e.fault, threadID)
 	}
 	return t
 }
+
+// ReleaseTx implements stm.TxPooler: it scrubs the (dead) descriptor and
+// returns it to the engine's free list for reuse by a later NewTx.
+func (e *Engine) ReleaseTx(tx stm.Tx) {
+	t, ok := faultinject.Unwrap(tx).(*Tx)
+	if !ok || t.eng != e {
+		panic("norec: ReleaseTx of a foreign descriptor")
+	}
+	if t.live {
+		panic("norec: ReleaseTx of a live transaction")
+	}
+	t.reset()
+	t.stats = stm.TxStats{}
+	e.poolMu.Lock()
+	e.pool = append(e.pool, t)
+	e.poolMu.Unlock()
+}
+
+// initialReadCap presizes a fresh descriptor's read set so common
+// transactions never grow it; the backing array is reused across attempts,
+// recycles, and retries of the same Atomic call.
+const initialReadCap = 64
 
 type readEntry struct {
 	addr stm.Addr
@@ -71,17 +107,20 @@ type readEntry struct {
 }
 
 // Tx is a NOrec transaction descriptor. It must be used by one goroutine.
+// The write set is an open-addressed stm.Table embedded in the descriptor:
+// no allocation on Store, O(1) reset on commit/abort.
 type Tx struct {
 	eng      *Engine
 	id       int
 	snapshot uint64
 	reads    []readEntry
-	writes   map[stm.Addr]uint64
+	writes   stm.Table[uint64]
 	live     bool
 	stats    stm.TxStats
 }
 
 var _ stm.Tx = (*Tx)(nil)
+var _ stm.TxPooler = (*Engine)(nil)
 
 // Begin implements stm.Tx: sample a consistent (even) snapshot time.
 func (t *Tx) Begin() {
@@ -102,7 +141,7 @@ func (t *Tx) Begin() {
 // Load implements stm.Tx. Per the NOrec paper, a read that observes clock
 // movement re-validates the entire read set by value before returning.
 func (t *Tx) Load(a stm.Addr) uint64 {
-	if v, ok := t.writes[a]; ok {
+	if v, ok := t.writes.Get(a); ok {
 		return v
 	}
 	v := t.eng.heap.Load(a)
@@ -119,7 +158,7 @@ func (t *Tx) Store(a stm.Addr, v uint64) {
 	if !t.eng.heap.InBounds(a) {
 		panic(&stm.BoundsError{Addr: a, Len: t.eng.heap.Len()})
 	}
-	t.writes[a] = v
+	t.writes.Put(a, v)
 }
 
 // validate re-reads the entire read set by value. On success it returns the
@@ -158,7 +197,7 @@ func (t *Tx) Commit() bool {
 	if !t.live {
 		panic("norec: Commit on a dead transaction")
 	}
-	if len(t.writes) == 0 {
+	if t.writes.Len() == 0 {
 		t.stats.Commits++
 		t.reset()
 		return true
@@ -172,7 +211,8 @@ func (t *Tx) Commit() bool {
 		}
 		t.snapshot = s
 	}
-	for a, v := range t.writes {
+	for i := 0; i < t.writes.Len(); i++ {
+		a, v := t.writes.Entry(i)
 		t.eng.heap.Store(a, v)
 	}
 	t.eng.clock.Store(t.snapshot + 2)
@@ -196,5 +236,5 @@ func (t *Tx) Stats() stm.TxStats { return t.stats }
 func (t *Tx) reset() {
 	t.live = false
 	t.reads = t.reads[:0]
-	clear(t.writes)
+	t.writes.Reset()
 }

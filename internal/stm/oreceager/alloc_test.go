@@ -1,0 +1,16 @@
+package oreceager_test
+
+import (
+	"testing"
+
+	"votm/internal/stm/stmtest"
+)
+
+// TestAllocGuards pins the steady-state allocation contract: a warmed
+// OrecEagerRedo descriptor runs read-only and small-write transactions —
+// and full NewTx/ReleaseTx recycle cycles — with zero allocations per op,
+// under both contention-management policies.
+func TestAllocGuards(t *testing.T) {
+	t.Run("Aggressive", func(t *testing.T) { stmtest.RunAllocGuards(t, aggressive) })
+	t.Run("Suicide", func(t *testing.T) { stmtest.RunAllocGuards(t, suicide) })
+}

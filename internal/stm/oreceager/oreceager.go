@@ -84,8 +84,9 @@ type Engine struct {
 	orecs []atomic.Uint64
 	fault faultinject.Hook
 
-	mu  sync.Mutex            // serializes NewTx
-	txs atomic.Pointer[[]*Tx] // registry snapshot: orec owner IDs index into it
+	mu   sync.Mutex            // serializes NewTx/ReleaseTx and guards pool
+	pool []*Tx                 // released descriptors, LIFO; stay registered
+	txs  atomic.Pointer[[]*Tx] // registry snapshot: orec owner IDs index into it
 }
 
 // New creates an OrecEagerRedo instance over heap.
@@ -116,30 +117,65 @@ func (e *Engine) orecIdx(a stm.Addr) uint32 {
 	return uint32(a) % uint32(len(e.orecs))
 }
 
-// NewTx implements stm.Engine.
+// NewTx implements stm.Engine. Descriptors come from the engine's pool when
+// one is free; a recycled descriptor keeps its registry ID (orec lock brands
+// index the registry, so the slot is permanent) and its grown log capacity,
+// making steady-state attempts allocation-free. Pooling also bounds registry
+// growth: without it every short-lived worker grew the snapshot forever.
 func (e *Engine) NewTx(threadID int) stm.Tx {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	old := e.txs.Load()
-	var prev []*Tx
-	if old != nil {
-		prev = *old
+	var t *Tx
+	if n := len(e.pool); n > 0 {
+		t = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		e.mu.Unlock()
+	} else {
+		old := e.txs.Load()
+		var prev []*Tx
+		if old != nil {
+			prev = *old
+		}
+		t = &Tx{
+			eng:   e,
+			id:    uint64(len(prev)),
+			reads: make([]readEntry, 0, initialReadCap),
+		}
+		next := make([]*Tx, len(prev)+1)
+		copy(next, prev)
+		next[len(prev)] = t
+		e.txs.Store(&next)
+		e.mu.Unlock()
 	}
-	t := &Tx{
-		eng:    e,
-		id:     uint64(len(prev)),
-		writes: make(map[stm.Addr]uint64, 32),
-		owned:  make(map[uint32]ownedOrec, 8),
-	}
-	next := make([]*Tx, len(prev)+1)
-	copy(next, prev)
-	next[len(prev)] = t
-	e.txs.Store(&next)
 	if e.fault != nil {
 		return faultinject.WrapTx(t, e.fault, threadID)
 	}
 	return t
 }
+
+// ReleaseTx implements stm.TxPooler: it scrubs the (dead) descriptor and
+// returns it to the engine's free list. The descriptor stays in the registry
+// — a stale owner ID read from an orec must keep resolving — so recycling
+// reuses the registry slot instead of growing the snapshot.
+func (e *Engine) ReleaseTx(tx stm.Tx) {
+	t, ok := faultinject.Unwrap(tx).(*Tx)
+	if !ok || t.eng != e {
+		panic("oreceager: ReleaseTx of a foreign descriptor")
+	}
+	if t.live {
+		panic("oreceager: ReleaseTx of a live transaction")
+	}
+	t.status.Store(statusIdle)
+	t.reset()
+	t.stats = stm.TxStats{}
+	e.mu.Lock()
+	e.pool = append(e.pool, t)
+	e.mu.Unlock()
+}
+
+// initialReadCap presizes a fresh descriptor's read set; the backing array
+// is reused across attempts, recycles, and retries of the same Atomic call.
+const initialReadCap = 64
 
 // tx resolves an owner ID found in an orec. The registry snapshot is
 // immutable and only ever grows, and an ID can only appear in an orec after
@@ -159,19 +195,24 @@ type ownedOrec struct {
 }
 
 // Tx is an OrecEagerRedo transaction descriptor (single-goroutine use).
+// Write set and owned-orec set are open-addressed stm.Tables embedded in the
+// descriptor: no allocation on Store/acquire, O(1) reset on commit/abort.
+// The owned table is keyed by the orec index widened to stm.Addr (both are
+// uint32 table indexes).
 type Tx struct {
 	eng    *Engine
 	id     uint64
 	status atomic.Uint32
 	start  uint64 // snapshot of the version clock
 	reads  []readEntry
-	writes map[stm.Addr]uint64
-	owned  map[uint32]ownedOrec
+	writes stm.Table[uint64]
+	owned  stm.Table[ownedOrec]
 	live   bool
 	stats  stm.TxStats
 }
 
 var _ stm.Tx = (*Tx)(nil)
+var _ stm.TxPooler = (*Engine)(nil)
 
 func (t *Tx) lockWord() uint64 { return t.id<<1 | 1 }
 
@@ -211,7 +252,7 @@ func (t *Tx) validateOrThrow() {
 			// We locked this orec after reading it; the read is still
 			// valid iff nobody committed in between, i.e. the version we
 			// displaced equals the version we read.
-			if o, ok := t.owned[r.orec]; ok && !o.stolen && o.prev == r.ver {
+			if o, ok := t.owned.Get(stm.Addr(r.orec)); ok && !o.stolen && o.prev == r.ver {
 				continue
 			}
 		}
@@ -222,7 +263,7 @@ func (t *Tx) validateOrThrow() {
 // Load implements stm.Tx.
 func (t *Tx) Load(a stm.Addr) uint64 {
 	t.checkKilled()
-	if v, ok := t.writes[a]; ok {
+	if v, ok := t.writes.Get(a); ok {
 		return v
 	}
 	o := t.eng.orecIdx(a)
@@ -268,17 +309,17 @@ func (t *Tx) Store(a stm.Addr, v uint64) {
 	if !t.eng.heap.InBounds(a) {
 		panic(&stm.BoundsError{Addr: a, Len: t.eng.heap.Len()})
 	}
-	if _, ok := t.writes[a]; ok {
-		t.writes[a] = v
+	if _, ok := t.writes.Get(a); ok {
+		t.writes.Put(a, v)
 		return
 	}
 	o := t.eng.orecIdx(a)
-	if _, mine := t.owned[o]; mine {
-		t.writes[a] = v
+	if _, mine := t.owned.Get(stm.Addr(o)); mine {
+		t.writes.Put(a, v)
 		return
 	}
 	t.acquire(o)
-	t.writes[a] = v
+	t.writes.Put(a, v)
 }
 
 // acquire obtains ownership of orec o or unwinds with a conflict.
@@ -292,7 +333,7 @@ func (t *Tx) acquire(o uint32) {
 				t.extend()
 			}
 			if t.eng.orecs[o].CompareAndSwap(ov, t.lockWord()) {
-				t.owned[o] = ownedOrec{prev: ov}
+				t.owned.Put(stm.Addr(o), ownedOrec{prev: ov})
 				return
 			}
 			continue
@@ -311,7 +352,7 @@ func (t *Tx) acquire(o uint32) {
 					// CAS can still fail if the owner released this orec
 					// between our load and the kill; then just retry.
 					if t.eng.orecs[o].CompareAndSwap(ov, t.lockWord()) {
-						t.owned[o] = ownedOrec{stolen: true}
+						t.owned.Put(stm.Addr(o), ownedOrec{stolen: true})
 						return
 					}
 				}
@@ -338,7 +379,7 @@ func (t *Tx) Commit() bool {
 	if !t.live {
 		panic("oreceager: Commit on a dead transaction")
 	}
-	if len(t.writes) == 0 {
+	if t.writes.Len() == 0 {
 		// Read-only: final validation gives opacity.
 		if !stm.Catch(t.validateOrThrow) || t.status.Load() == statusKilled {
 			t.rollback()
@@ -359,11 +400,13 @@ func (t *Tx) Commit() bool {
 		return false
 	}
 	// Write back the redo log, then release orecs at a fresh version.
-	for a, v := range t.writes {
+	for i := 0; i < t.writes.Len(); i++ {
+		a, v := t.writes.Entry(i)
 		t.eng.heap.Store(a, v)
 	}
 	newVer := t.eng.clock.Add(1) << 1
-	for o := range t.owned {
+	for i := 0; i < t.owned.Len(); i++ {
+		o, _ := t.owned.Entry(i)
 		t.eng.orecs[o].Store(newVer)
 	}
 	t.status.Store(statusCommitted)
@@ -386,7 +429,8 @@ func (t *Tx) Abort() {
 // conservative: it can only cause spurious validation failures, never lost
 // or torn updates, because redo logging leaves memory untouched.
 func (t *Tx) rollback() {
-	for o, oo := range t.owned {
+	for i := 0; i < t.owned.Len(); i++ {
+		o, oo := t.owned.Entry(i)
 		restore := oo.prev
 		if oo.stolen {
 			restore = t.eng.clock.Add(1) << 1
@@ -405,6 +449,6 @@ func (t *Tx) Stats() stm.TxStats { return t.stats }
 func (t *Tx) reset() {
 	t.live = false
 	t.reads = t.reads[:0]
-	clear(t.writes)
-	clear(t.owned)
+	t.writes.Reset()
+	t.owned.Reset()
 }

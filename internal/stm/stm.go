@@ -62,6 +62,19 @@ type Tx interface {
 	Stats() TxStats
 }
 
+// TxPooler is implemented by engines that pool transaction descriptors.
+// ReleaseTx returns a descriptor obtained from NewTx to the engine's free
+// list after fully resetting it (write/read logs, ownership, statistics), so
+// a later NewTx can hand it out again without allocating. The caller must
+// guarantee the descriptor is dead (its last attempt committed or aborted)
+// and must not use it after release. Releasing a descriptor the engine did
+// not create, or a live one, is a programming error and panics. Descriptors
+// wrapped by fault injection (faultinject.WrapTx) are accepted: engines
+// unwrap them before pooling.
+type TxPooler interface {
+	ReleaseTx(Tx)
+}
+
 // TxStats counts transaction outcomes on one descriptor.
 type TxStats struct {
 	Commits int64 // successful commits

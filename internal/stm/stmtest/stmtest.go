@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"votm/internal/stm"
 )
@@ -49,6 +50,8 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("SequentialEquivalence", func(t *testing.T) { testSequentialEquivalence(t, factory) })
 	t.Run("TransferConservation", func(t *testing.T) { testTransferConservation(t, factory) })
 	t.Run("RepeatedBeginReset", func(t *testing.T) { testRepeatedBeginReset(t, factory) })
+	t.Run("DescriptorRecycling", func(t *testing.T) { testDescriptorRecycling(t, factory) })
+	t.Run("RecycledSpillTable", func(t *testing.T) { testRecycledSpillTable(t, factory) })
 	t.Run("PairedWritesAtomic", func(t *testing.T) { testPairedWritesAtomic(t, factory) })
 	t.Run("MultiWordSnapshotSum", func(t *testing.T) { testMultiWordSnapshotSum(t, factory) })
 }
@@ -585,6 +588,196 @@ func testMultiWordSnapshotSum(t *testing.T, f Factory) {
 	readers.Wait()
 	if bad.Load() != 0 {
 		t.Errorf("%d inconsistent snapshots (sum != %d)", bad.Load(), total)
+	}
+}
+
+// testDescriptorRecycling drives one descriptor through every way a
+// transaction can die — commit, conflict-abort, user-panic unwind — then
+// releases it to the engine's pool, recycles it, and asserts zero
+// cross-transaction state leakage: no stale writes or read-set entries, no
+// residual statistics, and no orec ownership pinned by the dead incarnation.
+func testDescriptorRecycling(t *testing.T, f Factory) {
+	h := stm.NewHeap(64)
+	e := f(h)
+	pooler, ok := e.(stm.TxPooler)
+	if !ok {
+		t.Skipf("%s does not implement stm.TxPooler", e.Name())
+	}
+
+	tx := e.NewTx(0)
+	// Death 1: clean commit.
+	Atomically(tx, func(tx stm.Tx) { tx.Store(1, 100) })
+
+	// Death 2: conflict-abort with a populated read and write set.
+	tx.Begin()
+	_ = tx.Load(1)
+	tx.Store(2, 0xdead)
+	if stm.Catch(func() { stm.Throw("stmtest: forced conflict") }) {
+		t.Fatal("forced conflict was not caught")
+	}
+	tx.Abort()
+
+	// Death 3: user panic mid-body; the runtime's unwind path aborts before
+	// re-raising, which is what we reproduce here.
+	tx.Begin()
+	tx.Store(3, 0xbeef)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected user panic")
+			}
+			tx.Abort()
+		}()
+		panic("stmtest: user panic")
+	}()
+
+	pooler.ReleaseTx(tx)
+	got := e.NewTx(7)
+	if got != tx {
+		t.Errorf("NewTx after ReleaseTx returned a fresh descriptor, want the recycled one")
+	}
+	if s := got.Stats(); s.Commits != 0 || s.Aborts != 0 {
+		t.Errorf("recycled descriptor stats = %+v, want zeroed", s)
+	}
+
+	// No stale state: aborted writes invisible, committed state intact.
+	Atomically(got, func(tx stm.Tx) {
+		if v := tx.Load(2); v != 0 {
+			t.Errorf("stale write leaked through recycle (conflict-abort path): word 2 = %#x", v)
+		}
+		if v := tx.Load(3); v != 0 {
+			t.Errorf("stale write leaked through recycle (panic path): word 3 = %#x", v)
+		}
+		if v := tx.Load(1); v != 100 {
+			t.Errorf("committed state lost across recycle: word 1 = %d, want 100", v)
+		}
+		tx.Store(2, 7)
+	})
+	if v := h.Load(2); v != 7 {
+		t.Errorf("post-recycle commit: word 2 = %d, want 7", v)
+	}
+
+	// No leaked ownership: a different descriptor must be able to write every
+	// address the dead incarnation touched. A leaked orec would block this
+	// forever, so run it under a deadline.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		other := e.NewTx(9)
+		Atomically(other, func(tx stm.Tx) {
+			tx.Store(1, 101)
+			tx.Store(2, 102)
+			tx.Store(3, 103)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer blocked: recycled descriptor leaked ownership")
+	}
+	for a, want := range map[stm.Addr]uint64{1: 101, 2: 102, 3: 103} {
+		if v := h.Load(a); v != want {
+			t.Errorf("word %d = %d, want %d", a, v, want)
+		}
+	}
+}
+
+// testRecycledSpillTable recycles a descriptor whose write set spilled to
+// its growable table (a large transaction) and asserts the retained spill
+// capacity carries no entries into the next incarnation.
+func testRecycledSpillTable(t *testing.T, f Factory) {
+	const n = 200 // far past the small-table spill threshold
+	h := stm.NewHeap(n)
+	e := f(h)
+	pooler, ok := e.(stm.TxPooler)
+	if !ok {
+		t.Skipf("%s does not implement stm.TxPooler", e.Name())
+	}
+	tx := e.NewTx(0)
+	// Spill, then die by abort so none of the large write set commits.
+	tx.Begin()
+	for i := 0; i < n; i++ {
+		tx.Store(stm.Addr(i), uint64(i)+1000)
+	}
+	tx.Abort()
+	pooler.ReleaseTx(tx)
+
+	got := e.NewTx(1)
+	Atomically(got, func(tx stm.Tx) {
+		for i := 0; i < n; i++ {
+			if v := tx.Load(stm.Addr(i)); v != 0 {
+				t.Fatalf("stale spilled write leaked: word %d = %d, want 0", i, v)
+			}
+		}
+		tx.Store(5, 55)
+	})
+	if v := h.Load(5); v != 55 {
+		t.Errorf("word 5 = %d, want 55", v)
+	}
+}
+
+// RunAllocGuards asserts the engines' steady-state allocation contract on a
+// warmed descriptor: a read-only transaction allocates nothing per op, and a
+// small write transaction allocates nothing either (its write set lives
+// inline in the descriptor). Call from each engine's test package.
+func RunAllocGuards(t *testing.T, factory Factory) {
+	h := stm.NewHeap(1024)
+	e := factory(h)
+	tx := e.NewTx(0)
+	// Warm: grow the read log once and touch both paths.
+	for i := 0; i < 16; i++ {
+		Atomically(tx, func(tx stm.Tx) {
+			for a := stm.Addr(0); a < 8; a++ {
+				_ = tx.Load(a)
+			}
+			tx.Store(stm.Addr(i), uint64(i))
+		})
+	}
+
+	readOnly := testing.AllocsPerRun(200, func() {
+		tx.Begin()
+		for a := stm.Addr(0); a < 8; a++ {
+			_ = tx.Load(a)
+		}
+		if !tx.Commit() {
+			t.Fatal("uncontended read-only commit failed")
+		}
+	})
+	if readOnly != 0 {
+		t.Errorf("warmed read-only transaction: %.1f allocs/op, want 0", readOnly)
+	}
+
+	smallWrite := testing.AllocsPerRun(200, func() {
+		tx.Begin()
+		for a := stm.Addr(0); a < 4; a++ {
+			tx.Store(a, tx.Load(a)+1)
+		}
+		if !tx.Commit() {
+			t.Fatal("uncontended write commit failed")
+		}
+	})
+	if smallWrite != 0 {
+		t.Errorf("warmed small-write transaction: %.1f allocs/op, want 0", smallWrite)
+	}
+
+	// Recycling itself must not allocate once the pool is primed.
+	pooler, ok := e.(stm.TxPooler)
+	if !ok {
+		return
+	}
+	pooler.ReleaseTx(tx)
+	_ = e.NewTx(0) // prime any lazily-grown pool slice
+	recycle := testing.AllocsPerRun(200, func() {
+		tx := e.NewTx(3)
+		tx.Begin()
+		tx.Store(0, 1)
+		if !tx.Commit() {
+			t.Fatal("uncontended commit failed")
+		}
+		pooler.ReleaseTx(tx)
+	})
+	if recycle != 0 {
+		t.Errorf("NewTx/ReleaseTx recycle cycle: %.1f allocs/op, want 0", recycle)
 	}
 }
 

@@ -25,6 +25,7 @@ package tl2
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"votm/internal/faultinject"
@@ -56,6 +57,9 @@ type Engine struct {
 	clock atomic.Uint64
 	orecs []atomic.Uint64 // version<<1 (even) or owner-id<<1|1 (locked)
 	fault faultinject.Hook
+
+	poolMu sync.Mutex
+	pool   []*Tx // released descriptors, LIFO
 }
 
 // New creates a TL2 instance over heap.
@@ -84,18 +88,49 @@ func (e *Engine) orecIdx(a stm.Addr) uint32 {
 }
 
 // NewTx implements stm.Engine. threadID must be unique per descriptor
-// within this engine (it brands commit-time locks).
+// within this engine (it brands commit-time locks). Descriptors come from
+// the engine's pool when one is free; a recycled descriptor is re-branded
+// with the new threadID and keeps its grown log capacity, so steady-state
+// attempts allocate nothing.
 func (e *Engine) NewTx(threadID int) stm.Tx {
-	t := &Tx{
-		eng:    e,
-		id:     uint64(threadID)&0x7fffffff + 1, // non-zero lock brand
-		writes: make(map[stm.Addr]uint64, 32),
+	e.poolMu.Lock()
+	var t *Tx
+	if n := len(e.pool); n > 0 {
+		t = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
 	}
+	e.poolMu.Unlock()
+	if t == nil {
+		t = &Tx{eng: e, reads: make([]uint32, 0, initialReadCap)}
+	}
+	t.id = uint64(threadID)&0x7fffffff + 1 // non-zero lock brand
 	if e.fault != nil {
 		return faultinject.WrapTx(t, e.fault, threadID)
 	}
 	return t
 }
+
+// ReleaseTx implements stm.TxPooler: it scrubs the (dead) descriptor and
+// returns it to the engine's free list for reuse by a later NewTx.
+func (e *Engine) ReleaseTx(tx stm.Tx) {
+	t, ok := faultinject.Unwrap(tx).(*Tx)
+	if !ok || t.eng != e {
+		panic("tl2: ReleaseTx of a foreign descriptor")
+	}
+	if t.live {
+		panic("tl2: ReleaseTx of a live transaction")
+	}
+	t.reset()
+	t.stats = stm.TxStats{}
+	e.poolMu.Lock()
+	e.pool = append(e.pool, t)
+	e.poolMu.Unlock()
+}
+
+// initialReadCap presizes a fresh descriptor's read set; the backing array
+// is reused across attempts, recycles, and retries of the same Atomic call.
+const initialReadCap = 64
 
 // Tx is a TL2 transaction descriptor (single-goroutine use).
 type Tx struct {
@@ -103,13 +138,14 @@ type Tx struct {
 	id     uint64
 	rv     uint64 // read version: clock sample at begin
 	reads  []uint32
-	writes map[stm.Addr]uint64
-	locked []uint32 // orecs locked during commit (LIFO release)
+	writes stm.Table[uint64] // open-addressed redo log, alloc-free steady state
+	locked []uint32          // orecs locked during commit (LIFO release)
 	live   bool
 	stats  stm.TxStats
 }
 
 var _ stm.Tx = (*Tx)(nil)
+var _ stm.TxPooler = (*Engine)(nil)
 
 func (t *Tx) lockWord() uint64 { return t.id<<1 | 1 }
 
@@ -124,7 +160,7 @@ func (t *Tx) Begin() {
 
 // Load implements stm.Tx: the classic TL2 post-validated read.
 func (t *Tx) Load(a stm.Addr) uint64 {
-	if v, ok := t.writes[a]; ok {
+	if v, ok := t.writes.Get(a); ok {
 		return v
 	}
 	o := t.eng.orecIdx(a)
@@ -168,7 +204,7 @@ func (t *Tx) Store(a stm.Addr, v uint64) {
 	if !t.eng.heap.InBounds(a) {
 		panic(&stm.BoundsError{Addr: a, Len: t.eng.heap.Len()})
 	}
-	t.writes[a] = v
+	t.writes.Put(a, v)
 }
 
 // Commit implements stm.Tx.
@@ -176,7 +212,7 @@ func (t *Tx) Commit() bool {
 	if !t.live {
 		panic("tl2: Commit on a dead transaction")
 	}
-	if len(t.writes) == 0 {
+	if t.writes.Len() == 0 {
 		// Read-only: per-read validation already guarantees a consistent
 		// snapshot at rv; nothing to lock.
 		t.stats.Commits++
@@ -203,7 +239,8 @@ func (t *Tx) Commit() bool {
 			return false
 		}
 	}
-	for a, v := range t.writes {
+	for i := 0; i < t.writes.Len(); i++ {
+		a, v := t.writes.Entry(i)
 		t.eng.heap.Store(a, v)
 	}
 	t.releaseLocked(wv, false)
@@ -215,7 +252,8 @@ func (t *Tx) Commit() bool {
 // lockWriteSet acquires the orecs covering the write set, tolerating
 // stripe aliasing (an orec may cover several written addresses).
 func (t *Tx) lockWriteSet() bool {
-	for a := range t.writes {
+	for i := 0; i < t.writes.Len(); i++ {
+		a, _ := t.writes.Entry(i)
 		o := t.eng.orecIdx(a)
 		if t.ownsLocked(o) {
 			continue
@@ -290,5 +328,5 @@ func (t *Tx) reset() {
 	t.live = false
 	t.reads = t.reads[:0]
 	t.locked = t.locked[:0]
-	clear(t.writes)
+	t.writes.Reset()
 }

@@ -1,0 +1,105 @@
+package stm
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTable drives a Table[uint64] against a map oracle through random
+// insert/update/lookup/iterate/reset sequences. The byte stream is decoded as
+// a sequence of operations:
+//
+//	op = b[0] % 8:
+//	  0..4  Put   (keys biased to a small range so updates and probe
+//	              collisions actually happen; 5 widens the key space so the
+//	              small-to-spill boundary is crossed within one input)
+//	  5     Put with a wide key
+//	  6     Reset
+//	  7     full iterate-and-compare against the oracle
+//
+// Every Get is cross-checked, and the whole table is compared to the oracle
+// after the stream ends.
+func FuzzTable(f *testing.F) {
+	// Seed corpus: empty, a few small mixes, an update-heavy run, a reset in
+	// the middle, and a long run of distinct keys that crosses the
+	// small-to-spill growth boundary (and the first spill-table doubling).
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 7})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 7, 6, 0, 7})
+	spill := make([]byte, 0, 4*(tableSmallMax+8))
+	for i := 0; i < tableSmallMax+8; i++ { // crosses tableSmallMax
+		spill = append(spill, 5, byte(i), byte(i>>8), byte(13*i))
+	}
+	f.Add(spill)
+	deep := make([]byte, 0, 4*512)
+	for i := 0; i < 512; i++ { // forces repeated spill-table doubling
+		deep = append(deep, 5, byte(i), byte(i>>8), byte(i+7))
+	}
+	f.Add(append(deep, 6, 7)) // ...then reset and verify emptiness
+	f.Add([]byte{6, 6, 6, 7})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tb Table[uint64]
+		oracle := map[Addr]uint64{}
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			b := data[i]
+			i++
+			return b
+		}
+		checkAll := func() {
+			if tb.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle has %d", tb.Len(), len(oracle))
+			}
+			seen := map[Addr]uint64{}
+			for s := 0; s < tb.Len(); s++ {
+				a, v := tb.Entry(s)
+				if _, dup := seen[a]; dup {
+					t.Fatalf("key %d appears twice in the journal", a)
+				}
+				seen[a] = v
+			}
+			if len(seen) != len(oracle) {
+				t.Fatalf("iteration saw %d entries, oracle has %d", len(seen), len(oracle))
+			}
+			for a, v := range oracle {
+				if got, ok := seen[a]; !ok || got != v {
+					t.Fatalf("iter[%d] = %d,%v, oracle %d", a, got, ok, v)
+				}
+			}
+		}
+
+		for i < len(data) {
+			switch op := next() % 8; op {
+			case 6:
+				tb.Reset()
+				clear(oracle)
+			case 7:
+				checkAll()
+			default:
+				var key Addr
+				if op == 5 {
+					key = Addr(binary.LittleEndian.Uint16([]byte{next(), next()}))
+				} else {
+					key = Addr(next() % 64)
+				}
+				val := uint64(next())
+				// Cross-check the pre-state, then insert.
+				gotV, gotOK := tb.Get(key)
+				wantV, wantOK := oracle[key]
+				if gotOK != wantOK || gotV != wantV {
+					t.Fatalf("Get(%d) = %d,%v, oracle %d,%v", key, gotV, gotOK, wantV, wantOK)
+				}
+				tb.Put(key, val)
+				oracle[key] = val
+				if v, ok := tb.Get(key); !ok || v != val {
+					t.Fatalf("Get(%d) after Put = %d,%v, want %d,true", key, v, ok, val)
+				}
+			}
+		}
+		checkAll()
+	})
+}
