@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race cover bench tables ablations fmt vet clean
+.PHONY: all build test short race cover bench tables ablations serve fmt vet clean
 
 all: build test
 
@@ -40,6 +40,14 @@ tables:
 
 ablations:
 	$(GO) run ./cmd/votm-bench -ablations -scale default
+
+# Run the votmd key-value server (protocol: docs/PROTOCOL.md; Go client:
+# package client; end-to-end demo: go run ./examples/kvserver).
+# Override flags with SERVE_FLAGS, e.g. make serve SERVE_FLAGS='-shards 16'.
+SERVE_FLAGS ?= -addr :7421 -stats-every 30s
+
+serve:
+	$(GO) run ./cmd/votmd $(SERVE_FLAGS)
 
 fmt:
 	gofmt -w .

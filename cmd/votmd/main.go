@@ -1,0 +1,110 @@
+// Command votmd serves a sharded transactional key-value API over TCP.
+// Each shard is one VOTM view (its own STM instance and RAC admission
+// controller); the wire protocol is documented in docs/PROTOCOL.md and
+// package client is the Go client.
+//
+// votmd drains gracefully on SIGTERM/SIGINT: it stops accepting, finishes
+// every in-flight transaction and answers it, then closes the RAC
+// controllers and exits.
+//
+// Usage:
+//
+//	votmd -addr :7421 -shards 8 -workers 4 -engine norec
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"votm"
+	"votm/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7421", "TCP listen address")
+		shards   = flag.Int("shards", 8, "number of shards (one VOTM view each)")
+		words    = flag.Int("shard-words", 1<<15, "initial heap words per shard")
+		buckets  = flag.Int("buckets", 1024, "hash-map buckets per shard")
+		workers  = flag.Int("workers", 4, "transaction workers per shard (RAC quota bound N)")
+		queue    = flag.Int("queue", 128, "bounded per-shard request queue (overflow => BUSY)")
+		maxVal   = flag.Int("max-value", 64<<10, "maximum value size in bytes")
+		engine   = flag.String("engine", "norec", "TM engine: norec | oreceager | tl2")
+		adjust   = flag.Int64("adjust-every", 0, "RAC adjustment window in attempts (0 = default)")
+		reqTO    = flag.Duration("request-timeout", 5*time.Second, "per-request transaction timeout")
+		idleTO   = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		statsSec = flag.Duration("stats-every", 0, "log per-shard stats at this interval (0 = off)")
+	)
+	flag.Parse()
+
+	var kind votm.EngineKind
+	switch *engine {
+	case "norec":
+		kind = votm.NOrec
+	case "oreceager":
+		kind = votm.OrecEagerRedo
+	case "tl2":
+		kind = votm.TL2
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q (norec | oreceager | tl2)\n", *engine)
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "votmd: ", log.LstdFlags|log.Lmicroseconds)
+	srv, err := server.New(server.Config{
+		Addr:            *addr,
+		Shards:          *shards,
+		ShardWords:      *words,
+		Buckets:         *buckets,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		MaxValueLen:     *maxVal,
+		Engine:          kind,
+		AdjustEvery:     *adjust,
+		RequestTimeout:  *reqTO,
+		IdleTimeout:     *idleTO,
+		Logf:            func(f string, a ...any) { logger.Printf(f, a...) },
+	})
+	if err != nil {
+		logger.Fatalf("init: %v", err)
+	}
+
+	if *statsSec > 0 {
+		go func() {
+			for range time.Tick(*statsSec) {
+				for _, r := range srv.StatsAll() {
+					logger.Printf("shard %d [%s]: Q=%d commits=%d aborts=%d keys=%d delta=%.3f",
+						r.Shard, r.Engine, r.Quota, r.Commits, r.Aborts, r.Keys, r.Delta)
+				}
+			}
+		}()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	logger.Printf("serving %d shards (%s, %d workers each) on %s", *shards, *engine, *workers, *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %v: draining (budget %v)", sig, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Fatalf("drain incomplete: %v", err)
+		}
+		logger.Printf("drained cleanly")
+	case err := <-done:
+		if err != nil {
+			logger.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -2,6 +2,9 @@ package ds_test
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"votm"
@@ -89,5 +92,146 @@ func TestPublicSurface(t *testing.T) {
 	}
 	if err := m.FreeNode(removed); err != nil {
 		t.Errorf("FreeNode: %v", err)
+	}
+}
+
+// TestHashMapChurn churns one shared HashMap from many goroutines —
+// concurrent insert, overwrite, delete and lookup through the public facade
+// — and then checks the survivors against a per-goroutine model. Each worker
+// owns a disjoint key range (so the final state is deterministic per worker)
+// but all keys collide in a small bucket table, so the transactions
+// genuinely contend. Run under -race in CI.
+func TestHashMapChurn(t *testing.T) {
+	const (
+		workers = 8
+		span    = 32 // keys per worker
+	)
+	rounds := 300
+	if testing.Short() {
+		rounds = 80
+	}
+	ctx := context.Background()
+	rt := votm.New(votm.Config{Threads: workers, Engine: votm.NOrec})
+	v, err := rt.CreateView(1, 1<<16, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ds.NewHashMap(v, 8) // few buckets: force chain contention
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	models := make([]map[uint64]uint64, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		models[w] = make(map[uint64]uint64)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			defer th.Release()
+			rng := rand.New(rand.NewSource(int64(w)*613 + 1))
+			model := models[w]
+			fail := func(err error) { errCh <- err }
+			for r := 0; r < rounds; r++ {
+				key := uint64(w*span + rng.Intn(span))
+				val := uint64(r + 1)
+				switch rng.Intn(3) {
+				case 0: // insert or overwrite
+					spare, err := m.NewNode()
+					if err != nil {
+						fail(err)
+						return
+					}
+					var used bool
+					if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+						used = m.Put(tx, key, val, spare)
+						return nil
+					}); err != nil {
+						fail(err)
+						return
+					}
+					if !used {
+						_ = m.FreeNode(spare)
+					}
+					model[key] = val
+				case 1: // delete
+					var (
+						node  ds.Ref
+						found bool
+					)
+					if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+						node, found = ds.NilRef, false
+						node, found = m.Delete(tx, key)
+						return nil
+					}); err != nil {
+						fail(err)
+						return
+					}
+					if _, want := model[key]; found != want {
+						fail(fmt.Errorf("worker %d: Delete(%d) found=%v, model says %v", w, key, found, want))
+						return
+					}
+					if found {
+						_ = m.FreeNode(node)
+						delete(model, key)
+					}
+				default: // lookup against the model
+					var (
+						got uint64
+						ok  bool
+					)
+					if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+						got, ok = m.Get(tx, key)
+						return nil
+					}); err != nil {
+						fail(err)
+						return
+					}
+					want, exists := model[key]
+					if ok != exists || (ok && got != want) {
+						fail(fmt.Errorf("worker %d: Get(%d) = (%d,%v), model (%d,%v)", w, key, got, ok, want, exists))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Survivors match the union of the models, and Len agrees.
+	th := rt.RegisterThread()
+	total := 0
+	for w, model := range models {
+		total += len(model)
+		for k := uint64(w * span); k < uint64((w+1)*span); k++ {
+			var (
+				got uint64
+				ok  bool
+			)
+			if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+				got, ok = m.Get(tx, k)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			want, exists := model[k]
+			if ok != exists || (ok && got != want) {
+				t.Errorf("key %d: map (%d,%v), model (%d,%v)", k, got, ok, want, exists)
+			}
+		}
+	}
+	if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+		if n := m.Len(tx); n != total {
+			t.Errorf("Len = %d, models hold %d", n, total)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

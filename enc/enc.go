@@ -84,6 +84,23 @@ func LoadString(tx votm.Tx, base votm.Addr) string {
 	return string(LoadBytes(tx, base+stringHdrWords, 0, n))
 }
 
+// BlobWords returns the words needed to store a length-prefixed byte blob
+// of n bytes — the value-block layout votmd stores under each key.
+func BlobWords(n int) int { return stringHdrWords + Words(n) }
+
+// StoreBlob writes b length-prefixed at base. The caller must have
+// allocated at least BlobWords(len(b)) words.
+func StoreBlob(tx votm.Tx, base votm.Addr, b []byte) {
+	tx.Store(base, uint64(len(b)))
+	StoreBytes(tx, base+stringHdrWords, 0, b)
+}
+
+// LoadBlob reads a length-prefixed byte blob from base.
+func LoadBlob(tx votm.Tx, base votm.Addr) []byte {
+	n := int(tx.Load(base))
+	return LoadBytes(tx, base+stringHdrWords, 0, n)
+}
+
 // StoreUint64s writes xs to consecutive words at base.
 func StoreUint64s(tx votm.Tx, base votm.Addr, xs []uint64) {
 	for i, x := range xs {

@@ -180,3 +180,38 @@ func TestBytesTransactional(t *testing.T) {
 		return nil
 	})
 }
+
+// TestBlobBoundaries pins the blob codec — the value format votmd's shard
+// store packs into the heap — at the lengths where the word count changes:
+// one byte either side of each 8-byte word boundary.
+func TestBlobBoundaries(t *testing.T) {
+	v, th := newView(t)
+	ctx := context.Background()
+	for _, n := range []int{0, 1, 6, 7, 8, 9, 15, 16, 17, 23, 24, 25, 64, 65} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i ^ n)
+		}
+		words := enc.BlobWords(n)
+		if want := 1 + (n+7)/8; words != want {
+			t.Errorf("BlobWords(%d) = %d, want %d", n, words, want)
+		}
+		base, err := v.Alloc(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = v.Atomic(ctx, th, func(tx votm.Tx) error {
+			enc.StoreBlob(tx, base, data)
+			if got := enc.LoadBlob(tx, base); !bytes.Equal(got, data) {
+				t.Errorf("len %d: got %d bytes %x", n, len(got), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Free(base); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -16,6 +16,16 @@ func FuzzBytesRoundTrip(f *testing.F) {
 	f.Add([]byte{}, uint8(3))
 	f.Add([]byte{0xff}, uint8(7))
 	f.Add(bytes.Repeat([]byte{0x5a}, 40), uint8(13))
+	// Word-boundary lengths (one byte either side of 8) at offsets that make
+	// the payload straddle a word edge — the cases the packing math must not
+	// get wrong by one.
+	f.Add(bytes.Repeat([]byte{0x11}, 7), uint8(0))
+	f.Add(bytes.Repeat([]byte{0x22}, 8), uint8(0))
+	f.Add(bytes.Repeat([]byte{0x33}, 9), uint8(0))
+	f.Add(bytes.Repeat([]byte{0x44}, 7), uint8(5))
+	f.Add(bytes.Repeat([]byte{0x55}, 8), uint8(3))
+	f.Add(bytes.Repeat([]byte{0x66}, 9), uint8(7))
+	f.Add(bytes.Repeat([]byte{0x77}, 16), uint8(1))
 
 	rt := votm.New(votm.Config{Threads: 1})
 	v, err := rt.CreateView(1, 4096, 1)
@@ -81,6 +91,48 @@ func FuzzStringRoundTrip(f *testing.F) {
 			enc.StoreString(tx, base, s)
 			if got := enc.LoadString(tx, base); got != s {
 				t.Fatalf("round trip: %q != %q", got, s)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzBlobRoundTrip checks the length-prefixed blob codec that votmd's shard
+// store uses for every stored value. Seeds sit on the word boundaries
+// (lengths 7, 8, 9) where BlobWords changes.
+func FuzzBlobRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("value"))
+	f.Add(bytes.Repeat([]byte{0xA7}, 7))
+	f.Add(bytes.Repeat([]byte{0xB8}, 8))
+	f.Add(bytes.Repeat([]byte{0xC9}, 9))
+	f.Add(bytes.Repeat([]byte{0xD0}, 255))
+
+	rt := votm.New(votm.Config{Threads: 1})
+	v, err := rt.CreateView(1, 8192, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	th := rt.RegisterThread()
+	ctx := context.Background()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		base, err := v.Alloc(enc.BlobWords(len(data)))
+		if err != nil {
+			t.Skip("view exhausted by corpus")
+		}
+		defer func() { _ = v.Free(base) }()
+		err = v.Atomic(ctx, th, func(tx votm.Tx) error {
+			enc.StoreBlob(tx, base, data)
+			got := enc.LoadBlob(tx, base)
+			if len(got) != len(data) || !bytes.Equal(got, data) {
+				t.Fatalf("blob round trip: %d bytes in, %d out", len(data), len(got))
 			}
 			return nil
 		})

@@ -220,22 +220,17 @@ func Run(cfg RunConfig, p Params) (Result, error) {
 	livelocked := wd.Stop()
 
 	res := Result{Elapsed: elapsed, Livelock: livelocked, Reason: wd.Reason()}
-	for i, v := range views {
-		tot := v.Totals()
-		q := v.Quota()
-		if v.Controller().Adaptive() {
-			q = v.SettledQuota()
-		}
+	for _, v := range views {
+		s := v.Snapshot()
 		res.Views = append(res.Views, ViewStats{
-			Commits:    tot.Commits,
-			Aborts:     tot.Aborts,
-			SuccessNs:  tot.SuccessNs,
-			AbortNs:    tot.AbortNs,
-			Delta:      tot.Delta(q),
-			Quota:      q,
-			QuotaMoves: v.QuotaMoves(),
+			Commits:    s.Totals.Commits,
+			Aborts:     s.Totals.Aborts,
+			SuccessNs:  s.Totals.SuccessNs,
+			AbortNs:    s.Totals.AbortNs,
+			Delta:      s.Delta,
+			Quota:      s.EffectiveQuota,
+			QuotaMoves: s.QuotaMoves,
 		})
-		_ = i
 	}
 	return res, nil
 }

@@ -252,19 +252,15 @@ func Run(cfg RunConfig, p Params, w *Workload) (Result, error) {
 		ChecksumErrors: st.sumErrs.Load(),
 	}
 	appendStats := func(name string, v *core.View) {
-		tot := v.Totals()
-		q := v.Quota()
-		if v.Controller().Adaptive() {
-			q = v.SettledQuota()
-		}
+		s := v.Snapshot()
 		res.Views = append(res.Views, ViewStats{
 			Name:      name,
-			Commits:   tot.Commits,
-			Aborts:    tot.Aborts,
-			SuccessNs: tot.SuccessNs,
-			AbortNs:   tot.AbortNs,
-			Delta:     tot.Delta(q),
-			Quota:     q,
+			Commits:   s.Totals.Commits,
+			Aborts:    s.Totals.Aborts,
+			SuccessNs: s.Totals.SuccessNs,
+			AbortNs:   s.Totals.AbortNs,
+			Delta:     s.Delta,
+			Quota:     s.EffectiveQuota,
 		})
 	}
 	if cfg.Mode.MultipleViews() {

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"votm/wire"
+)
+
+// conn is one client connection. A read goroutine parses frames and either
+// answers inline (PING, STATS, rejections) or dispatches to a shard queue;
+// shard workers push responses onto out, and a write goroutine flushes them
+// — so responses complete out of order and the connection pipelines.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out chan *wire.Response
+	// pending counts dispatched-but-unanswered requests; the out channel is
+	// closed only after the read loop has exited AND pending drained, so a
+	// graceful drain never loses an in-flight response.
+	pending sync.WaitGroup
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	c := &conn{srv: s, nc: nc, out: make(chan *wire.Response, 64)}
+	s.trackConn(nc, true)
+	defer s.trackConn(nc, false)
+
+	writerDone := make(chan struct{})
+	go c.writeLoop(writerDone)
+
+	c.readLoop()
+
+	c.pending.Wait()
+	close(c.out)
+	<-writerDone
+	_ = nc.Close()
+}
+
+// send queues a response for the writer. It may block briefly when the
+// writer is behind; the writer always drains out until it is closed, so the
+// send cannot deadlock.
+func (c *conn) send(r *wire.Response) { c.out <- r }
+
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 16<<10)
+	for {
+		if c.srv.draining.Load() {
+			return
+		}
+		_ = c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+		req, err := wire.ReadRequest(br)
+		if err != nil {
+			if errors.Is(err, wire.ErrProtocol) {
+				// The stream is unframed from here on: answer once (ID 0 —
+				// the true ID is unknowable) and hang up.
+				c.send(&wire.Response{
+					Op: wire.OpPing, Status: wire.StatusBadRequest,
+					Value: []byte(err.Error()),
+				})
+			}
+			// io.EOF: clean close. Deadline errors: idle cutoff or the
+			// drain wake-up. Either way the read side is done.
+			_ = err
+			return
+		}
+		c.dispatch(req)
+	}
+}
+
+// dispatch validates req and routes it: control ops answer inline, data ops
+// go to their shard's bounded queue (full queue => StatusBusy, draining
+// server => StatusShutdown).
+func (c *conn) dispatch(req *wire.Request) {
+	s := c.srv
+	switch req.Op {
+	case wire.OpPing:
+		c.send(&wire.Response{Op: wire.OpPing, ID: req.ID})
+		return
+	case wire.OpStats:
+		c.send(s.statsResponse(req))
+		return
+	}
+
+	if status, msg := c.validate(req); status != wire.StatusOK {
+		c.send(&wire.Response{Op: req.Op, ID: req.ID, Status: status, Value: []byte(msg)})
+		return
+	}
+
+	key := req.Key
+	if req.Op == wire.OpAtomic {
+		key = req.Subs[0].Key
+	}
+	sh := s.shards[s.Shard(key)]
+
+	if !s.beginReq() {
+		c.send(&wire.Response{
+			Op: req.Op, ID: req.ID,
+			Status: wire.StatusShutdown, Value: []byte("server draining"),
+		})
+		return
+	}
+	c.pending.Add(1)
+	select {
+	case sh.queue <- task{req: req, c: c}:
+	default:
+		// Bounded in-flight queue is full: reject now instead of queueing
+		// unboundedly. The client sees a typed BUSY and decides.
+		c.pending.Done()
+		s.reqWG.Done()
+		c.send(&wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusBusy})
+	}
+}
+
+// validate applies size and shape limits a shard should never see violated.
+func (c *conn) validate(req *wire.Request) (wire.Status, string) {
+	max := c.srv.cfg.MaxValueLen
+	switch req.Op {
+	case wire.OpPut:
+		if len(req.Value) > max {
+			return wire.StatusTooLarge, fmt.Sprintf("value of %d bytes exceeds %d", len(req.Value), max)
+		}
+	case wire.OpCAS:
+		if len(req.Value) > max || len(req.OldValue) > max {
+			return wire.StatusTooLarge, fmt.Sprintf("value exceeds %d bytes", max)
+		}
+	case wire.OpAtomic:
+		if len(req.Subs) == 0 {
+			return wire.StatusBadRequest, "empty atomic batch"
+		}
+		want := c.srv.Shard(req.Subs[0].Key)
+		for _, sub := range req.Subs {
+			if len(sub.Value) > max {
+				return wire.StatusTooLarge, fmt.Sprintf("value exceeds %d bytes", max)
+			}
+			if c.srv.Shard(sub.Key) != want {
+				return wire.StatusCrossShard, fmt.Sprintf(
+					"key %d is on shard %d, batch is on shard %d",
+					sub.Key, c.srv.Shard(sub.Key), want)
+			}
+		}
+	}
+	return wire.StatusOK, ""
+}
+
+func (c *conn) writeLoop(done chan struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(c.nc, 16<<10)
+	failed := false
+	flush := func() {
+		if !failed && bw.Flush() != nil {
+			failed = true
+		}
+	}
+	for r := range c.out {
+		if failed {
+			continue // keep draining so senders never block forever
+		}
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		if err := wire.WriteResponse(bw, r); err != nil && err != io.ErrShortWrite {
+			failed = true
+			continue
+		}
+		if len(c.out) == 0 {
+			flush() // batch flushes across pipelined responses
+		}
+	}
+	flush()
+}

@@ -1,0 +1,493 @@
+// Package server implements votmd: a sharded transactional key-value
+// service over TCP. Each shard is one VOTM view — its own STM instance and
+// RAC admission controller — holding a ds.HashMap; keys are hashed to
+// shards and values are packed through enc. The network frontend gives the
+// paper's admission-control feedback loop (Eq. 5's δ(Q)) real independent
+// request streams: a hot shard's quota adapts under client contention while
+// cold shards stay wide open.
+//
+// The wire format is defined in package wire and documented in
+// docs/PROTOCOL.md. Connections pipeline: requests carry IDs and responses
+// may complete out of order. Each shard has a bounded in-flight queue; when
+// it is full the server answers StatusBusy instead of queueing unboundedly
+// (backpressure, not buffer bloat). Shutdown drains gracefully: stop
+// accepting, finish every dispatched transaction, answer it, then close the
+// RAC controllers.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"votm"
+	"votm/ds"
+	"votm/wire"
+)
+
+// Config configures a Server. Zero values select the documented defaults.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe. Default ":7421".
+	Addr string
+
+	// Shards is the number of serving shards (one view each). Default 8.
+	Shards int
+	// ShardWords is each shard's initial heap size in words; shards grow on
+	// demand. Default 1 << 15.
+	ShardWords int
+	// Buckets is each shard's hash-map bucket count. Default 1024.
+	Buckets int
+
+	// WorkersPerShard is the number of transaction workers (and therefore
+	// the maximum admission quota N) per shard. Default 4.
+	WorkersPerShard int
+	// QueueDepth bounds each shard's dispatched-but-unstarted requests;
+	// overflow is answered with StatusBusy. Default 128.
+	QueueDepth int
+	// MaxValueLen bounds value sizes. Default 64 KiB.
+	MaxValueLen int
+
+	// Engine selects the TM algorithm backing every shard. Default NOrec.
+	Engine votm.EngineKind
+	// AdjustEvery is the RAC adjustment window (completed attempts);
+	// zero takes package rac's default.
+	AdjustEvery int64
+	// MaxConflictRetries is the per-transaction conflict budget before
+	// escalation. Default 16.
+	MaxConflictRetries int
+
+	// RequestTimeout bounds one transaction's execution (admission wait
+	// included). Default 5s.
+	RequestTimeout time.Duration
+	// WriteTimeout bounds one response write. Default 10s.
+	WriteTimeout time.Duration
+	// IdleTimeout closes a connection with no complete request for this
+	// long. Default 5m.
+	IdleTimeout time.Duration
+
+	// TraceLimit caps the quota-event recorder backing STATS QuotaEvents.
+	// Default 4096.
+	TraceLimit int
+
+	// FaultHook, when non-nil, is threaded into the runtime for chaos
+	// testing (see internal/faultinject). Leave nil in production.
+	FaultHook votm.FaultHook
+
+	// Logf, when non-nil, receives server log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":7421"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.ShardWords <= 0 {
+		c.ShardWords = 1 << 15
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 1024
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.MaxValueLen <= 0 {
+		c.MaxValueLen = 64 << 10
+	}
+	if c.MaxConflictRetries == 0 {
+		c.MaxConflictRetries = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.TraceLimit <= 0 {
+		c.TraceLimit = 4096
+	}
+	return c
+}
+
+// ShardOf maps a key to its shard index. The mix deliberately differs from
+// ds.HashMap's bucket hash so one shard's keys still spread over that
+// shard's buckets.
+func ShardOf(key uint64, shards int) int {
+	h := key
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(shards))
+}
+
+// Server is a votmd instance.
+type Server struct {
+	cfg    Config
+	rt     *votm.Runtime
+	rec    *votm.QuotaRecorder
+	shards []*shard
+	start  time.Time
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+
+	// draining + reqMu guard the stop-the-world handshake of Shutdown:
+	// beginReq refuses once draining is set, so reqWG.Wait cannot race a
+	// late Add.
+	draining atomic.Bool
+	reqMu    sync.Mutex
+	reqWG    sync.WaitGroup
+
+	workersWG sync.WaitGroup
+	connWG    sync.WaitGroup
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New builds a server: one runtime, Shards views (IDs 1..Shards, adaptive
+// RAC quota each) and their worker pools. The server is not yet listening;
+// call Serve or ListenAndServe.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		rec:   votm.NewQuotaRecorder(cfg.TraceLimit),
+		conns: make(map[net.Conn]struct{}),
+		start: time.Now(),
+	}
+	s.rt = votm.New(votm.Config{
+		Threads:            cfg.WorkersPerShard,
+		Engine:             cfg.Engine,
+		AdjustEvery:        cfg.AdjustEvery,
+		MaxConflictRetries: cfg.MaxConflictRetries,
+		QuotaTrace:         s.rec.Hook(),
+		FaultHook:          cfg.FaultHook,
+	})
+	for i := 0; i < cfg.Shards; i++ {
+		v, err := s.rt.CreateView(i+1, cfg.ShardWords, votm.AdaptiveQuota)
+		if err != nil {
+			return nil, err
+		}
+		hm, err := ds.NewHashMap(v, cfg.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			id:    i,
+			view:  v,
+			hm:    hm,
+			queue: make(chan task, cfg.QueueDepth),
+		}
+		s.shards = append(s.shards, sh)
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			s.workersWG.Add(1)
+			go s.worker(sh)
+		}
+	}
+	return s, nil
+}
+
+// Recorder exposes the quota-event recorder backing STATS (tests, metrics).
+func (s *Server) Recorder() *votm.QuotaRecorder { return s.rec }
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Shard returns the shard index serving key.
+func (s *Server) Shard(key uint64) int { return ShardOf(key, len(s.shards)) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until it is closed. It returns nil when
+// the listener closed because of Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.serveConn(nc)
+		}()
+	}
+}
+
+// Addr returns the bound listen address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) trackConn(nc net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[nc] = struct{}{}
+	} else {
+		delete(s.conns, nc)
+	}
+}
+
+// beginReq registers an in-flight request; it fails once draining started,
+// so Shutdown's reqWG.Wait can never race a late Add.
+func (s *Server) beginReq() bool {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.reqWG.Add(1)
+	return true
+}
+
+// Shutdown drains the server gracefully: stop accepting, stop reading new
+// requests, finish and answer every dispatched transaction, stop the shard
+// workers, then destroy the views (closing their RAC controllers) and wait
+// for the connections to flush. If ctx expires first, remaining connections
+// are force-closed and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() { s.shutdownErr = s.shutdown(ctx) })
+	return s.shutdownErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	s.reqMu.Lock()
+	s.draining.Store(true)
+	s.reqMu.Unlock()
+
+	s.mu.Lock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	// Unblock readers parked in a frame read; they observe draining and
+	// stop reading (no request is lost: anything fully read before this
+	// deadline was either dispatched — and will be answered — or rejected
+	// with a typed status).
+	for nc := range s.conns {
+		_ = nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.forceCloseConns()
+		return ctx.Err()
+	}
+
+	// All dispatched requests are answered: retire the worker pools.
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	s.workersWG.Wait()
+
+	// Close the RAC controllers (and reject any straggling admission).
+	for _, sh := range s.shards {
+		if err := s.rt.DestroyView(sh.view.ID()); err != nil {
+			s.logf("votmd: destroy view %d: %v", sh.view.ID(), err)
+		}
+	}
+
+	connsDone := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(connsDone)
+	}()
+	select {
+	case <-connsDone:
+		return nil
+	case <-ctx.Done():
+		s.forceCloseConns()
+		return ctx.Err()
+	}
+}
+
+func (s *Server) forceCloseConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for nc := range s.conns {
+		_ = nc.Close()
+	}
+}
+
+// worker is one shard transaction worker: it owns a runtime thread handle
+// and executes dispatched requests until the shard queue closes at drain.
+func (s *Server) worker(sh *shard) {
+	defer s.workersWG.Done()
+	th := s.rt.RegisterThread()
+	defer th.Release()
+	for t := range sh.queue {
+		resp := s.execute(sh, th, t.req)
+		t.c.send(resp)
+		t.c.pending.Done()
+		s.reqWG.Done()
+	}
+}
+
+// execute runs one request's transaction. It is panic-safe: the runtime has
+// already rolled the transaction back and released admission before a body
+// panic (e.g. an injected fault) reaches us, so the request is answered
+// with StatusTxFault and the worker — and its connection — live on.
+func (s *Server) execute(sh *shard, th *votm.Thread, req *wire.Request) (resp *wire.Response) {
+	resp = &wire.Response{Op: req.Op, ID: req.ID}
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("votmd: shard %d: %v in %v transaction", sh.id, r, req.Op)
+			resp = &wire.Response{
+				Op: req.Op, ID: req.ID,
+				Status: wire.StatusTxFault,
+				Value:  []byte(fmt.Sprint(r)),
+			}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var err error
+	switch req.Op {
+	case wire.OpGet:
+		var (
+			val   []byte
+			found bool
+		)
+		if val, found, err = sh.doGet(ctx, th, req.Key); err == nil {
+			if found {
+				resp.Value = val
+			} else {
+				resp.Status = wire.StatusNotFound
+			}
+		}
+	case wire.OpPut:
+		resp.Created, err = sh.doPut(ctx, th, req.Key, req.Value)
+	case wire.OpDelete:
+		var found bool
+		if found, err = sh.doDelete(ctx, th, req.Key); err == nil && !found {
+			resp.Status = wire.StatusNotFound
+		}
+	case wire.OpCAS:
+		var (
+			outcome casOutcome
+			current []byte
+		)
+		if outcome, current, err = sh.doCAS(ctx, th, req.Key, req.OldValue, req.Value); err == nil {
+			switch outcome {
+			case casMissing:
+				resp.Status = wire.StatusNotFound
+			case casMismatch:
+				resp.Status = wire.StatusCASMismatch
+				resp.Value = current
+			}
+		}
+	case wire.OpAtomic:
+		resp.Subs, err = sh.doAtomic(ctx, th, req.Subs)
+	default:
+		resp.Status = wire.StatusBadRequest
+		resp.Value = []byte("opcode not executable on a shard")
+	}
+	if err != nil {
+		resp.Subs = nil
+		switch {
+		case errors.Is(err, errBadAdd):
+			resp.Status = wire.StatusBadRequest
+			resp.Value = []byte(err.Error())
+		case errors.Is(err, votm.ErrViewDestroyed):
+			resp.Status = wire.StatusShutdown
+			resp.Value = []byte("shard shutting down")
+		default:
+			resp.Status = wire.StatusInternal
+			resp.Value = []byte(err.Error())
+		}
+	}
+	return resp
+}
+
+// StatsAll returns every shard's statistics snapshot — what an OpStats
+// request for wire.AllShards serves — for in-process consumers (the daemon's
+// periodic stats log, tests).
+func (s *Server) StatsAll() []wire.ShardStats {
+	return s.statsResponse(&wire.Request{Op: wire.OpStats, Shard: wire.AllShards}).Stats
+}
+
+// statsResponse builds an OpStats reply. It runs inline on the connection's
+// read goroutine — health and metrics must answer even when every shard
+// queue is saturated — and needs no transaction: quota/Totals come from the
+// view snapshot accessor and the key count from the shard's counter.
+func (s *Server) statsResponse(req *wire.Request) *wire.Response {
+	resp := &wire.Response{Op: wire.OpStats, ID: req.ID}
+	var sel []*shard
+	switch {
+	case req.Shard == wire.AllShards:
+		sel = s.shards
+	case int(req.Shard) < len(s.shards):
+		sel = s.shards[req.Shard : req.Shard+1]
+	default:
+		resp.Status = wire.StatusBadRequest
+		resp.Value = []byte(fmt.Sprintf("shard %d out of range", req.Shard))
+		return resp
+	}
+	perView := s.rec.PerView()
+	for _, sh := range sel {
+		snap := sh.view.Snapshot()
+		resp.Stats = append(resp.Stats, wire.ShardStats{
+			Shard:        uint32(sh.id),
+			Engine:       string(snap.Engine),
+			Quota:        uint32(snap.Quota),
+			SettledQuota: uint32(snap.SettledQuota),
+			QuotaMoves:   uint64(snap.QuotaMoves),
+			Commits:      uint64(snap.Totals.Commits),
+			Aborts:       uint64(snap.Totals.Aborts),
+			Escalations:  uint64(snap.Totals.Escalations),
+			Panics:       uint64(snap.Totals.Panics),
+			SuccessNs:    uint64(snap.Totals.SuccessNs),
+			AbortNs:      uint64(snap.Totals.AbortNs),
+			Delta:        snap.Delta,
+			Keys:         uint64(sh.keys.Load()),
+			QuotaEvents:  uint64(len(perView[sh.view.ID()])),
+		})
+	}
+	return resp
+}

@@ -1,0 +1,369 @@
+// Shard store: each shard is one VOTM view holding a ds.HashMap from key to
+// a value-block reference, with the value bytes packed through enc. The ops
+// below follow the repo's memory discipline — blocks and map nodes are
+// allocated outside transactions, linked inside, and freed only after the
+// transaction commits — so retried bodies stay side-effect free.
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"votm"
+	"votm/ds"
+	"votm/enc"
+	"votm/internal/memheap"
+	"votm/wire"
+)
+
+// shard is one serving shard: a view (own STM engine + RAC controller), its
+// hash map, the bounded request queue feeding the shard's workers, and a
+// live-key counter kept outside the heap so STATS never needs a transaction.
+type shard struct {
+	id    int
+	view  *votm.View
+	hm    *ds.HashMap
+	queue chan task
+	keys  atomic.Int64
+}
+
+// task is one dispatched request: executed by a shard worker, answered on
+// the originating connection.
+type task struct {
+	req *wire.Request
+	c   *conn
+}
+
+// growQuantum is the minimum Brk step when a shard's heap fills up.
+const growQuantum = 1 << 14 // 16 Ki words = 128 KiB
+
+// alloc reserves words from the shard's view, growing the view when the
+// allocator is exhausted (the serving layer has no a-priori size bound).
+func (sh *shard) alloc(words int) (votm.Addr, error) {
+	for attempt := 0; ; attempt++ {
+		a, err := sh.view.Alloc(words)
+		if err == nil || attempt == 3 || !errors.Is(err, memheap.ErrOutOfMemory) {
+			return a, err
+		}
+		grow := words
+		if grow < growQuantum {
+			grow = growQuantum
+		}
+		if berr := sh.view.Brk(grow); berr != nil {
+			return 0, berr
+		}
+	}
+}
+
+// errBadAdd aborts an ATOMIC batch whose SubAdd hit a non-8-byte value.
+var errBadAdd = errors.New("server: ADD on a value that is not 8 bytes")
+
+// doGet returns the value stored under key, read in one read-only
+// transaction (consistent length + payload snapshot).
+func (sh *shard) doGet(ctx context.Context, th *votm.Thread, key uint64) ([]byte, bool, error) {
+	var (
+		val   []byte
+		found bool
+	)
+	err := sh.view.AtomicRead(ctx, th, func(tx votm.Tx) error {
+		val, found = nil, false
+		if ref, ok := sh.hm.Get(tx, key); ok {
+			val = enc.LoadBlob(tx, votm.Addr(ref))
+			found = true
+		}
+		return nil
+	})
+	return val, found, err
+}
+
+// doPut sets key to val, reporting whether the key was created. The new
+// value block and a spare map node are allocated up front; whichever of the
+// old block / spare node the committed transaction displaced is freed after
+// commit, and everything is released on failure.
+func (sh *shard) doPut(ctx context.Context, th *votm.Thread, key uint64, val []byte) (bool, error) {
+	block, err := sh.alloc(enc.BlobWords(len(val)))
+	if err != nil {
+		return false, err
+	}
+	node, err := sh.hm.NewNode()
+	if err != nil {
+		_ = sh.view.Free(block)
+		return false, err
+	}
+	var (
+		prev          uint64
+		existed, used bool
+	)
+	err = sh.view.Atomic(ctx, th, func(tx votm.Tx) error {
+		enc.StoreBlob(tx, block, val)
+		prev, existed, used = sh.hm.Swap(tx, key, uint64(block), node)
+		return nil
+	})
+	if err != nil {
+		_ = sh.view.Free(block)
+		_ = sh.hm.FreeNode(node)
+		return false, err
+	}
+	if existed {
+		_ = sh.view.Free(votm.Addr(prev))
+	} else {
+		sh.keys.Add(1)
+	}
+	if !used {
+		_ = sh.hm.FreeNode(node)
+	}
+	return !existed, nil
+}
+
+// doDelete removes key, freeing its node and value block after commit.
+func (sh *shard) doDelete(ctx context.Context, th *votm.Thread, key uint64) (bool, error) {
+	var (
+		valRef uint64
+		node   ds.Ref
+		found  bool
+	)
+	err := sh.view.Atomic(ctx, th, func(tx votm.Tx) error {
+		valRef, node, found = 0, ds.NilRef, false
+		ref, ok := sh.hm.Get(tx, key)
+		if !ok {
+			return nil
+		}
+		n, ok := sh.hm.Delete(tx, key)
+		if !ok {
+			return nil // unreachable: same transaction as the Get
+		}
+		valRef, node, found = ref, n, true
+		return nil
+	})
+	if err != nil || !found {
+		return false, err
+	}
+	_ = sh.hm.FreeNode(node)
+	_ = sh.view.Free(votm.Addr(valRef))
+	sh.keys.Add(-1)
+	return true, nil
+}
+
+// casOutcome classifies a doCAS transaction.
+type casOutcome int
+
+const (
+	casOK casOutcome = iota
+	casMissing
+	casMismatch
+)
+
+// doCAS replaces key's value with newVal iff its current bytes equal
+// expect. On mismatch it returns the current value.
+func (sh *shard) doCAS(ctx context.Context, th *votm.Thread, key uint64, expect, newVal []byte) (casOutcome, []byte, error) {
+	block, err := sh.alloc(enc.BlobWords(len(newVal)))
+	if err != nil {
+		return casOK, nil, err
+	}
+	node, err := sh.hm.NewNode()
+	if err != nil {
+		_ = sh.view.Free(block)
+		return casOK, nil, err
+	}
+	var (
+		outcome casOutcome
+		current []byte
+		prev    uint64
+		used    bool
+	)
+	err = sh.view.Atomic(ctx, th, func(tx votm.Tx) error {
+		outcome, current, prev, used = casOK, nil, 0, false
+		ref, ok := sh.hm.Get(tx, key)
+		if !ok {
+			outcome = casMissing
+			return nil
+		}
+		cur := enc.LoadBlob(tx, votm.Addr(ref))
+		if !bytes.Equal(cur, expect) {
+			outcome, current = casMismatch, cur
+			return nil
+		}
+		enc.StoreBlob(tx, block, newVal)
+		var existed bool
+		prev, existed, used = sh.hm.Swap(tx, key, uint64(block), node)
+		_ = existed // necessarily true: the key was just read in this tx
+		return nil
+	})
+	if err != nil || outcome != casOK {
+		_ = sh.view.Free(block)
+		_ = sh.hm.FreeNode(node)
+		return outcome, current, err
+	}
+	_ = sh.view.Free(votm.Addr(prev))
+	if !used {
+		_ = sh.hm.FreeNode(node)
+	}
+	return casOK, nil, nil
+}
+
+// atomicResources are the blocks and nodes pre-allocated for one ATOMIC
+// sub-operation (SubPut and SubAdd may need to link a fresh entry).
+type atomicResources struct {
+	block    votm.Addr
+	hasBlock bool
+	node     ds.Ref
+	hasNode  bool
+}
+
+// doAtomic executes a whole batch as one transaction. All keys are known to
+// live in this shard (the dispatcher enforced it). On success it returns
+// the per-sub results; a SubAdd against a malformed value aborts the batch
+// with errBadAdd (mapped to StatusBadRequest by the caller).
+func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub) ([]wire.SubResult, error) {
+	res := make([]atomicResources, len(subs))
+	freeAll := func() {
+		for _, r := range res {
+			if r.hasBlock {
+				_ = sh.view.Free(r.block)
+			}
+			if r.hasNode {
+				_ = sh.hm.FreeNode(r.node)
+			}
+		}
+	}
+	for i, sub := range subs {
+		switch sub.Kind {
+		case wire.SubPut, wire.SubAdd:
+			words := enc.BlobWords(8)
+			if sub.Kind == wire.SubPut {
+				words = enc.BlobWords(len(sub.Value))
+			}
+			block, err := sh.alloc(words)
+			if err != nil {
+				freeAll()
+				return nil, err
+			}
+			node, err := sh.hm.NewNode()
+			if err != nil {
+				_ = sh.view.Free(block)
+				freeAll()
+				return nil, err
+			}
+			res[i] = atomicResources{block: block, hasBlock: true, node: node, hasNode: true}
+		}
+	}
+
+	var (
+		results   []wire.SubResult
+		usedBlock []bool
+		usedNode  []bool
+		freeRefs  []uint64 // displaced value blocks, freed after commit
+		freeNodes []ds.Ref // unlinked map nodes, freed after commit
+		keysDelta int64
+	)
+	err := sh.view.Atomic(ctx, th, func(tx votm.Tx) error {
+		// Validation pass, strictly read-only: at Q == 1 the body runs in
+		// lock mode with no rollback, so a batch must be known-good before
+		// its first write or an aborting error would leave partial state.
+		// effLen tracks the length each key's value would have at this point
+		// of the batch (-1 = absent).
+		effLen := make(map[uint64]int, len(subs))
+		lenOf := func(key uint64) int {
+			if n, ok := effLen[key]; ok {
+				return n
+			}
+			if ref, ok := sh.hm.Get(tx, key); ok {
+				return int(tx.Load(votm.Addr(ref)))
+			}
+			return -1
+		}
+		for _, sub := range subs {
+			switch sub.Kind {
+			case wire.SubPut:
+				effLen[sub.Key] = len(sub.Value)
+			case wire.SubDelete:
+				effLen[sub.Key] = -1
+			case wire.SubAdd:
+				if n := lenOf(sub.Key); n != -1 && n != 8 {
+					return errBadAdd
+				}
+				effLen[sub.Key] = 8
+			}
+		}
+
+		// Write pass. The body may be re-executed after a conflict: rebuild
+		// every commit-side effect list from scratch on each attempt.
+		results = results[:0]
+		freeRefs, freeNodes = freeRefs[:0], freeNodes[:0]
+		usedBlock = make([]bool, len(subs))
+		usedNode = make([]bool, len(subs))
+		keysDelta = 0
+		for i, sub := range subs {
+			r := wire.SubResult{Kind: sub.Kind, Status: wire.StatusOK}
+			switch sub.Kind {
+			case wire.SubGet:
+				if ref, ok := sh.hm.Get(tx, sub.Key); ok {
+					r.Value = enc.LoadBlob(tx, votm.Addr(ref))
+				} else {
+					r.Status = wire.StatusNotFound
+				}
+			case wire.SubPut:
+				enc.StoreBlob(tx, res[i].block, sub.Value)
+				prev, existed, used := sh.hm.Swap(tx, sub.Key, uint64(res[i].block), res[i].node)
+				usedBlock[i], usedNode[i] = true, used
+				if existed {
+					freeRefs = append(freeRefs, prev)
+				} else {
+					keysDelta++
+				}
+			case wire.SubDelete:
+				ref, ok := sh.hm.Get(tx, sub.Key)
+				if !ok {
+					r.Status = wire.StatusNotFound
+					break
+				}
+				node, _ := sh.hm.Delete(tx, sub.Key)
+				freeRefs = append(freeRefs, ref)
+				freeNodes = append(freeNodes, node)
+				keysDelta--
+			case wire.SubAdd:
+				if ref, ok := sh.hm.Get(tx, sub.Key); ok {
+					base := votm.Addr(ref)
+					if tx.Load(base) != 8 {
+						return errBadAdd // unreachable: validated above
+					}
+					r.Sum = tx.Load(base+1) + sub.Delta
+					tx.Store(base+1, r.Sum)
+				} else {
+					r.Sum = sub.Delta
+					tx.Store(res[i].block, 8)
+					tx.Store(res[i].block+1, r.Sum)
+					_, _, used := sh.hm.Swap(tx, sub.Key, uint64(res[i].block), res[i].node)
+					usedBlock[i], usedNode[i] = true, used
+					keysDelta++
+				}
+			}
+			results = append(results, r)
+		}
+		return nil
+	})
+	if err != nil {
+		freeAll()
+		return nil, err
+	}
+	// Committed: release displaced storage and any pre-allocation the final
+	// attempt did not link.
+	for _, ref := range freeRefs {
+		_ = sh.view.Free(votm.Addr(ref))
+	}
+	for _, n := range freeNodes {
+		_ = sh.hm.FreeNode(n)
+	}
+	for i, r := range res {
+		if r.hasBlock && !usedBlock[i] {
+			_ = sh.view.Free(r.block)
+		}
+		if r.hasNode && !usedNode[i] {
+			_ = sh.hm.FreeNode(r.node)
+		}
+	}
+	sh.keys.Add(keysDelta)
+	return results, nil
+}

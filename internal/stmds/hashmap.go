@@ -60,18 +60,30 @@ func (m *HashMap) bucket(key uint64) stm.Addr {
 // spare node and returns used=true; the caller must then not reuse spare.
 // If the key exists the value is updated in place and spare is untouched.
 func (m *HashMap) Put(tx core.Tx, key, val uint64, spare Ref) (used bool) {
+	_, _, used = m.Swap(tx, key, val, spare)
+	return used
+}
+
+// Swap sets key to val and reports what it displaced: if the key existed,
+// prev is its previous value (existed=true) and the entry is updated in
+// place; otherwise the pre-allocated spare node is linked (used=true). The
+// caller must not reuse spare when used, and — when values reference
+// out-of-map blocks — frees whatever prev referenced only after the
+// transaction commits.
+func (m *HashMap) Swap(tx core.Tx, key, val uint64, spare Ref) (prev uint64, existed, used bool) {
 	b := m.bucket(key)
 	for curr := tx.Load(b); curr != NilRef; curr = tx.Load(addr(curr) + hmNext) {
 		if tx.Load(addr(curr)+hmKey) == key {
+			prev = tx.Load(addr(curr) + hmVal)
 			tx.Store(addr(curr)+hmVal, val)
-			return false
+			return prev, true, false
 		}
 	}
 	tx.Store(addr(spare)+hmNext, tx.Load(b))
 	tx.Store(addr(spare)+hmKey, key)
 	tx.Store(addr(spare)+hmVal, val)
 	tx.Store(b, spare)
-	return true
+	return 0, false, true
 }
 
 // Get returns the value stored under key.

@@ -538,6 +538,51 @@ func TestNewHashMapBadBuckets(t *testing.T) {
 	}
 }
 
+func TestHashMapSwap(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 1, 4096, 1)
+	th := rt.RegisterThread()
+	m, err := stmds.NewHashMap(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap on an absent key inserts, consuming the spare node.
+	spare, _ := m.NewNode()
+	run(t, v, th, func(tx core.Tx) error {
+		prev, existed, used := m.Swap(tx, 9, 90, spare)
+		if existed || !used || prev != 0 {
+			t.Errorf("insert swap = (%d, %v, %v)", prev, existed, used)
+		}
+		return nil
+	})
+
+	// Swap on a present key replaces in place: the old value comes back, the
+	// spare is untouched and reusable.
+	spare2, _ := m.NewNode()
+	run(t, v, th, func(tx core.Tx) error {
+		prev, existed, used := m.Swap(tx, 9, 91, spare2)
+		if !existed || used || prev != 90 {
+			t.Errorf("replace swap = (%d, %v, %v)", prev, existed, used)
+		}
+		if got, ok := m.Get(tx, 9); !ok || got != 91 {
+			t.Errorf("after swap Get = (%d, %v)", got, ok)
+		}
+		if m.Len(tx) != 1 {
+			t.Errorf("Len = %d after in-place swap", m.Len(tx))
+		}
+		return nil
+	})
+
+	// The untouched spare still works for a different key, and Put's
+	// delegation to Swap keeps its contract.
+	run(t, v, th, func(tx core.Tx) error {
+		if used := m.Put(tx, 10, 100, spare2); !used {
+			t.Error("Put after unused swap spare: spare not consumed")
+		}
+		return nil
+	})
+}
+
 func TestAllocFailurePropagates(t *testing.T) {
 	rt, v := newView(t, core.NOrec, 1, 2, 1)
 	_ = rt

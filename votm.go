@@ -70,6 +70,12 @@ type Config = core.Config
 // Totals are cumulative per-view transaction statistics.
 type Totals = rac.Totals
 
+// ViewSnapshot is a point-in-time per-view statistics snapshot (Totals,
+// current/settled quota, δ estimate) — the shape served by votmd's STATS
+// operation and consumed by metrics exporters; obtain one with
+// View.Snapshot or Runtime.Snapshot.
+type ViewSnapshot = core.ViewSnapshot
+
 // EngineKind selects the TM algorithm backing all views of a Runtime.
 type EngineKind = core.EngineKind
 

@@ -1,0 +1,628 @@
+// Package wire defines votmd's length-prefixed binary protocol: the frame
+// layout, opcodes, status codes and typed errors shared by the server
+// (internal/server) and the Go client (package client). The format is
+// documented in docs/PROTOCOL.md; this package is the single source of
+// truth for its constants.
+//
+// Every frame is a little-endian u32 payload length followed by the
+// payload. Request payloads start with a version byte, an opcode and a u32
+// request ID; response payloads echo the opcode (with the high bit set) and
+// the ID, then carry a status byte. Request IDs let a connection pipeline:
+// responses may complete out of order and are matched by ID.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version byte carried by every frame. A peer
+// receiving a different version must reject the frame with
+// StatusBadRequest (servers) or ErrProtocol (clients).
+const Version = 1
+
+// MaxFrame bounds a frame's payload size; larger frames indicate a corrupt
+// or hostile stream and the connection must be closed.
+const MaxFrame = 1 << 20
+
+// MaxAtomicOps bounds the number of sub-operations in one ATOMIC batch.
+const MaxAtomicOps = 1024
+
+// respFlag marks a response opcode (request opcode | respFlag).
+const respFlag = 0x80
+
+// Op is a protocol opcode.
+type Op uint8
+
+// Protocol opcodes.
+const (
+	OpPing   Op = 0x01 // liveness probe; empty body both ways
+	OpGet    Op = 0x02 // key -> value bytes
+	OpPut    Op = 0x03 // key + value bytes -> created flag
+	OpDelete Op = 0x04 // key -> ok / not found
+	OpCAS    Op = 0x05 // key + expected bytes + new bytes
+	OpAtomic Op = 0x06 // single-shard multi-key transaction
+	OpStats  Op = 0x07 // per-shard statistics snapshot
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "PING"
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpCAS:
+		return "CAS"
+	case OpAtomic:
+		return "ATOMIC"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("op(0x%02x)", uint8(o))
+}
+
+func (o Op) valid() bool { return o >= OpPing && o <= OpStats }
+
+// Status is a response status code.
+type Status uint8
+
+// Response status codes.
+const (
+	StatusOK          Status = 0
+	StatusNotFound    Status = 1 // GET/DELETE/CAS on an absent key
+	StatusBusy        Status = 2 // shard in-flight bound exceeded: backpressure
+	StatusCASMismatch Status = 3 // CAS expectation failed; detail = current value
+	StatusCrossShard  Status = 4 // ATOMIC keys hash to more than one shard
+	StatusBadRequest  Status = 5 // malformed or semantically invalid request
+	StatusTooLarge    Status = 6 // value exceeds the server's value bound
+	StatusTxFault     Status = 7 // transaction died server-side (e.g. injected panic)
+	StatusShutdown    Status = 8 // server is draining; no new requests accepted
+	StatusInternal    Status = 9 // unexpected server error
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusBusy:
+		return "BUSY"
+	case StatusCASMismatch:
+		return "CAS_MISMATCH"
+	case StatusCrossShard:
+		return "CROSS_SHARD"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	case StatusTooLarge:
+		return "TOO_LARGE"
+	case StatusTxFault:
+		return "TX_FAULT"
+	case StatusShutdown:
+		return "SHUTTING_DOWN"
+	case StatusInternal:
+		return "INTERNAL"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Error is a typed protocol error: a non-OK response status plus its
+// optional detail bytes (for StatusCASMismatch the detail is the key's
+// current value). errors.Is matches on Status alone, so
+// errors.Is(err, wire.ErrBusy) works regardless of detail.
+type Error struct {
+	Status Status
+	Detail []byte
+}
+
+func (e *Error) Error() string {
+	if len(e.Detail) == 0 || e.Status == StatusCASMismatch {
+		return "votmd: " + e.Status.String()
+	}
+	return fmt.Sprintf("votmd: %s: %s", e.Status, e.Detail)
+}
+
+// Is matches any *Error with the same status, making the package-level
+// sentinels usable as errors.Is targets.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Status == e.Status
+}
+
+// Typed protocol errors, one per non-OK status. Match with errors.Is.
+var (
+	ErrNotFound    = &Error{Status: StatusNotFound}
+	ErrBusy        = &Error{Status: StatusBusy}
+	ErrCASMismatch = &Error{Status: StatusCASMismatch}
+	ErrCrossShard  = &Error{Status: StatusCrossShard}
+	ErrBadRequest  = &Error{Status: StatusBadRequest}
+	ErrTooLarge    = &Error{Status: StatusTooLarge}
+	ErrTxFault     = &Error{Status: StatusTxFault}
+	ErrShutdown    = &Error{Status: StatusShutdown}
+	ErrInternal    = &Error{Status: StatusInternal}
+)
+
+// Err converts a status (plus detail) to its typed error; StatusOK is nil.
+func (s Status) Err(detail []byte) error {
+	if s == StatusOK {
+		return nil
+	}
+	return &Error{Status: s, Detail: detail}
+}
+
+// ErrProtocol is returned when a peer violates the framing rules (bad
+// version, oversized frame, truncated payload). Unlike an *Error it is not
+// recoverable: the connection must be dropped.
+var ErrProtocol = errors.New("wire: protocol violation")
+
+// SubKind identifies one sub-operation of an ATOMIC batch.
+type SubKind uint8
+
+// ATOMIC sub-operation kinds.
+const (
+	SubGet    SubKind = 1 // read a key within the batch's transaction
+	SubPut    SubKind = 2 // set key to Value
+	SubDelete SubKind = 3 // remove key
+	SubAdd    SubKind = 4 // 64-bit wrapping add of Delta; absent keys start at 0
+)
+
+func (k SubKind) valid() bool { return k >= SubGet && k <= SubAdd }
+
+// Sub is one sub-operation of an ATOMIC batch. All keys of a batch must
+// hash to the same shard; the batch executes as one transaction.
+type Sub struct {
+	Kind  SubKind
+	Key   uint64
+	Value []byte // SubPut payload
+	Delta uint64 // SubAdd operand
+}
+
+// SubResult is the per-sub-operation outcome of a committed ATOMIC batch.
+type SubResult struct {
+	Kind   SubKind
+	Status Status // StatusOK or StatusNotFound (SubGet/SubDelete on absent keys)
+	Value  []byte // SubGet result
+	Sum    uint64 // SubAdd result: the key's new value
+}
+
+// ShardStats is one shard's statistics snapshot as served by OpStats.
+type ShardStats struct {
+	Shard        uint32
+	Engine       string
+	Quota        uint32
+	SettledQuota uint32
+	QuotaMoves   uint64
+	Commits      uint64
+	Aborts       uint64
+	Escalations  uint64
+	Panics       uint64
+	SuccessNs    uint64
+	AbortNs      uint64
+	Delta        float64 // δ(Q) estimate; NaN encoded as its IEEE bits
+	Keys         uint64  // live keys in the shard
+	QuotaEvents  uint64  // quota changes recorded by the server's trace.Recorder
+}
+
+// AllShards is the OpStats shard selector meaning "every shard".
+const AllShards = ^uint32(0)
+
+// Request is a decoded request frame. Fields beyond Op/ID are populated
+// per-opcode: Key (GET/PUT/DELETE/CAS), Value (PUT/CAS new value), OldValue
+// (CAS expectation), Subs (ATOMIC), Shard (STATS).
+type Request struct {
+	Op       Op
+	ID       uint32
+	Key      uint64
+	Value    []byte
+	OldValue []byte
+	Subs     []Sub
+	Shard    uint32
+}
+
+// Response is a decoded response frame. Value carries GET results and
+// non-OK detail bytes; Subs carries ATOMIC results; Stats carries STATS
+// results; Created reports whether a PUT inserted (vs updated).
+type Response struct {
+	Op      Op
+	ID      uint32
+	Status  Status
+	Value   []byte
+	Created bool
+	Subs    []SubResult
+	Stats   []ShardStats
+}
+
+// Err returns the response's typed error, nil for StatusOK.
+func (r *Response) Err() error { return r.Status.Err(r.Value) }
+
+// --- encoding ----------------------------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// AppendRequest appends r's frame (length prefix included) to dst.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	if !r.Op.valid() {
+		return dst, fmt.Errorf("%w: bad opcode %v", ErrProtocol, r.Op)
+	}
+	p := make([]byte, 0, 64+len(r.Value)+len(r.OldValue))
+	p = append(p, Version, byte(r.Op))
+	p = appendU32(p, r.ID)
+	switch r.Op {
+	case OpPing:
+	case OpGet, OpDelete:
+		p = appendU64(p, r.Key)
+	case OpPut:
+		p = appendU64(p, r.Key)
+		p = appendBytes(p, r.Value)
+	case OpCAS:
+		p = appendU64(p, r.Key)
+		p = appendBytes(p, r.OldValue)
+		p = appendBytes(p, r.Value)
+	case OpAtomic:
+		if len(r.Subs) == 0 || len(r.Subs) > MaxAtomicOps {
+			return dst, fmt.Errorf("%w: atomic batch of %d ops", ErrProtocol, len(r.Subs))
+		}
+		p = appendU16(p, uint16(len(r.Subs)))
+		for _, s := range r.Subs {
+			if !s.Kind.valid() {
+				return dst, fmt.Errorf("%w: bad sub kind %d", ErrProtocol, s.Kind)
+			}
+			p = append(p, byte(s.Kind))
+			p = appendU64(p, s.Key)
+			switch s.Kind {
+			case SubPut:
+				p = appendBytes(p, s.Value)
+			case SubAdd:
+				p = appendU64(p, s.Delta)
+			}
+		}
+	case OpStats:
+		p = appendU32(p, r.Shard)
+	}
+	return appendFrame(dst, p)
+}
+
+// AppendResponse appends r's frame (length prefix included) to dst.
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	if !r.Op.valid() {
+		return dst, fmt.Errorf("%w: bad opcode %v", ErrProtocol, r.Op)
+	}
+	p := make([]byte, 0, 64+len(r.Value))
+	p = append(p, Version, byte(r.Op)|respFlag)
+	p = appendU32(p, r.ID)
+	p = append(p, byte(r.Status))
+	if r.Status != StatusOK {
+		// Non-OK responses carry only detail bytes (CAS mismatch: the
+		// current value; otherwise a human-readable message).
+		p = appendBytes(p, r.Value)
+		return appendFrame(dst, p)
+	}
+	switch r.Op {
+	case OpPing, OpDelete, OpCAS:
+	case OpGet:
+		p = appendBytes(p, r.Value)
+	case OpPut:
+		var created byte
+		if r.Created {
+			created = 1
+		}
+		p = append(p, created)
+	case OpAtomic:
+		p = appendU16(p, uint16(len(r.Subs)))
+		for _, s := range r.Subs {
+			p = append(p, byte(s.Kind), byte(s.Status))
+			switch {
+			case s.Kind == SubGet && s.Status == StatusOK:
+				p = appendBytes(p, s.Value)
+			case s.Kind == SubAdd:
+				p = appendU64(p, s.Sum)
+			}
+		}
+	case OpStats:
+		p = appendU16(p, uint16(len(r.Stats)))
+		for _, s := range r.Stats {
+			p = appendU32(p, s.Shard)
+			if len(s.Engine) > math.MaxUint8 {
+				return dst, fmt.Errorf("%w: engine name too long", ErrProtocol)
+			}
+			p = append(p, byte(len(s.Engine)))
+			p = append(p, s.Engine...)
+			p = appendU32(p, s.Quota)
+			p = appendU32(p, s.SettledQuota)
+			for _, v := range []uint64{
+				s.QuotaMoves, s.Commits, s.Aborts, s.Escalations, s.Panics,
+				s.SuccessNs, s.AbortNs, math.Float64bits(s.Delta), s.Keys,
+				s.QuotaEvents,
+			} {
+				p = appendU64(p, v)
+			}
+		}
+	}
+	return appendFrame(dst, p)
+}
+
+func appendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return dst, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrProtocol, len(payload))
+	}
+	dst = appendU32(dst, uint32(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// WriteRequest writes r as one frame.
+func WriteRequest(w io.Writer, r *Request) error {
+	b, err := AppendRequest(nil, r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteResponse writes r as one frame.
+func WriteResponse(w io.Writer, r *Response) error {
+	b, err := AppendResponse(nil, r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// --- decoding ----------------------------------------------------------
+
+// cursor walks a payload; the first short read poisons it so parse code can
+// decode straight-line and check err once.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: truncated payload", ErrProtocol)
+	}
+}
+
+func (c *cursor) u8() uint8 {
+	if c.err != nil || c.off+1 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if c.err != nil || c.off+2 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || c.off+4 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || c.off+8 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+// bytes decodes a u32 length prefix and copies out that many bytes.
+func (c *cursor) bytes() []byte {
+	n := int(c.u32())
+	if c.err != nil || n > len(c.b)-c.off {
+		c.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, c.b[c.off:])
+	c.off += n
+	return out
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrProtocol, len(c.b)-c.off)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean stream end
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrProtocol, n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+// ReadRequest reads and decodes one request frame. io.EOF means the peer
+// closed cleanly between frames.
+func ReadRequest(r io.Reader) (*Request, error) {
+	p, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseRequest(p)
+}
+
+// ParseRequest decodes a request payload (frame length already stripped).
+func ParseRequest(p []byte) (*Request, error) {
+	c := &cursor{b: p}
+	if v := c.u8(); c.err == nil && v != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrProtocol, v)
+	}
+	op := Op(c.u8())
+	if c.err == nil && !op.valid() {
+		return nil, fmt.Errorf("%w: bad opcode %v", ErrProtocol, op)
+	}
+	req := &Request{Op: op, ID: c.u32()}
+	switch op {
+	case OpPing:
+	case OpGet, OpDelete:
+		req.Key = c.u64()
+	case OpPut:
+		req.Key = c.u64()
+		req.Value = c.bytes()
+	case OpCAS:
+		req.Key = c.u64()
+		req.OldValue = c.bytes()
+		req.Value = c.bytes()
+	case OpAtomic:
+		n := int(c.u16())
+		if c.err == nil && (n == 0 || n > MaxAtomicOps) {
+			return nil, fmt.Errorf("%w: atomic batch of %d ops", ErrProtocol, n)
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			s := Sub{Kind: SubKind(c.u8())}
+			if c.err == nil && !s.Kind.valid() {
+				return nil, fmt.Errorf("%w: bad sub kind %d", ErrProtocol, s.Kind)
+			}
+			s.Key = c.u64()
+			switch s.Kind {
+			case SubPut:
+				s.Value = c.bytes()
+			case SubAdd:
+				s.Delta = c.u64()
+			}
+			req.Subs = append(req.Subs, s)
+		}
+	case OpStats:
+		req.Shard = c.u32()
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(r io.Reader) (*Response, error) {
+	p, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseResponse(p)
+}
+
+// ParseResponse decodes a response payload (frame length already stripped).
+func ParseResponse(p []byte) (*Response, error) {
+	c := &cursor{b: p}
+	if v := c.u8(); c.err == nil && v != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrProtocol, v)
+	}
+	rawOp := c.u8()
+	if c.err == nil && rawOp&respFlag == 0 {
+		return nil, fmt.Errorf("%w: request opcode in response frame", ErrProtocol)
+	}
+	op := Op(rawOp &^ respFlag)
+	if c.err == nil && !op.valid() {
+		return nil, fmt.Errorf("%w: bad opcode %v", ErrProtocol, op)
+	}
+	resp := &Response{Op: op, ID: c.u32(), Status: Status(c.u8())}
+	if resp.Status != StatusOK {
+		resp.Value = c.bytes()
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+	switch op {
+	case OpPing, OpDelete, OpCAS:
+	case OpGet:
+		resp.Value = c.bytes()
+	case OpPut:
+		resp.Created = c.u8() == 1
+	case OpAtomic:
+		n := int(c.u16())
+		if c.err == nil && n > MaxAtomicOps {
+			return nil, fmt.Errorf("%w: atomic result of %d ops", ErrProtocol, n)
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			s := SubResult{Kind: SubKind(c.u8()), Status: Status(c.u8())}
+			switch {
+			case s.Kind == SubGet && s.Status == StatusOK:
+				s.Value = c.bytes()
+			case s.Kind == SubAdd:
+				s.Sum = c.u64()
+			}
+			resp.Subs = append(resp.Subs, s)
+		}
+	case OpStats:
+		n := int(c.u16())
+		for i := 0; i < n && c.err == nil; i++ {
+			var s ShardStats
+			s.Shard = c.u32()
+			nameLen := int(c.u8())
+			if c.err == nil && nameLen > len(c.b)-c.off {
+				c.fail()
+			} else if c.err == nil {
+				s.Engine = string(c.b[c.off : c.off+nameLen])
+				c.off += nameLen
+			}
+			s.Quota = c.u32()
+			s.SettledQuota = c.u32()
+			s.QuotaMoves = c.u64()
+			s.Commits = c.u64()
+			s.Aborts = c.u64()
+			s.Escalations = c.u64()
+			s.Panics = c.u64()
+			s.SuccessNs = c.u64()
+			s.AbortNs = c.u64()
+			s.Delta = math.Float64frombits(c.u64())
+			s.Keys = c.u64()
+			s.QuotaEvents = c.u64()
+			resp.Stats = append(resp.Stats, s)
+		}
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func roundTripRequest(t *testing.T, req *Request) *Request {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatalf("write %v: %v", req.Op, err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatalf("read %v: %v", req.Op, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%v: %d bytes left after read", req.Op, buf.Len())
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Op: OpPing, ID: 1},
+		{Op: OpGet, ID: 2, Key: 0xdeadbeef},
+		{Op: OpPut, ID: 3, Key: 7, Value: []byte("hello")},
+		{Op: OpPut, ID: 4, Key: 8, Value: []byte{}},
+		{Op: OpDelete, ID: 5, Key: ^uint64(0)},
+		{Op: OpCAS, ID: 6, Key: 9, OldValue: []byte("old"), Value: []byte("new")},
+		{Op: OpAtomic, ID: 7, Subs: []Sub{
+			{Kind: SubGet, Key: 1},
+			{Kind: SubPut, Key: 2, Value: []byte("v")},
+			{Kind: SubDelete, Key: 3},
+			{Kind: SubAdd, Key: 4, Delta: 42},
+		}},
+		{Op: OpStats, ID: 8, Shard: AllShards},
+		{Op: OpStats, ID: 9, Shard: 3},
+	}
+	for _, req := range reqs {
+		got := roundTripRequest(t, req)
+		// Empty slices decode as nil; normalize before comparing.
+		if len(req.Value) == 0 {
+			req.Value, got.Value = nil, nil
+		}
+		if !reflect.DeepEqual(req, got) {
+			t.Errorf("%v: round trip\n got %+v\nwant %+v", req.Op, got, req)
+		}
+	}
+}
+
+func roundTripResponse(t *testing.T, resp *Response) *Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatalf("write %v: %v", resp.Op, err)
+	}
+	got, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatalf("read %v: %v", resp.Op, err)
+	}
+	return got
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		{Op: OpPing, ID: 1},
+		{Op: OpGet, ID: 2, Value: []byte("payload")},
+		{Op: OpGet, ID: 3, Status: StatusNotFound, Value: []byte("detail")},
+		{Op: OpPut, ID: 4, Created: true},
+		{Op: OpPut, ID: 5, Created: false},
+		{Op: OpDelete, ID: 6},
+		{Op: OpCAS, ID: 7, Status: StatusCASMismatch, Value: []byte("current")},
+		{Op: OpAtomic, ID: 8, Subs: []SubResult{
+			{Kind: SubGet, Status: StatusOK, Value: []byte("x")},
+			{Kind: SubGet, Status: StatusNotFound},
+			{Kind: SubPut, Status: StatusOK},
+			{Kind: SubAdd, Status: StatusOK, Sum: 99},
+		}},
+		{Op: OpAtomic, ID: 9, Status: StatusBusy},
+		{Op: OpStats, ID: 10, Stats: []ShardStats{{
+			Shard: 0, Engine: "norec", Quota: 4, SettledQuota: 2,
+			QuotaMoves: 5, Commits: 100, Aborts: 10, Escalations: 1,
+			Panics: 2, SuccessNs: 12345, AbortNs: 678, Delta: 0.25,
+			Keys: 50, QuotaEvents: 5,
+		}}},
+	}
+	for _, resp := range resps {
+		got := roundTripResponse(t, resp)
+		if len(resp.Value) == 0 {
+			resp.Value, got.Value = nil, nil
+		}
+		if !reflect.DeepEqual(resp, got) {
+			t.Errorf("%v: round trip\n got %+v\nwant %+v", resp.Op, got, resp)
+		}
+	}
+}
+
+func TestStatsNaNDelta(t *testing.T) {
+	resp := roundTripResponse(t, &Response{
+		Op: OpStats, ID: 1,
+		Stats: []ShardStats{{Engine: "tl2", Delta: math.NaN()}},
+	})
+	if !math.IsNaN(resp.Stats[0].Delta) {
+		t.Errorf("NaN delta decoded as %v", resp.Stats[0].Delta)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	err := StatusBusy.Err(nil)
+	if !errors.Is(err, ErrBusy) {
+		t.Errorf("StatusBusy error does not match ErrBusy")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Errorf("StatusBusy error matches ErrNotFound")
+	}
+	if StatusOK.Err(nil) != nil {
+		t.Errorf("StatusOK produced an error")
+	}
+	mismatch := StatusCASMismatch.Err([]byte("current"))
+	var werr *Error
+	if !errors.As(mismatch, &werr) || string(werr.Detail) != "current" {
+		t.Errorf("CAS mismatch detail lost: %v", mismatch)
+	}
+}
+
+func TestFramingViolations(t *testing.T) {
+	// Oversized frame header.
+	big := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadRequest(bytes.NewReader(big)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversized frame: got %v, want ErrProtocol", err)
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{Op: OpGet, ID: 1, Key: 2}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadRequest(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame parsed")
+	}
+	// Wrong version byte.
+	frame, err := AppendRequest(nil, &Request{Op: OpPing, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[4] = 99 // version byte follows the 4-byte length
+	if _, err := ReadRequest(bytes.NewReader(frame)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("bad version: got %v, want ErrProtocol", err)
+	}
+	// Clean EOF between frames.
+	if _, err := ReadRequest(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+	// Response opcode without the response flag.
+	respFrame, err := AppendResponse(nil, &Response{Op: OpPing, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	respFrame[5] &^= 0x80
+	if _, err := ReadResponse(bytes.NewReader(respFrame)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("unflagged response: got %v, want ErrProtocol", err)
+	}
+}
+
+// FuzzParseRequest asserts the request parser never panics and never
+// accepts trailing garbage.
+func FuzzParseRequest(f *testing.F) {
+	seed := []*Request{
+		{Op: OpPing, ID: 1},
+		{Op: OpPut, ID: 2, Key: 3, Value: []byte("abc")},
+		{Op: OpCAS, ID: 3, Key: 4, OldValue: []byte("o"), Value: []byte("n")},
+		{Op: OpAtomic, ID: 4, Subs: []Sub{{Kind: SubAdd, Key: 1, Delta: 2}}},
+		{Op: OpStats, ID: 5, Shard: AllShards},
+	}
+	for _, req := range seed {
+		frame, err := AppendRequest(nil, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:]) // payload without the length prefix
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := ParseRequest(payload)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-encode and re-parse identically.
+		frame, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("reencode of parsed request failed: %v", err)
+		}
+		again, err := ParseRequest(frame[4:])
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("parse/encode not stable:\n%+v\n%+v", req, again)
+		}
+	})
+}
