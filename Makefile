@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race cover bench tables ablations serve fmt vet clean
+.PHONY: all build test short race cover bench tables ablations serve soak-viewmgr fmt vet clean
 
 all: build test
 
@@ -48,6 +48,11 @@ SERVE_FLAGS ?= -addr :7421 -stats-every 30s
 
 serve:
 	$(GO) run ./cmd/votmd $(SERVE_FLAGS)
+
+# Repartition chaos soak: live split/merge racing fault injection, checked
+# against a sequential oracle, with admission- and goroutine-leak checks.
+soak-viewmgr:
+	$(GO) test -race -count=1 -timeout 600s -run TestRepartitionChaosSoak -v .
 
 fmt:
 	gofmt -w .

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,19 @@ type Options struct {
 	// RequestTimeout is the per-request default applied when the caller's
 	// context carries no deadline. Default 10s.
 	RequestTimeout time.Duration
+
+	// BusyRetries enables opt-in retry of BUSY responses: when the server
+	// answers with wire.ErrBusy (its bounded shard queue is full, or a
+	// repartition moved the key mid-flight), the request is retried up to
+	// this many additional times with jittered exponential backoff. 0 (the
+	// default) disables retry and surfaces ErrBusy immediately. Only BUSY
+	// is retried — it is the one response that promises the request was
+	// not executed.
+	BusyRetries int
+	// BusyBackoff is the base delay before the first BUSY retry; each
+	// subsequent retry doubles it, and every wait is jittered to 50–150%
+	// of nominal. Waits are context-aware. Default 2ms.
+	BusyBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +76,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 10 * time.Second
+	}
+	if o.BusyBackoff <= 0 {
+		o.BusyBackoff = 2 * time.Millisecond
 	}
 	return o
 }
@@ -194,8 +211,33 @@ func (c *Client) Stats(ctx context.Context, shard uint32) ([]wire.ShardStats, er
 	return resp.Stats, nil
 }
 
-// do sends req on a pooled connection and waits for its response or ctx.
+// do sends req, retrying BUSY responses when Options.BusyRetries is set.
+// Each attempt gets its own request ID and per-attempt timeout.
 func (c *Client) do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	resp, err := c.doOnce(ctx, req)
+	if c.opts.BusyRetries <= 0 {
+		return resp, err
+	}
+	backoff := c.opts.BusyBackoff
+	for attempt := 0; attempt < c.opts.BusyRetries && errors.Is(err, ErrBusy); attempt++ {
+		// Jitter to 50–150% of nominal so synchronized clients thundering
+		// against one busy shard spread out.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff)+1))
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+		resp, err = c.doOnce(ctx, req)
+		backoff *= 2
+	}
+	return resp, err
+}
+
+// doOnce sends req on a pooled connection and waits for its response or ctx.
+func (c *Client) doOnce(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"votm/wire"
+)
+
+// busyServer is a stub votmd that answers PING with OK and answers GET with
+// BUSY the first busyN times, then OK with the configured value. It speaks
+// the real wire framing so the client under test is exercised end to end.
+type busyServer struct {
+	ln    net.Listener
+	busyN int64 // remaining BUSYs; <0 means "busy forever"
+	left  atomic.Int64
+	gets  atomic.Int64 // total GETs observed
+	value []byte
+}
+
+func newBusyServer(t *testing.T, busyN int64, value []byte) *busyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &busyServer{ln: ln, busyN: busyN, value: value}
+	s.left.Store(busyN)
+	go s.acceptLoop()
+	t.Cleanup(func() { _ = ln.Close() })
+	return s
+}
+
+func (s *busyServer) addr() string { return s.ln.Addr().String() }
+
+func (s *busyServer) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(nc)
+	}
+}
+
+func (s *busyServer) serve(nc net.Conn) {
+	defer nc.Close()
+	for {
+		req, err := wire.ReadRequest(nc)
+		if err != nil {
+			return
+		}
+		resp := &wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusOK}
+		if req.Op == wire.OpGet {
+			s.gets.Add(1)
+			if s.busyN < 0 || s.left.Add(-1) >= 0 {
+				resp.Status = wire.StatusBusy
+			} else {
+				resp.Value = s.value
+			}
+		}
+		if err := wire.WriteResponse(nc, resp); err != nil {
+			return
+		}
+	}
+}
+
+// TestBusyRetrySucceeds: a server that BUSYs twice then accepts must be
+// transparent to a client with BusyRetries ≥ 2.
+func TestBusyRetrySucceeds(t *testing.T) {
+	s := newBusyServer(t, 2, []byte("after-the-storm"))
+	c, err := Dial(s.addr(), Options{
+		PoolSize:    1,
+		BusyRetries: 3,
+		BusyBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	got, err := c.Get(context.Background(), 42)
+	if err != nil {
+		t.Fatalf("Get with retries: %v", err)
+	}
+	if string(got) != "after-the-storm" {
+		t.Fatalf("Get = %q, want %q", got, "after-the-storm")
+	}
+	if n := s.gets.Load(); n != 3 {
+		t.Fatalf("server saw %d GETs, want 3 (2 busy + 1 ok)", n)
+	}
+}
+
+// TestBusyRetryDisabledByDefault: with the zero Options the first BUSY
+// surfaces immediately as ErrBusy.
+func TestBusyRetryDisabledByDefault(t *testing.T) {
+	s := newBusyServer(t, 1, []byte("v"))
+	c, err := Dial(s.addr(), Options{PoolSize: 1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	_, err = c.Get(context.Background(), 7)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("Get = %v, want ErrBusy", err)
+	}
+	if n := s.gets.Load(); n != 1 {
+		t.Fatalf("server saw %d GETs, want exactly 1 (no retry)", n)
+	}
+}
+
+// TestBusyRetryBounded: against an always-busy server the client gives up
+// after exactly 1 + BusyRetries attempts and still reports ErrBusy.
+func TestBusyRetryBounded(t *testing.T) {
+	s := newBusyServer(t, -1, nil)
+	c, err := Dial(s.addr(), Options{
+		PoolSize:    1,
+		BusyRetries: 4,
+		BusyBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	_, err = c.Get(context.Background(), 7)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("Get = %v, want ErrBusy after exhausting retries", err)
+	}
+	if n := s.gets.Load(); n != 5 {
+		t.Fatalf("server saw %d GETs, want 5 (1 + 4 retries)", n)
+	}
+}
+
+// TestBusyRetryContextCancel: a context cancelled during the backoff wait
+// aborts the retry loop with the context's error, not ErrBusy.
+func TestBusyRetryContextCancel(t *testing.T) {
+	s := newBusyServer(t, -1, nil)
+	c, err := Dial(s.addr(), Options{
+		PoolSize:    1,
+		BusyRetries: 100,
+		BusyBackoff: 250 * time.Millisecond, // long enough to cancel into
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Get(ctx, 7)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Get = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, backoff wait ignored ctx", elapsed)
+	}
+}

@@ -41,6 +41,11 @@ func main() {
 		idleTO   = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		statsSec = flag.Duration("stats-every", 0, "log per-shard stats at this interval (0 = off)")
+
+		autoSplit  = flag.Bool("auto-split", false, "split hot shards online (live key migration; ATOMIC batches may become CROSS_SHARD)")
+		splitEvery = flag.Duration("split-check-every", 250*time.Millisecond, "hot-shard advisor polling period")
+		splitKeys  = flag.Int64("split-min-keys", 0, "never split shards below this many keys (0 = default 1024)")
+		splitMax   = flag.Int("split-max-subshards", 8, "maximum sub-shards per shard (power of two)")
 	)
 	flag.Parse()
 
@@ -70,7 +75,13 @@ func main() {
 		AdjustEvery:     *adjust,
 		RequestTimeout:  *reqTO,
 		IdleTimeout:     *idleTO,
-		Logf:            func(f string, a ...any) { logger.Printf(f, a...) },
+
+		AutoSplit:         *autoSplit,
+		SplitCheckEvery:   *splitEvery,
+		SplitMinKeys:      *splitKeys,
+		SplitMaxSubShards: *splitMax,
+
+		Logf: func(f string, a ...any) { logger.Printf(f, a...) },
 	})
 	if err != nil {
 		logger.Fatalf("init: %v", err)
@@ -80,8 +91,8 @@ func main() {
 		go func() {
 			for range time.Tick(*statsSec) {
 				for _, r := range srv.StatsAll() {
-					logger.Printf("shard %d [%s]: Q=%d commits=%d aborts=%d keys=%d delta=%.3f",
-						r.Shard, r.Engine, r.Quota, r.Commits, r.Aborts, r.Keys, r.Delta)
+					logger.Printf("shard %d [%s]: Q=%d commits=%d aborts=%d keys=%d delta=%.3f splits=%d",
+						r.Shard, r.Engine, r.Quota, r.Commits, r.Aborts, r.Keys, r.Delta, r.Repartitions)
 				}
 			}
 		}()

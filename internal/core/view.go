@@ -27,6 +27,15 @@ type View struct {
 	engh  atomic.Pointer[engineHolder]
 	ctl   *rac.Controller
 
+	// fwd is the address-forwarding table installed by Split/MergeViews;
+	// nil on views that never repartitioned (see split.go).
+	fwd atomic.Pointer[fwdTable]
+
+	// hook is the per-view access hook (viewmgr affinity sampling). It is
+	// only written while the view is quiesced and takes effect by rebuilding
+	// the engine, so the hot path never checks it directly.
+	hook faultinject.Hook
+
 	destroyed atomic.Bool
 }
 
@@ -101,7 +110,37 @@ func (v *View) SwitchEngine(ctx context.Context, kind EngineKind) error {
 	if err := v.ctl.PauseAndDrain(ctx); err != nil {
 		return err
 	}
-	v.engh.Store(&engineHolder{kind: kind, eng: v.rt.cfg.newEngine(kind, v.heap)})
+	v.engh.Store(&engineHolder{kind: kind, eng: v.buildEngine(kind)})
+	v.ctl.Resume()
+	return nil
+}
+
+// buildEngine constructs a TM instance for this view, composing the view's
+// access hook (if any) with the runtime's fault hook.
+func (v *View) buildEngine(kind EngineKind) stm.Engine {
+	return v.rt.cfg.newEngineHooked(kind, v.heap, v.hook)
+}
+
+// SetAccessHook installs (or, with nil, removes) a per-view access hook that
+// observes every transactional Load/Store/Commit — the instrumentation point
+// used by viewmgr's affinity sampler. The view is quiesced and its engine
+// rebuilt over the same heap, exactly like SwitchEngine: with no hook the
+// engine hands out plain descriptors, so sampling off costs nothing on the
+// hot path. The hook must not panic and must be safe for concurrent calls
+// from multiple threads.
+func (v *View) SetAccessHook(ctx context.Context, hook faultinject.Hook) error {
+	if v.destroyed.Load() {
+		return ErrViewDestroyed
+	}
+	if v.rt.cfg.NoAdmission {
+		return errors.New("core: SetAccessHook requires admission control")
+	}
+	if err := v.ctl.PauseAndDrain(ctx); err != nil {
+		return err
+	}
+	v.hook = hook
+	kind := v.engine().kind
+	v.engh.Store(&engineHolder{kind: kind, eng: v.buildEngine(kind)})
 	v.ctl.Resume()
 	return nil
 }
@@ -272,10 +311,20 @@ func (v *View) attemptTM(th *Thread, fn func(Tx) error, readonly bool, mode rac.
 	if readonly {
 		body = &roTx{inner: tx}
 	}
+	body = v.guardBody(body)
 	var userErr error
 	conflicted, up := stm.CatchBody(func() { userErr = fn(body) })
 	switch {
 	case up != nil:
+		if mp, ok := up.Value.(movedPanic); ok {
+			// Forwarding guard tripped: the address moved to another view.
+			// Roll back and surface the typed error — not a user bug, so it
+			// is not accounted as a panic.
+			tx.Abort()
+			settled = true
+			v.exit(mode, rac.Aborted, start)
+			return attemptUserErr, mp.err
+		}
 		// User panic inside the body: roll back, release admission, then
 		// re-raise the original panic value.
 		tx.Abort()
@@ -322,7 +371,7 @@ func (v *View) runLock(th *Thread, fn func(Tx) error, readonly bool, start time.
 	if h := v.rt.cfg.FaultHook; h != nil {
 		h(faultinject.OpAdmit, th.id, 0)
 	}
-	err = fn(&lockTx{heap: v.heap, readonly: readonly})
+	err = callGuarded(fn, v.guardBody(&lockTx{heap: v.heap, readonly: readonly}))
 	settled = true
 	outcome := rac.Committed
 	if err != nil {
@@ -353,7 +402,7 @@ func (v *View) runEscalated(ctx context.Context, th *Thread, fn func(Tx) error, 
 	if h := v.rt.cfg.FaultHook; h != nil {
 		h(faultinject.OpAdmit, th.id, 0)
 	}
-	err = fn(&lockTx{heap: v.heap, readonly: readonly})
+	err = callGuarded(fn, v.guardBody(&lockTx{heap: v.heap, readonly: readonly}))
 	settled = true
 	outcome := rac.Committed
 	if err != nil {

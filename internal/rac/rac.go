@@ -152,7 +152,13 @@ type Totals struct {
 }
 
 // Delta evaluates Equation 5 over the totals at quota q.
-// It returns NaN when q <= 1 (the paper's "N/A" cells).
+//
+// It returns NaN when q <= 1 or nothing has committed yet: Eq. 5 divides by
+// (q−1), so δ is undefined at the lock-mode quota — the paper's "N/A"
+// cells. NaN is the single sentinel shared by every δ implementation in the
+// repo (theory.DeltaQ, racsim.Workload.Delta); callers must treat it as
+// "no signal", never compare it (all comparisons with NaN are false, so
+// adaptive logic holds Q).
 func (t Totals) Delta(q int) float64 {
 	if q <= 1 || t.SuccessNs == 0 {
 		return math.NaN()

@@ -1,0 +1,80 @@
+package racsim_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"votm/internal/rac"
+	"votm/internal/racsim"
+	"votm/internal/theory"
+)
+
+// TestDeltaQEdgeUnified pins the Eq. 5 edge behaviour across every δ
+// implementation in the repo: at Q = 1 the quantity is undefined (division
+// by Q−1) and all paths must return the same sentinel, NaN — never +Inf,
+// which would order above every real δ and read as "maximally contended".
+func TestDeltaQEdgeUnified(t *testing.T) {
+	const n = 8 // the paper's N
+	w := racsim.Workload{C: 0.5, D: time.Millisecond, T: 4 * time.Millisecond}
+	totals := rac.Totals{
+		Commits: 100, Aborts: 50,
+		SuccessNs: int64(100 * time.Millisecond),
+		AbortNs:   int64(50 * time.Millisecond),
+	}
+
+	cases := []struct {
+		q       int
+		defined bool
+	}{
+		{q: 1, defined: false},
+		{q: 2, defined: true},
+		{q: n, defined: true},
+	}
+	for _, tc := range cases {
+		// Runtime estimate (Eq. 5 over measured cycle totals).
+		got := totals.Delta(tc.q)
+		// Closed-form theory version of the same equation.
+		th := theory.DeltaQ(float64(totals.AbortNs), float64(totals.SuccessNs), tc.q)
+		// Model workload δ with q concurrent threads.
+		sim := w.Delta(tc.q)
+
+		if tc.defined {
+			want := float64(totals.AbortNs) / (float64(totals.SuccessNs) * float64(tc.q-1))
+			if got != want {
+				t.Errorf("Totals.Delta(%d) = %v, want %v", tc.q, got, want)
+			}
+			if th != want {
+				t.Errorf("theory.DeltaQ(Q=%d) = %v, want %v", tc.q, th, want)
+			}
+			wantSim := w.C * float64(w.D) / (float64(w.T) * float64(tc.q-1))
+			if sim != wantSim {
+				t.Errorf("Workload.Delta(%d) = %v, want %v", tc.q, sim, wantSim)
+			}
+			if math.IsInf(sim, 0) || math.IsNaN(sim) {
+				t.Errorf("Workload.Delta(%d) = %v, want finite", tc.q, sim)
+			}
+		} else {
+			for name, v := range map[string]float64{
+				"Totals.Delta":   got,
+				"theory.DeltaQ":  th,
+				"Workload.Delta": sim,
+			} {
+				if !math.IsNaN(v) {
+					t.Errorf("%s at Q=%d = %v, want the NaN sentinel", name, tc.q, v)
+				}
+			}
+		}
+	}
+
+	// Degenerate inputs also take the sentinel, not Inf.
+	if v := (rac.Totals{}).Delta(4); !math.IsNaN(v) {
+		t.Errorf("empty Totals.Delta(4) = %v, want NaN", v)
+	}
+	if v := (racsim.Workload{}).Delta(4); !math.IsNaN(v) {
+		t.Errorf("zero Workload.Delta(4) = %v, want NaN", v)
+	}
+	if v := theory.DeltaQ(1, 0, 4); !math.IsNaN(v) {
+		t.Errorf("theory.DeltaQ with no successful cycles = %v, want NaN", v)
+	}
+}

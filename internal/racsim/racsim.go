@@ -51,7 +51,16 @@ func Cold(n int) Workload {
 
 // Delta returns the workload's model contention ratio δ for N threads
 // (the paper's δ = Σc·d / (Σt·(N−1)) with identical transactions).
+//
+// Eq. 5 is undefined at N ≤ 1 — there is no concurrency to contend with —
+// and this returns NaN, the sentinel every δ path in the repo shares
+// (rac.Totals.Delta, theory.DeltaQ; the paper's "N/A" cells). It used to
+// return +Inf here, which ordered *above* every real δ and silently read
+// as "maximally contended" in comparisons.
 func (w Workload) Delta(n int) float64 {
+	if n <= 1 || w.T == 0 {
+		return math.NaN()
+	}
 	return w.C * float64(w.D) / (float64(w.T) * float64(n-1))
 }
 

@@ -96,7 +96,22 @@ func (c *conn) dispatch(req *wire.Request) {
 	if req.Op == wire.OpAtomic {
 		key = req.Subs[0].Key
 	}
-	sh := s.shards[s.Shard(key)]
+	g := s.shards[s.Shard(key)]
+	sh := g.route(key)
+	if req.Op == wire.OpAtomic {
+		// validate checked wire-level placement; after an automatic split
+		// the batch must also land on one sub-shard.
+		for _, sub := range req.Subs[1:] {
+			if g.route(sub.Key) != sh {
+				c.send(&wire.Response{
+					Op: req.Op, ID: req.ID,
+					Status: wire.StatusCrossShard,
+					Value:  []byte("shard was split: batch keys span sub-shards"),
+				})
+				return
+			}
+		}
+	}
 
 	if !s.beginReq() {
 		c.send(&wire.Response{

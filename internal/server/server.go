@@ -73,6 +73,22 @@ type Config struct {
 	// Default 4096.
 	TraceLimit int
 
+	// AutoSplit enables automatic shard splitting (split.go): hot shards —
+	// by abort rate, queue pressure, or lock-mode collapse — are split into
+	// sub-shards with live key migration. Trade-off: an ATOMIC batch whose
+	// keys end up on different sub-shards after a split is answered
+	// CROSS_SHARD, so enable it only for point-op-dominated workloads (see
+	// docs/PROTOCOL.md). Default off.
+	AutoSplit bool
+	// SplitCheckEvery is the advisor polling period. Default 250ms.
+	SplitCheckEvery time.Duration
+	// SplitMinKeys gates splitting on shard size; shards below it are never
+	// split. Zero takes the viewmgr advisor default (1024).
+	SplitMinKeys int64
+	// SplitMaxSubShards caps the sub-shards per wire-level shard (must be a
+	// power of two). Default 8.
+	SplitMaxSubShards int
+
 	// FaultHook, when non-nil, is threaded into the runtime for chaos
 	// testing (see internal/faultinject). Leave nil in production.
 	FaultHook votm.FaultHook
@@ -118,8 +134,18 @@ func (c Config) withDefaults() Config {
 	if c.TraceLimit <= 0 {
 		c.TraceLimit = 4096
 	}
+	if c.SplitCheckEvery <= 0 {
+		c.SplitCheckEvery = 250 * time.Millisecond
+	}
+	if c.SplitMaxSubShards <= 0 {
+		c.SplitMaxSubShards = 8
+	}
 	return c
 }
+
+// ErrServerDraining is returned for operations attempted after Shutdown
+// began (e.g. a shard split racing the drain).
+var ErrServerDraining = errors.New("server: draining")
 
 // ShardOf maps a key to its shard index. The mix deliberately differs from
 // ds.HashMap's bucket hash so one shard's keys still spread over that
@@ -137,8 +163,12 @@ type Server struct {
 	cfg    Config
 	rt     *votm.Runtime
 	rec    *votm.QuotaRecorder
-	shards []*shard
+	shards []*shardGroup
 	start  time.Time
+
+	nextViewID  atomic.Int64 // view IDs for split-born sub-shards
+	monitorStop chan struct{}
+	monitorWG   sync.WaitGroup
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -177,6 +207,7 @@ func New(cfg Config) (*Server, error) {
 		QuotaTrace:         s.rec.Hook(),
 		FaultHook:          cfg.FaultHook,
 	})
+	s.nextViewID.Store(int64(cfg.Shards)) // IDs 1..Shards are the seed views
 	for i := 0; i < cfg.Shards; i++ {
 		v, err := s.rt.CreateView(i+1, cfg.ShardWords, votm.AdaptiveQuota)
 		if err != nil {
@@ -192,13 +223,39 @@ func New(cfg Config) (*Server, error) {
 			hm:    hm,
 			queue: make(chan task, cfg.QueueDepth),
 		}
-		s.shards = append(s.shards, sh)
+		g := &shardGroup{id: i}
+		subs := []*shard{sh}
+		g.subs.Store(&subs)
+		s.shards = append(s.shards, g)
 		for w := 0; w < cfg.WorkersPerShard; w++ {
 			s.workersWG.Add(1)
 			go s.worker(sh)
 		}
 	}
+	if cfg.AutoSplit {
+		s.monitorStop = make(chan struct{})
+		s.monitorWG.Add(1)
+		go s.monitor()
+	}
 	return s, nil
+}
+
+// allSubShards snapshots every serving sub-shard across all groups.
+func (s *Server) allSubShards() []*shard {
+	var out []*shard
+	for _, g := range s.shards {
+		out = append(out, *g.subs.Load()...)
+	}
+	return out
+}
+
+// Repartitions returns the total number of executed shard splits.
+func (s *Server) Repartitions() uint64 {
+	var n uint64
+	for _, g := range s.shards {
+		n += g.splits.Load()
+	}
+	return n
 }
 
 // Recorder exposes the quota-event recorder backing STATS (tests, metrics).
@@ -294,6 +351,13 @@ func (s *Server) shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.reqMu.Unlock()
 
+	// Stop the split monitor first: once it has exited, the sub-shard sets
+	// are frozen and can be safely enumerated below.
+	if s.monitorStop != nil {
+		close(s.monitorStop)
+		s.monitorWG.Wait()
+	}
+
 	s.mu.Lock()
 	if s.ln != nil {
 		_ = s.ln.Close()
@@ -320,13 +384,13 @@ func (s *Server) shutdown(ctx context.Context) error {
 	}
 
 	// All dispatched requests are answered: retire the worker pools.
-	for _, sh := range s.shards {
+	for _, sh := range s.allSubShards() {
 		close(sh.queue)
 	}
 	s.workersWG.Wait()
 
 	// Close the RAC controllers (and reject any straggling admission).
-	for _, sh := range s.shards {
+	for _, sh := range s.allSubShards() {
 		if err := s.rt.DestroyView(sh.view.ID()); err != nil {
 			s.logf("votmd: destroy view %d: %v", sh.view.ID(), err)
 		}
@@ -361,7 +425,13 @@ func (s *Server) worker(sh *shard) {
 	th := s.rt.RegisterThread()
 	defer th.Release()
 	for t := range sh.queue {
-		resp := s.execute(sh, th, t.req)
+		// A split between dispatch and execution may have moved this
+		// request's keys to another sub-shard: answer BUSY (retryable)
+		// instead of operating on a stale owner.
+		resp := s.recheckRoute(sh, t.req)
+		if resp == nil {
+			resp = s.execute(sh, th, t.req)
+		}
 		t.c.send(resp)
 		t.c.pending.Done()
 		s.reqWG.Done()
@@ -458,7 +528,7 @@ func (s *Server) StatsAll() []wire.ShardStats {
 // view snapshot accessor and the key count from the shard's counter.
 func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 	resp := &wire.Response{Op: wire.OpStats, ID: req.ID}
-	var sel []*shard
+	var sel []*shardGroup
 	switch {
 	case req.Shard == wire.AllShards:
 		sel = s.shards
@@ -470,24 +540,29 @@ func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 		return resp
 	}
 	perView := s.rec.PerView()
-	for _, sh := range sel {
-		snap := sh.view.Snapshot()
-		resp.Stats = append(resp.Stats, wire.ShardStats{
-			Shard:        uint32(sh.id),
-			Engine:       string(snap.Engine),
-			Quota:        uint32(snap.Quota),
-			SettledQuota: uint32(snap.SettledQuota),
-			QuotaMoves:   uint64(snap.QuotaMoves),
-			Commits:      uint64(snap.Totals.Commits),
-			Aborts:       uint64(snap.Totals.Aborts),
-			Escalations:  uint64(snap.Totals.Escalations),
-			Panics:       uint64(snap.Totals.Panics),
-			SuccessNs:    uint64(snap.Totals.SuccessNs),
-			AbortNs:      uint64(snap.Totals.AbortNs),
-			Delta:        snap.Delta,
-			Keys:         uint64(sh.keys.Load()),
-			QuotaEvents:  uint64(len(perView[sh.view.ID()])),
-		})
+	for _, g := range sel {
+		// One entry per serving sub-shard; a never-split shard reports
+		// exactly one, so the pre-split response shape is unchanged.
+		for _, sh := range *g.subs.Load() {
+			snap := sh.view.Snapshot()
+			resp.Stats = append(resp.Stats, wire.ShardStats{
+				Shard:        uint32(g.id),
+				Engine:       string(snap.Engine),
+				Quota:        uint32(snap.Quota),
+				SettledQuota: uint32(snap.SettledQuota),
+				QuotaMoves:   uint64(snap.QuotaMoves),
+				Commits:      uint64(snap.Totals.Commits),
+				Aborts:       uint64(snap.Totals.Aborts),
+				Escalations:  uint64(snap.Totals.Escalations),
+				Panics:       uint64(snap.Totals.Panics),
+				SuccessNs:    uint64(snap.Totals.SuccessNs),
+				AbortNs:      uint64(snap.Totals.AbortNs),
+				Delta:        snap.Delta,
+				Keys:         uint64(sh.keys.Load()),
+				QuotaEvents:  uint64(len(perView[sh.view.ID()])),
+				Repartitions: g.splits.Load(),
+			})
+		}
 	}
 	return resp
 }

@@ -1,0 +1,275 @@
+// Automatic shard splitting: the serving-layer consumer of the viewmgr
+// advisor. A wire-level shard starts as one sub-shard (one view); when the
+// advisor flags it hot — abort rate, queue pressure, or a lock-mode
+// collapse with queued work — the server splits it: a fresh view + hash
+// map + worker pool takes over half the key space (extendible-hashing
+// style, one more bit of a dedicated key mix per split) and the keys are
+// migrated under the parent view's exclusive quiescence, so no transaction
+// ever observes a half-moved key. Requests already queued for the old
+// owner are answered StatusBusy after the route check — the typed signal
+// the client retry layer (client.Options.BusyRetries) converts into a
+// transparent redo against the new owner.
+package server
+
+import (
+	"context"
+	"time"
+
+	"votm"
+	"votm/ds"
+	"votm/enc"
+	"votm/internal/viewmgr"
+	"votm/wire"
+)
+
+// subMix is the sub-shard routing hash. It must disagree with both ShardOf
+// (wire-level placement) and ds.HashMap's bucket mix, so splitting a shard
+// actually bisects its keys and each half still spreads over its buckets.
+func subMix(key uint64) uint64 {
+	h := key
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// packRoute packs a sub-shard's routing rule — match keys whose subMix has
+// low `depth` bits equal to `prefix` — into one word for atomic publication.
+func packRoute(prefix uint64, depth uint) uint64 { return prefix | uint64(depth)<<32 }
+
+func unpackRoute(bits uint64) (prefix uint64, depth uint) {
+	return bits & (1<<32 - 1), uint(bits >> 32)
+}
+
+// matches reports whether key routes to this sub-shard under its current
+// (atomically published) rule.
+func (sh *shard) matches(key uint64) (ok bool, depth uint) {
+	prefix, d := unpackRoute(sh.routeBits.Load())
+	return subMix(key)&(1<<d-1) == prefix, d
+}
+
+// route returns the sub-shard owning key: the most specific (deepest)
+// matching rule wins, which keeps routing well-defined during the brief
+// publication window of a split when the parent's rule has not yet been
+// narrowed and both parent and child match.
+func (g *shardGroup) route(key uint64) *shard {
+	subs := *g.subs.Load()
+	var best *shard
+	var bestDepth uint
+	for _, sh := range subs {
+		if ok, d := sh.matches(key); ok && (best == nil || d > bestDepth) {
+			best, bestDepth = sh, d
+		}
+	}
+	if best == nil {
+		return subs[0] // unreachable: the rules' prefixes cover the key space
+	}
+	return best
+}
+
+// reqKeys returns the keys a data request touches (1 for point ops, all sub
+// keys for ATOMIC).
+func reqKeys(req *wire.Request) []uint64 {
+	if req.Op == wire.OpAtomic {
+		keys := make([]uint64, len(req.Subs))
+		for i, sub := range req.Subs {
+			keys[i] = sub.Key
+		}
+		return keys
+	}
+	return []uint64{req.Key}
+}
+
+// recheckRoute re-resolves a dispatched request against the routing table
+// at execution time. A split between dispatch and execution may have moved
+// the keys: a request now owned by a different sub-shard is answered BUSY
+// (retryable — the next dispatch routes correctly); an ATOMIC batch whose
+// keys now straddle sub-shards is answered CROSS_SHARD (no longer
+// servable as one transaction).
+func (s *Server) recheckRoute(sh *shard, req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpCAS, wire.OpAtomic:
+	default:
+		return nil
+	}
+	g := s.shards[sh.id]
+	keys := reqKeys(req)
+	owner := g.route(keys[0])
+	for _, key := range keys[1:] {
+		if g.route(key) != owner {
+			return &wire.Response{
+				Op: req.Op, ID: req.ID,
+				Status: wire.StatusCrossShard,
+				Value:  []byte("shard split: batch keys now span sub-shards"),
+			}
+		}
+	}
+	if owner != sh {
+		return &wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusBusy}
+	}
+	return nil
+}
+
+// monitor periodically scores every sub-shard with the viewmgr advisor and
+// splits the ones it flags. One goroutine per server; splits are rare and
+// serialized per group by splitMu.
+func (s *Server) monitor() {
+	defer s.monitorWG.Done()
+	ticker := time.NewTicker(s.cfg.SplitCheckEvery)
+	defer ticker.Stop()
+	advisor := viewmgr.AdvisorConfig{MinKeys: s.cfg.SplitMinKeys}
+	for {
+		select {
+		case <-s.monitorStop:
+			return
+		case <-ticker.C:
+		}
+		for _, g := range s.shards {
+			for _, sh := range *g.subs.Load() {
+				_, depth := unpackRoute(sh.routeBits.Load())
+				if 1<<(depth+1) > uint64(s.cfg.SplitMaxSubShards) {
+					continue
+				}
+				snap := sh.view.Snapshot()
+				load := viewmgr.ShardLoad{
+					Keys:     sh.keys.Load(),
+					QueueLen: len(sh.queue),
+					QueueCap: cap(sh.queue),
+					Delta:    snap.Delta,
+					Quota:    snap.Quota,
+				}
+				if total := snap.Totals.Commits + snap.Totals.Aborts; total > 0 {
+					load.AbortRate = float64(snap.Totals.Aborts) / float64(total)
+				}
+				if ok, why := viewmgr.ShouldSplit(load, advisor); ok {
+					if err := s.splitShard(g, sh); err != nil {
+						s.logf("votmd: shard %d split (%s): %v", g.id, why, err)
+					} else {
+						s.logf("votmd: shard %d split (%s): %d sub-shards", g.id, why, len(*g.subs.Load()))
+					}
+				}
+			}
+		}
+	}
+}
+
+// movedEntry is one key migrating from parent to child during a split.
+type movedEntry struct {
+	key           uint64
+	parentRef     uint64 // value block in the parent view (freed after)
+	val           []byte
+	childRef      votm.Addr // value block allocated in the child view
+	childNode     ds.Ref
+	parentNode    ds.Ref // unlinked parent map node (freed after)
+	hasParentNode bool
+}
+
+// splitShard moves the half of sh's keys whose next subMix bit is 1 into a
+// brand-new sub-shard. The whole migration runs inside the parent view's
+// Exclusive section (paused admission, drained in-flight transactions), so
+// concurrent transactions observe either the old or the new ownership,
+// never a key caught mid-move; the new routing is published before the
+// parent's copies are deleted and before the parent resumes.
+func (s *Server) splitShard(g *shardGroup, sh *shard) error {
+	g.splitMu.Lock()
+	defer g.splitMu.Unlock()
+	if s.draining.Load() {
+		return ErrServerDraining
+	}
+	prefix, depth := unpackRoute(sh.routeBits.Load())
+
+	vid := int(s.nextViewID.Add(1))
+	v, err := s.rt.CreateView(vid, s.cfg.ShardWords, votm.AdaptiveQuota)
+	if err != nil {
+		return err
+	}
+	hm, err := ds.NewHashMap(v, s.cfg.Buckets)
+	if err != nil {
+		_ = s.rt.DestroyView(vid)
+		return err
+	}
+	child := &shard{
+		id:    sh.id,
+		view:  v,
+		hm:    hm,
+		queue: make(chan task, s.cfg.QueueDepth),
+	}
+	child.routeBits.Store(packRoute(prefix|1<<depth, depth+1))
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var moved []movedEntry
+	err = sh.view.Exclusive(ctx, func(ptx votm.Tx) error {
+		// Pass 1: find the migrating entries and snapshot their values. The
+		// parent is quiescent, so the snapshot cannot go stale.
+		sh.hm.ForEach(ptx, func(key, ref uint64) {
+			if subMix(key)&(1<<depth) != 0 {
+				moved = append(moved, movedEntry{
+					key:       key,
+					parentRef: ref,
+					val:       enc.LoadBlob(ptx, votm.Addr(ref)),
+				})
+			}
+		})
+
+		// Pass 2: populate the child (its own exclusive section — it serves
+		// nothing yet, so this never blocks).
+		for i := range moved {
+			if moved[i].childRef, err = child.alloc(enc.BlobWords(len(moved[i].val))); err != nil {
+				return err
+			}
+			if moved[i].childNode, err = child.hm.NewNode(); err != nil {
+				return err
+			}
+		}
+		if err := child.view.Exclusive(ctx, func(ctx2 votm.Tx) error {
+			for _, e := range moved {
+				enc.StoreBlob(ctx2, e.childRef, e.val)
+				child.hm.Put(ctx2, e.key, uint64(e.childRef), e.childNode)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+
+		// Pass 3: publish the routing — child first (deepest match wins), then
+		// narrow the parent — and only then delete the parent's copies.
+		newSubs := append(append([]*shard(nil), *g.subs.Load()...), child)
+		g.subs.Store(&newSubs)
+		sh.routeBits.Store(packRoute(prefix, depth+1))
+		for i := range moved {
+			node, ok := sh.hm.Delete(ptx, moved[i].key)
+			if ok {
+				moved[i].parentNode, moved[i].hasParentNode = node, true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// Migration failed before publication (create/alloc errors): tear the
+		// child down. Publication itself cannot fail.
+		_ = s.rt.DestroyView(vid)
+		return err
+	}
+
+	// Committed: free the parent-side storage and bring up the child's
+	// worker pool.
+	for _, e := range moved {
+		if e.hasParentNode {
+			_ = sh.hm.FreeNode(e.parentNode)
+		}
+		_ = sh.view.Free(votm.Addr(e.parentRef))
+	}
+	n := int64(len(moved))
+	sh.keys.Add(-n)
+	child.keys.Store(n)
+	for w := 0; w < s.cfg.WorkersPerShard; w++ {
+		s.workersWG.Add(1)
+		go s.worker(child)
+	}
+	g.splits.Add(1)
+	return nil
+}

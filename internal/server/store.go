@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 
 	"votm"
@@ -18,15 +19,32 @@ import (
 	"votm/wire"
 )
 
-// shard is one serving shard: a view (own STM engine + RAC controller), its
-// hash map, the bounded request queue feeding the shard's workers, and a
+// shard is one serving sub-shard: a view (own STM engine + RAC controller),
+// its hash map, the bounded request queue feeding the shard's workers, and a
 // live-key counter kept outside the heap so STATS never needs a transaction.
+// A wire-level shard starts as exactly one sub-shard; automatic splitting
+// (split.go) adds more, each owning the keys whose subMix matches its
+// routeBits rule.
 type shard struct {
-	id    int
+	id    int // wire-level shard index (the routing group)
 	view  *votm.View
 	hm    *ds.HashMap
 	queue chan task
 	keys  atomic.Int64
+	// routeBits is the packed routing rule (packRoute): low 32 bits the
+	// prefix, high bits the depth. Published atomically by splitShard while
+	// the view is quiescent; {0, 0} matches every key.
+	routeBits atomic.Uint64
+}
+
+// shardGroup is one wire-level shard: the copy-on-write set of sub-shards
+// serving it. Splits are serialized by splitMu; the splits counter feeds
+// STATS Repartitions.
+type shardGroup struct {
+	id      int
+	subs    atomic.Pointer[[]*shard]
+	splitMu sync.Mutex
+	splits  atomic.Uint64
 }
 
 // task is one dispatched request: executed by a shard worker, answered on

@@ -116,6 +116,18 @@ func (m *HashMap) Delete(tx core.Tx, key uint64) (Ref, bool) {
 	return NilRef, false
 }
 
+// ForEach calls fn for every (key, value) entry, bucket by bucket in chain
+// order. fn must not modify the map; use it to collect keys, then mutate in
+// a second pass. Ordering across buckets is the bucket index order and is
+// deterministic for a fixed entry set.
+func (m *HashMap) ForEach(tx core.Tx, fn func(key, val uint64)) {
+	for i := uint64(0); i < m.nbuckets; i++ {
+		for curr := tx.Load(m.base + 1 + stm.Addr(i)); curr != NilRef; curr = tx.Load(addr(curr) + hmNext) {
+			fn(tx.Load(addr(curr)+hmKey), tx.Load(addr(curr)+hmVal))
+		}
+	}
+}
+
 // Len counts entries across all buckets (O(n); test/diagnostic use).
 func (m *HashMap) Len(tx core.Tx) int {
 	n := 0

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRecorderConcurrentEmitters hammers one Recorder from many goroutines,
+// each emitting a monotone quota walk for its own view, and checks the
+// per-view ordering invariant the runtime depends on: within a view, event
+// k's From equals event k−1's To (chained transitions, no drops, no
+// reorders). An unbounded recorder must retain every event.
+func TestRecorderConcurrentEmitters(t *testing.T) {
+	const (
+		emitters = 8
+		perView  = 500
+	)
+	r := NewRecorder(0) // unbounded
+
+	var wg sync.WaitGroup
+	for v := 0; v < emitters; v++ {
+		wg.Add(1)
+		go func(viewID int) {
+			defer wg.Done()
+			hook := r.Hook()
+			// Walk Q up then down so From/To form a chain unique to the
+			// view: 1→2→…→perView→…→1.
+			q := 1
+			for i := 0; i < perView; i++ {
+				hook(viewID, q, q+1)
+				q++
+			}
+			for i := 0; i < perView; i++ {
+				hook(viewID, q, q-1)
+				q--
+			}
+		}(v)
+	}
+	wg.Wait()
+
+	want := emitters * perView * 2
+	if got := r.Len(); got != want {
+		t.Fatalf("recorder retained %d events, want %d (dropped under concurrency)", got, want)
+	}
+
+	perViewEvents := r.PerView()
+	if len(perViewEvents) != emitters {
+		t.Fatalf("events span %d views, want %d", len(perViewEvents), emitters)
+	}
+	for viewID, evs := range perViewEvents {
+		if len(evs) != perView*2 {
+			t.Errorf("view %d has %d events, want %d", viewID, len(evs), perView*2)
+			continue
+		}
+		if evs[0].From != 1 {
+			t.Errorf("view %d first event From = %d, want 1", viewID, evs[0].From)
+		}
+		for k := 1; k < len(evs); k++ {
+			if evs[k].From != evs[k-1].To {
+				t.Fatalf("view %d: event %d From=%d does not chain from prior To=%d (reordered or dropped)",
+					viewID, k, evs[k].From, evs[k-1].To)
+			}
+		}
+		if last := evs[len(evs)-1]; last.To != 1 {
+			t.Errorf("view %d final To = %d, want 1", viewID, last.To)
+		}
+	}
+
+	// Global order must also be time-consistent: When values non-decreasing
+	// as appended (the mutex serializes Record, so append order is the
+	// happens-before order of the emitters).
+	all := r.Events()
+	for i := 1; i < len(all); i++ {
+		if all[i].When.Before(all[i-1].When) {
+			t.Fatalf("event %d timestamped before its predecessor", i)
+		}
+	}
+}
+
+// TestRecorderLimitKeepsNewest: a bounded recorder under concurrent load
+// keeps exactly the newest `limit` events and the per-view chain property
+// still holds on what survives.
+func TestRecorderLimitKeepsNewest(t *testing.T) {
+	const limit = 64
+	r := NewRecorder(limit)
+
+	var wg sync.WaitGroup
+	for v := 0; v < 4; v++ {
+		wg.Add(1)
+		go func(viewID int) {
+			defer wg.Done()
+			q := 1
+			for i := 0; i < 1000; i++ {
+				r.Record(viewID, q, q+1)
+				q++
+			}
+		}(v)
+	}
+	wg.Wait()
+
+	if got := r.Len(); got != limit {
+		t.Fatalf("bounded recorder retained %d events, want %d", got, limit)
+	}
+	for viewID, evs := range r.PerView() {
+		for k := 1; k < len(evs); k++ {
+			// Within a view each emitter's walk is strictly increasing, so
+			// even a truncated suffix must chain.
+			if evs[k].From != evs[k-1].To {
+				t.Fatalf("view %d: surviving events broke the chain: %v then %v",
+					viewID, evs[k-1], evs[k])
+			}
+		}
+		// The retained suffix must be from the top of the walk — the newest
+		// events — not an arbitrary window.
+		if last := evs[len(evs)-1]; last.To != 1001 {
+			t.Fatalf("view %d newest retained To = %d, want 1001", viewID, last.To)
+		}
+	}
+}

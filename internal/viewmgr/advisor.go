@@ -1,0 +1,64 @@
+package viewmgr
+
+import "fmt"
+
+// The split advisor is the planner's counterpart for votmd shards. A KV
+// shard cannot split by address range — hash-map nodes and value blobs for
+// unrelated keys interleave freely in the heap — so the server splits at the
+// key level (a new view plus key migration) and only needs a pure, testable
+// answer to "is this shard hot enough that splitting pays?". The signal is
+// the same one RAC acts on: measured contention, not configuration.
+
+// ShardLoad summarizes one shard for ShouldSplit.
+type ShardLoad struct {
+	Keys      int64   // live keys in the shard
+	QueueLen  int     // current request-queue depth
+	QueueCap  int     // request-queue capacity
+	AbortRate float64 // aborts / (commits + aborts)
+	Delta     float64 // δ(Q); NaN when undefined (Q ≤ 1)
+	Quota     int     // current admission quota
+}
+
+// AdvisorConfig tunes ShouldSplit.
+type AdvisorConfig struct {
+	// MinKeys gates splitting until the shard holds at least this many keys
+	// (splitting a near-empty shard moves nothing). Default 1024.
+	MinKeys int64
+	// HotAbortRate marks the shard contended. Default 0.25.
+	HotAbortRate float64
+	// HotQueueFrac marks the shard overloaded when the queue is at least
+	// this full. Default 0.5.
+	HotQueueFrac float64
+}
+
+func (c *AdvisorConfig) withDefaults() {
+	if c.MinKeys == 0 {
+		c.MinKeys = 1024
+	}
+	if c.HotAbortRate == 0 {
+		c.HotAbortRate = 0.25
+	}
+	if c.HotQueueFrac == 0 {
+		c.HotQueueFrac = 0.5
+	}
+}
+
+// ShouldSplit reports whether the shard should be split in two, and why.
+func ShouldSplit(l ShardLoad, cfg AdvisorConfig) (bool, string) {
+	cfg.withDefaults()
+	if l.Keys < cfg.MinKeys {
+		return false, fmt.Sprintf("only %d keys (< %d)", l.Keys, cfg.MinKeys)
+	}
+	if l.AbortRate >= cfg.HotAbortRate {
+		return true, fmt.Sprintf("abort rate %.3f >= %.3f", l.AbortRate, cfg.HotAbortRate)
+	}
+	if l.QueueCap > 0 && float64(l.QueueLen) >= cfg.HotQueueFrac*float64(l.QueueCap) {
+		return true, fmt.Sprintf("queue %d/%d >= %.0f%%", l.QueueLen, l.QueueCap, cfg.HotQueueFrac*100)
+	}
+	// Quota pinned at 1 with work queued: RAC already gave up on optimism;
+	// spreading the keys is the remaining lever.
+	if l.Quota == 1 && l.QueueLen > 0 {
+		return true, "quota locked at 1 with queued work"
+	}
+	return false, "not contended"
+}

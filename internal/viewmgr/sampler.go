@@ -1,0 +1,251 @@
+// Package viewmgr is the online view-management subsystem: it discovers bad
+// view partitions at runtime and repairs them. The paper's Observation 2
+// proves that hot and cold objects which are never accessed together belong
+// in separate views (makespan_MV-RAC ≤ makespan_RAC, Eq. 6–13), but the
+// paper's partition is fixed by the programmer at create_view time. viewmgr
+// closes the loop with three layers:
+//
+//   - Sampler (this file): a low-overhead co-access recorder hooked into the
+//     STM read/write path via View.SetAccessHook, accumulating a sparse
+//     per-view co-occurrence sketch plus per-segment heat. Zero cost when
+//     off — no hook installed means engines hand out plain descriptors,
+//     the same discipline as faultinject.WrapTx.
+//   - Planner (planner.go): pure logic that classifies segments hot/cold,
+//     finds co-access clusters, detects Observation 2 violations, and emits
+//     Split/Merge plans with autotm engine + quota hints.
+//   - Executor: core.View.Split / core.Runtime.MergeViews (quiesce, migrate,
+//     forward), driven by the Manager (manager.go).
+package viewmgr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"votm/internal/faultinject"
+	"votm/internal/stm"
+)
+
+// maxSegsPerTx caps the distinct segments tracked for one sampled
+// transaction; accesses beyond the cap are dropped (counted in Drops).
+const maxSegsPerTx = 64
+
+// maxPairs caps the co-occurrence sketch size; new pairs beyond the cap are
+// dropped (counted in PairDrops) while existing pairs keep counting.
+const maxPairs = 1 << 14
+
+// SamplerConfig tunes one view's affinity sampler.
+type SamplerConfig struct {
+	// SegWords is the heat-tracking granularity in words (rounded down to a
+	// power of two). Default 64.
+	SegWords int
+	// Rate samples one in Rate transactions. 1 samples everything.
+	// Default 8.
+	Rate uint64
+}
+
+func (c *SamplerConfig) withDefaults() {
+	if c.SegWords <= 0 {
+		c.SegWords = 64
+	}
+	for c.SegWords&(c.SegWords-1) != 0 {
+		c.SegWords &= c.SegWords - 1 // clear lowest bit until power of two
+	}
+	if c.SegWords == 0 {
+		c.SegWords = 64
+	}
+	if c.Rate == 0 {
+		c.Rate = 8
+	}
+}
+
+// threadAcc is one thread's in-flight accumulator. It is written only by its
+// owning thread (hooks run on the transaction's thread); the Sampler merges
+// it into the shared sketch at commit.
+type threadAcc struct {
+	active  bool
+	sampled bool
+	segs    []segCount
+	drops   uint64
+}
+
+type segCount struct {
+	seg uint32
+	n   uint32
+}
+
+// Sampler accumulates one view's affinity sketch. Install its Hook with
+// View.SetAccessHook; read it with Snapshot.
+type Sampler struct {
+	viewID  int
+	shift   uint
+	rate    uint64
+	counter atomic.Uint64
+
+	// accs grows on demand, indexed by thread ID; each *threadAcc is
+	// touched only by its own thread, so the hot path is one atomic load
+	// plus an index.
+	accs   atomic.Pointer[[]*threadAcc]
+	growMu sync.Mutex
+
+	mu        sync.Mutex
+	heat      map[uint32]uint64
+	pairs     map[PairKey]uint64
+	sampled   uint64
+	drops     uint64
+	pairDrops uint64
+}
+
+// NewSampler creates a sampler for view viewID.
+func NewSampler(viewID int, cfg SamplerConfig) *Sampler {
+	cfg.withDefaults()
+	shift := uint(0)
+	for 1<<shift < cfg.SegWords {
+		shift++
+	}
+	s := &Sampler{
+		viewID: viewID,
+		shift:  shift,
+		rate:   cfg.Rate,
+		heat:   make(map[uint32]uint64),
+		pairs:  make(map[PairKey]uint64),
+	}
+	empty := make([]*threadAcc, 0)
+	s.accs.Store(&empty)
+	return s
+}
+
+// SegWords returns the sampler's segment granularity in words.
+func (s *Sampler) SegWords() int { return 1 << s.shift }
+
+// Hook returns the access hook to install with View.SetAccessHook.
+//
+// The hook sees every transactional Load/Store plus the entry to Commit.
+// The first access after a commit opens a new accumulation window and draws
+// the sampling decision (one in Rate); a sampled window records the distinct
+// segments the transaction touches and merges them into the sketch at
+// commit. Aborted attempts re-open the window on their retry's first access
+// without merging, so the sketch is commit-weighted — modulo one harmless
+// edge: an attempt that aborts after OpCommit fired (commit-time conflict)
+// is still counted.
+func (s *Sampler) Hook() faultinject.Hook {
+	return func(op faultinject.Op, thread int, addr stm.Addr) {
+		switch op {
+		case faultinject.OpLoad, faultinject.OpStore:
+			acc := s.acc(thread)
+			if !acc.active {
+				acc.active = true
+				acc.sampled = s.counter.Add(1)%s.rate == 0
+				acc.segs = acc.segs[:0]
+			}
+			if !acc.sampled {
+				return
+			}
+			seg := uint32(addr >> s.shift)
+			for i := range acc.segs {
+				if acc.segs[i].seg == seg {
+					acc.segs[i].n++
+					return
+				}
+			}
+			if len(acc.segs) < maxSegsPerTx {
+				acc.segs = append(acc.segs, segCount{seg: seg, n: 1})
+			} else {
+				acc.drops++
+			}
+		case faultinject.OpCommit:
+			acc := s.acc(thread)
+			if !acc.active {
+				return
+			}
+			if acc.sampled && len(acc.segs) > 0 {
+				s.merge(acc)
+			}
+			acc.active = false
+		}
+	}
+}
+
+func (s *Sampler) acc(thread int) *threadAcc {
+	p := s.accs.Load()
+	if thread < len(*p) && (*p)[thread] != nil {
+		return (*p)[thread]
+	}
+	return s.growAcc(thread)
+}
+
+func (s *Sampler) growAcc(thread int) *threadAcc {
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	p := s.accs.Load()
+	cur := *p
+	if thread < len(cur) && cur[thread] != nil {
+		return cur[thread]
+	}
+	n := len(cur)
+	if n <= thread {
+		n = thread + 1
+	}
+	grown := make([]*threadAcc, n)
+	copy(grown, cur)
+	if grown[thread] == nil {
+		grown[thread] = &threadAcc{segs: make([]segCount, 0, maxSegsPerTx)}
+	}
+	s.accs.Store(&grown)
+	return grown[thread]
+}
+
+// merge folds one sampled transaction's segments into the shared sketch.
+func (s *Sampler) merge(acc *threadAcc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sampled++
+	s.drops += acc.drops
+	acc.drops = 0
+	for _, sc := range acc.segs {
+		s.heat[sc.seg] += uint64(sc.n)
+	}
+	for i := 0; i < len(acc.segs); i++ {
+		for j := i + 1; j < len(acc.segs); j++ {
+			k := MakePair(acc.segs[i].seg, acc.segs[j].seg)
+			if _, ok := s.pairs[k]; ok || len(s.pairs) < maxPairs {
+				s.pairs[k]++
+			} else {
+				s.pairDrops++
+			}
+		}
+	}
+}
+
+// Snapshot copies the sketch accumulated so far.
+func (s *Sampler) Snapshot() Sketch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sk := Sketch{
+		ViewID:    s.viewID,
+		SegWords:  1 << s.shift,
+		Heat:      make(map[uint32]uint64, len(s.heat)),
+		Pairs:     make(map[PairKey]uint64, len(s.pairs)),
+		SampledTx: s.sampled,
+		Drops:     s.drops,
+		PairDrops: s.pairDrops,
+	}
+	for k, v := range s.heat {
+		sk.Heat[k] = v
+	}
+	for k, v := range s.pairs {
+		sk.Pairs[k] = v
+	}
+	return sk
+}
+
+// Reset clears the sketch (after a plan was executed, so the next planning
+// round observes the new partition from scratch).
+func (s *Sampler) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.heat = make(map[uint32]uint64)
+	s.pairs = make(map[PairKey]uint64)
+	s.sampled = 0
+	s.drops = 0
+	s.pairDrops = 0
+}

@@ -1,0 +1,138 @@
+package viewmgr
+
+import (
+	"context"
+	"testing"
+
+	"votm/internal/core"
+	"votm/internal/stm"
+)
+
+func TestSamplerRecordsHeatAndPairs(t *testing.T) {
+	rt := core.NewRuntime(core.Config{Threads: 2})
+	v, err := rt.CreateView(1, 512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(1, SamplerConfig{SegWords: 64, Rate: 1}) // sample everything
+	if err := v.SetAccessHook(context.Background(), s.Hook()); err != nil {
+		t.Fatal(err)
+	}
+	th := rt.RegisterThread()
+	ctx := context.Background()
+	const txs = 50
+	for i := 0; i < txs; i++ {
+		err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			tx.Store(10, tx.Load(10)+1)   // seg 0
+			tx.Store(100, tx.Load(100)+1) // seg 1
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sk := s.Snapshot()
+	if sk.SampledTx != txs {
+		t.Errorf("SampledTx = %d, want %d", sk.SampledTx, txs)
+	}
+	// Each transaction did 2 accesses per segment (load + store).
+	if sk.Heat[0] != 2*txs || sk.Heat[1] != 2*txs {
+		t.Errorf("heat = %v", sk.Heat)
+	}
+	if sk.Pairs[MakePair(0, 1)] != txs {
+		t.Errorf("pairs = %v", sk.Pairs)
+	}
+
+	s.Reset()
+	if sk := s.Snapshot(); sk.SampledTx != 0 || len(sk.Heat) != 0 {
+		t.Errorf("post-reset sketch: %+v", sk)
+	}
+
+	// Uninstalling the hook stops accumulation.
+	if err := v.SetAccessHook(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Atomic(ctx, th, func(tx core.Tx) error { tx.Store(10, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sk := s.Snapshot(); sk.SampledTx != 0 {
+		t.Errorf("sampler accumulated after uninstall: %+v", sk)
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	rt := core.NewRuntime(core.Config{Threads: 2})
+	v, err := rt.CreateView(1, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(1, SamplerConfig{SegWords: 64, Rate: 4})
+	if err := v.SetAccessHook(context.Background(), s.Hook()); err != nil {
+		t.Fatal(err)
+	}
+	th := rt.RegisterThread()
+	const txs = 400
+	for i := 0; i < txs; i++ {
+		if err := v.Atomic(context.Background(), th, func(tx core.Tx) error {
+			tx.Store(5, uint64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sk := s.Snapshot()
+	if sk.SampledTx != txs/4 {
+		t.Errorf("SampledTx = %d, want %d", sk.SampledTx, txs/4)
+	}
+}
+
+// TestSamplingOffZeroAllocs is the zero-cost-when-off guard: with no access
+// hook installed (never installed, or installed and removed again) the
+// warmed transactional path must not allocate at all.
+func TestSamplingOffZeroAllocs(t *testing.T) {
+	for _, kind := range []core.EngineKind{core.NOrec, core.OrecEagerRedo, core.TL2} {
+		t.Run(string(kind), func(t *testing.T) {
+			rt := core.NewRuntime(core.Config{Threads: 2, Engine: kind})
+			v, err := rt.CreateView(1, 256, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := rt.RegisterThread()
+			ctx := context.Background()
+
+			// Install sampling, run, uninstall: the view must return to the
+			// plain uninstrumented engine.
+			s := NewSampler(1, SamplerConfig{Rate: 1})
+			if err := v.SetAccessHook(ctx, s.Hook()); err != nil {
+				t.Fatal(err)
+			}
+			body := func(tx core.Tx) error {
+				for a := stm.Addr(0); a < 8; a++ {
+					tx.Store(a, tx.Load(a)+1)
+				}
+				return nil
+			}
+			if err := v.Atomic(ctx, th, body); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.SetAccessHook(ctx, nil); err != nil {
+				t.Fatal(err)
+			}
+
+			// Warm the descriptor cache against the rebuilt engine.
+			for i := 0; i < 16; i++ {
+				if err := v.Atomic(ctx, th, body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if err := v.Atomic(ctx, th, body); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("sampling off: %v allocs/op, want 0", allocs)
+			}
+		})
+	}
+}

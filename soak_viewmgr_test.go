@@ -1,0 +1,265 @@
+package votm_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"votm"
+)
+
+// TestRepartitionChaosSoak races live repartitioning against injected
+// faults: workers transfer between accounts inside two halves of a view
+// while the cold half is repeatedly split out and merged back, with the
+// fault injector forcing conflicts, user panics and latency the whole time
+// (so panics land mid-migration too). Invariants afterwards:
+//
+//   - sequential oracle: every account equals its initial balance plus the
+//     committed transfer deltas — repartitioning loses and doubles nothing;
+//   - opacity: every read snapshot of a half summed to the conserved total;
+//   - no leaked admission slots (InFlight == 0) and no wedged views;
+//   - no leaked goroutines once the soak is done.
+//
+// This is the `make soak-viewmgr` target; run it with -race.
+func TestRepartitionChaosSoak(t *testing.T) {
+	const (
+		workers     = 8
+		accounts    = 8 // per half
+		initBal     = uint64(1000)
+		totalWords  = 256
+		halfWords   = 128
+		accountStep = 16 // spread accounts across each half
+	)
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	inj := votm.NewFaultInjector(votm.FaultConfig{
+		ConflictEvery: 31,
+		PanicEvery:    101,
+		LatencyEvery:  157,
+		Latency:       20 * time.Microsecond,
+	})
+	rt := votm.New(votm.Config{
+		Threads:            workers,
+		Engine:             votm.NOrec,
+		AdjustEvery:        64,
+		MaxConflictRetries: 5,
+		FaultHook:          inj.Hook(),
+	})
+	v, err := rt.CreateView(1, totalWords, votm.AdaptiveQuota)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two separately-allocated blocks so the half boundary never straddles
+	// an allocation (the executor's ErrStraddle rule).
+	hotBase, err := v.Alloc(halfWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBase, err := v.Alloc(halfWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := [2]votm.Addr{hotBase, coldBase}
+	addrOf := func(half, acct int) votm.Addr {
+		return bases[half] + votm.Addr(acct*accountStep)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	setup := rt.RegisterThread()
+	if err := v.Atomic(ctx, setup, func(tx votm.Tx) error {
+		for h := 0; h < 2; h++ {
+			for a := 0; a < accounts; a++ {
+				tx.Store(addrOf(h, a), initBal)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// tallies[w][half][account]: committed transfer deltas (uint64-exact).
+	tallies := make([][2][accounts]uint64, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			defer th.Release()
+			rng := rand.New(rand.NewSource(int64(id)*104729 + 13))
+			// Per-half view cache, re-resolved through Locate on MovedError.
+			views := [2]*votm.View{v, v}
+			viewIDs := [2]int{1, 1}
+			for i := 0; ctx.Err() == nil; i++ {
+				half := rng.Intn(2)
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				fromA, toA := addrOf(half, from), addrOf(half, to)
+
+				var aerr error
+				panicked := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(votm.InjectedPanic); !ok {
+								panic(r)
+							}
+							panicked = true
+						}
+					}()
+					aerr = views[half].Atomic(ctx, th, func(tx votm.Tx) error {
+						tx.Store(fromA, tx.Load(fromA)-1)
+						tx.Store(toA, tx.Load(toA)+1)
+						return nil
+					})
+				}()
+				switch {
+				case panicked:
+					// Injected crash: rolled back, nothing committed.
+				case aerr == nil:
+					tallies[id][half][from]--
+					tallies[id][half][to]++
+				case errors.As(aerr, new(*votm.MovedError)):
+					var me *votm.MovedError
+					errors.As(aerr, &me)
+					if vid, lerr := rt.Locate(viewIDs[half], me.Addr); lerr == nil {
+						if nv, verr := rt.View(vid); verr == nil {
+							views[half], viewIDs[half] = nv, vid
+						}
+					}
+				case errors.Is(aerr, context.Canceled):
+					return
+				default:
+					t.Errorf("worker %d: %v", id, aerr)
+					return
+				}
+
+				// Opacity probe: a half's total is conserved, so any committed
+				// read snapshot must sum exactly.
+				if i%13 == 0 {
+					var sum uint64
+					ok := false
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								if _, ok2 := r.(votm.InjectedPanic); !ok2 {
+									panic(r)
+								}
+							}
+						}()
+						rerr := views[half].AtomicRead(ctx, th, func(tx votm.Tx) error {
+							sum = 0
+							for a := 0; a < accounts; a++ {
+								sum += tx.Load(addrOf(half, a))
+							}
+							return nil
+						})
+						ok = rerr == nil
+					}()
+					if ok && sum != accounts*initBal {
+						t.Errorf("worker %d half %d: snapshot sum %d, want %d", id, half, sum, accounts*initBal)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// The repartitioner: split the cold half out, let traffic hit both
+	// views, merge it back — under continuous fault injection.
+	coldRange := []votm.AddrRange{{Lo: coldBase, Hi: coldBase + halfWords}}
+	for r := 0; r < rounds; r++ {
+		childID := 1000 + r
+		sctx, scancel := context.WithTimeout(ctx, 30*time.Second)
+		_, err := v.Split(sctx, childID, coldRange, "", 0)
+		if err != nil {
+			scancel()
+			t.Fatalf("round %d split: %v", r, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if err := rt.MergeViews(sctx, 1, childID); err != nil {
+			scancel()
+			t.Fatalf("round %d merge: %v", r, err)
+		}
+		scancel()
+		// The retired child is NOT destroyed: workers still holding its
+		// handle depend on its forwarding (MovedError) to re-resolve.
+	}
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	// --- Post-soak invariants --------------------------------------------
+
+	// Sequential oracle on the (fully re-merged) parent heap.
+	for h := 0; h < 2; h++ {
+		for a := 0; a < accounts; a++ {
+			want := initBal
+			for w := 0; w < workers; w++ {
+				want += tallies[w][h][a]
+			}
+			if got := v.Heap().Load(addrOf(h, a)); got != want {
+				t.Errorf("half %d account %d: heap %d, want oracle %d", h, a, got, want)
+			}
+		}
+	}
+
+	// No leaked admission slots, sane quota, not wedged.
+	for _, view := range rt.Views() {
+		if got := view.Controller().InFlight(); got != 0 {
+			t.Errorf("view %d: InFlight = %d, want 0", view.ID(), got)
+		}
+		if q := view.Quota(); q < 1 {
+			t.Errorf("view %d: quota %d < 1", view.ID(), q)
+		}
+	}
+	checker := rt.RegisterThread()
+	committed := false
+	deadline := time.Now().Add(10 * time.Second)
+	for !committed && time.Now().Before(deadline) {
+		func() {
+			defer func() { _ = recover() }()
+			cctx, ccancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer ccancel()
+			if err := v.Atomic(cctx, checker, func(tx votm.Tx) error {
+				_ = tx.Load(hotBase)
+				return nil
+			}); err == nil {
+				committed = true
+			}
+		}()
+	}
+	if !committed {
+		t.Error("parent view wedged after the soak")
+	}
+	checker.Release()
+	setup.Release()
+
+	// The chaos actually happened.
+	st := inj.Stats()
+	if st.Conflicts == 0 || st.Panics == 0 {
+		t.Errorf("injector idle: %+v (soak did not exercise faults)", st)
+	}
+	t.Logf("soak: rounds=%d injector=%+v totals=%+v", rounds, st, v.Totals())
+
+	// Goroutine-leak check: allow the runtime a moment to retire helpers.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= goroutinesBefore+2 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			t.Errorf("goroutines: %d before soak, %d after (leak)", goroutinesBefore, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

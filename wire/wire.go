@@ -208,6 +208,7 @@ type ShardStats struct {
 	Delta        float64 // δ(Q) estimate; NaN encoded as its IEEE bits
 	Keys         uint64  // live keys in the shard
 	QuotaEvents  uint64  // quota changes recorded by the server's trace.Recorder
+	Repartitions uint64  // online splits executed on this shard (0 unless auto-split is on)
 }
 
 // AllShards is the OpStats shard selector meaning "every shard".
@@ -346,7 +347,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 			for _, v := range []uint64{
 				s.QuotaMoves, s.Commits, s.Aborts, s.Escalations, s.Panics,
 				s.SuccessNs, s.AbortNs, math.Float64bits(s.Delta), s.Keys,
-				s.QuotaEvents,
+				s.QuotaEvents, s.Repartitions,
 			} {
 				p = appendU64(p, v)
 			}
@@ -618,6 +619,7 @@ func ParseResponse(p []byte) (*Response, error) {
 			s.Delta = math.Float64frombits(c.u64())
 			s.Keys = c.u64()
 			s.QuotaEvents = c.u64()
+			s.Repartitions = c.u64()
 			resp.Stats = append(resp.Stats, s)
 		}
 	}

@@ -87,7 +87,7 @@ func TestResponseRoundTrip(t *testing.T) {
 			Shard: 0, Engine: "norec", Quota: 4, SettledQuota: 2,
 			QuotaMoves: 5, Commits: 100, Aborts: 10, Escalations: 1,
 			Panics: 2, SuccessNs: 12345, AbortNs: 678, Delta: 0.25,
-			Keys: 50, QuotaEvents: 5,
+			Keys: 50, QuotaEvents: 5, Repartitions: 3,
 		}}},
 	}
 	for _, resp := range resps {
