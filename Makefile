@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race cover bench tables ablations serve soak-viewmgr fmt vet clean
+.PHONY: all build test short race cover bench bench-server tables ablations serve soak-viewmgr fmt vet clean
 
 all: build test
 
@@ -34,6 +34,15 @@ bench:
 		| tee /dev/stderr | $(GO) run ./cmd/benchreport -o $(BENCH_DIR)/BENCH_engines.json
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x -short . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchreport -o $(BENCH_DIR)/BENCH_tables.json
+
+# Loopback server-datapath baseline: the full stack (wire decode, shard
+# queue, grouped view transaction, response encode, coalesced writes) across
+# workload x engine x BatchMax. The batch1/batch16 pairs are the group-commit
+# proof; the write-heavy norec pair is the headline ratio in README.md.
+bench-server:
+	$(GO) test -run='^$$' -bench=BenchmarkServerThroughput -benchmem \
+		-benchtime=200000x ./internal/server \
+		| tee /dev/stderr | $(GO) run ./cmd/benchreport -o $(BENCH_DIR)/BENCH_server.json
 
 tables:
 	$(GO) run ./cmd/votm-bench -table all -scale default

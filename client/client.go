@@ -325,7 +325,8 @@ type poolConn struct {
 	nc net.Conn
 	br *bufio.Reader // owned by readLoop
 
-	wmu sync.Mutex // serializes frame writes
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte     // retained encode scratch, guarded by wmu
 
 	mu      sync.Mutex
 	waiting map[uint32]chan *wire.Response
@@ -369,12 +370,17 @@ func (pc *poolConn) enqueue(ctx context.Context, req *wire.Request) (chan *wire.
 	pc.waiting[req.ID] = ch
 	pc.mu.Unlock()
 
-	frame, err := wire.AppendRequest(nil, req)
+	// Encode into the connection's retained scratch under wmu: no
+	// per-request frame allocation, and the encode/write pair stays atomic
+	// with respect to other writers.
+	pc.wmu.Lock()
+	frame, err := wire.AppendRequest(pc.wbuf[:0], req)
 	if err != nil {
+		pc.wmu.Unlock()
 		pc.forget(req.ID)
 		return nil, err
 	}
-	pc.wmu.Lock()
+	pc.wbuf = frame
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = pc.nc.SetWriteDeadline(deadline)
 	}
@@ -419,6 +425,18 @@ func (pc *poolConn) readLoop() {
 				err = io.ErrUnexpectedEOF
 			}
 			pc.close(err)
+			return
+		}
+		if resp.Op == wire.OpError {
+			// The server declared our stream unframed (reserved OpError/ID-0
+			// frame, docs/PROTOCOL.md) and is hanging up: the connection
+			// cannot continue. Fail every in-flight request with the server's
+			// typed error rather than waiting for the EOF.
+			err := resp.Err()
+			if err == nil {
+				err = wire.ErrBadRequest
+			}
+			pc.close(fmt.Errorf("client: server aborted connection: %w", err))
 			return
 		}
 		pc.mu.Lock()

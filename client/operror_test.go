@@ -1,0 +1,129 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"votm/wire"
+)
+
+// operrServer is a stub votmd that swallows the first `hold` requests
+// without answering, then sends the connection-fatal OpError frame and hangs
+// up — the server-side convention for an unrecoverable protocol violation.
+// It lets the test pin the client-visible contract: every in-flight request
+// resolves with a typed error, none block forever.
+type operrServer struct {
+	ln      net.Listener
+	hold    int
+	aborted atomic.Bool // first connection aborts; later ones serve normally
+}
+
+func newOperrServer(t *testing.T, hold int) *operrServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &operrServer{ln: ln, hold: hold}
+	go s.acceptLoop()
+	t.Cleanup(func() { _ = ln.Close() })
+	return s
+}
+
+func (s *operrServer) addr() string { return s.ln.Addr().String() }
+
+func (s *operrServer) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(nc)
+	}
+}
+
+func (s *operrServer) serve(nc net.Conn) {
+	defer nc.Close()
+	abortThis := s.aborted.CompareAndSwap(false, true)
+	held := 0
+	for {
+		req, err := wire.ReadRequest(nc)
+		if err != nil {
+			return
+		}
+		if abortThis && req.Op != wire.OpPing {
+			if held++; held < s.hold {
+				continue // swallowed: this request stays in flight
+			}
+			_ = wire.WriteResponse(nc, &wire.Response{
+				Op:     wire.OpError,
+				Status: wire.StatusBadRequest,
+				Value:  []byte("frame 3 reuses an in-flight ID"),
+			})
+			return
+		}
+		if err := wire.WriteResponse(nc, &wire.Response{
+			Op: req.Op, ID: req.ID, Status: wire.StatusOK,
+		}); err != nil {
+			return
+		}
+	}
+}
+
+// TestOpErrorFailsInFlightRequests: when the server aborts the connection
+// with OpError, every pipelined in-flight request must resolve promptly with
+// a typed error carrying the server's status — not hang awaiting a response
+// that will never come, and not surface as a bare EOF.
+func TestOpErrorFailsInFlightRequests(t *testing.T) {
+	const inflight = 6
+	s := newOperrServer(t, inflight)
+	c, err := Dial(s.addr(), Options{PoolSize: 1, RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	errs := make([]error, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Get(context.Background(), uint64(i))
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight requests still blocked after OpError + hangup")
+	}
+
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("request %d: nil error after server abort", i)
+			continue
+		}
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("request %d: %v, want wrap of ErrBadRequest", i, err)
+		}
+		if !strings.Contains(err.Error(), "server aborted connection") {
+			t.Errorf("request %d: %q does not name the abort", i, err)
+		}
+	}
+
+	// The aborted connection must not wedge the client: the pool marks it
+	// broken and the next call redials transparently.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Get(ctx, 99); err != nil {
+		t.Errorf("Get after redial: %v", err)
+	}
+}

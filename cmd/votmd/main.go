@@ -34,7 +34,11 @@ func main() {
 		buckets  = flag.Int("buckets", 1024, "hash-map buckets per shard")
 		workers  = flag.Int("workers", 4, "transaction workers per shard (RAC quota bound N)")
 		queue    = flag.Int("queue", 128, "bounded per-shard request queue (overflow => BUSY)")
+		batchMax = flag.Int("batch-max", 16, "max requests one worker group-commits per transaction (1 = no grouping)")
 		maxVal   = flag.Int("max-value", 64<<10, "maximum value size in bytes")
+		respCh   = flag.Int("resp-channel", 64, "per-connection response channel capacity")
+		readBuf  = flag.Int("read-buf", 16<<10, "per-connection read buffer bytes")
+		writeBuf = flag.Int("write-buf", 16<<10, "per-connection write coalescing buffer bytes")
 		engine   = flag.String("engine", "norec", "TM engine: norec | oreceager | tl2")
 		adjust   = flag.Int64("adjust-every", 0, "RAC adjustment window in attempts (0 = default)")
 		reqTO    = flag.Duration("request-timeout", 5*time.Second, "per-request transaction timeout")
@@ -70,7 +74,11 @@ func main() {
 		Buckets:         *buckets,
 		WorkersPerShard: *workers,
 		QueueDepth:      *queue,
+		BatchMax:        *batchMax,
 		MaxValueLen:     *maxVal,
+		RespChannel:     *respCh,
+		ReadBufSize:     *readBuf,
+		WriteBufSize:    *writeBuf,
 		Engine:          kind,
 		AdjustEvery:     *adjust,
 		RequestTimeout:  *reqTO,

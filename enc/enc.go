@@ -50,18 +50,24 @@ func StoreBytes(tx votm.Tx, base votm.Addr, off int, data []byte) {
 
 // LoadBytes reads n bytes from byte offset off relative to base.
 func LoadBytes(tx votm.Tx, base votm.Addr, off, n int) []byte {
-	out := make([]byte, n)
+	return AppendBytes(make([]byte, 0, n), tx, base, off, n)
+}
+
+// AppendBytes appends n bytes read from byte offset off (relative to base)
+// to dst and returns the extended slice — LoadBytes without the allocation
+// when dst already has capacity (votmd's reused response buffers).
+func AppendBytes(dst []byte, tx votm.Tx, base votm.Addr, off, n int) []byte {
 	for i := 0; i < n; {
 		wordIdx := (off + i) / 8
 		byteIdx := (off + i) % 8
 		word := tx.Load(base + votm.Addr(wordIdx))
 		for byteIdx < 8 && i < n {
-			out[i] = byte(word >> (uint(byteIdx) * 8))
+			dst = append(dst, byte(word>>(uint(byteIdx)*8)))
 			byteIdx++
 			i++
 		}
 	}
-	return out
+	return dst
 }
 
 // stringHdrWords is the length prefix of an encoded string.
@@ -99,6 +105,31 @@ func StoreBlob(tx votm.Tx, base votm.Addr, b []byte) {
 func LoadBlob(tx votm.Tx, base votm.Addr) []byte {
 	n := int(tx.Load(base))
 	return LoadBytes(tx, base+stringHdrWords, 0, n)
+}
+
+// AppendBlob appends the length-prefixed byte blob at base to dst —
+// LoadBlob without the allocation when dst already has capacity.
+func AppendBlob(dst []byte, tx votm.Tx, base votm.Addr) []byte {
+	n := int(tx.Load(base))
+	return AppendBytes(dst, tx, base+stringHdrWords, 0, n)
+}
+
+// BlobEqual reports whether the blob at base equals b, comparing in place
+// without materializing the stored bytes (votmd's CAS expectation check).
+func BlobEqual(tx votm.Tx, base votm.Addr, b []byte) bool {
+	if int(tx.Load(base)) != len(b) {
+		return false
+	}
+	for i := 0; i < len(b); {
+		word := tx.Load(base + stringHdrWords + votm.Addr(i/8))
+		for j := 0; j < 8 && i < len(b); j++ {
+			if byte(word>>(uint(j)*8)) != b[i] {
+				return false
+			}
+			i++
+		}
+	}
+	return true
 }
 
 // StoreUint64s writes xs to consecutive words at base.

@@ -215,3 +215,119 @@ func TestBlobBoundaries(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendBlobReusesCapacity pins the contract the server's zero-alloc
+// read path depends on: AppendBlob writes into the destination's existing
+// capacity (no fresh slice) and agrees byte-for-byte with LoadBlob.
+func TestAppendBlobReusesCapacity(t *testing.T) {
+	v, th := newView(t)
+	ctx := context.Background()
+	scratch := make([]byte, 0, 256)
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 200} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i*7 + n)
+		}
+		base, err := v.Alloc(enc.BlobWords(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = v.Atomic(ctx, th, func(tx votm.Tx) error {
+			enc.StoreBlob(tx, base, data)
+			out := enc.AppendBlob(scratch[:0], tx, base)
+			if !bytes.Equal(out, data) {
+				t.Errorf("len %d: AppendBlob = %x, want %x", n, out, data)
+			}
+			if n <= cap(scratch) && len(out) > 0 && &out[0] != &scratch[:1][0] {
+				t.Errorf("len %d: AppendBlob abandoned the destination's capacity", n)
+			}
+			if !bytes.Equal(out, enc.LoadBlob(tx, base)) {
+				t.Errorf("len %d: AppendBlob disagrees with LoadBlob", n)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Free(base); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAppendBytesOffsets drives AppendBytes across word-boundary offsets and
+// checks it against LoadBytes, the copying reference implementation.
+func TestAppendBytesOffsets(t *testing.T) {
+	v, th := newView(t)
+	base, _ := v.Alloc(64)
+	ctx := context.Background()
+	data := []byte("pack my box with five dozen liquor jugs")
+	dst := make([]byte, 0, 64)
+	for off := 0; off < 17; off++ {
+		off := off
+		if err := v.Atomic(ctx, th, func(tx votm.Tx) error {
+			enc.StoreBytes(tx, base, off, data)
+			for n := 0; n <= len(data); n += 7 {
+				got := enc.AppendBytes(dst[:0], tx, base, off, n)
+				want := enc.LoadBytes(tx, base, off, n)
+				if !bytes.Equal(got, want) {
+					t.Errorf("off %d n %d: %x want %x", off, n, got, want)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBlobEqual checks the in-place comparison against every interesting
+// disagreement: equal, different length, and a single flipped byte at the
+// start, at a word boundary and at the tail.
+func TestBlobEqual(t *testing.T) {
+	v, th := newView(t)
+	ctx := context.Background()
+	data := []byte("0123456789abcdefghij") // 20 bytes: spans word boundaries
+	base, err := v.Alloc(enc.BlobWords(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		enc.StoreBlob(tx, base, data)
+		if !enc.BlobEqual(tx, base, data) {
+			t.Error("BlobEqual(stored bytes) = false")
+		}
+		if enc.BlobEqual(tx, base, data[:19]) || enc.BlobEqual(tx, base, append(data[:20:20], 'x')) {
+			t.Error("BlobEqual ignored a length mismatch")
+		}
+		for _, i := range []int{0, 7, 8, 15, 16, 19} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 0x01
+			if enc.BlobEqual(tx, base, mut) {
+				t.Errorf("BlobEqual missed flipped byte %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty blob edge case.
+	eb, err := v.Alloc(enc.BlobWords(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = v.Atomic(ctx, th, func(tx votm.Tx) error {
+		enc.StoreBlob(tx, eb, nil)
+		if !enc.BlobEqual(tx, eb, nil) || !enc.BlobEqual(tx, eb, []byte{}) {
+			t.Error("BlobEqual(empty, empty) = false")
+		}
+		if enc.BlobEqual(tx, eb, []byte{0}) {
+			t.Error("BlobEqual(empty, one byte) = true")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -148,7 +148,7 @@ func (v *View) Exclusive(ctx context.Context, fn func(Tx) error) error {
 		return err
 	}
 	defer v.ctl.Resume()
-	return callGuarded(fn, v.guardBody(&lockTx{heap: v.heap}))
+	return callGuarded(fn, v.guardBody(v.lockBody(false)))
 }
 
 // normalizeAddrRanges validates and canonicalizes split ranges against the

@@ -14,6 +14,10 @@ type Thread struct {
 	id  int
 	txs map[*View]txCacheEntry
 	rng uint64 // cheap LCG state for contention backoff
+	// ro is the reusable read-only wrapper handed to AtomicRead bodies; a
+	// Thread runs one transaction at a time, so one wrapper suffices and the
+	// read path stays allocation-free.
+	ro roTx
 }
 
 type txCacheEntry struct {

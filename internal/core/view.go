@@ -36,6 +36,14 @@ type View struct {
 	// the engine, so the hot path never checks it directly.
 	hook faultinject.Hook
 
+	// ltx / ltxRO are the shared lock-mode transaction handles. A lockTx is
+	// immutable after construction (heap pointer + readonly flag) and lock
+	// mode is exclusive by the RAC interlock, so both handles can be shared
+	// by every lock-mode/escalated/Exclusive run without allocating one per
+	// execution.
+	ltx   lockTx
+	ltxRO lockTx
+
 	destroyed atomic.Bool
 }
 
@@ -69,8 +77,18 @@ func newView(rt *Runtime, vid, sizeWords, quota int, kind EngineKind) *View {
 			OnQuotaChange:    onChange,
 		}),
 	}
+	v.ltx = lockTx{heap: heap}
+	v.ltxRO = lockTx{heap: heap, readonly: true}
 	v.engh.Store(&engineHolder{kind: kind, eng: rt.cfg.newEngine(kind, heap)})
 	return v
+}
+
+// lockBody returns the shared lock-mode handle for the requested mode.
+func (v *View) lockBody(readonly bool) *lockTx {
+	if readonly {
+		return &v.ltxRO
+	}
+	return &v.ltx
 }
 
 // ID returns the view ID (vid).
@@ -154,12 +172,34 @@ func (v *View) Alloc(words int) (stm.Addr, error) {
 	return v.alloc.Alloc(words)
 }
 
+// AllocBatch is malloc_block over a whole group: one block per entry of
+// sizes, all carved out under a single allocator lock acquisition,
+// appended to dst. All-or-nothing on failure.
+func (v *View) AllocBatch(sizes []int, dst []stm.Addr) ([]stm.Addr, error) {
+	if v.destroyed.Load() {
+		return dst, ErrViewDestroyed
+	}
+	return v.alloc.AllocBatch(sizes, dst)
+}
+
 // Free implements free_block(vid, ptr).
 func (v *View) Free(addr stm.Addr) error {
 	if v.destroyed.Load() {
 		return ErrViewDestroyed
 	}
 	return v.alloc.Free(addr)
+}
+
+// FreeBatch is free_block over a whole group's effect list: every block in
+// addrs is released under a single allocator lock acquisition.
+func (v *View) FreeBatch(addrs []stm.Addr) error {
+	if len(addrs) == 0 {
+		return nil
+	}
+	if v.destroyed.Load() {
+		return ErrViewDestroyed
+	}
+	return v.alloc.FreeBatch(addrs)
 }
 
 // Brk implements brk_view(vid, size): it expands the view's memory by words
@@ -221,6 +261,35 @@ func (v *View) Atomic(ctx context.Context, th *Thread, fn func(Tx) error) error 
 // transaction is read-only; Store panics.
 func (v *View) AtomicRead(ctx context.Context, th *Thread, fn func(Tx) error) error {
 	return v.atomic(ctx, th, fn, true)
+}
+
+// AtomicGroup is Atomic for group-commit execution: fn performs ops
+// independent logical operations inside one admission and one transaction,
+// amortizing the per-transaction overhead (RAC Enter/Exit, begin/commit; at
+// Q == 1 a single lock acquisition) across the group. Retry, escalation and
+// panic semantics are exactly Atomic's — a conflict re-executes the whole
+// group — and a committed group is additionally accounted in the view's
+// Totals (Groups++, GroupOps += ops) so mean group size is observable.
+//
+// The lock-mode caveat sharpens for groups: at Q == 1 there is no rollback,
+// so fn must not return a non-nil error after its first write — per-item
+// failures should be recorded in fn's own results, not surfaced as an
+// aborting error.
+func (v *View) AtomicGroup(ctx context.Context, th *Thread, ops int, fn func(Tx) error) error {
+	err := v.atomic(ctx, th, fn, false)
+	if err == nil {
+		v.ctl.RecordGroup(int64(ops))
+	}
+	return err
+}
+
+// AtomicReadGroup is AtomicGroup with read-only semantics (Store panics).
+func (v *View) AtomicReadGroup(ctx context.Context, th *Thread, ops int, fn func(Tx) error) error {
+	err := v.atomic(ctx, th, fn, true)
+	if err == nil {
+		v.ctl.RecordGroup(int64(ops))
+	}
+	return err
 }
 
 // attemptOutcome classifies one TM-mode transaction attempt.
@@ -309,7 +378,11 @@ func (v *View) attemptTM(th *Thread, fn func(Tx) error, readonly bool, mode rac.
 	}
 	var body Tx = tx
 	if readonly {
-		body = &roTx{inner: tx}
+		// Reuse the thread's read-only wrapper: a Thread is single-goroutine
+		// by contract, so one cached roTx per thread suffices and the
+		// steady-state AtomicRead path allocates nothing.
+		th.ro.inner = tx
+		body = &th.ro
 	}
 	body = v.guardBody(body)
 	var userErr error
@@ -371,7 +444,7 @@ func (v *View) runLock(th *Thread, fn func(Tx) error, readonly bool, start time.
 	if h := v.rt.cfg.FaultHook; h != nil {
 		h(faultinject.OpAdmit, th.id, 0)
 	}
-	err = callGuarded(fn, v.guardBody(&lockTx{heap: v.heap, readonly: readonly}))
+	err = callGuarded(fn, v.guardBody(v.lockBody(readonly)))
 	settled = true
 	outcome := rac.Committed
 	if err != nil {
@@ -402,7 +475,7 @@ func (v *View) runEscalated(ctx context.Context, th *Thread, fn func(Tx) error, 
 	if h := v.rt.cfg.FaultHook; h != nil {
 		h(faultinject.OpAdmit, th.id, 0)
 	}
-	err = callGuarded(fn, v.guardBody(&lockTx{heap: v.heap, readonly: readonly}))
+	err = callGuarded(fn, v.guardBody(v.lockBody(readonly)))
 	settled = true
 	outcome := rac.Committed
 	if err != nil {

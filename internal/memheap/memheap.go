@@ -57,6 +57,10 @@ func (a *Allocator) Alloc(words int) (stm.Addr, error) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.allocLocked(words)
+}
+
+func (a *Allocator) allocLocked(words int) (stm.Addr, error) {
 	for i := range a.free {
 		if a.free[i].size >= words {
 			base := a.free[i].base
@@ -73,6 +77,37 @@ func (a *Allocator) Alloc(words int) (stm.Addr, error) {
 	return 0, ErrOutOfMemory
 }
 
+// AllocBatch allocates one block per entry of sizes under a single lock
+// acquisition, appending the addresses to dst. It is all-or-nothing: if any
+// allocation fails, the blocks already carved out are returned to the free
+// list and dst is returned unextended. The group-commit execution path uses
+// this to pre-allocate a whole group's blocks with one mutex round-trip
+// instead of one per block.
+func (a *Allocator) AllocBatch(sizes []int, dst []stm.Addr) ([]stm.Addr, error) {
+	for _, words := range sizes {
+		if words <= 0 {
+			return dst, fmt.Errorf("memheap: invalid allocation size %d", words)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	start := len(dst)
+	for _, words := range sizes {
+		ad, err := a.allocLocked(words)
+		if err != nil {
+			for _, done := range dst[start:] {
+				size := a.allocated[done]
+				delete(a.allocated, done)
+				a.inUse -= size
+				a.insertFreeLocked(span{base: int(done), size: size})
+			}
+			return dst[:start], err
+		}
+		dst = append(dst, ad)
+	}
+	return dst, nil
+}
+
 // Free releases the block whose base address is addr, coalescing neighbours.
 func (a *Allocator) Free(addr stm.Addr) error {
 	a.mu.Lock()
@@ -85,6 +120,29 @@ func (a *Allocator) Free(addr stm.Addr) error {
 	a.inUse -= size
 	a.insertFreeLocked(span{base: int(addr), size: size})
 	return nil
+}
+
+// FreeBatch releases every block in addrs under a single lock acquisition —
+// the group-commit path retires a whole group's displaced storage at once
+// instead of paying a mutex round-trip per block. All valid addresses are
+// freed even when some are bad; the first bad address is reported.
+func (a *Allocator) FreeBatch(addrs []stm.Addr) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var firstErr error
+	for _, ad := range addrs {
+		size, ok := a.allocated[ad]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %d", ErrBadFree, ad)
+			}
+			continue
+		}
+		delete(a.allocated, ad)
+		a.inUse -= size
+		a.insertFreeLocked(span{base: int(ad), size: size})
+	}
+	return firstErr
 }
 
 func (a *Allocator) insertFreeLocked(s span) {

@@ -1,0 +1,213 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"votm"
+	"votm/client"
+	"votm/internal/server"
+	"votm/wire"
+)
+
+// BenchmarkServerThroughput is the loopback proof for the group-commit
+// datapath: the full server stack — frame decode, shard queue, grouped view
+// transaction, response encode, coalesced writes — measured across
+// workload × engine × batching. The batch=1/batch=16 pairs under the same
+// workload are the numbers that justify grouping: with one RAC admission and
+// one begin/commit per group, queue pressure turns into larger groups
+// instead of longer waits.
+//
+// The load generator speaks the raw wire protocol with deep pipelining
+// (hundreds of requests in flight, many frames per syscall) rather than the
+// synchronous Go client, for two reasons: that is the regime group commit
+// exists for (a standing queue at the shard), and it keeps generator-side
+// syscalls from drowning the server datapath in the measurement — this
+// suite runs generator and server in one process.
+//
+// Captured into BENCH_server.json by `make bench-server`.
+func BenchmarkServerThroughput(b *testing.B) {
+	engines := []struct {
+		name string
+		kind votm.EngineKind
+	}{
+		{"norec", votm.NOrec},
+		{"oreceager", votm.OrecEagerRedo},
+	}
+	workloads := []struct {
+		name  string
+		build func(req *wire.Request, rng *rand.Rand, val []byte)
+	}{
+		{"readheavy", benchReadHeavy},
+		{"writeheavy", benchWriteHeavy},
+		{"cascontended", benchCASContended},
+	}
+	for _, wl := range workloads {
+		for _, eng := range engines {
+			for _, batch := range []int{1, 16} {
+				name := fmt.Sprintf("%s/%s/batch%d", wl.name, eng.name, batch)
+				b.Run(name, func(b *testing.B) {
+					benchServer(b, eng.kind, batch, wl.build)
+				})
+			}
+		}
+	}
+}
+
+const (
+	benchKeys    = 1024 // preloaded key space
+	benchHotKeys = 8    // CAS-contended hot set
+	benchValLen  = 16
+	benchWindow  = 512      // in-flight requests (stays under QueueDepth: no BUSY)
+	benchChunk   = 32       // completions per credit message reader → writer
+	benchWriteHW = 32 << 10 // flush threshold for the generator's write buffer
+)
+
+func benchServer(b *testing.B, kind votm.EngineKind, batchMax int,
+	build func(*wire.Request, *rand.Rand, []byte)) {
+	srv, addr := startServer(b, server.Config{
+		Shards:          1,
+		WorkersPerShard: 1,
+		QueueDepth:      1024,
+		BatchMax:        batchMax,
+		Engine:          kind,
+		RequestTimeout:  30 * time.Second,
+	})
+
+	val := make([]byte, benchValLen)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	// Preload the key space, then pin the hot set to the 8-byte value the
+	// CAS workload expects (so its compares match and take the write path).
+	pre := dialClient(b, addr, client.Options{PoolSize: 1, RequestTimeout: 30 * time.Second})
+	ctx := context.Background()
+	for k := uint64(0); k < benchKeys; k++ {
+		if _, err := pre.Put(ctx, k, val); err != nil {
+			b.Fatalf("preload key %d: %v", k, err)
+		}
+	}
+	for k := uint64(0); k < benchHotKeys; k++ {
+		if _, err := pre.Put(ctx, k, val[:8]); err != nil {
+			b.Fatalf("preload hot key %d: %v", k, err)
+		}
+	}
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 64<<10)
+
+	// Window credits flow reader → writer in chunks of benchChunk, so the
+	// two goroutines meet at a channel once per chunk instead of once per
+	// request — on a shared core, per-op channel handoffs would otherwise
+	// tax both batch settings equally and compress the measured ratio.
+	credits := make(chan int, benchWindow/benchChunk+1)
+	readerDone := make(chan error, 1)
+	rng := rand.New(rand.NewSource(1))
+	req := &wire.Request{}
+	wbuf := make([]byte, 0, benchWriteHW+4096)
+	flush := func() {
+		if len(wbuf) == 0 {
+			return
+		}
+		if _, err := nc.Write(wbuf); err != nil {
+			b.Fatalf("write: %v", err)
+		}
+		wbuf = wbuf[:0]
+	}
+
+	b.ResetTimer()
+	go func() {
+		resp := wire.NewResponse()
+		defer resp.Release()
+		done := 0
+		for i := 0; i < b.N; i++ {
+			if err := wire.ReadResponseReuse(br, resp); err != nil {
+				readerDone <- fmt.Errorf("response %d: %w", i, err)
+				return
+			}
+			switch resp.Status {
+			case wire.StatusOK, wire.StatusNotFound, wire.StatusCASMismatch:
+			default:
+				readerDone <- fmt.Errorf("response %d: status %v", i, resp.Status)
+				return
+			}
+			if done++; done == benchChunk {
+				credits <- done
+				done = 0
+			}
+		}
+		readerDone <- nil
+	}()
+	avail := benchWindow
+	for i := 0; i < b.N; i++ {
+		if avail == 0 {
+			flush() // window exhausted: push buffered frames so the reader can drain
+			avail += <-credits
+		drain: // absorb any further banked credits without blocking
+			for {
+				select {
+				case n := <-credits:
+					avail += n
+				default:
+					break drain
+				}
+			}
+		}
+		avail--
+		build(req, rng, val)
+		req.ID = uint32(i + 1)
+		wbuf, err = wire.AppendRequest(wbuf, req)
+		if err != nil {
+			b.Fatalf("encode: %v", err)
+		}
+		if len(wbuf) >= benchWriteHW {
+			flush()
+		}
+	}
+	flush()
+	if err := <-readerDone; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+	var groups, groupOps uint64
+	for _, st := range srv.StatsAll() {
+		groups += st.Groups
+		groupOps += st.GroupOps
+	}
+	if groups > 0 {
+		b.ReportMetric(float64(groupOps)/float64(groups), "group-size")
+	}
+}
+
+// benchReadHeavy: 90% GET / 10% PUT over the preloaded key space.
+func benchReadHeavy(req *wire.Request, rng *rand.Rand, val []byte) {
+	if rng.Intn(10) == 0 {
+		benchWriteHeavy(req, rng, val)
+		return
+	}
+	*req = wire.Request{Op: wire.OpGet, Key: uint64(rng.Intn(benchKeys))}
+}
+
+// benchWriteHeavy: all PUTs over the preloaded key space.
+func benchWriteHeavy(req *wire.Request, rng *rand.Rand, val []byte) {
+	*req = wire.Request{Op: wire.OpPut, Key: uint64(rng.Intn(benchKeys)), Value: val}
+}
+
+// benchCASContended: CAS over a hot set of 8 keys, expectation preloaded to
+// match — every request takes the full transactional compare-and-write path
+// on a key every other in-flight request is also hitting.
+func benchCASContended(req *wire.Request, rng *rand.Rand, val []byte) {
+	*req = wire.Request{Op: wire.OpCAS, Key: uint64(rng.Intn(benchHotKeys)),
+		OldValue: val[:8], Value: val[:8]}
+}

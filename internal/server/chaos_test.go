@@ -45,6 +45,7 @@ func TestServerChaos(t *testing.T) {
 		Shards:             2,
 		WorkersPerShard:    4,
 		QueueDepth:         128,
+		BatchMax:           16, // fault injection must fire inside grouped transactions
 		AdjustEvery:        64,
 		MaxConflictRetries: 8,
 		RequestTimeout:     30 * time.Second,
@@ -157,12 +158,23 @@ func TestServerChaos(t *testing.T) {
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}
-	var panics uint64
+	var panics, groups, groupOps uint64
 	for _, st := range shardStats {
 		panics += st.Panics
+		groups += st.Groups
+		groupOps += st.GroupOps
 	}
 	if panics == 0 {
 		t.Errorf("injector reports %d panics but no shard counted one", stats.Panics)
+	}
+	// With BatchMax 16 and this much pressure the storm must have exercised
+	// grouped execution — otherwise the faults above never fired inside a
+	// grouped transaction and the soak proves nothing about batching.
+	if groups == 0 {
+		t.Error("chaos soak completed without a single grouped transaction")
+	}
+	if groupOps < groups {
+		t.Errorf("GroupOps %d < Groups %d", groupOps, groups)
 	}
 
 	// Tear everything down and verify nothing leaked: no worker, connection,

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -16,6 +15,11 @@ import (
 // answers inline (PING, STATS, rejections) or dispatches to a shard queue;
 // shard workers push responses onto out, and a write goroutine flushes them
 // — so responses complete out of order and the connection pipelines.
+//
+// Requests and responses are pooled (wire.NewRequest/NewResponse) with
+// release-after-write ownership: a dispatched request belongs to the shard
+// worker, which releases it after answering; a response handed to send
+// belongs to the write loop, which releases it after encoding.
 type conn struct {
 	srv *Server
 	nc  net.Conn
@@ -27,7 +31,7 @@ type conn struct {
 }
 
 func (s *Server) serveConn(nc net.Conn) {
-	c := &conn{srv: s, nc: nc, out: make(chan *wire.Response, 64)}
+	c := &conn{srv: s, nc: nc, out: make(chan *wire.Response, s.cfg.RespChannel)}
 	s.trackConn(nc, true)
 	defer s.trackConn(nc, false)
 
@@ -42,31 +46,41 @@ func (s *Server) serveConn(nc net.Conn) {
 	_ = nc.Close()
 }
 
-// send queues a response for the writer. It may block briefly when the
-// writer is behind; the writer always drains out until it is closed, so the
-// send cannot deadlock.
+// send queues a response for the writer, transferring ownership. It may
+// block briefly when the writer is behind; the writer always drains out
+// until it is closed, so the send cannot deadlock.
 func (c *conn) send(r *wire.Response) { c.out <- r }
 
 func (c *conn) readLoop() {
-	br := bufio.NewReaderSize(c.nc, 16<<10)
+	br := bufio.NewReaderSize(c.nc, c.srv.cfg.ReadBufSize)
 	for {
 		if c.srv.draining.Load() {
 			return
 		}
-		_ = c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
-		req, err := wire.ReadRequest(br)
-		if err != nil {
+		// Re-arm the idle deadline only when the next read can actually
+		// block on the socket. A pipelined burst is served straight out of
+		// the bufio buffer — paying a runtime timer update per frame there
+		// is pure per-request overhead. A frame split across the buffer
+		// boundary blocks under the previous deadline, which was armed no
+		// earlier than the last time the socket went quiet; mid-burst that
+		// is at most one buffer's processing time ago.
+		if br.Buffered() == 0 {
+			_ = c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+		}
+		req := wire.NewRequest()
+		if err := wire.ReadRequestReuse(br, req); err != nil {
+			req.Release()
 			if errors.Is(err, wire.ErrProtocol) {
-				// The stream is unframed from here on: answer once (ID 0 —
-				// the true ID is unknowable) and hang up.
-				c.send(&wire.Response{
-					Op: wire.OpPing, Status: wire.StatusBadRequest,
-					Value: []byte(err.Error()),
-				})
+				// The stream is unframed from here on: answer once with the
+				// reserved OpError/ID-0 frame — which no pipelined request
+				// can be demuxed onto — and hang up (docs/PROTOCOL.md).
+				resp := wire.NewResponse()
+				resp.Op, resp.Status = wire.OpError, wire.StatusBadRequest
+				resp.SetDetail(err.Error())
+				c.send(resp)
 			}
 			// io.EOF: clean close. Deadline errors: idle cutoff or the
 			// drain wake-up. Either way the read side is done.
-			_ = err
 			return
 		}
 		c.dispatch(req)
@@ -75,20 +89,34 @@ func (c *conn) readLoop() {
 
 // dispatch validates req and routes it: control ops answer inline, data ops
 // go to their shard's bounded queue (full queue => StatusBusy, draining
-// server => StatusShutdown).
+// server => StatusShutdown). Inline paths release req here; a dispatched
+// req is released by the shard worker.
 func (c *conn) dispatch(req *wire.Request) {
 	s := c.srv
+	// reject answers req inline and retires it.
+	reject := func(status wire.Status, detail string) {
+		resp := wire.NewResponse()
+		resp.Op, resp.ID, resp.Status = req.Op, req.ID, status
+		if detail != "" {
+			resp.SetDetail(detail)
+		}
+		req.Release()
+		c.send(resp)
+	}
+
 	switch req.Op {
 	case wire.OpPing:
-		c.send(&wire.Response{Op: wire.OpPing, ID: req.ID})
+		reject(wire.StatusOK, "")
 		return
 	case wire.OpStats:
-		c.send(s.statsResponse(req))
+		resp := s.statsResponse(req)
+		req.Release()
+		c.send(resp)
 		return
 	}
 
 	if status, msg := c.validate(req); status != wire.StatusOK {
-		c.send(&wire.Response{Op: req.Op, ID: req.ID, Status: status, Value: []byte(msg)})
+		reject(status, msg)
 		return
 	}
 
@@ -103,32 +131,26 @@ func (c *conn) dispatch(req *wire.Request) {
 		// the batch must also land on one sub-shard.
 		for _, sub := range req.Subs[1:] {
 			if g.route(sub.Key) != sh {
-				c.send(&wire.Response{
-					Op: req.Op, ID: req.ID,
-					Status: wire.StatusCrossShard,
-					Value:  []byte("shard was split: batch keys span sub-shards"),
-				})
+				reject(wire.StatusCrossShard, "shard was split: batch keys span sub-shards")
 				return
 			}
 		}
 	}
 
 	if !s.beginReq() {
-		c.send(&wire.Response{
-			Op: req.Op, ID: req.ID,
-			Status: wire.StatusShutdown, Value: []byte("server draining"),
-		})
+		reject(wire.StatusShutdown, "server draining")
 		return
 	}
 	c.pending.Add(1)
 	select {
 	case sh.queue <- task{req: req, c: c}:
+		sh.noteDepth(uint64(len(sh.queue)))
 	default:
 		// Bounded in-flight queue is full: reject now instead of queueing
 		// unboundedly. The client sees a typed BUSY and decides.
 		c.pending.Done()
 		s.reqWG.Done()
-		c.send(&wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusBusy})
+		reject(wire.StatusBusy, "")
 	}
 }
 
@@ -163,27 +185,90 @@ func (c *conn) validate(req *wire.Request) (wire.Status, string) {
 	return wire.StatusOK, ""
 }
 
+// respSizeHint estimates r's encoded size, picking between the coalescing
+// buffer and the writev path.
+func respSizeHint(r *wire.Response) int {
+	n := 64 + len(r.Value) + 104*len(r.Stats)
+	for i := range r.Subs {
+		n += 24 + len(r.Subs[i].Value)
+	}
+	return n
+}
+
+// writeLoop encodes and flushes responses. Frames are encoded into a
+// retained scratch buffer (no per-response allocation) and coalesced: after
+// one blocking receive it greedily drains whatever else is already pending,
+// so pipelined responses go out in one syscall. Frames at least WriteBufSize
+// long are encoded into a second retained buffer and the two are written as
+// a writev (net.Buffers) — one syscall, no copying large payloads into the
+// coalescing buffer. Responses already complete out of order on a pipelined
+// connection, so the small-before-big write order is unobservable.
 func (c *conn) writeLoop(done chan struct{}) {
 	defer close(done)
-	bw := bufio.NewWriterSize(c.nc, 16<<10)
+	threshold := c.srv.cfg.WriteBufSize
+	small := make([]byte, 0, threshold) // coalesced sub-threshold frames
+	var big []byte                      // large frames for the writev path
 	failed := false
-	flush := func() {
-		if !failed && bw.Flush() != nil {
-			failed = true
-		}
-	}
 	for r := range c.out {
 		if failed {
-			continue // keep draining so senders never block forever
-		}
-		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-		if err := wire.WriteResponse(bw, r); err != nil && err != io.ErrShortWrite {
-			failed = true
+			for r != nil { // keep draining so senders never block forever
+				next := r.Next
+				r.Next = nil
+				r.Release()
+				r = next
+			}
 			continue
 		}
-		if len(c.out) == 0 {
-			flush() // batch flushes across pipelined responses
+		small, big = small[:0], big[:0]
+		// encode consumes r and any responses chained behind it (a group
+		// worker hands a whole group's responses over as one chain — one
+		// channel hand-off instead of one per response).
+		encode := func(r *wire.Response) {
+			for r != nil {
+				next := r.Next
+				r.Next = nil
+				var err error
+				if respSizeHint(r) >= threshold {
+					big, err = wire.AppendResponse(big, r)
+				} else {
+					small, err = wire.AppendResponse(small, r)
+				}
+				r.Release()
+				if err != nil {
+					failed = true // unencodable response: the stream cannot continue
+				}
+				r = next
+			}
+		}
+		encode(r)
+	fill:
+		for !failed && len(small) < threshold && len(big) < 4*threshold {
+			select {
+			case r2, ok := <-c.out:
+				if !ok {
+					break fill // closed: write what we have, outer loop exits
+				}
+				encode(r2)
+			default:
+				break fill
+			}
+		}
+		if failed {
+			continue
+		}
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		var err error
+		switch {
+		case len(big) == 0:
+			_, err = c.nc.Write(small)
+		case len(small) == 0:
+			_, err = c.nc.Write(big)
+		default:
+			bufs := net.Buffers{small, big}
+			_, err = bufs.WriteTo(c.nc)
+		}
+		if err != nil {
+			failed = true
 		}
 	}
-	flush()
 }

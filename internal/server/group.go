@@ -1,0 +1,406 @@
+// Group-commit execution: a shard worker drains up to Config.BatchMax
+// queued requests per wakeup and executes the whole group inside ONE view
+// transaction — one RAC admission, one begin/validate/commit (and at Q == 1
+// a single lock acquisition) amortized over K independent GET/PUT/DELETE/
+// CAS requests. Per-request outcomes (NOT_FOUND, CAS_MISMATCH, created
+// flags) stay per-request statuses; a conflict abort re-executes the whole
+// group through the runtime's existing retry-budget/escalation path; an
+// injected panic fails only the faulting group, with every member still
+// answered (StatusTxFault).
+//
+// Grouping is a server-side throughput optimization, not a protocol
+// feature: clients observe the same per-request semantics as ungrouped
+// execution, except that requests grouped together commit atomically as a
+// side effect (never less isolation, sometimes more).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"votm"
+	"votm/ds"
+	"votm/enc"
+	"votm/wire"
+)
+
+// groupOp is one point request's slot in a grouped transaction.
+type groupOp struct {
+	t    task
+	resp *wire.Response
+
+	// skip excludes an op whose pre-allocation failed; its resp already
+	// carries the failure status and the transaction never sees it.
+	skip bool
+
+	// block/node are pre-allocated outside the transaction for PUT and CAS
+	// (alloc-outside / link-inside / free-after-commit discipline);
+	// usedBlock/usedNode record whether the committed attempt linked them.
+	block               votm.Addr
+	hasBlock            bool
+	node                ds.Ref
+	hasNode             bool
+	usedBlock, usedNode bool
+}
+
+// groupWorker is one shard worker's retained execution state: the op
+// slots, the commit-side free lists and the amortized request context are
+// all reused across groups, so the steady-state execution path allocates
+// nothing.
+type groupWorker struct {
+	s  *Server
+	sh *shard
+	th *votm.Thread
+
+	ops []groupOp
+	// frees collects every post-commit release of the current group —
+	// displaced value blocks, unlinked map nodes, unused pre-allocations —
+	// retired with one FreeBatch (one allocator lock) per group.
+	frees     []votm.Addr
+	sizes     []int       // pre-allocation size scratch (blocks and nodes)
+	blocks    []votm.Addr // pre-allocation result scratch
+	keysDelta int64
+
+	// reqCtx is the group-execution context. Creating context.WithTimeout
+	// per request would put two allocations and a timer on the hot path, so
+	// one context is reused until half its budget has elapsed: every group
+	// observes a deadline between RequestTimeout/2 and RequestTimeout away.
+	reqCtx    context.Context
+	reqCancel context.CancelFunc
+	renewAt   time.Time
+}
+
+func newGroupWorker(s *Server, sh *shard, th *votm.Thread) *groupWorker {
+	return &groupWorker{s: s, sh: sh, th: th}
+}
+
+func (w *groupWorker) close() {
+	if w.reqCancel != nil {
+		w.reqCancel()
+	}
+}
+
+// ctx returns the amortized request context (see reqCtx).
+func (w *groupWorker) ctx() context.Context {
+	now := time.Now()
+	if w.reqCtx == nil || now.After(w.renewAt) || w.reqCtx.Err() != nil {
+		if w.reqCancel != nil {
+			w.reqCancel()
+		}
+		timeout := w.s.cfg.RequestTimeout
+		w.reqCtx, w.reqCancel = context.WithTimeout(context.Background(), timeout)
+		w.renewAt = now.Add(timeout / 2)
+	}
+	return w.reqCtx
+}
+
+// run executes one drained batch: route-rechecked point ops execute as a
+// single grouped transaction, ATOMIC batches (their own transactional
+// contract) individually. Every task is answered exactly once.
+func (w *groupWorker) run(batch []task) {
+	w.ops = w.ops[:0]
+	for _, t := range batch {
+		// A split between dispatch and execution may have moved this
+		// request's keys to another sub-shard: answer BUSY (retryable)
+		// instead of operating on a stale owner. Only the moved requests
+		// drop out; the rest of the group still executes and commits.
+		if resp := w.s.recheckRoute(w.sh, t.req); resp != nil {
+			w.finish(t, resp)
+			continue
+		}
+		if t.req.Op == wire.OpAtomic {
+			w.runAtomic(t)
+			continue
+		}
+		w.ops = append(w.ops, groupOp{t: t})
+	}
+	if len(w.ops) > 0 {
+		w.runGroup()
+	}
+	// Drop response references so the pool can recycle freely.
+	for i := range w.ops {
+		w.ops[i] = groupOp{}
+	}
+	w.ops = w.ops[:0]
+}
+
+// finish answers one task and retires its request.
+func (w *groupWorker) finish(t task, resp *wire.Response) {
+	t.c.send(resp)
+	t.c.pending.Done()
+	w.s.reqWG.Done()
+	t.req.Release()
+}
+
+// errStatus maps a transaction error to its wire status and detail.
+func errStatus(err error) (wire.Status, string) {
+	switch {
+	case errors.Is(err, errBadAdd):
+		return wire.StatusBadRequest, err.Error()
+	case errors.Is(err, votm.ErrViewDestroyed):
+		return wire.StatusShutdown, "shard shutting down"
+	default:
+		return wire.StatusInternal, err.Error()
+	}
+}
+
+// runAtomic executes one ATOMIC batch as its own transaction (the batch is
+// a client-visible atomicity contract; it is never merged into a group).
+// Panic-safe exactly like grouped execution.
+func (w *groupWorker) runAtomic(t task) {
+	resp := wire.NewResponse()
+	resp.Op, resp.ID = t.req.Op, t.req.ID
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				w.s.logf("votmd: shard %d: %v in ATOMIC transaction", w.sh.id, r)
+				resp.Subs = resp.Subs[:0]
+				resp.Status = wire.StatusTxFault
+				resp.SetDetail(fmt.Sprint(r))
+			}
+		}()
+		subs, err := w.sh.doAtomic(w.ctx(), w.th, t.req.Subs, resp.Subs[:0])
+		if err != nil {
+			resp.Subs = resp.Subs[:0]
+			status, detail := errStatus(err)
+			resp.Status = status
+			resp.SetDetail(detail)
+			return
+		}
+		resp.Subs = subs
+	}()
+	w.finish(t, resp)
+}
+
+// runGroup executes w.ops as one grouped transaction.
+func (w *groupWorker) runGroup() {
+	sh, ops := w.sh, w.ops
+	live := 0
+	readonly := true
+
+	// Response slots and pre-allocation, outside the transaction. Blocks
+	// and spare nodes for the whole group are carved out in one allocator
+	// lock acquisition; if the batch cannot be satisfied (allocator
+	// pressure), fall back to per-op allocation so that only the op that
+	// actually fails is answered INTERNAL and skipped.
+	w.sizes = w.sizes[:0]
+	nodeWords := sh.hm.NodeWords()
+	for i := range ops {
+		op := &ops[i]
+		req := op.t.req
+		resp := wire.NewResponse()
+		resp.Op, resp.ID = req.Op, req.ID
+		op.resp = resp
+		if req.Op != wire.OpGet {
+			readonly = false
+		}
+		if req.Op == wire.OpPut || req.Op == wire.OpCAS {
+			w.sizes = append(w.sizes, enc.BlobWords(len(req.Value)), nodeWords)
+		}
+		live++
+	}
+	var batched bool
+	if len(w.sizes) > 0 {
+		var err error
+		if w.blocks, err = sh.allocBatch(w.sizes, w.blocks[:0]); err == nil {
+			batched = true
+			next := 0
+			for i := range ops {
+				op := &ops[i]
+				if o := op.t.req.Op; o == wire.OpPut || o == wire.OpCAS {
+					op.block, op.hasBlock = w.blocks[next], true
+					op.node, op.hasNode = ds.Ref(w.blocks[next+1]), true
+					next += 2
+				}
+			}
+		}
+	}
+	if !batched {
+		for i := range ops {
+			op := &ops[i]
+			req := op.t.req
+			if req.Op != wire.OpPut && req.Op != wire.OpCAS {
+				continue
+			}
+			block, err := sh.alloc(enc.BlobWords(len(req.Value)))
+			if err == nil {
+				op.block, op.hasBlock = block, true
+				var node ds.Ref
+				if node, err = sh.hm.NewNode(); err == nil {
+					op.node, op.hasNode = node, true
+				}
+			}
+			if err != nil {
+				w.releaseOp(op)
+				op.resp.Status = wire.StatusInternal
+				op.resp.SetDetail(err.Error())
+				op.skip = true
+				live--
+			}
+		}
+	}
+	if live == 0 {
+		w.finishGroup()
+		return
+	}
+
+	// The runtime rolls back and releases admission before a body panic
+	// (an injected fault) reaches us: fail just this group, but answer
+	// every member — no request may be lost to a chaos event.
+	defer func() {
+		if r := recover(); r != nil {
+			w.s.logf("votmd: shard %d: %v in grouped transaction of %d", sh.id, r, live)
+			for i := range ops {
+				op := &ops[i]
+				if op.skip {
+					continue
+				}
+				w.releaseOp(op)
+				op.resp.Status = wire.StatusTxFault
+				op.resp.SetDetail(fmt.Sprint(r))
+			}
+			w.finishGroup()
+		}
+	}()
+
+	// The body may be re-executed after a conflict: every per-op outcome
+	// and commit-side effect list is rebuilt from scratch on each attempt.
+	// No path returns a non-nil error after a write, so the group is safe
+	// under Q == 1 lock-mode execution (which has no rollback): per-op
+	// failures are statuses, never aborts.
+	fn := func(tx votm.Tx) error {
+		w.frees, w.keysDelta = w.frees[:0], 0
+		for i := range ops {
+			op := &ops[i]
+			if op.skip {
+				continue
+			}
+			op.usedBlock, op.usedNode = false, false
+			req, resp := op.t.req, op.resp
+			resp.Status = wire.StatusOK
+			resp.Value = resp.Value[:0]
+			resp.Created = false
+			switch req.Op {
+			case wire.OpGet:
+				if ref, ok := sh.hm.Get(tx, req.Key); ok {
+					resp.Value = enc.AppendBlob(resp.Value, tx, votm.Addr(ref))
+				} else {
+					resp.Status = wire.StatusNotFound
+				}
+			case wire.OpPut:
+				enc.StoreBlob(tx, op.block, req.Value)
+				prev, existed, used := sh.hm.Swap(tx, req.Key, uint64(op.block), op.node)
+				op.usedBlock, op.usedNode = true, used
+				if existed {
+					w.frees = append(w.frees, votm.Addr(prev))
+				} else {
+					w.keysDelta++
+				}
+				resp.Created = !existed
+			case wire.OpDelete:
+				if ref, ok := sh.hm.Get(tx, req.Key); ok {
+					node, _ := sh.hm.Delete(tx, req.Key)
+					w.frees = append(w.frees, votm.Addr(ref), votm.Addr(node))
+					w.keysDelta--
+				} else {
+					resp.Status = wire.StatusNotFound
+				}
+			case wire.OpCAS:
+				ref, ok := sh.hm.Get(tx, req.Key)
+				if !ok {
+					resp.Status = wire.StatusNotFound
+					break
+				}
+				base := votm.Addr(ref)
+				if !enc.BlobEqual(tx, base, req.OldValue) {
+					resp.Status = wire.StatusCASMismatch
+					resp.Value = enc.AppendBlob(resp.Value, tx, base)
+					break
+				}
+				enc.StoreBlob(tx, op.block, req.Value)
+				prev, _, used := sh.hm.Swap(tx, req.Key, uint64(op.block), op.node)
+				op.usedBlock, op.usedNode = true, used
+				w.frees = append(w.frees, votm.Addr(prev))
+			}
+		}
+		return nil
+	}
+
+	var err error
+	if readonly {
+		err = sh.view.AtomicReadGroup(w.ctx(), w.th, live, fn)
+	} else {
+		err = sh.view.AtomicGroup(w.ctx(), w.th, live, fn)
+	}
+	if err != nil {
+		status, detail := errStatus(err)
+		for i := range ops {
+			op := &ops[i]
+			if op.skip {
+				continue
+			}
+			w.releaseOp(op)
+			op.resp.Status = status
+			op.resp.SetDetail(detail)
+		}
+		w.finishGroup()
+		return
+	}
+
+	// Committed: release displaced storage and any pre-allocation the
+	// final attempt did not link — the whole effect list in one allocator
+	// lock acquisition. (A map node is a plain view block: FreeNode is
+	// view.Free by another name, so it batches with the rest.)
+	for i := range ops {
+		op := &ops[i]
+		if op.hasBlock && !op.usedBlock {
+			w.frees = append(w.frees, op.block)
+		}
+		if op.hasNode && !op.usedNode {
+			w.frees = append(w.frees, votm.Addr(op.node))
+		}
+		op.hasBlock, op.hasNode = false, false
+	}
+	_ = sh.view.FreeBatch(w.frees)
+	sh.keys.Add(w.keysDelta)
+	w.finishGroup()
+}
+
+// releaseOp returns an op's unlinked pre-allocations (failure paths).
+func (w *groupWorker) releaseOp(op *groupOp) {
+	if op.hasBlock {
+		_ = w.sh.view.Free(op.block)
+		op.hasBlock = false
+	}
+	if op.hasNode {
+		_ = w.sh.hm.FreeNode(op.node)
+		op.hasNode = false
+	}
+}
+
+// finishGroup answers every op of the current group. Consecutive responses
+// for the same connection are chained and handed to its writer in one
+// channel send — a pipelined burst from one client costs one hand-off per
+// group instead of one per request. The sends complete before any
+// pending.Done so a graceful drain can never close an out channel with a
+// chain still in flight.
+func (w *groupWorker) finishGroup() {
+	ops := w.ops
+	for i := 0; i < len(ops); {
+		c := ops[i].t.c
+		head, tail := ops[i].resp, ops[i].resp
+		j := i + 1
+		for ; j < len(ops) && ops[j].t.c == c; j++ {
+			tail.Next = ops[j].resp
+			tail = ops[j].resp
+		}
+		c.send(head)
+		for ; i < j; i++ {
+			c.pending.Done()
+			w.s.reqWG.Done()
+			ops[i].t.req.Release()
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"votm"
+	"votm/internal/stm"
+	"votm/wire"
+)
+
+// newTestConn builds a detached conn whose out channel the test reads
+// directly — no socket, no write loop — for driving groupWorker.run with
+// hand-built batches.
+func newTestConn(s *Server, depth int) *conn {
+	return &conn{srv: s, out: make(chan *wire.Response, depth)}
+}
+
+// mkTask builds one dispatched task the way the dispatcher would: a pooled
+// request owned by the worker, accounted in both WaitGroups.
+func mkTask(s *Server, c *conn, op wire.Op, id uint32, key uint64, val, old []byte) task {
+	req := wire.NewRequest()
+	req.Op, req.ID, req.Key = op, id, key
+	req.Value, req.OldValue = val, old
+	c.pending.Add(1)
+	s.reqWG.Add(1)
+	return task{req: req, c: c}
+}
+
+// collect drains n responses from the test conn, keyed by request ID. The
+// responses are copied out (status, value, created) before release so the
+// pool can recycle them.
+type gotResp struct {
+	status  wire.Status
+	value   []byte
+	created bool
+}
+
+func collect(t *testing.T, c *conn, n int) map[uint32]gotResp {
+	t.Helper()
+	out := make(map[uint32]gotResp, n)
+	for len(out) < n {
+		select {
+		case r := <-c.out:
+			// A group's responses for one conn arrive as a single chain.
+			for r != nil {
+				next := r.Next
+				r.Next = nil
+				out[r.ID] = gotResp{status: r.Status, value: append([]byte(nil), r.Value...), created: r.Created}
+				r.Release()
+				r = next
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d responses arrived", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestGroupedExecutionOracle runs one mixed batch through groupWorker.run
+// and checks every per-request outcome against the single-op helpers'
+// semantics: statuses stay per-request, intra-group ops observe each other
+// (one transaction), and the committed state matches a sequential oracle.
+func TestGroupedExecutionOracle(t *testing.T) {
+	s, err := New(Config{Shards: 1, ShardWords: 1 << 12, WorkersPerShard: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	ctx := context.Background()
+	th := s.rt.RegisterThread()
+	defer th.Release()
+	sh := (*s.shards[0].subs.Load())[0]
+
+	// Seed through the single-op helpers (they stay the reference
+	// semantics grouped execution must preserve).
+	if created, err := sh.doPut(ctx, th, 1, []byte("alpha")); err != nil || !created {
+		t.Fatalf("seed put: created=%v err=%v", created, err)
+	}
+	if _, err := sh.doPut(ctx, th, 3, []byte("gamma")); err != nil {
+		t.Fatalf("seed put: %v", err)
+	}
+	if _, err := sh.doPut(ctx, th, 4, []byte("delta")); err != nil {
+		t.Fatalf("seed put: %v", err)
+	}
+
+	c := newTestConn(s, 16)
+	w := newGroupWorker(s, sh, th)
+	defer w.close()
+	batch := []task{
+		mkTask(s, c, wire.OpGet, 1, 1, nil, nil),                               // "alpha"
+		mkTask(s, c, wire.OpPut, 2, 5, []byte("new"), nil),                     // created
+		mkTask(s, c, wire.OpPut, 3, 5, []byte("newer"), nil),                   // overwrites within the group
+		mkTask(s, c, wire.OpCAS, 4, 3, []byte("gamma2"), []byte("gamma")),      // matches
+		mkTask(s, c, wire.OpCAS, 5, 4, []byte("nope"), []byte("wrong-expect")), // mismatch, current in Value
+		mkTask(s, c, wire.OpDelete, 6, 1, nil, nil),                            // deletes the key GET 1 read
+		mkTask(s, c, wire.OpGet, 7, 1, nil, nil),                               // sees the group's own delete
+		mkTask(s, c, wire.OpDelete, 8, 99, nil, nil),                           // absent
+		mkTask(s, c, wire.OpGet, 9, 5, nil, nil),                               // sees "newer"
+	}
+	w.run(batch)
+	got := collect(t, c, len(batch))
+
+	check := func(id uint32, status wire.Status, value string) {
+		t.Helper()
+		r, ok := got[id]
+		if !ok {
+			t.Fatalf("request %d unanswered", id)
+		}
+		if r.status != status {
+			t.Errorf("request %d: status %v, want %v", id, r.status, status)
+		}
+		if value != "" && string(r.value) != value {
+			t.Errorf("request %d: value %q, want %q", id, r.value, value)
+		}
+	}
+	check(1, wire.StatusOK, "alpha")
+	check(2, wire.StatusOK, "")
+	check(3, wire.StatusOK, "")
+	check(4, wire.StatusOK, "")
+	check(5, wire.StatusCASMismatch, "delta")
+	check(6, wire.StatusOK, "")
+	check(7, wire.StatusNotFound, "")
+	check(8, wire.StatusNotFound, "")
+	check(9, wire.StatusOK, "newer")
+	if !got[2].created || got[3].created {
+		t.Errorf("created flags: put#2=%v put#3=%v, want true/false", got[2].created, got[3].created)
+	}
+
+	// Committed state, read back through the reference helpers.
+	for _, tc := range []struct {
+		key   uint64
+		want  string
+		found bool
+	}{
+		{1, "", false}, {3, "gamma2", true}, {4, "delta", true}, {5, "newer", true},
+	} {
+		val, found, err := sh.doGet(ctx, th, tc.key)
+		if err != nil {
+			t.Fatalf("oracle get %d: %v", tc.key, err)
+		}
+		if found != tc.found || (found && !bytes.Equal(val, []byte(tc.want))) {
+			t.Errorf("key %d: %q found=%v, want %q found=%v", tc.key, val, found, tc.want, tc.found)
+		}
+	}
+	// And the reference CAS agrees with the group's CAS result.
+	if outcome, _, err := sh.doCAS(ctx, th, 3, []byte("gamma2"), []byte("gamma3")); err != nil || outcome != casOK {
+		t.Fatalf("doCAS after group: outcome=%v err=%v", outcome, err)
+	}
+	if found, err := sh.doDelete(ctx, th, 5); err != nil || !found {
+		t.Fatalf("doDelete after group: found=%v err=%v", found, err)
+	}
+
+	// Group accounting: one grouped transaction of 9 ops (the helper calls
+	// above are not grouped).
+	totals := sh.view.Snapshot().Totals
+	if totals.Groups != 1 || totals.GroupOps != 9 {
+		t.Errorf("Totals Groups=%d GroupOps=%d, want 1 and 9", totals.Groups, totals.GroupOps)
+	}
+	if mg := totals.MeanGroup(); mg != 9 {
+		t.Errorf("MeanGroup = %v, want 9", mg)
+	}
+
+	// The key counter survived the churn: keys 3 and 4 remain.
+	if n := sh.keys.Load(); n != 2 {
+		t.Errorf("key counter = %d, want 2", n)
+	}
+}
+
+// TestGroupAcrossSplitRouteChange splits the shard between dispatch and
+// execution: the batch was queued for the old root sub-shard, so moved keys
+// must be answered BUSY while the keys the root still owns commit normally.
+func TestGroupAcrossSplitRouteChange(t *testing.T) {
+	s, err := New(Config{Shards: 1, ShardWords: 1 << 12, WorkersPerShard: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	ctx := context.Background()
+	th := s.rt.RegisterThread()
+	defer th.Release()
+	g := s.shards[0]
+	root := (*g.subs.Load())[0]
+
+	const n = 32
+	for k := uint64(0); k < n; k++ {
+		if _, err := root.doPut(ctx, th, k, []byte("seed")); err != nil {
+			t.Fatalf("seed %d: %v", k, err)
+		}
+	}
+
+	// Dispatch-time state: every key routes to root. Build the batch, THEN
+	// split, then execute — exactly the race recheckRoute exists for.
+	c := newTestConn(s, n)
+	w := newGroupWorker(s, root, th)
+	defer w.close()
+	batch := make([]task, 0, n)
+	for k := uint64(0); k < n; k++ {
+		batch = append(batch, mkTask(s, c, wire.OpPut, uint32(k+1), k, []byte("updated"), nil))
+	}
+	if err := s.splitShard(g, root); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	w.run(batch)
+	got := collect(t, c, n)
+
+	var busy, ok int
+	for k := uint64(0); k < n; k++ {
+		r := got[uint32(k+1)]
+		owner := g.route(k)
+		switch {
+		case owner == root && r.status == wire.StatusOK:
+			ok++
+		case owner != root && r.status == wire.StatusBusy:
+			busy++
+		default:
+			t.Errorf("key %d (owner==root: %v): status %v", k, owner == root, r.status)
+		}
+		// Moved keys kept their seed value; retained keys committed.
+		want := "updated"
+		if owner != root {
+			want = "seed"
+		}
+		val, found, err := owner.doGet(ctx, th, k)
+		if err != nil || !found {
+			t.Fatalf("get %d on owner: found=%v err=%v", k, found, err)
+		}
+		if string(val) != want {
+			t.Errorf("key %d: %q, want %q", k, val, want)
+		}
+	}
+	if busy == 0 || ok == 0 {
+		t.Fatalf("split bisected nothing: %d busy, %d ok", busy, ok)
+	}
+	t.Logf("split mid-batch: %d moved keys BUSY, %d committed", busy, ok)
+}
+
+// TestGroupPanicAnswersEveryRequest injects a panic into the middle of a
+// grouped transaction and asserts the containment contract: the whole group
+// fails with StatusTxFault, every member is answered, nothing committed,
+// and the worker survives to execute the next group.
+func TestGroupPanicAnswersEveryRequest(t *testing.T) {
+	var arm atomic.Bool
+	hook := func(op votm.FaultOp, thread int, addr stm.Addr) {
+		if op == votm.FaultStore && arm.CompareAndSwap(true, false) {
+			panic(votm.InjectedPanic{Seq: 1})
+		}
+	}
+	s, err := New(Config{Shards: 1, ShardWords: 1 << 12, WorkersPerShard: 2, FaultHook: hook})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	ctx := context.Background()
+	th := s.rt.RegisterThread()
+	defer th.Release()
+	sh := (*s.shards[0].subs.Load())[0]
+	if _, err := sh.doPut(ctx, th, 1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestConn(s, 8)
+	w := newGroupWorker(s, sh, th)
+	defer w.close()
+	batch := []task{
+		mkTask(s, c, wire.OpPut, 1, 1, []byte("after"), nil),
+		mkTask(s, c, wire.OpPut, 2, 2, []byte("fresh"), nil),
+		mkTask(s, c, wire.OpGet, 3, 1, nil, nil),
+	}
+	arm.Store(true)
+	w.run(batch)
+	got := collect(t, c, len(batch))
+	for id := uint32(1); id <= 3; id++ {
+		if got[id].status != wire.StatusTxFault {
+			t.Errorf("request %d: status %v, want TxFault for the whole group", id, got[id].status)
+		}
+	}
+	// Nothing committed: the runtime rolled the instrumented transaction
+	// back before the panic reached the group runner.
+	val, found, err := sh.doGet(ctx, th, 1)
+	if err != nil || !found || string(val) != "before" {
+		t.Fatalf("key 1 after contained panic: %q found=%v err=%v", val, found, err)
+	}
+	if _, found, _ := sh.doGet(ctx, th, 2); found {
+		t.Fatal("key 2 exists; the faulted group partially committed")
+	}
+
+	// The worker state is clean: the next group executes normally.
+	batch2 := []task{mkTask(s, c, wire.OpPut, 4, 2, []byte("recovered"), nil)}
+	w.run(batch2)
+	if r := collect(t, c, 1)[4]; r.status != wire.StatusOK || !r.created {
+		t.Fatalf("post-panic group: %+v", r)
+	}
+	if totals := sh.view.Snapshot().Totals; totals.Panics == 0 {
+		t.Errorf("panic not accounted in Totals: %+v", totals)
+	}
+}
+
+// TestSteadyStateGetAllocs is the serving-path allocation guard: once pools
+// and buffers are warm, executing a GET group end to end — pooled request,
+// route recheck, read-only grouped transaction, pooled response — allocates
+// nothing. This is what keeps PR 2's alloc-free STM work intact behind the
+// network layer.
+func TestSteadyStateGetAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard: race instrumentation allocates on this path")
+	}
+	s, err := New(Config{
+		Shards: 1, ShardWords: 1 << 12, WorkersPerShard: 2,
+		RequestTimeout: time.Hour, // keep the amortized context from renewing mid-measurement
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	ctx := context.Background()
+	th := s.rt.RegisterThread()
+	defer th.Release()
+	sh := (*s.shards[0].subs.Load())[0]
+	if _, err := sh.doPut(ctx, th, 7, bytes.Repeat([]byte{0xAB}, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestConn(s, 4)
+	w := newGroupWorker(s, sh, th)
+	defer w.close()
+	batch := make([]task, 1)
+	run := func() {
+		batch[0] = mkTask(s, c, wire.OpGet, 1, 7, nil, nil)
+		w.run(batch)
+		r := <-c.out
+		if r.Status != wire.StatusOK || len(r.Value) != 64 {
+			t.Fatalf("get: %+v", r)
+		}
+		r.Release()
+	}
+	for i := 0; i < 32; i++ {
+		run() // warm the pools, the tx descriptor and the response Value
+	}
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Errorf("steady-state GET allocates %.1f/op, want 0", n)
+	}
+}

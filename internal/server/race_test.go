@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// guards skip under it (instrumentation allocates on paths that are
+// allocation-free in normal builds).
+const raceEnabled = true

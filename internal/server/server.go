@@ -48,8 +48,24 @@ type Config struct {
 	// QueueDepth bounds each shard's dispatched-but-unstarted requests;
 	// overflow is answered with StatusBusy. Default 128.
 	QueueDepth int
+	// BatchMax bounds the group a shard worker drains per wakeup and
+	// executes inside one view transaction — one RAC admission and one
+	// begin/commit (at Q=1, one lock acquisition) amortized over the whole
+	// group (see group.go). 1 disables grouping. Default 16.
+	BatchMax int
 	// MaxValueLen bounds value sizes. Default 64 KiB.
 	MaxValueLen int
+
+	// RespChannel is the per-connection response channel capacity: how many
+	// completed responses may await the connection's write loop before
+	// shard workers block on the send. Default 64.
+	RespChannel int
+	// ReadBufSize is the per-connection buffered-reader size. Default 16 KiB.
+	ReadBufSize int
+	// WriteBufSize is the per-connection write coalescing buffer size;
+	// responses at least this large bypass the coalescing buffer and are
+	// written through the writev (net.Buffers) path. Default 16 KiB.
+	WriteBufSize int
 
 	// Engine selects the TM algorithm backing every shard. Default NOrec.
 	Engine votm.EngineKind
@@ -116,8 +132,23 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 128
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.BatchMax > c.QueueDepth {
+		c.BatchMax = c.QueueDepth
+	}
 	if c.MaxValueLen <= 0 {
 		c.MaxValueLen = 64 << 10
+	}
+	if c.RespChannel <= 0 {
+		c.RespChannel = 64
+	}
+	if c.ReadBufSize <= 0 {
+		c.ReadBufSize = 16 << 10
+	}
+	if c.WriteBufSize <= 0 {
+		c.WriteBufSize = 16 << 10
 	}
 	if c.MaxConflictRetries == 0 {
 		c.MaxConflictRetries = 16
@@ -141,6 +172,38 @@ func (c Config) withDefaults() Config {
 		c.SplitMaxSubShards = 8
 	}
 	return c
+}
+
+// validate rejects configurations withDefaults would otherwise paper over.
+// It runs on the raw config — zero means "use the default", negative is an
+// error — plus cross-field constraints that survive defaulting.
+func (c Config) validate() error {
+	sizes := []struct {
+		name string
+		v    int
+	}{
+		{"Shards", c.Shards},
+		{"ShardWords", c.ShardWords},
+		{"Buckets", c.Buckets},
+		{"WorkersPerShard", c.WorkersPerShard},
+		{"QueueDepth", c.QueueDepth},
+		{"BatchMax", c.BatchMax},
+		{"MaxValueLen", c.MaxValueLen},
+		{"RespChannel", c.RespChannel},
+		{"ReadBufSize", c.ReadBufSize},
+		{"WriteBufSize", c.WriteBufSize},
+	}
+	for _, s := range sizes {
+		if s.v < 0 {
+			return fmt.Errorf("server: Config.%s must not be negative, got %d", s.name, s.v)
+		}
+	}
+	// A maximal value must still encode into one frame (key, status and
+	// framing overhead stay well under 1 KiB).
+	if c.MaxValueLen > wire.MaxFrame-1024 {
+		return fmt.Errorf("server: Config.MaxValueLen (%d) exceeds the wire frame budget (%d)", c.MaxValueLen, wire.MaxFrame-1024)
+	}
+	return nil
 }
 
 // ErrServerDraining is returned for operations attempted after Shutdown
@@ -192,6 +255,9 @@ type Server struct {
 // RAC quota each) and their worker pools. The server is not yet listening;
 // call Serve or ListenAndServe.
 func New(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -419,100 +485,38 @@ func (s *Server) forceCloseConns() {
 }
 
 // worker is one shard transaction worker: it owns a runtime thread handle
-// and executes dispatched requests until the shard queue closes at drain.
+// and a retained groupWorker, blocks for one task, then drains up to
+// BatchMax-1 more without blocking and executes the whole group as one
+// transaction (group.go). At drain the closed queue first yields its
+// buffered remainder — grouped like any other batch, every request answered
+// — and then ends the loop.
 func (s *Server) worker(sh *shard) {
 	defer s.workersWG.Done()
 	th := s.rt.RegisterThread()
 	defer th.Release()
-	for t := range sh.queue {
-		// A split between dispatch and execution may have moved this
-		// request's keys to another sub-shard: answer BUSY (retryable)
-		// instead of operating on a stale owner.
-		resp := s.recheckRoute(sh, t.req)
-		if resp == nil {
-			resp = s.execute(sh, th, t.req)
+	w := newGroupWorker(s, sh, th)
+	defer w.close()
+	batch := make([]task, 0, s.cfg.BatchMax)
+	for {
+		t, ok := <-sh.queue
+		if !ok {
+			return
 		}
-		t.c.send(resp)
-		t.c.pending.Done()
-		s.reqWG.Done()
-	}
-}
-
-// execute runs one request's transaction. It is panic-safe: the runtime has
-// already rolled the transaction back and released admission before a body
-// panic (e.g. an injected fault) reaches us, so the request is answered
-// with StatusTxFault and the worker — and its connection — live on.
-func (s *Server) execute(sh *shard, th *votm.Thread, req *wire.Request) (resp *wire.Response) {
-	resp = &wire.Response{Op: req.Op, ID: req.ID}
-	defer func() {
-		if r := recover(); r != nil {
-			s.logf("votmd: shard %d: %v in %v transaction", sh.id, r, req.Op)
-			resp = &wire.Response{
-				Op: req.Op, ID: req.ID,
-				Status: wire.StatusTxFault,
-				Value:  []byte(fmt.Sprint(r)),
+		batch = append(batch[:0], t)
+	fill:
+		for len(batch) < cap(batch) {
+			select {
+			case t, ok := <-sh.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, t)
+			default:
+				break fill
 			}
 		}
-	}()
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
-	defer cancel()
-
-	var err error
-	switch req.Op {
-	case wire.OpGet:
-		var (
-			val   []byte
-			found bool
-		)
-		if val, found, err = sh.doGet(ctx, th, req.Key); err == nil {
-			if found {
-				resp.Value = val
-			} else {
-				resp.Status = wire.StatusNotFound
-			}
-		}
-	case wire.OpPut:
-		resp.Created, err = sh.doPut(ctx, th, req.Key, req.Value)
-	case wire.OpDelete:
-		var found bool
-		if found, err = sh.doDelete(ctx, th, req.Key); err == nil && !found {
-			resp.Status = wire.StatusNotFound
-		}
-	case wire.OpCAS:
-		var (
-			outcome casOutcome
-			current []byte
-		)
-		if outcome, current, err = sh.doCAS(ctx, th, req.Key, req.OldValue, req.Value); err == nil {
-			switch outcome {
-			case casMissing:
-				resp.Status = wire.StatusNotFound
-			case casMismatch:
-				resp.Status = wire.StatusCASMismatch
-				resp.Value = current
-			}
-		}
-	case wire.OpAtomic:
-		resp.Subs, err = sh.doAtomic(ctx, th, req.Subs)
-	default:
-		resp.Status = wire.StatusBadRequest
-		resp.Value = []byte("opcode not executable on a shard")
+		w.run(batch)
 	}
-	if err != nil {
-		resp.Subs = nil
-		switch {
-		case errors.Is(err, errBadAdd):
-			resp.Status = wire.StatusBadRequest
-			resp.Value = []byte(err.Error())
-		case errors.Is(err, votm.ErrViewDestroyed):
-			resp.Status = wire.StatusShutdown
-			resp.Value = []byte("shard shutting down")
-		default:
-			resp.Status = wire.StatusInternal
-			resp.Value = []byte(err.Error())
-		}
-	}
-	return resp
 }
 
 // StatsAll returns every shard's statistics snapshot — what an OpStats
@@ -527,7 +531,8 @@ func (s *Server) StatsAll() []wire.ShardStats {
 // queue is saturated — and needs no transaction: quota/Totals come from the
 // view snapshot accessor and the key count from the shard's counter.
 func (s *Server) statsResponse(req *wire.Request) *wire.Response {
-	resp := &wire.Response{Op: wire.OpStats, ID: req.ID}
+	resp := wire.NewResponse()
+	resp.Op, resp.ID = wire.OpStats, req.ID
 	var sel []*shardGroup
 	switch {
 	case req.Shard == wire.AllShards:
@@ -536,7 +541,7 @@ func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 		sel = s.shards[req.Shard : req.Shard+1]
 	default:
 		resp.Status = wire.StatusBadRequest
-		resp.Value = []byte(fmt.Sprintf("shard %d out of range", req.Shard))
+		resp.SetDetail(fmt.Sprintf("shard %d out of range", req.Shard))
 		return resp
 	}
 	perView := s.rec.PerView()
@@ -546,21 +551,24 @@ func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 		for _, sh := range *g.subs.Load() {
 			snap := sh.view.Snapshot()
 			resp.Stats = append(resp.Stats, wire.ShardStats{
-				Shard:        uint32(g.id),
-				Engine:       string(snap.Engine),
-				Quota:        uint32(snap.Quota),
-				SettledQuota: uint32(snap.SettledQuota),
-				QuotaMoves:   uint64(snap.QuotaMoves),
-				Commits:      uint64(snap.Totals.Commits),
-				Aborts:       uint64(snap.Totals.Aborts),
-				Escalations:  uint64(snap.Totals.Escalations),
-				Panics:       uint64(snap.Totals.Panics),
-				SuccessNs:    uint64(snap.Totals.SuccessNs),
-				AbortNs:      uint64(snap.Totals.AbortNs),
-				Delta:        snap.Delta,
-				Keys:         uint64(sh.keys.Load()),
-				QuotaEvents:  uint64(len(perView[sh.view.ID()])),
-				Repartitions: g.splits.Load(),
+				Shard:          uint32(g.id),
+				Engine:         string(snap.Engine),
+				Quota:          uint32(snap.Quota),
+				SettledQuota:   uint32(snap.SettledQuota),
+				QuotaMoves:     uint64(snap.QuotaMoves),
+				Commits:        uint64(snap.Totals.Commits),
+				Aborts:         uint64(snap.Totals.Aborts),
+				Escalations:    uint64(snap.Totals.Escalations),
+				Panics:         uint64(snap.Totals.Panics),
+				SuccessNs:      uint64(snap.Totals.SuccessNs),
+				AbortNs:        uint64(snap.Totals.AbortNs),
+				Delta:          snap.Delta,
+				Keys:           uint64(sh.keys.Load()),
+				QuotaEvents:    uint64(len(perView[sh.view.ID()])),
+				Repartitions:   g.splits.Load(),
+				Groups:         uint64(snap.Totals.Groups),
+				GroupOps:       uint64(snap.Totals.GroupOps),
+				QueueHighWater: sh.queueHW.Load(),
 			})
 		}
 	}

@@ -19,7 +19,7 @@ import (
 // startServer boots a server on a loopback listener and returns it with its
 // dial address. Cleanup drains it (Shutdown is idempotent, so tests that
 // drain explicitly still compose).
-func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+func startServer(t testing.TB, cfg server.Config) (*server.Server, string) {
 	t.Helper()
 	cfg.Addr = "127.0.0.1:0"
 	srv, err := server.New(cfg)
@@ -45,7 +45,7 @@ func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
 	return srv, ln.Addr().String()
 }
 
-func dialClient(t *testing.T, addr string, opts client.Options) *client.Client {
+func dialClient(t testing.TB, addr string, opts client.Options) *client.Client {
 	t.Helper()
 	c, err := client.Dial(addr, opts)
 	if err != nil {
@@ -517,5 +517,121 @@ func TestShardOfDistribution(t *testing.T) {
 				i, got, n, counts)
 			break
 		}
+	}
+}
+
+// TestServerDrainMidGroup is TestServerDrain with grouping turned all the
+// way up: a single slow worker per shard, BatchMax wide enough that the
+// burst lands in a handful of grouped transactions, and Shutdown arriving
+// while a group is mid-execution. The contract is identical — every
+// dispatched request resolves (committed in its group or refused with the
+// shutdown status), none hang, none are lost — and the stats must show both
+// that grouping actually happened and that the queue backed up behind the
+// in-flight group.
+func TestServerDrainMidGroup(t *testing.T) {
+	inj := votm.NewFaultInjector(votm.FaultConfig{
+		LatencyEvery: 2,
+		Latency:      2 * time.Millisecond,
+	})
+	srv, addr := startServer(t, server.Config{
+		Shards:          1,
+		WorkersPerShard: 1, // one worker: the burst queues behind each group
+		QueueDepth:      64,
+		BatchMax:        8,
+		RequestTimeout:  30 * time.Second,
+		FaultHook:       inj.Hook(),
+	})
+	c := dialClient(t, addr, client.Options{PoolSize: 2, RequestTimeout: 30 * time.Second})
+
+	const inflight = 48
+	results := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func(i int) {
+			_, err := c.Put(context.Background(), uint64(i), []byte("v"))
+			results <- err
+		}(i)
+	}
+	// Let the dispatcher queue the burst and the worker start chewing
+	// through grouped transactions, then sample stats and drain mid-group.
+	time.Sleep(50 * time.Millisecond)
+	stats := srv.StatsAll()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful drain failed: %v", err)
+	}
+
+	var nOK, nShutdown int
+	for i := 0; i < inflight; i++ {
+		switch err := <-results; {
+		case err == nil:
+			nOK++
+		case errors.Is(err, client.ErrShutdown):
+			nShutdown++
+		default:
+			t.Errorf("request lost to mid-group drain: %v", err)
+		}
+	}
+	if nOK == 0 {
+		t.Error("no request committed across the drain")
+	}
+	t.Logf("drained mid-group: %d committed, %d refused", nOK, nShutdown)
+
+	var groups, groupOps, hw uint64
+	for _, st := range stats {
+		groups += st.Groups
+		groupOps += st.GroupOps
+		if st.QueueHighWater > hw {
+			hw = st.QueueHighWater
+		}
+	}
+	if groups == 0 {
+		t.Error("stats report zero grouped transactions under a 48-request burst")
+	}
+	if groupOps < groups {
+		t.Errorf("GroupOps %d < Groups %d", groupOps, groups)
+	}
+	if hw == 0 {
+		t.Error("queue high-water mark never moved off zero despite a single slow worker")
+	}
+	t.Logf("groups=%d groupOps=%d (mean %.1f) queueHighWater=%d",
+		groups, groupOps, float64(groupOps)/float64(groups), hw)
+}
+
+// TestProtocolErrorReply speaks raw TCP at the server and violates the
+// framing rules. The server must answer with the reserved OpError frame
+// (ID 0, BAD_REQUEST, detail attached) before hanging up — not close
+// silently, and definitely not the old behaviour of disguising the abort
+// as a PING response.
+func TestProtocolErrorReply(t *testing.T) {
+	_, addr := startServer(t, server.Config{Shards: 1, WorkersPerShard: 1})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+
+	// A well-formed length prefix carrying a bad protocol version.
+	if _, err := nc.Write([]byte{2, 0, 0, 0, 0xFF, 0x00}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := wire.ReadResponse(nc)
+	if err != nil {
+		t.Fatalf("no abort frame came back: %v", err)
+	}
+	if resp.Op != wire.OpError || resp.ID != 0 {
+		t.Fatalf("abort frame is Op=%v ID=%d, want OpError ID=0", resp.Op, resp.ID)
+	}
+	if resp.Status != wire.StatusBadRequest {
+		t.Fatalf("abort status = %v, want BAD_REQUEST", resp.Status)
+	}
+	if len(resp.Value) == 0 {
+		t.Error("abort frame carries no detail")
+	}
+	// After the abort the server hangs up.
+	if _, err := wire.ReadResponse(nc); err == nil {
+		t.Error("connection still serving after protocol abort")
 	}
 }

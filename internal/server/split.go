@@ -99,15 +99,18 @@ func (s *Server) recheckRoute(sh *shard, req *wire.Request) *wire.Response {
 	owner := g.route(keys[0])
 	for _, key := range keys[1:] {
 		if g.route(key) != owner {
-			return &wire.Response{
-				Op: req.Op, ID: req.ID,
-				Status: wire.StatusCrossShard,
-				Value:  []byte("shard split: batch keys now span sub-shards"),
-			}
+			resp := wire.NewResponse()
+			resp.Op, resp.ID = req.Op, req.ID
+			resp.Status = wire.StatusCrossShard
+			resp.SetDetail("shard split: batch keys now span sub-shards")
+			return resp
 		}
 	}
 	if owner != sh {
-		return &wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusBusy}
+		resp := wire.NewResponse()
+		resp.Op, resp.ID = req.Op, req.ID
+		resp.Status = wire.StatusBusy
+		return resp
 	}
 	return nil
 }

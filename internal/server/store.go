@@ -31,10 +31,24 @@ type shard struct {
 	hm    *ds.HashMap
 	queue chan task
 	keys  atomic.Int64
+	// queueHW is the high-water mark of the queue depth observed at
+	// dispatch, served by STATS: deep queues mean workers fall behind and
+	// grouping has material batches to drain.
+	queueHW atomic.Uint64
 	// routeBits is the packed routing rule (packRoute): low 32 bits the
 	// prefix, high bits the depth. Published atomically by splitShard while
 	// the view is quiescent; {0, 0} matches every key.
 	routeBits atomic.Uint64
+}
+
+// noteDepth records the queue depth seen right after an enqueue.
+func (sh *shard) noteDepth(depth uint64) {
+	for {
+		cur := sh.queueHW.Load()
+		if depth <= cur || sh.queueHW.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
 }
 
 // shardGroup is one wire-level shard: the copy-on-write set of sub-shards
@@ -71,6 +85,29 @@ func (sh *shard) alloc(words int) (votm.Addr, error) {
 		}
 		if berr := sh.view.Brk(grow); berr != nil {
 			return 0, berr
+		}
+	}
+}
+
+// allocBatch reserves one block per entry of sizes in a single allocator
+// lock acquisition, appending to dst, growing the view when exhausted. The
+// batch is all-or-nothing; callers fall back to per-op alloc to keep per-op
+// failure granularity when it cannot be satisfied.
+func (sh *shard) allocBatch(sizes []int, dst []votm.Addr) ([]votm.Addr, error) {
+	for attempt := 0; ; attempt++ {
+		out, err := sh.view.AllocBatch(sizes, dst)
+		if err == nil || attempt == 3 || !errors.Is(err, memheap.ErrOutOfMemory) {
+			return out, err
+		}
+		grow := 0
+		for _, w := range sizes {
+			grow += w
+		}
+		if grow < growQuantum {
+			grow = growQuantum
+		}
+		if berr := sh.view.Brk(grow); berr != nil {
+			return dst, berr
 		}
 	}
 }
@@ -232,9 +269,10 @@ type atomicResources struct {
 
 // doAtomic executes a whole batch as one transaction. All keys are known to
 // live in this shard (the dispatcher enforced it). On success it returns
-// the per-sub results; a SubAdd against a malformed value aborts the batch
+// the per-sub results appended to dst (pass a pooled response's Subs[:0] to
+// reuse its capacity); a SubAdd against a malformed value aborts the batch
 // with errBadAdd (mapped to StatusBadRequest by the caller).
-func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub) ([]wire.SubResult, error) {
+func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub, dst []wire.SubResult) ([]wire.SubResult, error) {
 	res := make([]atomicResources, len(subs))
 	freeAll := func() {
 		for _, r := range res {
@@ -269,7 +307,7 @@ func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub)
 	}
 
 	var (
-		results   []wire.SubResult
+		results   = dst
 		usedBlock []bool
 		usedNode  []bool
 		freeRefs  []uint64 // displaced value blocks, freed after commit

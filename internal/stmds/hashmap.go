@@ -50,6 +50,10 @@ func (m *HashMap) NewNode() (Ref, error) {
 // FreeNode returns a node to the view allocator.
 func (m *HashMap) FreeNode(n Ref) error { return m.v.Free(addr(n)) }
 
+// NodeWords is the allocation size of one chain node, for callers that
+// pre-allocate nodes in bulk through the view's AllocBatch.
+func (m *HashMap) NodeWords() int { return hmNodeWords }
+
 // fibonacci-ish 64-bit mix keeps adjacent keys in different buckets.
 func (m *HashMap) bucket(key uint64) stm.Addr {
 	h := key * 0x9e3779b97f4a7c15

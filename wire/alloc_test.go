@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The datapath contract: once buffers have warmed up, encoding a frame into
+// a retained scratch buffer and decoding one into a pooled object allocate
+// nothing. These guards keep the zero-allocation wire path honest — a
+// regression here silently reintroduces per-request garbage on the server's
+// hot loop.
+
+func TestAppendRequestAllocs(t *testing.T) {
+	req := &Request{Op: OpCAS, ID: 7, Key: 42,
+		OldValue: bytes.Repeat([]byte{0xA5}, 96),
+		Value:    bytes.Repeat([]byte{0x5A}, 128)}
+	dst := make([]byte, 0, 512)
+	if n := testing.AllocsPerRun(200, func() {
+		out, err := AppendRequest(dst[:0], req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out[:0]
+	}); n != 0 {
+		t.Fatalf("AppendRequest allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestAppendResponseAllocs(t *testing.T) {
+	resp := &Response{Op: OpGet, ID: 9, Status: StatusOK,
+		Value: bytes.Repeat([]byte{0xEE}, 256)}
+	dst := make([]byte, 0, 512)
+	if n := testing.AllocsPerRun(200, func() {
+		out, err := AppendResponse(dst[:0], resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out[:0]
+	}); n != 0 {
+		t.Fatalf("AppendResponse allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestParseRequestReuseAllocs(t *testing.T) {
+	frame, err := AppendRequest(nil, &Request{Op: OpAtomic, ID: 3, Subs: []Sub{
+		{Kind: SubPut, Key: 1, Value: bytes.Repeat([]byte{1}, 64)},
+		{Kind: SubGet, Key: 2},
+		{Kind: SubAdd, Key: 3, Delta: 11},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[4:] // ParseRequestReuse takes the length-stripped payload
+	req := NewRequest()
+	defer req.Release()
+	// Warm the Subs capacity once, then the steady state must be clean.
+	if err := ParseRequestReuse(req, payload); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := ParseRequestReuse(req, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ParseRequestReuse allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestParseResponseReuseAllocs(t *testing.T) {
+	frame, err := AppendResponse(nil, &Response{Op: OpGet, ID: 5,
+		Status: StatusOK, Value: bytes.Repeat([]byte{7}, 200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[4:]
+	resp := NewResponse()
+	defer resp.Release()
+	if err := ParseResponseReuse(resp, payload); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := ParseResponseReuse(resp, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ParseResponseReuse allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestReadRequestReuseSteadyState drives the full framed read path through
+// a reused Request: after the first read grows the retained frame buffer,
+// subsequent reads of same-or-smaller frames allocate nothing.
+func TestReadRequestReuseSteadyState(t *testing.T) {
+	frame, err := AppendRequest(nil, &Request{Op: OpPut, ID: 2, Key: 8,
+		Value: bytes.Repeat([]byte{3}, 128)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := NewRequest()
+	defer req.Release()
+	var r bytes.Reader
+	r.Reset(frame)
+	if err := ReadRequestReuse(&r, req); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		if err := ReadRequestReuse(&r, req); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ReadRequestReuse steady state allocates %.1f/op, want 0", n)
+	}
+	if req.Op != OpPut || req.Key != 8 || len(req.Value) != 128 {
+		t.Fatalf("reused request decoded wrong: %+v", req)
+	}
+}
+
+// TestBorrowedDecodeDoesNotAlias verifies the borrow discipline: decoded
+// byte fields alias the frame buffer (no copy), so they must match the
+// encoded bytes, and a second parse of a different frame must not leak the
+// first frame's contents.
+func TestBorrowedDecodeDoesNotAlias(t *testing.T) {
+	f1, _ := AppendRequest(nil, &Request{Op: OpPut, ID: 1, Key: 1, Value: []byte("first-value")})
+	f2, _ := AppendRequest(nil, &Request{Op: OpPut, ID: 2, Key: 2, Value: []byte("second")})
+	req := NewRequest()
+	defer req.Release()
+	if err := ParseRequestReuse(req, f1[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Value) != "first-value" {
+		t.Fatalf("first parse: %q", req.Value)
+	}
+	if err := ParseRequestReuse(req, f2[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Value) != "second" {
+		t.Fatalf("second parse: %q", req.Value)
+	}
+}

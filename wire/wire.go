@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Version is the protocol version byte carried by every frame. A peer
@@ -46,6 +47,15 @@ const (
 	OpCAS    Op = 0x05 // key + expected bytes + new bytes
 	OpAtomic Op = 0x06 // single-shard multi-key transaction
 	OpStats  Op = 0x07 // per-shard statistics snapshot
+
+	// OpError is a response-only opcode: the server's reply to a frame it
+	// could not parse. The stream is unframed from that point on — the real
+	// opcode and request ID are unknowable — so the reply carries ID 0 and
+	// this reserved opcode, which can never collide with a pipelined
+	// request's pending ID/opcode pair, and the connection is then closed.
+	// Clients must treat it as connection-fatal and fail every in-flight
+	// request. It is invalid in request frames.
+	OpError Op = 0x7F
 )
 
 func (o Op) String() string {
@@ -64,11 +74,13 @@ func (o Op) String() string {
 		return "ATOMIC"
 	case OpStats:
 		return "STATS"
+	case OpError:
+		return "ERROR"
 	}
 	return fmt.Sprintf("op(0x%02x)", uint8(o))
 }
 
-func (o Op) valid() bool { return o >= OpPing && o <= OpStats }
+func (o Op) valid() bool { return (o >= OpPing && o <= OpStats) || o == OpError }
 
 // Status is a response status code.
 type Status uint8
@@ -209,6 +221,14 @@ type ShardStats struct {
 	Keys         uint64  // live keys in the shard
 	QuotaEvents  uint64  // quota changes recorded by the server's trace.Recorder
 	Repartitions uint64  // online splits executed on this shard (0 unless auto-split is on)
+
+	// Batching meters (group-commit shard workers): Groups counts committed
+	// group transactions, GroupOps the requests they carried (GroupOps /
+	// Groups = mean group size), and QueueHighWater the maximum observed
+	// depth of the sub-shard's request queue since startup.
+	Groups         uint64
+	GroupOps       uint64
+	QueueHighWater uint64
 }
 
 // AllShards is the OpStats shard selector meaning "every shard".
@@ -217,6 +237,12 @@ const AllShards = ^uint32(0)
 // Request is a decoded request frame. Fields beyond Op/ID are populated
 // per-opcode: Key (GET/PUT/DELETE/CAS), Value (PUT/CAS new value), OldValue
 // (CAS expectation), Subs (ATOMIC), Shard (STATS).
+//
+// Decoded byte fields (Value, OldValue, Sub.Value) borrow the parsed
+// payload: they are sub-slices of the buffer handed to ParseRequest /
+// ParseRequestReuse and stay valid only as long as that buffer does. A
+// request obtained from NewRequest owns its frame buffer, so its borrowed
+// fields live until Release or the next ReadRequestReuse.
 type Request struct {
 	Op       Op
 	ID       uint32
@@ -225,11 +251,17 @@ type Request struct {
 	OldValue []byte
 	Subs     []Sub
 	Shard    uint32
+
+	// frame is the retained frame-payload buffer of a pooled request
+	// (ReadRequestReuse reads into it; the byte fields above borrow it).
+	frame []byte
 }
 
 // Response is a decoded response frame. Value carries GET results and
 // non-OK detail bytes; Subs carries ATOMIC results; Stats carries STATS
 // results; Created reports whether a PUT inserted (vs updated).
+//
+// Like Request, decoded byte fields borrow the parsed payload buffer.
 type Response struct {
 	Op      Op
 	ID      uint32
@@ -238,10 +270,72 @@ type Response struct {
 	Created bool
 	Subs    []SubResult
 	Stats   []ShardStats
+
+	// Next chains responses for batched producer→writer hand-off (a group
+	// worker sends a whole group's responses for one connection as a single
+	// chain). It is transport plumbing, never encoded, and reset on Release.
+	Next *Response
+
+	frame []byte // retained frame buffer of a pooled response (ReadResponseReuse)
 }
 
-// Err returns the response's typed error, nil for StatusOK.
+// Err returns the response's typed error, nil for StatusOK. The returned
+// error's Detail aliases r.Value; callers that outlive r (pooled responses)
+// must copy it.
 func (r *Response) Err() error { return r.Status.Err(r.Value) }
+
+// SetDetail sets r.Value to the bytes of s, reusing r.Value's capacity —
+// the pooled-response-friendly way to attach a status detail.
+func (r *Response) SetDetail(s string) { r.Value = append(r.Value[:0], s...) }
+
+// --- object pooling ----------------------------------------------------
+
+// Request and Response objects are pooled so the steady-state server and
+// client datapaths allocate nothing per frame: a pooled object keeps its
+// frame buffer, its Value scratch and its Subs backing array across
+// recycles. Ownership is explicit — whoever holds the object calls Release
+// exactly once, after which every borrowed sub-slice is invalid.
+
+var requestPool = sync.Pool{New: func() any { return new(Request) }}
+var responsePool = sync.Pool{New: func() any { return new(Response) }}
+
+// NewRequest returns a pooled Request. Release it when the request and
+// every slice borrowed from it are no longer referenced.
+func NewRequest() *Request { return requestPool.Get().(*Request) }
+
+// Release resets r (keeping its frame and Subs capacity) and returns it to
+// the pool. r and its borrowed slices must not be used afterwards.
+func (r *Request) Release() {
+	r.reset()
+	requestPool.Put(r)
+}
+
+func (r *Request) reset() {
+	frame, subs := r.frame, r.Subs
+	for i := range subs {
+		subs[i] = Sub{} // drop value aliases
+	}
+	*r = Request{frame: frame, Subs: subs[:0]}
+}
+
+// NewResponse returns a pooled Response. Release it after encoding (the
+// server's write loop) or once its fields are no longer referenced.
+func NewResponse() *Response { return responsePool.Get().(*Response) }
+
+// Release resets r (keeping its Value and Subs capacity) and returns it to
+// the pool.
+func (r *Response) Release() {
+	r.reset()
+	responsePool.Put(r)
+}
+
+func (r *Response) reset() {
+	val, subs, frame := r.Value[:0], r.Subs, r.frame
+	for i := range subs {
+		subs[i] = SubResult{}
+	}
+	*r = Response{Value: val, Subs: subs[:0], frame: frame}
+}
 
 // --- encoding ----------------------------------------------------------
 
@@ -254,12 +348,30 @@ func appendBytes(b, p []byte) []byte {
 	return append(b, p...)
 }
 
-// AppendRequest appends r's frame (length prefix included) to dst.
+// beginFrame reserves the 4-byte length prefix in dst; endFrame patches it
+// once the payload has been appended in place. Encoding straight into dst
+// (instead of building a payload and copying it) keeps AppendRequest and
+// AppendResponse allocation-free when dst has capacity.
+func beginFrame(dst []byte) (start int, out []byte) {
+	return len(dst), append(dst, 0, 0, 0, 0)
+}
+
+func endFrame(dst []byte, start int) ([]byte, error) {
+	n := len(dst) - start - 4
+	if n > MaxFrame {
+		return dst[:start], fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrProtocol, n)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// AppendRequest appends r's frame (length prefix included) to dst. It
+// allocates nothing when dst has capacity for the frame.
 func AppendRequest(dst []byte, r *Request) ([]byte, error) {
-	if !r.Op.valid() {
+	if !r.Op.valid() || r.Op == OpError {
 		return dst, fmt.Errorf("%w: bad opcode %v", ErrProtocol, r.Op)
 	}
-	p := make([]byte, 0, 64+len(r.Value)+len(r.OldValue))
+	start, p := beginFrame(dst)
 	p = append(p, Version, byte(r.Op))
 	p = appendU32(p, r.ID)
 	switch r.Op {
@@ -275,12 +387,12 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		p = appendBytes(p, r.Value)
 	case OpAtomic:
 		if len(r.Subs) == 0 || len(r.Subs) > MaxAtomicOps {
-			return dst, fmt.Errorf("%w: atomic batch of %d ops", ErrProtocol, len(r.Subs))
+			return p[:start], fmt.Errorf("%w: atomic batch of %d ops", ErrProtocol, len(r.Subs))
 		}
 		p = appendU16(p, uint16(len(r.Subs)))
 		for _, s := range r.Subs {
 			if !s.Kind.valid() {
-				return dst, fmt.Errorf("%w: bad sub kind %d", ErrProtocol, s.Kind)
+				return p[:start], fmt.Errorf("%w: bad sub kind %d", ErrProtocol, s.Kind)
 			}
 			p = append(p, byte(s.Kind))
 			p = appendU64(p, s.Key)
@@ -294,15 +406,16 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	case OpStats:
 		p = appendU32(p, r.Shard)
 	}
-	return appendFrame(dst, p)
+	return endFrame(p, start)
 }
 
-// AppendResponse appends r's frame (length prefix included) to dst.
+// AppendResponse appends r's frame (length prefix included) to dst. It
+// allocates nothing when dst has capacity for the frame.
 func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	if !r.Op.valid() {
 		return dst, fmt.Errorf("%w: bad opcode %v", ErrProtocol, r.Op)
 	}
-	p := make([]byte, 0, 64+len(r.Value))
+	start, p := beginFrame(dst)
 	p = append(p, Version, byte(r.Op)|respFlag)
 	p = appendU32(p, r.ID)
 	p = append(p, byte(r.Status))
@@ -310,10 +423,10 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		// Non-OK responses carry only detail bytes (CAS mismatch: the
 		// current value; otherwise a human-readable message).
 		p = appendBytes(p, r.Value)
-		return appendFrame(dst, p)
+		return endFrame(p, start)
 	}
 	switch r.Op {
-	case OpPing, OpDelete, OpCAS:
+	case OpPing, OpDelete, OpCAS, OpError:
 	case OpGet:
 		p = appendBytes(p, r.Value)
 	case OpPut:
@@ -338,30 +451,23 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		for _, s := range r.Stats {
 			p = appendU32(p, s.Shard)
 			if len(s.Engine) > math.MaxUint8 {
-				return dst, fmt.Errorf("%w: engine name too long", ErrProtocol)
+				return p[:start], fmt.Errorf("%w: engine name too long", ErrProtocol)
 			}
 			p = append(p, byte(len(s.Engine)))
 			p = append(p, s.Engine...)
 			p = appendU32(p, s.Quota)
 			p = appendU32(p, s.SettledQuota)
-			for _, v := range []uint64{
+			for _, v := range [...]uint64{
 				s.QuotaMoves, s.Commits, s.Aborts, s.Escalations, s.Panics,
 				s.SuccessNs, s.AbortNs, math.Float64bits(s.Delta), s.Keys,
 				s.QuotaEvents, s.Repartitions,
+				s.Groups, s.GroupOps, s.QueueHighWater,
 			} {
 				p = appendU64(p, v)
 			}
 		}
 	}
-	return appendFrame(dst, p)
-}
-
-func appendFrame(dst, payload []byte) ([]byte, error) {
-	if len(payload) > MaxFrame {
-		return dst, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrProtocol, len(payload))
-	}
-	dst = appendU32(dst, uint32(len(payload)))
-	return append(dst, payload...), nil
+	return endFrame(p, start)
 }
 
 // WriteRequest writes r as one frame.
@@ -440,15 +546,17 @@ func (c *cursor) u64() uint64 {
 	return v
 }
 
-// bytes decodes a u32 length prefix and copies out that many bytes.
+// bytes decodes a u32 length prefix and returns that many bytes as a
+// sub-slice of the payload — no copy, so decoded requests and responses
+// borrow the buffer they were parsed from (capped capacity keeps an append
+// by the caller from clobbering adjacent payload bytes).
 func (c *cursor) bytes() []byte {
 	n := int(c.u32())
 	if c.err != nil || n > len(c.b)-c.off {
 		c.fail()
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, c.b[c.off:])
+	out := c.b[c.off : c.off+n : c.off+n]
 	c.off += n
 	return out
 }
@@ -483,6 +591,37 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return p, nil
 }
 
+// readFrameReuse reads one length-prefixed payload into buf, growing it
+// only when the frame exceeds its capacity.
+func readFrameReuse(r io.Reader, buf []byte) ([]byte, error) {
+	// The header is read into the retained buffer itself: a local [4]byte
+	// would escape through the io.Reader interface, costing an allocation
+	// per frame.
+	if cap(buf) < 4 {
+		buf = make([]byte, 4)
+	}
+	buf = buf[:4]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, err // io.EOF passes through for clean stream end
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n > MaxFrame {
+		return buf, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrProtocol, n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf, err
+	}
+	return buf, nil
+}
+
 // ReadRequest reads and decodes one request frame. io.EOF means the peer
 // closed cleanly between frames.
 func ReadRequest(r io.Reader) (*Request, error) {
@@ -490,20 +629,59 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ParseRequest(p)
+	req := new(Request)
+	if err := req.parse(p); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ReadRequestReuse reads one request frame into req's retained buffer and
+// parses it in place — the allocation-free server read path. req's decoded
+// fields borrow that buffer and stay valid until the next ReadRequestReuse
+// on req or req.Release.
+func ReadRequestReuse(r io.Reader, req *Request) error {
+	frame, err := readFrameReuse(r, req.frame)
+	req.frame = frame
+	if err != nil {
+		return err
+	}
+	return ParseRequestReuse(req, frame)
 }
 
 // ParseRequest decodes a request payload (frame length already stripped).
+// The returned request borrows p.
 func ParseRequest(p []byte) (*Request, error) {
+	req := new(Request)
+	if err := req.parse(p); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ParseRequestReuse decodes a request payload into req, reusing its Subs
+// capacity. req's byte fields borrow p.
+func ParseRequestReuse(req *Request, p []byte) error {
+	frame, subs := req.frame, req.Subs[:0]
+	*req = Request{frame: frame, Subs: subs}
+	if err := req.parse(p); err != nil {
+		// Leave no stale borrowed slices behind a parse error.
+		req.reset()
+		return err
+	}
+	return nil
+}
+
+func (req *Request) parse(p []byte) error {
 	c := &cursor{b: p}
 	if v := c.u8(); c.err == nil && v != Version {
-		return nil, fmt.Errorf("%w: version %d", ErrProtocol, v)
+		return fmt.Errorf("%w: version %d", ErrProtocol, v)
 	}
 	op := Op(c.u8())
-	if c.err == nil && !op.valid() {
-		return nil, fmt.Errorf("%w: bad opcode %v", ErrProtocol, op)
+	if c.err == nil && (!op.valid() || op == OpError) {
+		return fmt.Errorf("%w: bad opcode %v", ErrProtocol, op)
 	}
-	req := &Request{Op: op, ID: c.u32()}
+	req.Op, req.ID = op, c.u32()
 	switch op {
 	case OpPing:
 	case OpGet, OpDelete:
@@ -518,12 +696,12 @@ func ParseRequest(p []byte) (*Request, error) {
 	case OpAtomic:
 		n := int(c.u16())
 		if c.err == nil && (n == 0 || n > MaxAtomicOps) {
-			return nil, fmt.Errorf("%w: atomic batch of %d ops", ErrProtocol, n)
+			return fmt.Errorf("%w: atomic batch of %d ops", ErrProtocol, n)
 		}
 		for i := 0; i < n && c.err == nil; i++ {
 			s := Sub{Kind: SubKind(c.u8())}
 			if c.err == nil && !s.Kind.valid() {
-				return nil, fmt.Errorf("%w: bad sub kind %d", ErrProtocol, s.Kind)
+				return fmt.Errorf("%w: bad sub kind %d", ErrProtocol, s.Kind)
 			}
 			s.Key = c.u64()
 			switch s.Kind {
@@ -537,10 +715,7 @@ func ParseRequest(p []byte) (*Request, error) {
 	case OpStats:
 		req.Shard = c.u32()
 	}
-	if err := c.done(); err != nil {
-		return nil, err
-	}
-	return req, nil
+	return c.done()
 }
 
 // ReadResponse reads and decodes one response frame.
@@ -549,33 +724,68 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ParseResponse(p)
+	resp := new(Response)
+	if err := resp.parse(p); err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
-// ParseResponse decodes a response payload (frame length already stripped).
+// ReadResponseReuse reads one response frame into resp's retained buffer
+// and parses it in place — the allocation-free client read path. resp's
+// decoded fields borrow that buffer and stay valid until the next
+// ReadResponseReuse on resp or resp.Release.
+func ReadResponseReuse(r io.Reader, resp *Response) error {
+	frame, err := readFrameReuse(r, resp.frame)
+	resp.frame = frame
+	if err != nil {
+		return err
+	}
+	return ParseResponseReuse(resp, frame)
+}
+
+// ParseResponse decodes a response payload (frame length already
+// stripped). The returned response borrows p.
 func ParseResponse(p []byte) (*Response, error) {
+	resp := new(Response)
+	if err := resp.parse(p); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ParseResponseReuse decodes a response payload into resp, reusing its
+// Subs capacity. resp's byte fields borrow p.
+func ParseResponseReuse(resp *Response, p []byte) error {
+	frame, subs := resp.frame, resp.Subs[:0]
+	*resp = Response{frame: frame, Subs: subs}
+	if err := resp.parse(p); err != nil {
+		resp.reset()
+		return err
+	}
+	return nil
+}
+
+func (resp *Response) parse(p []byte) error {
 	c := &cursor{b: p}
 	if v := c.u8(); c.err == nil && v != Version {
-		return nil, fmt.Errorf("%w: version %d", ErrProtocol, v)
+		return fmt.Errorf("%w: version %d", ErrProtocol, v)
 	}
 	rawOp := c.u8()
 	if c.err == nil && rawOp&respFlag == 0 {
-		return nil, fmt.Errorf("%w: request opcode in response frame", ErrProtocol)
+		return fmt.Errorf("%w: request opcode in response frame", ErrProtocol)
 	}
 	op := Op(rawOp &^ respFlag)
 	if c.err == nil && !op.valid() {
-		return nil, fmt.Errorf("%w: bad opcode %v", ErrProtocol, op)
+		return fmt.Errorf("%w: bad opcode %v", ErrProtocol, op)
 	}
-	resp := &Response{Op: op, ID: c.u32(), Status: Status(c.u8())}
+	resp.Op, resp.ID, resp.Status = op, c.u32(), Status(c.u8())
 	if resp.Status != StatusOK {
 		resp.Value = c.bytes()
-		if err := c.done(); err != nil {
-			return nil, err
-		}
-		return resp, nil
+		return c.done()
 	}
 	switch op {
-	case OpPing, OpDelete, OpCAS:
+	case OpPing, OpDelete, OpCAS, OpError:
 	case OpGet:
 		resp.Value = c.bytes()
 	case OpPut:
@@ -583,7 +793,7 @@ func ParseResponse(p []byte) (*Response, error) {
 	case OpAtomic:
 		n := int(c.u16())
 		if c.err == nil && n > MaxAtomicOps {
-			return nil, fmt.Errorf("%w: atomic result of %d ops", ErrProtocol, n)
+			return fmt.Errorf("%w: atomic result of %d ops", ErrProtocol, n)
 		}
 		for i := 0; i < n && c.err == nil; i++ {
 			s := SubResult{Kind: SubKind(c.u8()), Status: Status(c.u8())}
@@ -620,11 +830,11 @@ func ParseResponse(p []byte) (*Response, error) {
 			s.Keys = c.u64()
 			s.QuotaEvents = c.u64()
 			s.Repartitions = c.u64()
+			s.Groups = c.u64()
+			s.GroupOps = c.u64()
+			s.QueueHighWater = c.u64()
 			resp.Stats = append(resp.Stats, s)
 		}
 	}
-	if err := c.done(); err != nil {
-		return nil, err
-	}
-	return resp, nil
+	return c.done()
 }
