@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race cover bench bench-server tables ablations serve soak-viewmgr fmt vet clean
+.PHONY: all build test short race cover bench bench-server tables ablations serve soak-viewmgr soak-recovery fuzz-wal fmt vet clean
 
 all: build test
 
@@ -38,10 +38,12 @@ bench:
 # Loopback server-datapath baseline: the full stack (wire decode, shard
 # queue, grouped view transaction, response encode, coalesced writes) across
 # workload x engine x BatchMax. The batch1/batch16 pairs are the group-commit
-# proof; the write-heavy norec pair is the headline ratio in README.md.
+# proof; the write-heavy norec pair is the headline ratio in README.md. The
+# Durable cells measure the same stack with the per-shard WAL on (-durability
+# group): every write group appended and answered only after its flush.
 bench-server:
-	$(GO) test -run='^$$' -bench=BenchmarkServerThroughput -benchmem \
-		-benchtime=200000x ./internal/server \
+	$(GO) test -run='^$$' -bench='BenchmarkServerThroughput|BenchmarkServerDurable' \
+		-benchmem -benchtime=200000x ./internal/server \
 		| tee /dev/stderr | $(GO) run ./cmd/benchreport -o $(BENCH_DIR)/BENCH_server.json
 
 tables:
@@ -62,6 +64,24 @@ serve:
 # against a sequential oracle, with admission- and goroutine-leak checks.
 soak-viewmgr:
 	$(GO) test -race -count=1 -timeout 600s -run TestRepartitionChaosSoak -v .
+
+# Crash-recovery soak: SIGKILL a durable child server mid-burst, restart it
+# on the same data directory, and check the recovered state against an
+# ambiguity-aware oracle (no partially-applied group, no acknowledged write
+# lost). SOAK_ROUNDS crashes per run.
+SOAK_ROUNDS ?= 20
+
+soak-recovery:
+	VOTM_SOAK_ROUNDS=$(SOAK_ROUNDS) $(GO) test -race -count=1 -timeout 600s \
+		-run TestCrashRecoverySoak -v ./internal/server
+
+# WAL torn-tail recovery fuzzing: mutated segment files (truncations, bit
+# flips) must replay to an intact prefix, truncate the damage idempotently,
+# and leave the log appendable. FUZZ_TIME=0x replays only the corpus.
+FUZZ_TIME ?= 30s
+
+fuzz-wal:
+	$(GO) test -run='^$$' -fuzz=FuzzReplay -fuzztime=$(FUZZ_TIME) ./internal/wal
 
 fmt:
 	gofmt -w .

@@ -24,6 +24,7 @@ import (
 
 	"votm"
 	"votm/internal/server"
+	"votm/wire"
 )
 
 func main() {
@@ -50,6 +51,11 @@ func main() {
 		splitEvery = flag.Duration("split-check-every", 250*time.Millisecond, "hot-shard advisor polling period")
 		splitKeys  = flag.Int64("split-min-keys", 0, "never split shards below this many keys (0 = default 1024)")
 		splitMax   = flag.Int("split-max-subshards", 8, "maximum sub-shards per shard (power of two)")
+
+		durability = flag.String("durability", server.DurabilityOff, "crash durability: off | group (per-shard WAL, fsync per write group) | snapshot-only")
+		dataDir    = flag.String("data-dir", "", "durability root directory (required unless -durability off)")
+		snapEvery  = flag.Duration("snapshot-every", 30*time.Second, "periodic per-shard snapshot interval")
+		walSegMB   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 64 MiB)")
 	)
 	flag.Parse()
 
@@ -89,18 +95,41 @@ func main() {
 		SplitMinKeys:      *splitKeys,
 		SplitMaxSubShards: *splitMax,
 
+		Durability:      *durability,
+		DataDir:         *dataDir,
+		SnapshotEvery:   *snapEvery,
+		WALSegmentBytes: *walSegMB,
+
 		Logf: func(f string, a ...any) { logger.Printf(f, a...) },
 	})
 	if err != nil {
 		logger.Fatalf("init: %v", err)
 	}
+	for _, r := range srv.Recovery() {
+		how := "tail replay"
+		if r.CleanStart {
+			how = "clean start (replay skipped)"
+		}
+		logger.Printf("shard %d recovered: %s, snapshot seq %d (%d keys), %d records replayed, %d torn bytes truncated",
+			r.Shard, how, r.SnapshotSeq, r.SnapshotKeys, r.Replayed, r.TruncatedBytes)
+	}
 
 	if *statsSec > 0 {
+		durable := *durability != server.DurabilityOff
 		go func() {
 			for range time.Tick(*statsSec) {
 				for _, r := range srv.StatsAll() {
-					logger.Printf("shard %d [%s]: Q=%d commits=%d aborts=%d keys=%d delta=%.3f splits=%d",
+					line := fmt.Sprintf("shard %d [%s]: Q=%d commits=%d aborts=%d keys=%d delta=%.3f splits=%d",
 						r.Shard, r.Engine, r.Quota, r.Commits, r.Aborts, r.Keys, r.Delta, r.Repartitions)
+					if durable {
+						age := "never"
+						if r.SnapshotAgeSec != wire.SnapshotNever {
+							age = fmt.Sprintf("%ds", r.SnapshotAgeSec)
+						}
+						line += fmt.Sprintf(" walAppends=%d walBytes=%d fsyncs=%d snapAge=%s replayed=%d",
+							r.WalAppends, r.WalBytes, r.Fsyncs, age, r.ReplayedRecords)
+					}
+					logger.Print(line)
 				}
 			}
 		}()

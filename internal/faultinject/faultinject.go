@@ -97,6 +97,20 @@ type Config struct {
 	FlapEvery int
 	// Flap is the quota-flap callback (must be non-nil if FlapEvery > 0).
 	Flap func()
+
+	// Disk faults fire on a separate counter fed by DiskHook (the WAL's
+	// append/fsync instrumentation — see internal/wal). Each rate is "one
+	// fault per N eligible disk-hook calls"; zero disables that fault.
+
+	// DiskAppendErrEvery fails every Nth WAL append before any byte reaches
+	// the file (the group was applied in memory but never logged).
+	DiskAppendErrEvery int
+	// DiskTornEvery fails every Nth WAL append midway: a prefix of the batch
+	// lands on disk — a torn record the replayer must truncate at.
+	DiskTornEvery int
+	// DiskSyncErrEvery fails every Nth WAL fsync after the bytes were
+	// written (durability of the whole appended tail becomes unknown).
+	DiskSyncErrEvery int
 }
 
 // Stats counts the faults an Injector actually injected.
@@ -106,15 +120,19 @@ type Stats struct {
 	Panics    uint64
 	Latencies uint64
 	Flaps     uint64
+
+	DiskCalls  uint64 // total disk-hook invocations
+	DiskFaults uint64 // injected disk faults (all kinds)
 }
 
 // Injector builds a Hook from a Config and counts what it injects.
 // Safe for concurrent use.
 type Injector struct {
-	cfg  Config
-	seq  atomic.Uint64
-	stat struct {
-		conflicts, panics, latencies, flaps atomic.Uint64
+	cfg     Config
+	seq     atomic.Uint64
+	diskSeq atomic.Uint64
+	stat    struct {
+		conflicts, panics, latencies, flaps, disk atomic.Uint64
 	}
 }
 
@@ -133,11 +151,13 @@ func New(cfg Config) *Injector {
 // Stats returns a snapshot of the injection counters.
 func (in *Injector) Stats() Stats {
 	return Stats{
-		Calls:     in.seq.Load(),
-		Conflicts: in.stat.conflicts.Load(),
-		Panics:    in.stat.panics.Load(),
-		Latencies: in.stat.latencies.Load(),
-		Flaps:     in.stat.flaps.Load(),
+		Calls:      in.seq.Load(),
+		Conflicts:  in.stat.conflicts.Load(),
+		Panics:     in.stat.panics.Load(),
+		Latencies:  in.stat.latencies.Load(),
+		Flaps:      in.stat.flaps.Load(),
+		DiskCalls:  in.diskSeq.Load(),
+		DiskFaults: in.stat.disk.Load(),
 	}
 }
 
@@ -222,4 +242,76 @@ func (in *Injector) hook(op Op, thread int, addr stm.Addr) {
 		in.stat.conflicts.Add(1)
 		stm.Throw("faultinject: forced conflict")
 	}
+}
+
+// --- disk faults --------------------------------------------------------
+
+// DiskOp identifies a disk-fault hook site inside a WAL append/fsync.
+type DiskOp uint8
+
+const (
+	// DiskAppend fires before a WAL batch write. An error from the hook
+	// fails the append with no bytes written.
+	DiskAppend DiskOp = iota
+	// DiskAppendMid fires after a prefix of the batch has been written. An
+	// error abandons the append there, leaving a torn record on disk.
+	DiskAppendMid
+	// DiskSync fires before fsync. An error fails the sync; the appended
+	// bytes sit in the page cache with unknown durability.
+	DiskSync
+)
+
+func (o DiskOp) String() string {
+	switch o {
+	case DiskAppend:
+		return "append"
+	case DiskAppendMid:
+		return "append-mid"
+	case DiskSync:
+		return "sync"
+	}
+	return fmt.Sprintf("diskop(%d)", uint8(o))
+}
+
+// DiskHook is the WAL's fault hook: called at every append and fsync site.
+// Returning a non-nil error injects an I/O failure at that site (the WAL
+// honours the site semantics above); returning nil injects nothing. Hooks
+// must be safe for concurrent use.
+type DiskHook func(op DiskOp) error
+
+// InjectedDiskFault is the error an Injector's disk faults return, so chaos
+// tests can tell injected I/O failures from real ones.
+type InjectedDiskFault struct {
+	Op  DiskOp
+	Seq uint64 // disk-hook sequence number of this fault
+}
+
+func (e *InjectedDiskFault) Error() string {
+	return fmt.Sprintf("faultinject: injected disk fault at %s (seq %d)", e.Op, e.Seq)
+}
+
+// DiskHook returns the disk-fault hook implementing the configured rates,
+// or nil when no disk-fault rate is set (so callers can pass it straight to
+// the WAL's Fault option and keep the un-instrumented fast path).
+func (in *Injector) DiskHook() DiskHook {
+	c := in.cfg
+	if c.DiskAppendErrEvery <= 0 && c.DiskTornEvery <= 0 && c.DiskSyncErrEvery <= 0 {
+		return nil
+	}
+	return in.diskHook
+}
+
+func (in *Injector) diskHook(op DiskOp) error {
+	seq := in.diskSeq.Add(1)
+	fire := func(rate int, want DiskOp) bool {
+		return rate > 0 && op == want && seq%uint64(rate) == 0
+	}
+	switch {
+	case fire(in.cfg.DiskAppendErrEvery, DiskAppend),
+		fire(in.cfg.DiskTornEvery, DiskAppendMid),
+		fire(in.cfg.DiskSyncErrEvery, DiskSync):
+		in.stat.disk.Add(1)
+		return &InjectedDiskFault{Op: op, Seq: seq}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -120,6 +121,70 @@ func TestWrapTxFiresHookAroundOps(t *testing.T) {
 	for i := range want {
 		if hooked[i] != want[i] {
 			t.Fatalf("hook fired at %v, want %v", hooked, want)
+		}
+	}
+}
+
+func TestDiskHookNilWhenUnconfigured(t *testing.T) {
+	in := New(Config{ConflictEvery: 7}) // non-disk faults don't enable it
+	if in.DiskHook() != nil {
+		t.Fatal("DiskHook non-nil with no disk rates configured")
+	}
+}
+
+func TestDiskHookRatesAndCounters(t *testing.T) {
+	in := New(Config{DiskAppendErrEvery: 4})
+	hook := in.DiskHook()
+	if hook == nil {
+		t.Fatal("DiskHook nil with DiskAppendErrEvery set")
+	}
+	faults := 0
+	for i := 1; i <= 12; i++ {
+		err := hook(DiskAppend)
+		if i%4 == 0 {
+			var df *InjectedDiskFault
+			if !errors.As(err, &df) {
+				t.Fatalf("call %d: got %v, want injected fault", i, err)
+			}
+			if df.Op != DiskAppend || df.Seq != uint64(i) {
+				t.Fatalf("call %d: fault = %+v", i, df)
+			}
+			faults++
+		} else if err != nil {
+			t.Fatalf("call %d: unexpected fault %v", i, err)
+		}
+	}
+	if s := in.Stats(); s.DiskCalls != 12 || s.DiskFaults != 3 || faults != 3 {
+		t.Fatalf("stats = %+v (faults fired %d), want 3 over 12 calls", s, faults)
+	}
+}
+
+func TestDiskHookFiresOnlyAtItsOwnSite(t *testing.T) {
+	in := New(Config{DiskSyncErrEvery: 2})
+	h := in.DiskHook()
+	if err := h(DiskAppend); err != nil { // seq 1
+		t.Fatalf("append site fired a sync fault: %v", err)
+	}
+	if err := h(DiskAppend); err != nil { // seq 2: rate matches, wrong op
+		t.Fatalf("append site fired at the sync rate: %v", err)
+	}
+	if err := h(DiskSync); err != nil { // seq 3: right op, off rate
+		t.Fatalf("sync site fired off-rate: %v", err)
+	}
+	if err := h(DiskSync); err == nil { // seq 4: fires
+		t.Fatal("sync fault did not fire at its rate")
+	}
+}
+
+func TestDiskOpString(t *testing.T) {
+	for op, want := range map[DiskOp]string{
+		DiskAppend:    "append",
+		DiskAppendMid: "append-mid",
+		DiskSync:      "sync",
+		DiskOp(9):     "diskop(9)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("DiskOp(%d).String() = %q, want %q", op, got, want)
 		}
 	}
 }

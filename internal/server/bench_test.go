@@ -52,10 +52,68 @@ func BenchmarkServerThroughput(b *testing.B) {
 			for _, batch := range []int{1, 16} {
 				name := fmt.Sprintf("%s/%s/batch%d", wl.name, eng.name, batch)
 				b.Run(name, func(b *testing.B) {
-					benchServer(b, eng.kind, batch, wl.build)
+					benchServer(b, benchConfig(eng.kind, batch), wl.build)
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkServerDurable is the durability tax, measured: the same deep-
+// pipelined write-heavy load as BenchmarkServerThroughput, but every group
+// is appended to the per-shard WAL and answered only after its fsync. The
+// batch sweep shows where group commit earns the cost back: at batch=512 one
+// fsync covers hundreds of writes, and a second worker overlaps the next
+// group's execution with the previous group's flush (wal.Log.Sync releases
+// walMu before fsyncing, and its watermark lets one fsync cover both).
+//
+// The acceptance bar (ISSUE 6) is durable write-heavy norec >= 0.6x the
+// in-memory baseline; the batch512/workers1 "mem" cell below is the
+// same-shape baseline (same window, same queue depth, durability off), so
+// the ratio reads directly out of BENCH_server.json.
+func BenchmarkServerDurable(b *testing.B) {
+	for _, batch := range []int{16, 512} {
+		for _, workers := range []int{1, 2} {
+			name := fmt.Sprintf("writeheavy/norec/batch%d/workers%d/group", batch, workers)
+			b.Run(name, func(b *testing.B) {
+				cfg := benchConfig(votm.NOrec, batch)
+				cfg.WorkersPerShard = workers
+				cfg.QueueDepth = 8192
+				cfg.Durability = server.DurabilityGroup
+				cfg.DataDir = b.TempDir()
+				cfg.SnapshotEvery = time.Hour // measure the WAL, not the snapshotter
+				// Window several groups deep so a worker always has a next
+				// group queued while another group's flush is in flight.
+				benchServerWindow(b, cfg, 6*max(batch, benchChunk), benchWriteHeavy)
+			})
+		}
+	}
+	// Same-shape in-memory baseline for the headline durable cell: identical
+	// window and queue depth, WAL off. The gap to .../batch512/workers1/group
+	// is the whole durability tax.
+	b.Run("writeheavy/norec/batch512/workers1/mem", func(b *testing.B) {
+		cfg := benchConfig(votm.NOrec, 512)
+		cfg.QueueDepth = 8192
+		benchServerWindow(b, cfg, 6*512, benchWriteHeavy)
+	})
+	b.Run("readheavy/norec/batch16/workers1/group", func(b *testing.B) {
+		cfg := benchConfig(votm.NOrec, 16)
+		cfg.Durability = server.DurabilityGroup
+		cfg.DataDir = b.TempDir()
+		cfg.SnapshotEvery = time.Hour
+		benchServer(b, cfg, benchReadHeavy)
+	})
+}
+
+// benchConfig is the shared single-shard benchmark server shape.
+func benchConfig(kind votm.EngineKind, batchMax int) server.Config {
+	return server.Config{
+		Shards:          1,
+		WorkersPerShard: 1,
+		QueueDepth:      1024,
+		BatchMax:        batchMax,
+		Engine:          kind,
+		RequestTimeout:  30 * time.Second,
 	}
 }
 
@@ -68,16 +126,18 @@ const (
 	benchWriteHW = 32 << 10 // flush threshold for the generator's write buffer
 )
 
-func benchServer(b *testing.B, kind votm.EngineKind, batchMax int,
+func benchServer(b *testing.B, cfg server.Config,
 	build func(*wire.Request, *rand.Rand, []byte)) {
-	srv, addr := startServer(b, server.Config{
-		Shards:          1,
-		WorkersPerShard: 1,
-		QueueDepth:      1024,
-		BatchMax:        batchMax,
-		Engine:          kind,
-		RequestTimeout:  30 * time.Second,
-	})
+	benchServerWindow(b, cfg, benchWindow, build)
+}
+
+// benchServerWindow is benchServer with an explicit pipelining window. The
+// durable cells need a window a few groups deep: responses release only at
+// the fsync, so a window one group deep would stall the second worker and
+// serialize execution behind the flush instead of overlapping them.
+func benchServerWindow(b *testing.B, cfg server.Config, window int,
+	build func(*wire.Request, *rand.Rand, []byte)) {
+	srv, addr := startServer(b, cfg)
 
 	val := make([]byte, benchValLen)
 	for i := range val {
@@ -109,7 +169,7 @@ func benchServer(b *testing.B, kind votm.EngineKind, batchMax int,
 	// two goroutines meet at a channel once per chunk instead of once per
 	// request — on a shared core, per-op channel handoffs would otherwise
 	// tax both batch settings equally and compress the measured ratio.
-	credits := make(chan int, benchWindow/benchChunk+1)
+	credits := make(chan int, window/benchChunk+1)
 	readerDone := make(chan error, 1)
 	rng := rand.New(rand.NewSource(1))
 	req := &wire.Request{}
@@ -147,7 +207,7 @@ func benchServer(b *testing.B, kind votm.EngineKind, batchMax int,
 		}
 		readerDone <- nil
 	}()
-	avail := benchWindow
+	avail := window
 	for i := 0; i < b.N; i++ {
 		if avail == 0 {
 			flush() // window exhausted: push buffered frames so the reader can drain
@@ -180,13 +240,19 @@ func benchServer(b *testing.B, kind votm.EngineKind, batchMax int,
 	b.StopTimer()
 
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
-	var groups, groupOps uint64
+	var groups, groupOps, appends, fsyncs uint64
 	for _, st := range srv.StatsAll() {
 		groups += st.Groups
 		groupOps += st.GroupOps
+		appends += st.WalAppends
+		fsyncs += st.Fsyncs
 	}
 	if groups > 0 {
 		b.ReportMetric(float64(groupOps)/float64(groups), "group-size")
+	}
+	if appends > 0 {
+		// fsyncs per appended group: < 1 means piggybacking is sharing flushes
+		b.ReportMetric(float64(fsyncs)/float64(appends), "fsync-share")
 	}
 }
 

@@ -1,0 +1,280 @@
+// Durability: per-shard write-ahead logging and snapshots (internal/wal)
+// layered on the group-commit execution path. In "group" mode every
+// committed write group appends one redo batch and is answered only after
+// its fsync (piggybacked across workers — see wal.Log.Sync); "snapshot-only"
+// drops the log and keeps just the periodic snapshots. Startup recovery
+// loads the newest valid snapshot and replays the WAL tail; a clean-shutdown
+// marker written by a graceful drain lets the next startup skip replay
+// entirely.
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"votm"
+	"votm/enc"
+	"votm/internal/wal"
+	"votm/wire"
+)
+
+// Durability modes for Config.Durability.
+const (
+	// DurabilityOff keeps the server memory-only (the default fast path).
+	DurabilityOff = "off"
+	// DurabilityGroup logs every write group to a per-shard WAL with one
+	// append and at most one fsync per group; responses release only after
+	// the group's durability point.
+	DurabilityGroup = "group"
+	// DurabilitySnapshotOnly writes periodic snapshots but no WAL: writes
+	// since the last snapshot are lost on a crash.
+	DurabilitySnapshotOnly = "snapshot-only"
+)
+
+// shardDataDir is shard id's durability directory under the data root.
+func shardDataDir(dataDir string, id int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%04d", id))
+}
+
+// RecoveryStats summarizes one shard's startup recovery, logged by votmd.
+type RecoveryStats struct {
+	Shard          int
+	SnapshotSeq    uint64 // WAL seq of the loaded snapshot (0 = none)
+	SnapshotKeys   int    // entries restored from the snapshot
+	Replayed       uint64 // redo records replayed from the WAL tail
+	TruncatedBytes int64  // torn/corrupt tail bytes removed
+	CleanStart     bool   // clean-shutdown marker found; tail replay skipped
+}
+
+// initShardDurability recovers shard sh from its data directory and, in
+// group mode, leaves sh.log started and ready to append. It runs during New,
+// before any worker or connection exists, so it may apply state through the
+// ordinary do* helpers without WAL interposition.
+func (s *Server) initShardDurability(sh *shard, th *votm.Thread) (RecoveryStats, error) {
+	st := RecoveryStats{Shard: sh.id}
+	sh.dataDir = shardDataDir(s.cfg.DataDir, sh.id)
+	ctx := context.Background()
+
+	snapSeq, entries, haveSnap, err := wal.LoadNewestSnapshot(sh.dataDir)
+	if err != nil {
+		return st, fmt.Errorf("shard %d: load snapshot: %w", sh.id, err)
+	}
+	if haveSnap {
+		for _, e := range entries {
+			if _, err := sh.doPut(ctx, th, e.Key, e.Value); err != nil {
+				return st, fmt.Errorf("shard %d: restore snapshot key %d: %w", sh.id, e.Key, err)
+			}
+		}
+		sh.snapSeq.Store(snapSeq)
+		sh.lastSnap.Store(time.Now().Unix())
+		st.SnapshotSeq, st.SnapshotKeys = snapSeq, len(entries)
+	}
+	if s.cfg.Durability == DurabilitySnapshotOnly {
+		return st, nil
+	}
+
+	log, err := wal.Open(sh.dataDir, wal.Options{
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Fault:        s.cfg.DiskFaultHook,
+	})
+	if err != nil {
+		return st, fmt.Errorf("shard %d: open wal: %w", sh.id, err)
+	}
+	nextSeq := snapSeq + 1
+
+	if cleanSeq, ok := wal.ReadCleanMarker(sh.dataDir); ok {
+		// A clean shutdown removed every segment after snapshotting through
+		// cleanSeq: the snapshot IS the state, no tail to replay.
+		st.CleanStart = true
+		if cleanSeq+1 > nextSeq {
+			nextSeq = cleanSeq + 1
+		}
+	} else {
+		rst, err := log.Replay(nextSeq, func(seq uint64, recs []wal.Record) error {
+			for _, r := range recs {
+				switch r.Kind {
+				case wal.RecPut:
+					if _, err := sh.doPut(ctx, th, r.Key, r.Value); err != nil {
+						return err
+					}
+				case wal.RecDelete:
+					if _, err := sh.doDelete(ctx, th, r.Key); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return st, fmt.Errorf("shard %d: replay wal: %w", sh.id, err)
+		}
+		st.Replayed, st.TruncatedBytes = rst.Records, rst.TruncatedBytes
+		sh.replayed.Store(rst.Records)
+		if rst.LastSeq+1 > nextSeq {
+			nextSeq = rst.LastSeq + 1
+		}
+	}
+	// The log is about to become dirty again: drop the marker before the
+	// first append so a crash between here and the next clean drain replays.
+	if err := wal.RemoveCleanMarker(sh.dataDir); err != nil {
+		return st, fmt.Errorf("shard %d: remove clean marker: %w", sh.id, err)
+	}
+	if err := log.Start(nextSeq); err != nil {
+		return st, fmt.Errorf("shard %d: start wal: %w", sh.id, err)
+	}
+	sh.log = log
+	return st, nil
+}
+
+// snapshotShard writes one shard's full state as a snapshot and prunes the
+// log behind it. The state walk runs as a read-only view transaction with
+// walMu held, so the captured WAL sequence exactly matches the captured
+// state (writes execute under walMu); the file I/O happens after the walk,
+// off the mutex. Returns the entry count.
+func (s *Server) snapshotShard(sh *shard, th *votm.Thread) (int, error) {
+	var (
+		entries []wal.Entry
+		blobs   []byte
+		seq     uint64
+	)
+	sh.walMu.Lock()
+	if sh.log != nil {
+		seq = sh.log.NextSeq() - 1
+	} else {
+		seq = sh.snapSeq.Load() + 1 // snapshot-only: a bare snapshot counter
+	}
+	err := sh.view.AtomicRead(context.Background(), th, func(tx votm.Tx) error {
+		entries, blobs = entries[:0], blobs[:0]
+		sh.hm.ForEach(tx, func(key, val uint64) {
+			start := len(blobs)
+			blobs = enc.AppendBlob(blobs, tx, votm.Addr(val))
+			entries = append(entries, wal.Entry{Key: key, Value: blobs[start:len(blobs):len(blobs)]})
+		})
+		return nil
+	})
+	sh.walMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := wal.WriteSnapshot(sh.dataDir, seq, entries); err != nil {
+		return 0, err
+	}
+	sh.snapSeq.Store(seq)
+	sh.lastSnap.Store(time.Now().Unix())
+	if err := wal.PruneSnapshots(sh.dataDir, seq); err != nil {
+		return 0, err
+	}
+	if sh.log != nil {
+		if err := sh.log.Prune(seq); err != nil {
+			return 0, err
+		}
+	}
+	return len(entries), nil
+}
+
+// snapshotLoop periodically snapshots every shard until stopped.
+func (s *Server) snapshotLoop() {
+	defer s.snapshotWG.Done()
+	th := s.rt.RegisterThread()
+	defer th.Release()
+	ticker := time.NewTicker(s.cfg.SnapshotEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.snapshotStop:
+			return
+		case <-ticker.C:
+		}
+		for _, sh := range s.allSubShards() {
+			if sh.readOnly.Load() {
+				continue // state may be ahead of the log; keep the old snapshot
+			}
+			if _, err := s.snapshotShard(sh, th); err != nil {
+				s.logf("votmd: shard %d: snapshot: %v", sh.id, err)
+			}
+		}
+	}
+}
+
+// closeShardDurability finishes a shard's durability at graceful drain:
+// write a final snapshot, seal the log, and mark it cleanly closed so the
+// next startup skips tail replay. A read-only shard (WAL failure) keeps its
+// last-good snapshot and stays dirty: its memory may be ahead of the log,
+// and recovery must replay to the last durable point, not trust a snapshot
+// of diverged state.
+func (s *Server) closeShardDurability(sh *shard, th *votm.Thread) {
+	if sh.readOnly.Load() {
+		if sh.log != nil {
+			_ = sh.log.Close()
+		}
+		return
+	}
+	n, err := s.snapshotShard(sh, th)
+	if err != nil {
+		s.logf("votmd: shard %d: final snapshot: %v", sh.id, err)
+		if sh.log != nil {
+			_ = sh.log.Close()
+		}
+		return
+	}
+	if sh.log == nil {
+		return // snapshot-only: the snapshot is the whole story
+	}
+	seq := sh.snapSeq.Load()
+	if err := sh.log.Close(); err != nil {
+		s.logf("votmd: shard %d: close wal: %v", sh.id, err)
+		return
+	}
+	if err := wal.MarkClean(sh.dataDir, seq); err != nil {
+		s.logf("votmd: shard %d: mark clean: %v", sh.id, err)
+		return
+	}
+	s.logf("votmd: shard %d: clean close at seq %d (%d keys snapshotted)", sh.id, seq, n)
+}
+
+// --- redo-record building ------------------------------------------------
+
+// appendGroupRecords appends the redo records of a committed point-op group:
+// the post-images of every op that actually mutated state. valBuf backs
+// SubAdd-style synthesized values; both slices are scratch owned by the
+// caller and valid until the next group.
+func appendGroupRecords(recs []wal.Record, ops []groupOp) []wal.Record {
+	for i := range ops {
+		op := &ops[i]
+		if op.skip || op.resp.Status != wire.StatusOK {
+			continue // NOT_FOUND / CAS_MISMATCH / failed ops changed nothing
+		}
+		switch op.t.req.Op {
+		case wire.OpPut, wire.OpCAS:
+			recs = append(recs, wal.Record{Kind: wal.RecPut, Key: op.t.req.Key, Value: op.t.req.Value})
+		case wire.OpDelete:
+			recs = append(recs, wal.Record{Kind: wal.RecDelete, Key: op.t.req.Key})
+		}
+	}
+	return recs
+}
+
+// appendAtomicRecords appends the redo records of a committed ATOMIC batch.
+// SubAdd's post-image is the committed Sum, serialized into valBuf (which
+// must have capacity for every add in the batch — the caller sizes it — so
+// earlier record slices are never invalidated by growth).
+func appendAtomicRecords(recs []wal.Record, valBuf []byte, subs []wire.Sub, results []wire.SubResult) ([]wal.Record, []byte) {
+	for i, sub := range subs {
+		switch sub.Kind {
+		case wire.SubPut:
+			recs = append(recs, wal.Record{Kind: wal.RecPut, Key: sub.Key, Value: sub.Value})
+		case wire.SubDelete:
+			if results[i].Status == wire.StatusOK {
+				recs = append(recs, wal.Record{Kind: wal.RecDelete, Key: sub.Key})
+			}
+		case wire.SubAdd:
+			start := len(valBuf)
+			valBuf = binary.LittleEndian.AppendUint64(valBuf, results[i].Sum)
+			recs = append(recs, wal.Record{Kind: wal.RecPut, Key: sub.Key, Value: valBuf[start:len(valBuf):len(valBuf)]})
+		}
+	}
+	return recs, valBuf
+}

@@ -23,6 +23,7 @@ import (
 	"votm"
 	"votm/ds"
 	"votm/enc"
+	"votm/internal/wal"
 	"votm/wire"
 )
 
@@ -45,6 +46,21 @@ type groupOp struct {
 	usedBlock, usedNode bool
 }
 
+// maxSyncLag bounds how many committed-and-appended write groups a worker
+// may hold back awaiting one shared flush (see pending). Lag turns the
+// per-group fdatasync into a per-lag-window one under a standing queue; the
+// bound keeps the added commit latency to a few group executions.
+const maxSyncLag = 4
+
+// pendingGroup is a committed write group whose redo batch is appended but
+// not yet flushed: its responses are built and its memory effects applied,
+// only the durability point is outstanding. The ops slice is owned by the
+// pending list until flushPending answers and recycles it.
+type pendingGroup struct {
+	ops []groupOp
+	seq uint64 // WAL sequence of the group's redo batch
+}
+
 // groupWorker is one shard worker's retained execution state: the op
 // slots, the commit-side free lists and the amortized request context are
 // all reused across groups, so the steady-state execution path allocates
@@ -62,6 +78,14 @@ type groupWorker struct {
 	sizes     []int       // pre-allocation size scratch (blocks and nodes)
 	blocks    []votm.Addr // pre-allocation result scratch
 	keysDelta int64
+	recs      []wal.Record // redo-record scratch (durability on)
+	valBuf    []byte       // SubAdd post-image scratch backing recs
+
+	// pending holds appended-but-unflushed groups (group-commit across
+	// groups: one fdatasync covers the whole list); opsFree recycles their
+	// op slices so lagging allocates nothing in steady state.
+	pending []pendingGroup
+	opsFree [][]groupOp
 
 	// reqCtx is the group-execution context. Creating context.WithTimeout
 	// per request would put two allocations and a timer on the hot path, so
@@ -77,6 +101,7 @@ func newGroupWorker(s *Server, sh *shard, th *votm.Thread) *groupWorker {
 }
 
 func (w *groupWorker) close() {
+	w.flushPending()
 	if w.reqCancel != nil {
 		w.reqCancel()
 	}
@@ -111,19 +136,72 @@ func (w *groupWorker) run(batch []task) {
 			continue
 		}
 		if t.req.Op == wire.OpAtomic {
+			// The ATOMIC flushes its own seq synchronously; settle older
+			// lagged groups first so its flush never reorders around them.
+			w.flushPending()
 			w.runAtomic(t)
 			continue
 		}
 		w.ops = append(w.ops, groupOp{t: t})
 	}
 	if len(w.ops) > 0 {
-		w.runGroup()
+		if w.runGroup() {
+			// The group was stashed awaiting a shared flush and its op
+			// slice is now owned by the pending list: start a fresh one.
+			w.ops = w.acquireOps()
+			return
+		}
 	}
 	// Drop response references so the pool can recycle freely.
 	for i := range w.ops {
 		w.ops[i] = groupOp{}
 	}
 	w.ops = w.ops[:0]
+}
+
+// acquireOps hands out a recycled op slice (or nil — append grows it once
+// and it then cycles through opsFree forever).
+func (w *groupWorker) acquireOps() []groupOp {
+	if n := len(w.opsFree); n > 0 {
+		ops := w.opsFree[n-1]
+		w.opsFree = w.opsFree[:n-1]
+		return ops
+	}
+	return nil
+}
+
+// flushPending settles every lagged group with one shared flush: a single
+// wal.Log.Sync at the newest pending sequence (usually one fdatasync, often
+// zero when another worker's flush already covered it), then answers the
+// groups oldest-first. A flush failure is a WAL fault for all of them: the
+// memory commits happened, durability is unknown, every member answers
+// TxFault and the shard goes read-only.
+func (w *groupWorker) flushPending() {
+	if len(w.pending) == 0 {
+		return
+	}
+	err := w.sh.log.Sync(w.pending[len(w.pending)-1].seq)
+	for pi := range w.pending {
+		g := &w.pending[pi]
+		if err != nil {
+			w.noteWALFault(err)
+			for i := range g.ops {
+				op := &g.ops[i]
+				if op.skip {
+					continue
+				}
+				op.resp.Status = wire.StatusTxFault
+				op.resp.SetDetail("wal: " + err.Error())
+			}
+		}
+		w.finishGroup(g.ops)
+		for i := range g.ops {
+			g.ops[i] = groupOp{}
+		}
+		w.opsFree = append(w.opsFree, g.ops[:0])
+		g.ops = nil
+	}
+	w.pending = w.pending[:0]
 }
 
 // finish answers one task and retires its request.
@@ -148,19 +226,48 @@ func errStatus(err error) (wire.Status, string) {
 
 // runAtomic executes one ATOMIC batch as its own transaction (the batch is
 // a client-visible atomicity contract; it is never merged into a group).
-// Panic-safe exactly like grouped execution.
+// Panic-safe exactly like grouped execution. With durability on, the batch's
+// execution and WAL append run under the shard's WAL mutex (commit order =
+// log order) and the response waits for the batch's fsync.
 func (w *groupWorker) runAtomic(t task) {
+	sh := w.sh
 	resp := wire.NewResponse()
 	resp.Op, resp.ID = t.req.Op, t.req.ID
+	hasWrite := false
+	for _, sub := range t.req.Subs {
+		if sub.Kind != wire.SubGet {
+			hasWrite = true
+			break
+		}
+	}
+	durable := sh.log != nil && hasWrite
+	if durable && sh.readOnly.Load() {
+		resp.Status = wire.StatusTxFault
+		resp.SetDetail(errShardReadOnly)
+		w.finish(t, resp)
+		return
+	}
+	var (
+		walSeq uint64
+		walErr error
+	)
 	func() {
+		walLocked := false
 		defer func() {
 			if r := recover(); r != nil {
-				w.s.logf("votmd: shard %d: %v in ATOMIC transaction", w.sh.id, r)
+				w.s.logf("votmd: shard %d: %v in ATOMIC transaction", sh.id, r)
 				resp.Subs = resp.Subs[:0]
 				resp.Status = wire.StatusTxFault
 				resp.SetDetail(fmt.Sprint(r))
 			}
+			if walLocked {
+				sh.walMu.Unlock()
+			}
 		}()
+		if durable {
+			sh.walMu.Lock()
+			walLocked = true
+		}
 		subs, err := w.sh.doAtomic(w.ctx(), w.th, t.req.Subs, resp.Subs[:0])
 		if err != nil {
 			resp.Subs = resp.Subs[:0]
@@ -170,12 +277,56 @@ func (w *groupWorker) runAtomic(t task) {
 			return
 		}
 		resp.Subs = subs
+		if durable {
+			w.recs, w.valBuf = appendAtomicRecords(w.recs[:0], w.valBuf[:0], t.req.Subs, subs)
+			if len(w.recs) > 0 {
+				walSeq, walErr = w.appendWAL(w.recs)
+			}
+		}
 	}()
+	// Fsync outside walMu: the next batch's execution overlaps this flush,
+	// and concurrent committers share fsyncs (wal.Log.Sync piggybacking).
+	if walErr == nil && walSeq != 0 {
+		walErr = sh.log.Sync(walSeq)
+	}
+	if walErr != nil {
+		w.noteWALFault(walErr)
+		resp.Subs = resp.Subs[:0]
+		resp.Status = wire.StatusTxFault
+		resp.SetDetail("wal: " + walErr.Error())
+	}
 	w.finish(t, resp)
 }
 
-// runGroup executes w.ops as one grouped transaction.
-func (w *groupWorker) runGroup() {
+// errShardReadOnly is the TxFault detail for writes refused by a shard that
+// lost its WAL.
+const errShardReadOnly = "shard is read-only after a WAL failure"
+
+// appendWAL appends one committed group's redo batch and meters it.
+func (w *groupWorker) appendWAL(recs []wal.Record) (uint64, error) {
+	seq, n, err := w.sh.log.Append(recs)
+	if err != nil {
+		return 0, err
+	}
+	w.sh.walAppends.Add(1)
+	w.sh.walBytes.Add(uint64(n))
+	return seq, nil
+}
+
+// noteWALFault flips the shard read-only after a WAL append/fsync failure.
+// The failed group IS applied in memory — only its durability is unknown —
+// so the shard stops accepting writes rather than letting memory and log
+// diverge further; reads keep serving.
+func (w *groupWorker) noteWALFault(err error) {
+	if !w.sh.readOnly.Swap(true) {
+		w.s.logf("votmd: shard %d: WAL failure, shard now read-only: %v", w.sh.id, err)
+	}
+}
+
+// runGroup executes w.ops as one grouped transaction. It returns true when
+// the committed group was stashed on the pending list (ownership of w.ops
+// moves to the flush) and false when every member was answered inline.
+func (w *groupWorker) runGroup() bool {
 	sh, ops := w.sh, w.ops
 	live := 0
 	readonly := true
@@ -242,8 +393,34 @@ func (w *groupWorker) runGroup() {
 		}
 	}
 	if live == 0 {
-		w.finishGroup()
-		return
+		w.finishGroup(ops)
+		return false
+	}
+
+	// A read group serves committed memory state and never waits on a
+	// flush; settle this worker's lagged write groups first so a client
+	// that saw its write acknowledged cannot then read older state.
+	if readonly {
+		w.flushPending()
+	}
+
+	// A durable write group runs its execution and WAL append under walMu —
+	// commit order equals log order — and releases no response before its
+	// durability point. A shard whose WAL already failed is read-only:
+	// refuse the whole write group with TxFault rather than diverge.
+	durable := sh.log != nil && !readonly
+	if durable && sh.readOnly.Load() {
+		for i := range ops {
+			op := &ops[i]
+			if op.skip {
+				continue
+			}
+			w.releaseOp(op)
+			op.resp.Status = wire.StatusTxFault
+			op.resp.SetDetail(errShardReadOnly)
+		}
+		w.finishGroup(ops)
+		return false
 	}
 
 	// The runtime rolls back and releases admission before a body panic
@@ -261,9 +438,21 @@ func (w *groupWorker) runGroup() {
 				op.resp.Status = wire.StatusTxFault
 				op.resp.SetDetail(fmt.Sprint(r))
 			}
-			w.finishGroup()
+			w.finishGroup(ops)
 		}
 	}()
+	walLocked := false
+	defer func() {
+		// LIFO: runs before the recover defer, so a body panic never leaves
+		// walMu held.
+		if walLocked {
+			sh.walMu.Unlock()
+		}
+	}()
+	if durable {
+		sh.walMu.Lock()
+		walLocked = true
+	}
 
 	// The body may be re-executed after a conflict: every per-op outcome
 	// and commit-side effect list is rebuilt from scratch on each attempt.
@@ -345,14 +534,32 @@ func (w *groupWorker) runGroup() {
 			op.resp.Status = status
 			op.resp.SetDetail(detail)
 		}
-		w.finishGroup()
-		return
+		w.finishGroup(ops)
+		return false
 	}
 
-	// Committed: release displaced storage and any pre-allocation the
-	// final attempt did not link — the whole effect list in one allocator
-	// lock acquisition. (A map node is a plain view block: FreeNode is
-	// view.Free by another name, so it batches with the rest.)
+	// Committed. A durable group's redo batch — the post-images of every op
+	// that mutated state — is appended before walMu drops (so a later
+	// group's batch can never overtake it in the log); the flush happens
+	// after, at most once per group and shared whenever possible.
+	var (
+		walSeq uint64
+		walErr error
+	)
+	if durable {
+		w.recs = appendGroupRecords(w.recs[:0], ops)
+		if len(w.recs) > 0 {
+			walSeq, walErr = w.appendWAL(w.recs)
+		}
+		sh.walMu.Unlock()
+		walLocked = false
+	}
+
+	// Release displaced storage and any pre-allocation the final attempt
+	// did not link — the whole effect list in one allocator lock
+	// acquisition. (A map node is a plain view block: FreeNode is view.Free
+	// by another name, so it batches with the rest.) This cleanup is due
+	// even when the WAL failed: the memory commit happened.
 	for i := range ops {
 		op := &ops[i]
 		if op.hasBlock && !op.usedBlock {
@@ -365,7 +572,42 @@ func (w *groupWorker) runGroup() {
 	}
 	_ = sh.view.FreeBatch(w.frees)
 	sh.keys.Add(w.keysDelta)
-	w.finishGroup()
+
+	if walErr != nil {
+		// The append failed before any flush: this group is applied in
+		// memory with durability unknown — answer it TxFault, stop
+		// accepting writes, and settle the lagged groups (their flush will
+		// fail the same way and TxFault them too).
+		w.noteWALFault(walErr)
+		for i := range ops {
+			op := &ops[i]
+			if op.skip {
+				continue
+			}
+			op.resp.Status = wire.StatusTxFault
+			op.resp.SetDetail("wal: " + walErr.Error())
+		}
+		w.finishGroup(ops)
+		w.flushPending()
+		return false
+	}
+	if walSeq == 0 {
+		// Nothing mutated state (all NOT_FOUND / CAS_MISMATCH): no redo
+		// batch, no durability point to wait for.
+		w.finishGroup(ops)
+		return false
+	}
+
+	// Stash the group behind its appended redo batch: the worker loop
+	// flushes the moment the shard would go idle, so a standing queue pays
+	// one fdatasync per lag window instead of one per group, while a
+	// synchronous client (empty queue between requests) still flushes
+	// immediately. The lag bound caps the added commit latency.
+	w.pending = append(w.pending, pendingGroup{ops: ops, seq: walSeq})
+	if len(w.pending) >= maxSyncLag {
+		w.flushPending()
+	}
+	return true
 }
 
 // releaseOp returns an op's unlinked pre-allocations (failure paths).
@@ -380,14 +622,12 @@ func (w *groupWorker) releaseOp(op *groupOp) {
 	}
 }
 
-// finishGroup answers every op of the current group. Consecutive responses
-// for the same connection are chained and handed to its writer in one
-// channel send — a pipelined burst from one client costs one hand-off per
-// group instead of one per request. The sends complete before any
-// pending.Done so a graceful drain can never close an out channel with a
-// chain still in flight.
-func (w *groupWorker) finishGroup() {
-	ops := w.ops
+// finishGroup answers every op of one group. Consecutive responses for the
+// same connection are chained and handed to its writer in one channel send —
+// a pipelined burst from one client costs one hand-off per group instead of
+// one per request. The sends complete before any pending.Done so a graceful
+// drain can never close an out channel with a chain still in flight.
+func (w *groupWorker) finishGroup(ops []groupOp) {
 	for i := 0; i < len(ops); {
 		c := ops[i].t.c
 		head, tail := ops[i].resp, ops[i].resp

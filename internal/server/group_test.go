@@ -360,3 +360,57 @@ func TestSteadyStateGetAllocs(t *testing.T) {
 		t.Errorf("steady-state GET allocates %.1f/op, want 0", n)
 	}
 }
+
+// TestSteadyStateGetAllocsDurable re-runs the serving-path allocation guard
+// with the per-shard WAL on: reads never touch walMu or the log, so turning
+// durability on must not cost the read path a single allocation.
+func TestSteadyStateGetAllocsDurable(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard: race instrumentation allocates on this path")
+	}
+	s, err := New(Config{
+		Shards: 1, ShardWords: 1 << 12, WorkersPerShard: 2,
+		RequestTimeout: time.Hour,
+		Durability:     DurabilityGroup,
+		DataDir:        t.TempDir(),
+		SnapshotEvery:  time.Hour, // no snapshot walk during the measurement
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	ctx := context.Background()
+	th := s.rt.RegisterThread()
+	defer th.Release()
+	sh := (*s.shards[0].subs.Load())[0]
+	if sh.log == nil {
+		t.Fatal("durable shard has no WAL")
+	}
+	if _, err := sh.doPut(ctx, th, 7, bytes.Repeat([]byte{0xAB}, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestConn(s, 4)
+	w := newGroupWorker(s, sh, th)
+	defer w.close()
+	batch := make([]task, 1)
+	run := func() {
+		batch[0] = mkTask(s, c, wire.OpGet, 1, 7, nil, nil)
+		w.run(batch)
+		r := <-c.out
+		if r.Status != wire.StatusOK || len(r.Value) != 64 {
+			t.Fatalf("get: %+v", r)
+		}
+		r.Release()
+	}
+	for i := 0; i < 32; i++ {
+		run()
+	}
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Errorf("durable steady-state GET allocates %.1f/op, want 0", n)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"votm"
 	"votm/ds"
+	"votm/internal/faultinject"
 	"votm/wire"
 )
 
@@ -105,6 +106,27 @@ type Config struct {
 	// power of two). Default 8.
 	SplitMaxSubShards int
 
+	// Durability selects the crash-durability mode: DurabilityOff (default;
+	// memory-only fast path, nothing below applies), DurabilityGroup
+	// (per-shard WAL, one append and at most one fsync per committed write
+	// group, responses released only after the group's durability point) or
+	// DurabilitySnapshotOnly (periodic snapshots, no WAL). Durable modes
+	// require DataDir and are mutually exclusive with AutoSplit: the data
+	// layout is one directory per wire-level shard, and live repartitioning
+	// of durable shards is a later (replication-era) concern.
+	Durability string
+	// DataDir is the durability root; shard i's WAL segments and snapshots
+	// live in DataDir/shard-%04d. Required when Durability is not off.
+	DataDir string
+	// SnapshotEvery is the periodic snapshot interval. Default 30s.
+	SnapshotEvery time.Duration
+	// WALSegmentBytes is the WAL segment rotation threshold; zero takes the
+	// wal package default (64 MiB).
+	WALSegmentBytes int64
+	// DiskFaultHook, when non-nil, is threaded into every shard's WAL for
+	// chaos testing (see internal/faultinject). Leave nil in production.
+	DiskFaultHook faultinject.DiskHook
+
 	// FaultHook, when non-nil, is threaded into the runtime for chaos
 	// testing (see internal/faultinject). Leave nil in production.
 	FaultHook votm.FaultHook
@@ -171,6 +193,12 @@ func (c Config) withDefaults() Config {
 	if c.SplitMaxSubShards <= 0 {
 		c.SplitMaxSubShards = 8
 	}
+	if c.Durability == "" {
+		c.Durability = DurabilityOff
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 30 * time.Second
+	}
 	return c
 }
 
@@ -203,6 +231,22 @@ func (c Config) validate() error {
 	if c.MaxValueLen > wire.MaxFrame-1024 {
 		return fmt.Errorf("server: Config.MaxValueLen (%d) exceeds the wire frame budget (%d)", c.MaxValueLen, wire.MaxFrame-1024)
 	}
+	switch c.Durability {
+	case "", DurabilityOff:
+	case DurabilityGroup, DurabilitySnapshotOnly:
+		if c.DataDir == "" {
+			return fmt.Errorf("server: Config.Durability %q requires Config.DataDir", c.Durability)
+		}
+		if c.AutoSplit {
+			return fmt.Errorf("server: Config.Durability %q is incompatible with Config.AutoSplit (the durable data layout is one directory per wire-level shard)", c.Durability)
+		}
+	default:
+		return fmt.Errorf("server: unknown Config.Durability %q (want %q, %q or %q)",
+			c.Durability, DurabilityOff, DurabilityGroup, DurabilitySnapshotOnly)
+	}
+	if c.WALSegmentBytes < 0 {
+		return fmt.Errorf("server: Config.WALSegmentBytes must not be negative, got %d", c.WALSegmentBytes)
+	}
 	return nil
 }
 
@@ -232,6 +276,11 @@ type Server struct {
 	nextViewID  atomic.Int64 // view IDs for split-born sub-shards
 	monitorStop chan struct{}
 	monitorWG   sync.WaitGroup
+
+	// Durability plumbing (durability.go); inert when Durability is off.
+	snapshotStop chan struct{}
+	snapshotWG   sync.WaitGroup
+	recovery     []RecoveryStats
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -274,6 +323,12 @@ func New(cfg Config) (*Server, error) {
 		FaultHook:          cfg.FaultHook,
 	})
 	s.nextViewID.Store(int64(cfg.Shards)) // IDs 1..Shards are the seed views
+	durable := cfg.Durability != DurabilityOff
+	var recoveryTh *votm.Thread
+	if durable {
+		recoveryTh = s.rt.RegisterThread()
+		defer recoveryTh.Release()
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		v, err := s.rt.CreateView(i+1, cfg.ShardWords, votm.AdaptiveQuota)
 		if err != nil {
@@ -289,6 +344,15 @@ func New(cfg Config) (*Server, error) {
 			hm:    hm,
 			queue: make(chan task, cfg.QueueDepth),
 		}
+		if durable {
+			// Recover before any worker or connection exists: the do* helpers
+			// apply snapshot entries and replayed records WAL-free.
+			rst, err := s.initShardDurability(sh, recoveryTh)
+			if err != nil {
+				return nil, err
+			}
+			s.recovery = append(s.recovery, rst)
+		}
 		g := &shardGroup{id: i}
 		subs := []*shard{sh}
 		g.subs.Store(&subs)
@@ -297,6 +361,11 @@ func New(cfg Config) (*Server, error) {
 			s.workersWG.Add(1)
 			go s.worker(sh)
 		}
+	}
+	if durable {
+		s.snapshotStop = make(chan struct{})
+		s.snapshotWG.Add(1)
+		go s.snapshotLoop()
 	}
 	if cfg.AutoSplit {
 		s.monitorStop = make(chan struct{})
@@ -326,6 +395,10 @@ func (s *Server) Repartitions() uint64 {
 
 // Recorder exposes the quota-event recorder backing STATS (tests, metrics).
 func (s *Server) Recorder() *votm.QuotaRecorder { return s.rec }
+
+// Recovery returns the per-shard startup-recovery summaries, in shard
+// order; empty when durability is off.
+func (s *Server) Recovery() []RecoveryStats { return s.recovery }
 
 // NumShards returns the shard count.
 func (s *Server) NumShards() int { return len(s.shards) }
@@ -418,10 +491,15 @@ func (s *Server) shutdown(ctx context.Context) error {
 	s.reqMu.Unlock()
 
 	// Stop the split monitor first: once it has exited, the sub-shard sets
-	// are frozen and can be safely enumerated below.
+	// are frozen and can be safely enumerated below. The periodic snapshot
+	// loop stops too; the drain writes its own final snapshots.
 	if s.monitorStop != nil {
 		close(s.monitorStop)
 		s.monitorWG.Wait()
+	}
+	if s.snapshotStop != nil {
+		close(s.snapshotStop)
+		s.snapshotWG.Wait()
 	}
 
 	s.mu.Lock()
@@ -454,6 +532,17 @@ func (s *Server) shutdown(ctx context.Context) error {
 		close(sh.queue)
 	}
 	s.workersWG.Wait()
+
+	// Workers are quiescent and every answered write is on disk: write the
+	// final snapshots and mark the logs cleanly closed so the next startup
+	// skips tail replay (snapshot-on-clean-drain).
+	if s.cfg.Durability != DurabilityOff {
+		th := s.rt.RegisterThread()
+		for _, sh := range s.allSubShards() {
+			s.closeShardDurability(sh, th)
+		}
+		th.Release()
+	}
 
 	// Close the RAC controllers (and reject any straggling admission).
 	for _, sh := range s.allSubShards() {
@@ -498,7 +587,19 @@ func (s *Server) worker(sh *shard) {
 	defer w.close()
 	batch := make([]task, 0, s.cfg.BatchMax)
 	for {
-		t, ok := <-sh.queue
+		// No committed group may wait on a flush across a blocking receive:
+		// take the next task without flushing while the queue stays hot, but
+		// settle every lagged group the moment the shard would go idle.
+		var (
+			t  task
+			ok bool
+		)
+		select {
+		case t, ok = <-sh.queue:
+		default:
+			w.flushPending()
+			t, ok = <-sh.queue
+		}
 		if !ok {
 			return
 		}
@@ -550,6 +651,14 @@ func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 		// exactly one, so the pre-split response shape is unchanged.
 		for _, sh := range *g.subs.Load() {
 			snap := sh.view.Snapshot()
+			var fsyncs uint64
+			if sh.log != nil {
+				fsyncs = sh.log.Fsyncs()
+			}
+			snapAge := wire.SnapshotNever
+			if at := sh.lastSnap.Load(); at != 0 {
+				snapAge = uint64(max(0, time.Now().Unix()-at))
+			}
 			resp.Stats = append(resp.Stats, wire.ShardStats{
 				Shard:          uint32(g.id),
 				Engine:         string(snap.Engine),
@@ -569,6 +678,12 @@ func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 				Groups:         uint64(snap.Totals.Groups),
 				GroupOps:       uint64(snap.Totals.GroupOps),
 				QueueHighWater: sh.queueHW.Load(),
+
+				WalAppends:      sh.walAppends.Load(),
+				WalBytes:        sh.walBytes.Load(),
+				Fsyncs:          fsyncs,
+				SnapshotAgeSec:  snapAge,
+				ReplayedRecords: sh.replayed.Load(),
 			})
 		}
 	}

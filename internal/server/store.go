@@ -16,6 +16,7 @@ import (
 	"votm/ds"
 	"votm/enc"
 	"votm/internal/memheap"
+	"votm/internal/wal"
 	"votm/wire"
 )
 
@@ -39,6 +40,24 @@ type shard struct {
 	// prefix, high bits the depth. Published atomically by splitShard while
 	// the view is quiescent; {0, 0} matches every key.
 	routeBits atomic.Uint64
+
+	// Durability state (durability.go); all zero when the server runs
+	// memory-only. walMu serializes write-group execution with the WAL
+	// append so commit order equals log order; the fsync happens outside it,
+	// overlapping the next group's execution. log is nil in snapshot-only
+	// mode (snapshots need only dataDir and snapSeq).
+	dataDir string
+	log     *wal.Log
+	walMu   sync.Mutex
+	// readOnly flips on after a WAL append or fsync failure: the in-memory
+	// state may be ahead of the durable log, so further writes are refused
+	// (StatusTxFault) rather than widening the divergence.
+	readOnly   atomic.Bool
+	walAppends atomic.Uint64
+	walBytes   atomic.Uint64
+	replayed   atomic.Uint64 // redo records replayed at startup
+	snapSeq    atomic.Uint64 // WAL seq covered by the last snapshot
+	lastSnap   atomic.Int64  // unix seconds of the last snapshot; 0 = never
 }
 
 // noteDepth records the queue depth seen right after an enqueue.

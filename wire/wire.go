@@ -20,10 +20,16 @@ import (
 	"sync"
 )
 
-// Version is the protocol version byte carried by every frame. A peer
-// receiving a different version must reject the frame with
+// Version is the protocol version byte written into every encoded frame.
+// Version 2 added the durability fields of ShardStats (WAL/snapshot meters);
+// request layouts are identical in versions 1 and 2. Decoders accept any
+// version in [MinVersion, Version] — a version-1 STATS frame simply carries
+// no durability fields — and must reject frames outside that range with
 // StatusBadRequest (servers) or ErrProtocol (clients).
-const Version = 1
+const Version = 2
+
+// MinVersion is the oldest protocol version decoders still accept.
+const MinVersion = 1
 
 // MaxFrame bounds a frame's payload size; larger frames indicate a corrupt
 // or hostile stream and the connection must be closed.
@@ -229,7 +235,23 @@ type ShardStats struct {
 	Groups         uint64
 	GroupOps       uint64
 	QueueHighWater uint64
+
+	// Durability meters (version 2; zero when decoding a version-1 frame or
+	// when the server runs with durability off). WalAppends counts WAL batch
+	// appends (one per durable write group), WalBytes the bytes they wrote,
+	// Fsyncs the fsync calls actually issued (≤ WalAppends thanks to
+	// group-commit piggybacking), SnapshotAgeSec the seconds since the
+	// shard's last snapshot (SnapshotNever if none yet), and ReplayedRecords
+	// the redo records replayed during this process's startup recovery.
+	WalAppends      uint64
+	WalBytes        uint64
+	Fsyncs          uint64
+	SnapshotAgeSec  uint64
+	ReplayedRecords uint64
 }
+
+// SnapshotNever is the SnapshotAgeSec sentinel meaning "no snapshot yet".
+const SnapshotNever = ^uint64(0)
 
 // AllShards is the OpStats shard selector meaning "every shard".
 const AllShards = ^uint32(0)
@@ -462,6 +484,8 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				s.SuccessNs, s.AbortNs, math.Float64bits(s.Delta), s.Keys,
 				s.QuotaEvents, s.Repartitions,
 				s.Groups, s.GroupOps, s.QueueHighWater,
+				s.WalAppends, s.WalBytes, s.Fsyncs, s.SnapshotAgeSec,
+				s.ReplayedRecords,
 			} {
 				p = appendU64(p, v)
 			}
@@ -674,7 +698,7 @@ func ParseRequestReuse(req *Request, p []byte) error {
 
 func (req *Request) parse(p []byte) error {
 	c := &cursor{b: p}
-	if v := c.u8(); c.err == nil && v != Version {
+	if v := c.u8(); c.err == nil && (v < MinVersion || v > Version) {
 		return fmt.Errorf("%w: version %d", ErrProtocol, v)
 	}
 	op := Op(c.u8())
@@ -768,8 +792,9 @@ func ParseResponseReuse(resp *Response, p []byte) error {
 
 func (resp *Response) parse(p []byte) error {
 	c := &cursor{b: p}
-	if v := c.u8(); c.err == nil && v != Version {
-		return fmt.Errorf("%w: version %d", ErrProtocol, v)
+	ver := c.u8()
+	if c.err == nil && (ver < MinVersion || ver > Version) {
+		return fmt.Errorf("%w: version %d", ErrProtocol, ver)
 	}
 	rawOp := c.u8()
 	if c.err == nil && rawOp&respFlag == 0 {
@@ -833,6 +858,13 @@ func (resp *Response) parse(p []byte) error {
 			s.Groups = c.u64()
 			s.GroupOps = c.u64()
 			s.QueueHighWater = c.u64()
+			if ver >= 2 {
+				s.WalAppends = c.u64()
+				s.WalBytes = c.u64()
+				s.Fsyncs = c.u64()
+				s.SnapshotAgeSec = c.u64()
+				s.ReplayedRecords = c.u64()
+			}
 			resp.Stats = append(resp.Stats, s)
 		}
 	}

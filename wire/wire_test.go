@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math"
@@ -89,6 +90,16 @@ func TestResponseRoundTrip(t *testing.T) {
 			Panics: 2, SuccessNs: 12345, AbortNs: 678, Delta: 0.25,
 			Keys: 50, QuotaEvents: 5, Repartitions: 3,
 		}}},
+		{Op: OpStats, ID: 11, Stats: []ShardStats{{
+			Shard: 1, Engine: "tl2", Quota: 8, SettledQuota: 8,
+			Commits: 7, Delta: 0.5, Keys: 3,
+			Groups: 4, GroupOps: 64, QueueHighWater: 16,
+			WalAppends: 4, WalBytes: 4096, Fsyncs: 3,
+			SnapshotAgeSec: 17, ReplayedRecords: 1000,
+		}}},
+		{Op: OpStats, ID: 12, Stats: []ShardStats{{
+			Engine: "norec", SnapshotAgeSec: SnapshotNever,
+		}}},
 	}
 	for _, resp := range resps {
 		got := roundTripResponse(t, resp)
@@ -108,6 +119,66 @@ func TestStatsNaNDelta(t *testing.T) {
 	})
 	if !math.IsNaN(resp.Stats[0].Delta) {
 		t.Errorf("NaN delta decoded as %v", resp.Stats[0].Delta)
+	}
+}
+
+// TestOldVersionRequestDecode: version-1 request frames have the identical
+// layout and must keep parsing after the version-2 bump.
+func TestOldVersionRequestDecode(t *testing.T) {
+	reqs := []*Request{
+		{Op: OpGet, ID: 2, Key: 0xdeadbeef},
+		{Op: OpPut, ID: 3, Key: 7, Value: []byte("hello")},
+		{Op: OpAtomic, ID: 7, Subs: []Sub{{Kind: SubAdd, Key: 4, Delta: 42}}},
+		{Op: OpStats, ID: 8, Shard: AllShards},
+	}
+	for _, req := range reqs {
+		frame, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame[4] = 1 // downgrade the version byte; the layout is unchanged
+		got, err := ReadRequest(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%v as v1: %v", req.Op, err)
+		}
+		if len(req.Value) == 0 {
+			req.Value, got.Value = nil, nil
+		}
+		if !reflect.DeepEqual(req, got) {
+			t.Errorf("%v as v1:\n got %+v\nwant %+v", req.Op, got, req)
+		}
+	}
+}
+
+// TestOldVersionStatsDecode: a version-1 STATS response (no durability
+// fields) must decode with those fields zero.
+func TestOldVersionStatsDecode(t *testing.T) {
+	want := ShardStats{
+		Shard: 2, Engine: "norec", Quota: 4, SettledQuota: 2,
+		QuotaMoves: 5, Commits: 100, Aborts: 10, Escalations: 1,
+		Panics: 2, SuccessNs: 12345, AbortNs: 678, Delta: 0.25,
+		Keys: 50, QuotaEvents: 5, Repartitions: 3,
+		Groups: 6, GroupOps: 60, QueueHighWater: 12,
+	}
+	stamped := want
+	stamped.WalAppends, stamped.WalBytes, stamped.Fsyncs = 9, 999, 9
+	stamped.SnapshotAgeSec, stamped.ReplayedRecords = 3, 33
+	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 1, Stats: []ShardStats{stamped}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v2 frame as its v1 equivalent: drop the five trailing
+	// durability u64s and downgrade the version byte.
+	const durBytes = 5 * 8
+	frame = frame[:len(frame)-durBytes]
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+	frame[4] = 1
+	got, err := ReadResponse(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("v1 STATS decode: %v", err)
+	}
+	if len(got.Stats) != 1 || !reflect.DeepEqual(got.Stats[0], want) {
+		t.Errorf("v1 STATS decode:\n got %+v\nwant %+v", got.Stats, want)
 	}
 }
 
