@@ -40,10 +40,15 @@ bench:
 # workload x engine x BatchMax. The batch1/batch16 pairs are the group-commit
 # proof; the write-heavy norec pair is the headline ratio in README.md. The
 # Durable cells measure the same stack with the per-shard WAL on (-durability
-# group): every write group appended and answered only after its flush.
+# group): every write group appended and answered only after its flush — the
+# sameshard/xshard ATOMIC pair is the cross-shard 2PC overhead ratio. The
+# eigenbench cross-view δ(Q) cells ride the same JSON (benchreport keys on
+# the pkg: headers).
 bench-server:
-	$(GO) test -run='^$$' -bench='BenchmarkServerThroughput|BenchmarkServerDurable' \
-		-benchmem -benchtime=200000x ./internal/server \
+	( $(GO) test -run='^$$' -bench='BenchmarkServerThroughput|BenchmarkServerDurable' \
+		-benchmem -benchtime=200000x ./internal/server && \
+	  $(GO) test -run='^$$' -bench='BenchmarkCrossViewDelta' \
+		-benchmem -benchtime=1x ./internal/eigenbench ) \
 		| tee /dev/stderr | $(GO) run ./cmd/benchreport -o $(BENCH_DIR)/BENCH_server.json
 
 tables:

@@ -178,32 +178,98 @@ func TestChaosSoak(t *testing.T) {
 						deliberatePanics.Add(1)
 					}
 
-					// Snapshot isolation check: transfers conserve the
-					// total, so every read snapshot must sum to it exactly.
-					if i%13 == 0 {
+					// Multi-view snapshot check: the cross-view lane below
+					// moves balance between views, so only the grand total is
+					// conserved. A consistent snapshot across every view
+					// (AtomicAll pauses them all) must sum to it exactly —
+					// a torn cross-view commit would show up here.
+					if i%13 == 0 && vi == 0 {
 						var sum uint64
+						ok := false
 						func() {
 							defer func() {
 								if r := recover(); r != nil {
-									if _, ok := r.(votm.InjectedPanic); !ok {
+									if _, ok2 := r.(votm.InjectedPanic); !ok2 {
 										panic(r)
 									}
-									sum = accounts * initBal // injected: skip check
 								}
 							}()
-							if err := v.AtomicRead(ctx, th, func(tx votm.Tx) error {
+							if err := votm.AtomicAll(ctx, th, views, true, func(txs []votm.Tx) error {
 								sum = 0
-								for a := 0; a < accounts; a++ {
-									sum += tx.Load(base + votm.Addr(a))
+								for ti := range views {
+									for a := 0; a < accounts; a++ {
+										sum += txs[ti].Load(bases[ti] + votm.Addr(a))
+									}
 								}
 								return nil
 							}); err != nil {
-								t.Errorf("read view %d: %v", vi, err)
+								t.Errorf("worker %d: cross-view read: %v", id, err)
+							} else {
+								ok = true
 							}
 						}()
-						if sum != accounts*initBal {
-							t.Errorf("worker %d view %d: snapshot sum %d, want %d", id, vi, sum, accounts*initBal)
+						if ok && sum != nviews*accounts*initBal {
+							t.Errorf("worker %d: cross-view snapshot sum %d, want %d", id, sum, nviews*accounts*initBal)
 						}
+					}
+				}
+
+				// Cross-view lane: a transfer whose footprint spans two views,
+				// executed through the same multi-view escalation path the
+				// server's cross-shard ATOMIC uses. All workers pass views in
+				// ascending index order — the shared canonical order that
+				// keeps concurrent multi-view acquirers deadlock-free.
+				va, vb := rng.Intn(nviews), rng.Intn(nviews)
+				if va != vb {
+					if va > vb {
+						va, vb = vb, va
+					}
+					cfrom, cto := rng.Intn(accounts), rng.Intn(accounts)
+					pair := []*votm.View{views[va], views[vb]}
+					panicked := false
+					var aerr error
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								if _, ok := r.(votm.InjectedPanic); !ok {
+									panic(r)
+								}
+								panicked = true
+							}
+						}()
+						aerr = votm.AtomicAll(ctx, th, pair, false, func(txs []votm.Tx) error {
+							fromA, toA := bases[va]+votm.Addr(cfrom), bases[vb]+votm.Addr(cto)
+							txs[0].Store(fromA, txs[0].Load(fromA)-1)
+							txs[1].Store(toA, txs[1].Load(toA)+1)
+							return nil
+						})
+					}()
+					switch {
+					case panicked:
+						// Injected pre-body panic: nothing was written.
+					case aerr != nil:
+						t.Errorf("worker %d cross-view %d->%d: %v", id, va, vb, aerr)
+					default:
+						tallies[id][va][cfrom]--
+						tallies[id][vb][cto]++
+					}
+				}
+
+				// A deliberate panic mid multi-view body must surface
+				// byte-for-byte and leave no view paused — a stuck pause
+				// would trip the post-soak wedge check.
+				if i%23 == id%23 {
+					want := fmt.Sprintf("chaos-all-%d-%d", id, i)
+					got := func() (r any) {
+						defer func() { r = recover() }()
+						_ = votm.AtomicAll(ctx, th, views, true, func([]votm.Tx) error { panic(want) })
+						return nil
+					}()
+					if _, isInj := got.(votm.InjectedPanic); !isInj {
+						if got != want {
+							t.Errorf("multi-view panic value = %v, want %q", got, want)
+						}
+						deliberatePanics.Add(1)
 					}
 				}
 			}

@@ -47,7 +47,7 @@ func main() {
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		statsSec = flag.Duration("stats-every", 0, "log per-shard stats at this interval (0 = off)")
 
-		autoSplit  = flag.Bool("auto-split", false, "split hot shards online (live key migration; ATOMIC batches may become CROSS_SHARD)")
+		autoSplit  = flag.Bool("auto-split", false, "split hot shards online (live key migration; ATOMIC batches spanning sub-shards commit via the multi-view 2PC coordinator)")
 		splitEvery = flag.Duration("split-check-every", 250*time.Millisecond, "hot-shard advisor polling period")
 		splitKeys  = flag.Int64("split-min-keys", 0, "never split shards below this many keys (0 = default 1024)")
 		splitMax   = flag.Int("split-max-subshards", 8, "maximum sub-shards per shard (power of two)")

@@ -15,8 +15,8 @@ func managedParams() Params {
 	return Params{
 		Threads: 4,
 		Views: [2]ViewParams{
-			{Loops: 600, A1: 32, A2: 32, A3: 64, R1: 8, W1: 4, R2: 2, W2: 2},
-			{Loops: 150, A1: 64, A2: 64, A3: 64, R1: 2, W1: 1, R2: 2, W2: 1},
+			{Loops: 6000, A1: 32, A2: 32, A3: 64, R1: 8, W1: 4, R2: 2, W2: 2},
+			{Loops: 1500, A1: 64, A2: 64, A3: 64, R1: 2, W1: 1, R2: 2, W2: 1},
 		},
 		Seed: 42,
 	}

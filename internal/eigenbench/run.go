@@ -84,6 +84,14 @@ type RunConfig struct {
 	// and before the workers start — the hook for attaching δ samplers or
 	// quota recorders to a run.
 	OnViews func(views []*core.View)
+	// CrossViewEvery, when positive, replaces every Nth scheduled
+	// transaction with a batch spanning BOTH views: the thread's view-1 and
+	// view-2 access sequences run as one multi-view transaction through the
+	// escalation path (core.AtomicAll, ascending-view-ID canonical order).
+	// Each participating view accounts the batch as an escalated commit, so
+	// δ(Q) keeps charging the serial time cross-view work imposes. Requires
+	// the multi-view mode (AtomicAll needs admission control).
+	CrossViewEvery int
 }
 
 func (c *RunConfig) fill() {
@@ -109,6 +117,10 @@ type ViewStats struct {
 	Delta      float64 // δ(Q) per Equation 5; NaN when Q ≤ 1
 	Quota      int     // final/settled Q
 	QuotaMoves int64   // number of adaptive quota changes
+	// Escalations counts transactions this view executed through the
+	// exclusive escalation path — retry-budget escalations plus every
+	// cross-view batch it participated in (CrossViewEvery).
+	Escalations int64
 }
 
 // Result of one Eigenbench run.
@@ -149,6 +161,9 @@ func Run(cfg RunConfig, p Params) (Result, error) {
 		if vp.sharedAccesses() > 0 && (vp.A1 <= 0 || vp.A2 <= 0) {
 			return Result{}, fmt.Errorf("eigenbench: view %d has shared accesses but empty arrays", i+1)
 		}
+	}
+	if cfg.CrossViewEvery > 0 && cfg.Mode != MultiView {
+		return Result{}, errors.New("eigenbench: CrossViewEvery requires the multi-view mode")
 	}
 
 	rt := core.NewRuntime(core.Config{
@@ -223,13 +238,14 @@ func Run(cfg RunConfig, p Params) (Result, error) {
 	for _, v := range views {
 		s := v.Snapshot()
 		res.Views = append(res.Views, ViewStats{
-			Commits:    s.Totals.Commits,
-			Aborts:     s.Totals.Aborts,
-			SuccessNs:  s.Totals.SuccessNs,
-			AbortNs:    s.Totals.AbortNs,
-			Delta:      s.Delta,
-			Quota:      s.EffectiveQuota,
-			QuotaMoves: s.QuotaMoves,
+			Commits:     s.Totals.Commits,
+			Aborts:      s.Totals.Aborts,
+			SuccessNs:   s.Totals.SuccessNs,
+			AbortNs:     s.Totals.AbortNs,
+			Delta:       s.Delta,
+			Quota:       s.EffectiveQuota,
+			QuotaMoves:  s.QuotaMoves,
+			Escalations: s.Totals.Escalations,
 		})
 	}
 	return res, nil
@@ -253,9 +269,38 @@ func runWorker(ctx context.Context, rt *core.Runtime, p Params, cfg RunConfig,
 	var sink uint64
 
 	sched := schedule(rng, p.Views[0].Loops, p.Views[1].Loops)
-	for _, obj := range sched {
+	for n, obj := range sched {
 		if ctx.Err() != nil {
 			return
+		}
+		if cfg.CrossViewEvery > 0 && (n+1)%cfg.CrossViewEvery == 0 {
+			// Cross-view batch: both objects' access sequences as one
+			// multi-view transaction. views is already in ascending
+			// view-ID order (IDs 1, 2) — the canonical AtomicAll order
+			// every concurrent acquirer must share.
+			xerr := core.AtomicAll(ctx, th, views, false, func(txs []core.Tx) error {
+				s := sink
+				for o := 0; o < 2; o++ {
+					ops = genOps(ops, rng, p.Views[o], regions[o], idx, p.Threads)
+					tx := txs[viewOf[o]]
+					for k := range ops {
+						if ops[k].write {
+							tx.Store(ops[k].addr, s)
+						} else {
+							s += tx.Load(ops[k].addr)
+						}
+					}
+					if yield {
+						runtime.Gosched()
+					}
+				}
+				sink = s
+				return nil
+			})
+			if xerr != nil {
+				return // cancelled (livelock watchdog or deadline)
+			}
+			continue
 		}
 		vp := p.Views[obj]
 		view := views[viewOf[obj]]

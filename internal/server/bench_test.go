@@ -103,6 +103,58 @@ func BenchmarkServerDurable(b *testing.B) {
 		cfg.SnapshotEvery = time.Hour
 		benchServer(b, cfg, benchReadHeavy)
 	})
+	// The 2PC tax, measured: a three-sub ATOMIC batch whose keys span all
+	// three shards (every request is a prepare/commit group across three
+	// WALs) against the SAME batch shape with all three keys on one shard
+	// (a plain single-log append). Both cells run the identical server
+	// config and rotate the coordinating shard, so the ops/sec ratio prices
+	// exactly the cross-shard protocol — the acceptance bar is
+	// xshard >= 0.5x sameshard.
+	for _, span := range []struct {
+		name   string
+		across bool
+	}{
+		{"sameshard", false},
+		{"xshard", true},
+	} {
+		b.Run("atomic3/norec/batch16/workers1/shards3/"+span.name+"/group", func(b *testing.B) {
+			cfg := benchConfig(votm.NOrec, 16)
+			cfg.Shards = 3
+			cfg.QueueDepth = 8192
+			cfg.Durability = server.DurabilityGroup
+			cfg.DataDir = b.TempDir()
+			cfg.SnapshotEvery = time.Hour
+			benchServerWindow(b, cfg, 6*benchChunk, benchAtomicSpan(span.across))
+		})
+	}
+}
+
+// benchAtomicSpan builds the three-sub ATOMIC workload for the cross-shard
+// durable cells: each request PUTs three random preloaded keys, either one
+// per shard (across) or all on one shard. The first sub — and with it the
+// coordinating worker — rotates over the shards either way, so both cells
+// spread coordination and fsyncs identically.
+func benchAtomicSpan(across bool) func(*wire.Request, *rand.Rand, []byte) {
+	var pools [3][]uint64
+	for k := uint64(0); k < benchKeys; k++ {
+		s := server.ShardOf(k, 3)
+		pools[s] = append(pools[s], k)
+	}
+	pick := func(rng *rand.Rand, s int) uint64 {
+		return pools[s][rng.Intn(len(pools[s]))]
+	}
+	return func(req *wire.Request, rng *rand.Rand, val []byte) {
+		subs := req.Subs[:0]
+		first := rng.Intn(3)
+		for i := 0; i < 3; i++ {
+			s := first
+			if across {
+				s = (first + i) % 3
+			}
+			subs = append(subs, wire.Sub{Kind: wire.SubPut, Key: pick(rng, s), Value: val})
+		}
+		*req = wire.Request{Op: wire.OpAtomic, Subs: subs}
+	}
 }
 
 // benchConfig is the shared single-shard benchmark server shape.

@@ -120,21 +120,15 @@ func (c *conn) dispatch(req *wire.Request) {
 		return
 	}
 
-	key := req.Key
+	var sh *shard
 	if req.Op == wire.OpAtomic {
-		key = req.Subs[0].Key
-	}
-	g := s.shards[s.Shard(key)]
-	sh := g.route(key)
-	if req.Op == wire.OpAtomic {
-		// validate checked wire-level placement; after an automatic split
-		// the batch must also land on one sub-shard.
-		for _, sub := range req.Subs[1:] {
-			if g.route(sub.Key) != sh {
-				reject(wire.StatusCrossShard, "shard was split: batch keys span sub-shards")
-				return
-			}
-		}
+		// An ATOMIC batch may span shards: it is dispatched to its canonical
+		// coordinator (the first participant in the global acquisition
+		// order), whose worker executes it as one multi-view transaction
+		// (group.go runAtomicMulti).
+		sh = s.atomicCoordinator(req)
+	} else {
+		sh = s.shards[s.Shard(req.Key)].route(req.Key)
 	}
 
 	if !s.beginReq() {
@@ -170,15 +164,9 @@ func (c *conn) validate(req *wire.Request) (wire.Status, string) {
 		if len(req.Subs) == 0 {
 			return wire.StatusBadRequest, "empty atomic batch"
 		}
-		want := c.srv.Shard(req.Subs[0].Key)
 		for _, sub := range req.Subs {
 			if len(sub.Value) > max {
 				return wire.StatusTooLarge, fmt.Sprintf("value exceeds %d bytes", max)
-			}
-			if c.srv.Shard(sub.Key) != want {
-				return wire.StatusCrossShard, fmt.Sprintf(
-					"key %d is on shard %d, batch is on shard %d",
-					sub.Key, c.srv.Shard(sub.Key), want)
 			}
 		}
 	}

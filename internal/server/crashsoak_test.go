@@ -27,10 +27,13 @@ import (
 // disk, including torn tail frames.
 //
 // Oracle invariants, per writer lane (each lane ATOMIC-adds 1 to the same K
-// keys of one shard, sequentially):
+// keys, sequentially; same-shard lanes keep all keys on one shard,
+// cross-shard lanes spread them over every shard so each batch is a 2PC
+// group spanning all three WALs):
 //
 //   - atomicity: after every restart the K counters are EQUAL — a group is
-//     never partially applied;
+//     never partially applied, whether it lived in one WAL or was a
+//     prepare/commit pair across three of them;
 //   - durability: the counter is >= the lane's acknowledged batches (an OK
 //     response means fsynced) and <= its attempted batches (an errored or
 //     in-flight batch may have committed just before the kill).
@@ -40,9 +43,10 @@ const (
 	crashDirEnv   = "VOTM_CRASH_DIR"
 	soakRoundsEnv = "VOTM_SOAK_ROUNDS"
 
-	soakShards   = 2
-	laneKeys     = 4 // keys per ATOMIC lane (all on one shard)
+	soakShards   = 3
+	laneKeys     = 4 // keys per same-shard ATOMIC lane
 	writerLanes  = 4
+	crossLanes   = 3 // lanes whose keys span all soakShards shards
 	addrFileName = "addr"
 )
 
@@ -104,6 +108,21 @@ func laneKeysOnShard(base uint64, n int) []uint64 {
 	return keys
 }
 
+// laneKeysAcrossShards picks one key per shard starting at base, so a batch
+// over them is a cross-shard 2PC group touching every WAL.
+func laneKeysAcrossShards(base uint64) []uint64 {
+	keys := make([]uint64, 0, soakShards)
+	for shard := 0; shard < soakShards; shard++ {
+		k := base
+		for server.ShardOf(k, soakShards) != shard {
+			k++
+		}
+		keys = append(keys, k)
+		base = k + 1
+	}
+	return keys
+}
+
 func TestCrashRecoverySoak(t *testing.T) {
 	if os.Getenv(crashChildEnv) != "" {
 		t.Skip("child process must not recurse")
@@ -120,9 +139,15 @@ func TestCrashRecoverySoak(t *testing.T) {
 		rounds = n
 	}
 	dir := t.TempDir()
-	lanes := make([]*lane, writerLanes)
-	for i := range lanes {
-		lanes[i] = &lane{keys: laneKeysOnShard(uint64(10_000*(i+1)), laneKeys)}
+	lanes := make([]*lane, 0, writerLanes+crossLanes)
+	for i := 0; i < writerLanes; i++ {
+		lanes = append(lanes, &lane{keys: laneKeysOnShard(uint64(10_000*(i+1)), laneKeys)})
+	}
+	// Cross-shard lanes: every batch spans all shards, so a SIGKILL can land
+	// anywhere in the prepare/commit window and the equality oracle below
+	// proves all-or-nothing across WALs.
+	for i := 0; i < crossLanes; i++ {
+		lanes = append(lanes, &lane{keys: laneKeysAcrossShards(uint64(100_000 * (i + 1)))})
 	}
 
 	for round := 0; round < rounds; round++ {

@@ -1,0 +1,248 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"votm/client"
+	"votm/internal/server"
+	"votm/internal/wal"
+	"votm/wire"
+)
+
+// The cross-shard recovery matrix: hand-built WAL states modelling a SIGKILL
+// at every distinct point in the 2PC window of a three-participant ATOMIC
+// group, booted and checked for all-or-nothing recovery. The states are
+// written with the wal package itself, so they are byte-identical to what a
+// dying votmd leaves behind:
+//
+//   - prepares fsynced on some participants, missing on others  → abort
+//   - prepares everywhere, no commit record anywhere            → abort
+//   - a commit record on ONE participant only (the coordinator
+//     died mid phase two)                                       → commit all
+//   - commit records everywhere                                 → commit all
+//   - a commit record torn mid-frame on one participant         → commit all
+//     (the surviving participant's commit record decides)
+//
+// The rule under test: an xid is committed iff ANY participant's log holds
+// its RecCommit — sound because every participant's prepare is fsynced
+// before the first commit record is written.
+
+const matrixShards = 3
+
+// keyOnShard returns the first key >= start hashing to the given shard.
+func keyOnShard(shard int, start uint64) uint64 {
+	for k := start; ; k++ {
+		if server.ShardOf(k, matrixShards) == shard {
+			return k
+		}
+	}
+}
+
+// writeShardLog builds shard id's WAL under dataDir from scratch, one
+// fsynced batch per element of batches — exactly how the server lays down a
+// prepare and its commit as separate appends.
+func writeShardLog(t *testing.T, dataDir string, id int, batches ...[]wal.Record) {
+	t.Helper()
+	dir := filepath.Join(dataDir, fmt.Sprintf("shard-%04d", id))
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("shard %d: open: %v", id, err)
+	}
+	if err := log.Start(1); err != nil {
+		t.Fatalf("shard %d: start: %v", id, err)
+	}
+	for _, recs := range batches {
+		seq, _, err := log.Append(recs)
+		if err != nil {
+			t.Fatalf("shard %d: append: %v", id, err)
+		}
+		if err := log.Sync(seq); err != nil {
+			t.Fatalf("shard %d: sync: %v", id, err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("shard %d: close: %v", id, err)
+	}
+}
+
+// tearTail truncates the last n bytes of shard id's only WAL segment,
+// simulating a commit record half-written when the power went out.
+func tearTail(t *testing.T, dataDir string, id int, n int64) {
+	t.Helper()
+	dir := filepath.Join(dataDir, fmt.Sprintf("shard-%04d", id))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".seg" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-n); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatalf("shard %d: no segment to tear", id)
+}
+
+func TestCrossShardRecoveryMatrix(t *testing.T) {
+	const xid = 0xfeed0001
+	prep := func(key uint64, val string) []wal.Record {
+		return []wal.Record{{
+			Kind: wal.RecPrepare, Key: xid,
+			Value: wal.AppendPrepareValue(nil, []wal.Record{
+				{Kind: wal.RecPut, Key: key, Value: []byte(val)},
+			}),
+		}}
+	}
+	commit := []wal.Record{{Kind: wal.RecCommit, Key: xid}}
+
+	// Per-shard group payload keys and a baseline key that must survive
+	// every case regardless of the group's fate.
+	var gkeys, bkeys [matrixShards]uint64
+	for s := 0; s < matrixShards; s++ {
+		gkeys[s] = keyOnShard(s, 100)
+		bkeys[s] = keyOnShard(s, 500)
+	}
+	baseline := func(s int) []wal.Record {
+		return []wal.Record{{Kind: wal.RecPut, Key: bkeys[s], Value: []byte("base")}}
+	}
+
+	cases := []struct {
+		name string
+		// build writes the three shard logs; every shard always gets its
+		// baseline batch first.
+		build     func(t *testing.T, dir string)
+		committed bool
+		// resolved[s]: shard s's log left the prepare undecided and startup
+		// had to append a resolution record.
+		resolved [matrixShards]bool
+	}{
+		{
+			name: "prepare missing on one participant",
+			build: func(t *testing.T, dir string) {
+				writeShardLog(t, dir, 0, baseline(0), prep(gkeys[0], "g0"))
+				writeShardLog(t, dir, 1, baseline(1), prep(gkeys[1], "g1"))
+				writeShardLog(t, dir, 2, baseline(2))
+			},
+			committed: false,
+			resolved:  [matrixShards]bool{true, true, false},
+		},
+		{
+			name: "all prepared, no commit anywhere",
+			build: func(t *testing.T, dir string) {
+				for s := 0; s < matrixShards; s++ {
+					writeShardLog(t, dir, s, baseline(s), prep(gkeys[s], fmt.Sprintf("g%d", s)))
+				}
+			},
+			committed: false,
+			resolved:  [matrixShards]bool{true, true, true},
+		},
+		{
+			name: "commit flushed on one participant only",
+			build: func(t *testing.T, dir string) {
+				writeShardLog(t, dir, 0, baseline(0), prep(gkeys[0], "g0"), commit)
+				writeShardLog(t, dir, 1, baseline(1), prep(gkeys[1], "g1"))
+				writeShardLog(t, dir, 2, baseline(2), prep(gkeys[2], "g2"))
+			},
+			committed: true,
+			resolved:  [matrixShards]bool{false, true, true},
+		},
+		{
+			name: "commit flushed everywhere",
+			build: func(t *testing.T, dir string) {
+				for s := 0; s < matrixShards; s++ {
+					writeShardLog(t, dir, s, baseline(s), prep(gkeys[s], fmt.Sprintf("g%d", s)), commit)
+				}
+			},
+			committed: true,
+			resolved:  [matrixShards]bool{false, false, false},
+		},
+		{
+			name: "commit torn mid-frame on one participant",
+			build: func(t *testing.T, dir string) {
+				writeShardLog(t, dir, 0, baseline(0), prep(gkeys[0], "g0"), commit)
+				writeShardLog(t, dir, 1, baseline(1), prep(gkeys[1], "g1"), commit)
+				writeShardLog(t, dir, 2, baseline(2), prep(gkeys[2], "g2"))
+				tearTail(t, dir, 1, 3) // shard 1's commit frame is torn away
+			},
+			committed: true,
+			resolved:  [matrixShards]bool{false, true, true},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			tc.build(t, dir)
+
+			cfg := server.Config{
+				Shards:        matrixShards,
+				MaxValueLen:   1 << 10,
+				Durability:    server.DurabilityGroup,
+				DataDir:       dir,
+				SnapshotEvery: time.Hour,
+			}
+			srv, addr := startServer(t, cfg)
+			verifyMatrixState(t, addr, gkeys, bkeys, tc.committed)
+
+			for s, want := range tc.resolved {
+				got := srv.Recovery()[s].ResolvedPrepares
+				if want && got != 1 {
+					t.Errorf("shard %d: ResolvedPrepares = %d, want 1", s, got)
+				}
+				if !want && got != 0 {
+					t.Errorf("shard %d: ResolvedPrepares = %d, want 0", s, got)
+				}
+			}
+
+			// Startup appended resolution records, so a SECOND crash-restart
+			// from a copy of the live directory must reach the same state
+			// with nothing left to resolve: the logs are self-contained.
+			again := t.TempDir()
+			copyTree(t, dir, again)
+			cfg2 := cfg
+			cfg2.DataDir = again
+			srv2, addr2 := startServer(t, cfg2)
+			verifyMatrixState(t, addr2, gkeys, bkeys, tc.committed)
+			for s := 0; s < matrixShards; s++ {
+				if got := srv2.Recovery()[s].ResolvedPrepares; got != 0 {
+					t.Errorf("second boot shard %d: ResolvedPrepares = %d, want 0 (resolution not persisted)", s, got)
+				}
+			}
+		})
+	}
+}
+
+// verifyMatrixState asserts the group's three keys are all present (with
+// their per-shard values) or all absent, and the baselines always survived.
+func verifyMatrixState(t *testing.T, addr string, gkeys, bkeys [matrixShards]uint64, committed bool) {
+	t.Helper()
+	c := dialClient(t, addr, client.Options{})
+	ctx := context.Background()
+	for s := 0; s < matrixShards; s++ {
+		got, err := c.Get(ctx, gkeys[s])
+		if committed {
+			if err != nil || string(got) != fmt.Sprintf("g%d", s) {
+				t.Errorf("shard %d group key %d: got %q, %v; want committed value", s, gkeys[s], got, err)
+			}
+		} else if !errors.Is(err, wire.ErrNotFound) {
+			t.Errorf("shard %d group key %d: got %q, %v; want NOT_FOUND (aborted group leaked)", s, gkeys[s], got, err)
+		}
+		if got, err := c.Get(ctx, bkeys[s]); err != nil || string(got) != "base" {
+			t.Errorf("shard %d baseline key %d: got %q, %v", s, bkeys[s], got, err)
+		}
+	}
+}

@@ -47,13 +47,67 @@ type RecoveryStats struct {
 	Replayed       uint64 // redo records replayed from the WAL tail
 	TruncatedBytes int64  // torn/corrupt tail bytes removed
 	CleanStart     bool   // clean-shutdown marker found; tail replay skipped
+	// ResolvedPrepares counts cross-shard prepares this shard's log left
+	// undecided at the crash, decided (committed or aborted) at startup by
+	// resolveCrossShard.
+	ResolvedPrepares int
+}
+
+// crossRecovery accumulates the cross-shard 2PC evidence found during
+// per-shard replay, resolved by resolveCrossShard once every log is read.
+type crossRecovery struct {
+	committed map[uint64]bool // xid -> some log holds its commit record
+	dangling  []danglingPrepare
+}
+
+// danglingPrepare is a prepare record with no decision in its own log: the
+// crash landed inside the 2PC window and the verdict lives (or doesn't) in
+// the other participants' logs.
+type danglingPrepare struct {
+	sh   *shard
+	xid  uint64
+	recs []wal.Record // deep-copied: replay buffers don't outlive the scan
+}
+
+// copyRecords deep-copies records out of a replay buffer (valid only during
+// the apply callback) for deferred application.
+func copyRecords(recs []wal.Record) []wal.Record {
+	out := make([]wal.Record, len(recs))
+	for i, r := range recs {
+		out[i] = wal.Record{Kind: r.Kind, Key: r.Key}
+		if len(r.Value) > 0 {
+			out[i].Value = append([]byte(nil), r.Value...)
+		}
+	}
+	return out
+}
+
+// applyRecords applies redo records through the ordinary do* helpers
+// (recovery runs WAL-free: nothing re-logs).
+func applyRecords(ctx context.Context, sh *shard, th *votm.Thread, recs []wal.Record) error {
+	for _, r := range recs {
+		switch r.Kind {
+		case wal.RecPut:
+			if _, err := sh.doPut(ctx, th, r.Key, r.Value); err != nil {
+				return err
+			}
+		case wal.RecDelete:
+			if _, err := sh.doDelete(ctx, th, r.Key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // initShardDurability recovers shard sh from its data directory and, in
 // group mode, leaves sh.log started and ready to append. It runs during New,
 // before any worker or connection exists, so it may apply state through the
-// ordinary do* helpers without WAL interposition.
-func (s *Server) initShardDurability(sh *shard, th *votm.Thread) (RecoveryStats, error) {
+// ordinary do* helpers without WAL interposition. Cross-shard 2PC records
+// are accumulated into cr: prepares decided within this log (commit/abort
+// record follows) are settled here; undecided ones are stashed for
+// resolveCrossShard.
+func (s *Server) initShardDurability(sh *shard, th *votm.Thread, cr *crossRecovery) (RecoveryStats, error) {
 	st := RecoveryStats{Shard: sh.id}
 	sh.dataDir = shardDataDir(s.cfg.DataDir, sh.id)
 	ctx := context.Background()
@@ -93,6 +147,10 @@ func (s *Server) initShardDurability(sh *shard, th *votm.Thread) (RecoveryStats,
 			nextSeq = cleanSeq + 1
 		}
 	} else {
+		// pending stashes prepares until their decision record arrives in
+		// this log; order keeps the stash deterministic for resolution.
+		pending := make(map[uint64][]wal.Record)
+		var order []uint64
 		rst, err := log.Replay(nextSeq, func(seq uint64, recs []wal.Record) error {
 			for _, r := range recs {
 				switch r.Kind {
@@ -104,6 +162,25 @@ func (s *Server) initShardDurability(sh *shard, th *votm.Thread) (RecoveryStats,
 					if _, err := sh.doDelete(ctx, th, r.Key); err != nil {
 						return err
 					}
+				case wal.RecPrepare:
+					var nested []wal.Record
+					if !wal.DecodePrepareValue(r.Value, &nested) {
+						return fmt.Errorf("xid %d: malformed prepare record", r.Key)
+					}
+					if _, ok := pending[r.Key]; !ok {
+						order = append(order, r.Key)
+					}
+					pending[r.Key] = copyRecords(nested)
+				case wal.RecCommit:
+					cr.committed[r.Key] = true
+					if nested, ok := pending[r.Key]; ok {
+						if err := applyRecords(ctx, sh, th, nested); err != nil {
+							return err
+						}
+						delete(pending, r.Key)
+					}
+				case wal.RecAbort:
+					delete(pending, r.Key)
 				}
 			}
 			return nil
@@ -116,6 +193,11 @@ func (s *Server) initShardDurability(sh *shard, th *votm.Thread) (RecoveryStats,
 		if rst.LastSeq+1 > nextSeq {
 			nextSeq = rst.LastSeq + 1
 		}
+		for _, xid := range order {
+			if nested, ok := pending[xid]; ok {
+				cr.dangling = append(cr.dangling, danglingPrepare{sh: sh, xid: xid, recs: nested})
+			}
+		}
 	}
 	// The log is about to become dirty again: drop the marker before the
 	// first append so a crash between here and the next clean drain replays.
@@ -127,6 +209,46 @@ func (s *Server) initShardDurability(sh *shard, th *votm.Thread) (RecoveryStats,
 	}
 	sh.log = log
 	return st, nil
+}
+
+// resolveCrossShard decides every prepare left undecided by a crash inside
+// the 2PC window: a cross-shard group is committed iff ANY participant's
+// log holds its commit record (phase 1 made every prepare durable before
+// the first commit record could exist, so the surviving logs agree).
+// Committed prepares are applied and a commit record appended to the
+// shard's own log; the rest get an abort record — either way each log
+// becomes self-contained and the next recovery needs no cross-log evidence
+// for the xid. Runs after every shard replayed, before the workers start.
+func (s *Server) resolveCrossShard(th *votm.Thread, cr *crossRecovery) error {
+	ctx := context.Background()
+	for _, d := range cr.dangling {
+		kind, verdict := wal.RecAbort, "aborted"
+		if cr.committed[d.xid] {
+			kind, verdict = wal.RecCommit, "committed"
+			if err := applyRecords(ctx, d.sh, th, d.recs); err != nil {
+				return fmt.Errorf("shard %d: apply recovered prepare %d: %w", d.sh.id, d.xid, err)
+			}
+		}
+		seq, n, err := d.sh.log.Append([]wal.Record{{Kind: kind, Key: d.xid}})
+		if err != nil {
+			return fmt.Errorf("shard %d: resolve prepare %d: %w", d.sh.id, d.xid, err)
+		}
+		if err := d.sh.log.Sync(seq); err != nil {
+			return fmt.Errorf("shard %d: sync resolution of prepare %d: %w", d.sh.id, d.xid, err)
+		}
+		d.sh.walAppends.Add(1)
+		d.sh.walBytes.Add(uint64(n))
+		if kind == wal.RecCommit {
+			d.sh.replayed.Add(uint64(len(d.recs)))
+			s.recovery[d.sh.id].Replayed += uint64(len(d.recs))
+		} else {
+			d.sh.xsPrepareAborts.Add(1)
+		}
+		s.recovery[d.sh.id].ResolvedPrepares++
+		s.logf("votmd: shard %d: cross-shard prepare %d %s at startup (%d records)",
+			d.sh.id, d.xid, verdict, len(d.recs))
+	}
+	return nil
 }
 
 // snapshotShard writes one shard's full state as a snapshot and prunes the
@@ -263,6 +385,29 @@ func appendGroupRecords(recs []wal.Record, ops []groupOp) []wal.Record {
 // earlier record slices are never invalidated by growth).
 func appendAtomicRecords(recs []wal.Record, valBuf []byte, subs []wire.Sub, results []wire.SubResult) ([]wal.Record, []byte) {
 	for i, sub := range subs {
+		switch sub.Kind {
+		case wire.SubPut:
+			recs = append(recs, wal.Record{Kind: wal.RecPut, Key: sub.Key, Value: sub.Value})
+		case wire.SubDelete:
+			if results[i].Status == wire.StatusOK {
+				recs = append(recs, wal.Record{Kind: wal.RecDelete, Key: sub.Key})
+			}
+		case wire.SubAdd:
+			start := len(valBuf)
+			valBuf = binary.LittleEndian.AppendUint64(valBuf, results[i].Sum)
+			recs = append(recs, wal.Record{Kind: wal.RecPut, Key: sub.Key, Value: valBuf[start:len(valBuf):len(valBuf)]})
+		}
+	}
+	return recs, valBuf
+}
+
+// appendAtomicRecordsOwned is appendAtomicRecords restricted to the subs a
+// single participant of a cross-shard batch owns (owner[i] == part).
+func appendAtomicRecordsOwned(recs []wal.Record, valBuf []byte, subs []wire.Sub, results []wire.SubResult, owner []int, part int) ([]wal.Record, []byte) {
+	for i, sub := range subs {
+		if owner[i] != part {
+			continue
+		}
 		switch sub.Kind {
 		case wire.SubPut:
 			recs = append(recs, wal.Record{Kind: wal.RecPut, Key: sub.Key, Value: sub.Value})

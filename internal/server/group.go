@@ -18,6 +18,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"votm"
@@ -26,6 +28,17 @@ import (
 	"votm/internal/wal"
 	"votm/wire"
 )
+
+// xtask is one cross-shard (or foreign-participant) ATOMIC batch drained in
+// the current wakeup, queued so that every such batch in the drain executes
+// in ONE coordination round (runAtomicMultiBatch): a single quiesce of the
+// union participant set and a single two-phase WAL flush amortized over the
+// whole round.
+type xtask struct {
+	t     task
+	parts []*shard
+	owner []int
+}
 
 // groupOp is one point request's slot in a grouped transaction.
 type groupOp struct {
@@ -70,7 +83,8 @@ type groupWorker struct {
 	sh *shard
 	th *votm.Thread
 
-	ops []groupOp
+	ops    []groupOp
+	xtasks []xtask // cross-shard ATOMICs of the current drain, run as one round
 	// frees collects every post-commit release of the current group —
 	// displaced value blocks, unlinked map nodes, unused pre-allocations —
 	// retired with one FreeBatch (one allocator lock) per group.
@@ -80,6 +94,7 @@ type groupWorker struct {
 	keysDelta int64
 	recs      []wal.Record // redo-record scratch (durability on)
 	valBuf    []byte       // SubAdd post-image scratch backing recs
+	prepBuf   []byte       // prepare-record payload scratch (cross-shard 2PC)
 
 	// pending holds appended-but-unflushed groups (group-commit across
 	// groups: one fdatasync covers the whole list); opsFree recycles their
@@ -122,8 +137,9 @@ func (w *groupWorker) ctx() context.Context {
 }
 
 // run executes one drained batch: route-rechecked point ops execute as a
-// single grouped transaction, ATOMIC batches (their own transactional
-// contract) individually. Every task is answered exactly once.
+// single grouped transaction, same-shard ATOMIC batches (their own
+// transactional contract) individually, and cross-shard ATOMIC batches
+// together as one coordination round. Every task is answered exactly once.
 func (w *groupWorker) run(batch []task) {
 	w.ops = w.ops[:0]
 	for _, t := range batch {
@@ -136,13 +152,30 @@ func (w *groupWorker) run(batch []task) {
 			continue
 		}
 		if t.req.Op == wire.OpAtomic {
-			// The ATOMIC flushes its own seq synchronously; settle older
-			// lagged groups first so its flush never reorders around them.
-			w.flushPending()
-			w.runAtomic(t)
+			parts, owner := w.s.atomicPlan(t.req)
+			if len(parts) == 1 && parts[0] == w.sh {
+				// The ATOMIC flushes its own seq synchronously; settle older
+				// lagged groups first so its flush never reorders around them.
+				w.flushPending()
+				w.runAtomicSingle(t)
+				continue
+			}
+			// A batch spanning sub-shards — or whose plan resolved to a
+			// single FOREIGN participant after a routing move — takes the
+			// multi-view coordinator. Queue it: every such batch drained
+			// this wakeup shares one quiesce and one two-phase flush.
+			w.xtasks = append(w.xtasks, xtask{t: t, parts: parts, owner: owner})
 			continue
 		}
 		w.ops = append(w.ops, groupOp{t: t})
+	}
+	if len(w.xtasks) > 0 {
+		w.flushPending()
+		w.runAtomicMultiBatch(w.xtasks)
+		for i := range w.xtasks {
+			w.xtasks[i] = xtask{}
+		}
+		w.xtasks = w.xtasks[:0]
 	}
 	if len(w.ops) > 0 {
 		if w.runGroup() {
@@ -217,6 +250,10 @@ func errStatus(err error) (wire.Status, string) {
 	switch {
 	case errors.Is(err, errBadAdd):
 		return wire.StatusBadRequest, err.Error()
+	case errors.Is(err, errStaleRoute):
+		// BUSY promises the request was not executed; errStaleRoute aborts
+		// before the batch's first write, so the promise holds.
+		return wire.StatusBusy, err.Error()
 	case errors.Is(err, votm.ErrViewDestroyed):
 		return wire.StatusShutdown, "shard shutting down"
 	default:
@@ -224,12 +261,13 @@ func errStatus(err error) (wire.Status, string) {
 	}
 }
 
-// runAtomic executes one ATOMIC batch as its own transaction (the batch is
-// a client-visible atomicity contract; it is never merged into a group).
-// Panic-safe exactly like grouped execution. With durability on, the batch's
-// execution and WAL append run under the shard's WAL mutex (commit order =
-// log order) and the response waits for the batch's fsync.
-func (w *groupWorker) runAtomic(t task) {
+// runAtomicSingle executes one same-shard ATOMIC batch as its own
+// transaction (the batch is a client-visible atomicity contract; it is
+// never merged into a group). Panic-safe exactly like grouped execution.
+// With durability on, the batch's execution and WAL append run under the
+// shard's WAL mutex (commit order = log order) and the response waits for
+// the batch's fsync.
+func (w *groupWorker) runAtomicSingle(t task) {
 	sh := w.sh
 	resp := wire.NewResponse()
 	resp.Op, resp.ID = t.req.Op, t.req.ID
@@ -313,14 +351,617 @@ func (w *groupWorker) appendWAL(recs []wal.Record) (uint64, error) {
 	return seq, nil
 }
 
-// noteWALFault flips the shard read-only after a WAL append/fsync failure.
-// The failed group IS applied in memory — only its durability is unknown —
-// so the shard stops accepting writes rather than letting memory and log
-// diverge further; reads keep serving.
-func (w *groupWorker) noteWALFault(err error) {
-	if !w.sh.readOnly.Swap(true) {
-		w.s.logf("votmd: shard %d: WAL failure, shard now read-only: %v", w.sh.id, err)
+// noteShardWALFault flips a shard read-only after a WAL append/fsync
+// failure. The failed group IS applied in memory — only its durability is
+// unknown — so the shard stops accepting writes rather than letting memory
+// and log diverge further; reads keep serving.
+func (s *Server) noteShardWALFault(sh *shard, err error) {
+	if !sh.readOnly.Swap(true) {
+		s.logf("votmd: shard %d: WAL failure, shard now read-only: %v", sh.id, err)
 	}
+}
+
+// noteWALFault is noteShardWALFault for this worker's own shard.
+func (w *groupWorker) noteWALFault(err error) { w.s.noteShardWALFault(w.sh, err) }
+
+// runAtomicMulti executes an ATOMIC batch whose keys span sub-shards (or
+// wire-level shards) as ONE multi-view transaction: every participant view
+// is quiesced in canonical order and the batch runs with exclusive
+// lock-mode access to all of them (votm.AtomicAll), giving clients the same
+// all-or-nothing contract as a single-shard batch. Durability is two-phase:
+// each mutating participant appends a prepare record carrying its slice of
+// the redo batch, every prepare is fsynced, and only then does each log get
+// the commit record — so recovery (resolveCrossShard) applies the group on
+// all participants or none, no matter where a crash lands.
+func (w *groupWorker) runAtomicMulti(t task, parts []*shard, owner []int) {
+	s := w.s
+	resp := wire.NewResponse()
+	resp.Op, resp.ID = t.req.Op, t.req.ID
+
+	writable := make([]bool, len(parts))
+	hasWrite := false
+	for i, sub := range t.req.Subs {
+		if sub.Kind != wire.SubGet {
+			writable[owner[i]] = true
+			hasWrite = true
+		}
+	}
+	durable := hasWrite && parts[0].log != nil
+	if durable {
+		for i, p := range parts {
+			if writable[i] && p.readOnly.Load() {
+				resp.Status = wire.StatusTxFault
+				resp.SetDetail(errShardReadOnly)
+				w.finish(t, resp)
+				return
+			}
+		}
+	}
+
+	// Re-verified inside the paused body, where splits cannot publish: a
+	// false return there is authoritative for the whole execution.
+	stale := func() bool {
+		for i, sub := range t.req.Subs {
+			if s.shards[s.Shard(sub.Key)].route(sub.Key) != parts[owner[i]] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var (
+		syncShards []*shard // commit (or plain-batch) records awaiting fsync
+		syncSeqs   []uint64
+		walErr     error
+	)
+	func() {
+		// Every mutating participant's walMu is taken in canonical order
+		// BEFORE any view is paused and held across execution plus the
+		// append of both 2PC records: each shard's log order equals its
+		// memory commit order, no batch can land between a group's prepare
+		// and commit, and — because single-shard writers hold their one
+		// walMu before entering the view — a paused view can never contain
+		// a transaction that waits on a mutex held here.
+		locked := make([]bool, len(parts))
+		defer func() {
+			for i := len(parts) - 1; i >= 0; i-- {
+				if locked[i] {
+					parts[i].walMu.Unlock()
+				}
+			}
+		}()
+		defer func() {
+			if r := recover(); r != nil {
+				s.logf("votmd: shard %d: %v in cross-shard ATOMIC transaction", w.sh.id, r)
+				resp.Subs = resp.Subs[:0]
+				resp.Status = wire.StatusTxFault
+				resp.SetDetail(fmt.Sprint(r))
+			}
+		}()
+		if durable {
+			for i, p := range parts {
+				if writable[i] {
+					p.walMu.Lock()
+					locked[i] = true
+				}
+			}
+		}
+		results, err := doAtomicMulti(w.ctx(), w.th, parts, owner, !hasWrite, t.req.Subs, resp.Subs[:0], stale)
+		if err != nil {
+			resp.Subs = resp.Subs[:0]
+			status, detail := errStatus(err)
+			resp.Status = status
+			resp.SetDetail(detail)
+			return
+		}
+		resp.Subs = results
+		if durable {
+			syncShards, syncSeqs, walErr = w.appendCrossShard(t.req.Subs, results, parts, owner, writable)
+		}
+	}()
+	// Final fsyncs happen outside the mutexes (overlapping later groups,
+	// piggybacking across workers); the response still waits on every
+	// participant's durability point.
+	if walErr == nil {
+		walErr = w.syncAll(syncShards, syncSeqs)
+	}
+	if walErr != nil {
+		resp.Subs = resp.Subs[:0]
+		resp.Status = wire.StatusTxFault
+		resp.SetDetail("wal: " + walErr.Error())
+	}
+	if resp.Status == wire.StatusOK && len(parts) > 1 {
+		for _, p := range parts {
+			p.xsGroups.Add(1)
+		}
+	}
+	w.finish(t, resp)
+}
+
+// appendCrossShard makes a committed cross-shard batch durable. One shard
+// with redo records degenerates to a plain batch append (no other log needs
+// to agree with it); with two or more, every such participant appends a
+// prepare record carrying its slice of the redo batch, ALL prepares are
+// fsynced, and only then does each log get its commit record — still under
+// the walMus, so each log keeps the pair adjacent. Recovery applies a
+// prepare iff ANY participant's log holds the commit record.
+//
+// It returns the shards and sequences whose final records still await their
+// fsync (flushed by the caller outside the mutexes). On error, every
+// participant whose memory now diverges from its log has been flipped
+// read-only here.
+func (w *groupWorker) appendCrossShard(subs []wire.Sub, results []wire.SubResult, parts []*shard, owner []int, writable []bool) ([]*shard, []uint64, error) {
+	type partRecs struct {
+		p    *shard
+		recs []wal.Record
+	}
+	var wr []partRecs
+	w.valBuf = w.valBuf[:0]
+	for pi, p := range parts {
+		if !writable[pi] {
+			continue
+		}
+		var recs []wal.Record
+		recs, w.valBuf = appendAtomicRecordsOwned(nil, w.valBuf, subs, results, owner, pi)
+		if len(recs) > 0 {
+			wr = append(wr, partRecs{p: p, recs: recs})
+		}
+	}
+	switch len(wr) {
+	case 0:
+		return nil, nil, nil // nothing mutated state anywhere
+	case 1:
+		p := wr[0].p
+		seq, n, err := p.log.Append(wr[0].recs)
+		if err != nil {
+			w.s.noteShardWALFault(p, err)
+			return nil, nil, err
+		}
+		p.walAppends.Add(1)
+		p.walBytes.Add(uint64(n))
+		return []*shard{p}, []uint64{seq}, nil
+	}
+
+	xid := w.s.nextXID()
+	prepSeqs := make([]uint64, len(wr))
+	shs := make([]*shard, len(wr))
+	prepared := 0
+	abortPrepared := func(err error) {
+		// Memory holds the group on every mutating participant but the logs
+		// will not replay it: append the abort decision where possible (so
+		// the next recovery resolves instantly instead of hunting for a
+		// commit record) and flip every mutating participant read-only.
+		for i := 0; i < prepared; i++ {
+			_, _, _ = wr[i].p.log.Append([]wal.Record{{Kind: wal.RecAbort, Key: xid}})
+			wr[i].p.xsPrepareAborts.Add(1)
+		}
+		for _, e := range wr {
+			w.s.noteShardWALFault(e.p, err)
+		}
+	}
+	for i, e := range wr {
+		w.prepBuf = wal.AppendPrepareValue(w.prepBuf[:0], e.recs)
+		seq, n, err := e.p.log.Append([]wal.Record{{Kind: wal.RecPrepare, Key: xid, Value: w.prepBuf}})
+		if err != nil {
+			abortPrepared(err)
+			return nil, nil, err
+		}
+		e.p.walAppends.Add(1)
+		e.p.walBytes.Add(uint64(n))
+		e.p.xsPrepares.Add(1)
+		prepSeqs[i], shs[i] = seq, e.p
+		prepared++
+	}
+	// Phase-1 barrier: every prepare durable before any commit record can
+	// exist. (The walMus stay held; Sync never takes them.)
+	if err := w.syncAll(shs, prepSeqs); err != nil {
+		abortPrepared(err)
+		return nil, nil, err
+	}
+	// Phase 2: the decision. The group is committed the moment the first of
+	// these records becomes durable — the any-commit recovery rule is sound
+	// because phase 1 guaranteed every participant's prepare outlives it.
+	commitSeqs := make([]uint64, len(wr))
+	var firstErr error
+	for i, e := range wr {
+		seq, n, err := e.p.log.Append([]wal.Record{{Kind: wal.RecCommit, Key: xid}})
+		if err != nil {
+			w.s.noteShardWALFault(e.p, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.p.walAppends.Add(1)
+		e.p.walBytes.Add(uint64(n))
+		commitSeqs[i] = seq
+	}
+	if firstErr != nil {
+		// Some logs hold the commit record and some cannot: whether the
+		// group survives a restart is decided by the any-commit rule, not by
+		// what these shards' memory says — flip them all.
+		for _, e := range wr {
+			w.s.noteShardWALFault(e.p, firstErr)
+		}
+		return nil, nil, firstErr
+	}
+	return shs, commitSeqs, nil
+}
+
+// roundTask is one cross-shard ATOMIC's slot in a coordination round
+// (runAtomicMultiBatch): its queued task, the shared-round execution state,
+// and the mapping of its subs onto the round's union participant set.
+type roundTask struct {
+	x        *xtask
+	resp     *wire.Response
+	batch    *multiBatch
+	uowner   []int  // owner remapped onto the union participant indices
+	writes   []bool // union participants this task mutates
+	hasWrite bool
+}
+
+// runAtomicMultiBatch executes every cross-shard ATOMIC drained in one
+// wakeup as ONE coordination round: the union of their participant views is
+// quiesced once (canonical order), the batches run back to back inside it
+// with per-batch verdicts (doAtomicMultiGroup), and durability is a single
+// two-phase flush — every task's prepare records appended and fsynced
+// together, then every commit record. Cross-shard 2PC thus pays its fsyncs
+// per ROUND instead of per batch, which is what keeps the all-cross-shard
+// durable throughput cell within a small factor of the same-shard one
+// (BenchmarkServerDurable).
+//
+// Correctness notes:
+//
+//   - Every writing task gets its OWN xid and prepare/commit pair — even one
+//     mutating a single shard, which alone would degenerate to a plain batch
+//     append. Uniform 2PC keeps replay order right: each participant's log
+//     holds the round as [P_t1..P_tk, C_t1..C_tk] in task order, a prepare's
+//     effects apply at its commit record's position (durability.go replay),
+//     so replayed effects land in task order — exactly the order the batches
+//     executed in memory. Tasks stay independent at recovery: each xid is
+//     resolved by the any-commit rule on its own.
+//   - Every writable participant's walMu is held from before the views pause
+//     until after the LAST commit record is appended, so any transaction
+//     observing a round task's writes logs after that task's commit record:
+//     an observer becoming durable implies the decision is durable.
+//   - A WAL failure anywhere in the round abandons the WHOLE round's
+//     durability (abort records where possible, writable participants flip
+//     read-only, writing tasks answer TxFault) — round-mates share the
+//     fault exactly as the members of a same-shard group share theirs.
+func (w *groupWorker) runAtomicMultiBatch(xs []xtask) {
+	if len(xs) == 1 {
+		w.runAtomicMulti(xs[0].t, xs[0].parts, xs[0].owner)
+		return
+	}
+	s := w.s
+
+	// Union of participants in canonical order: AtomicAll's acquisition
+	// order and the walMu lock order below must both match what every other
+	// acquirer uses.
+	var union []*shard
+	for i := range xs {
+		for _, p := range xs[i].parts {
+			seen := false
+			for _, u := range union {
+				if u == p {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				union = append(union, p)
+			}
+		}
+	}
+	sort.Slice(union, func(i, j int) bool { return shardLess(union[i], union[j]) })
+	uindex := make(map[*shard]int, len(union))
+	for i, p := range union {
+		uindex[p] = i
+	}
+
+	// Per-task setup: response, union-indexed ownership, write set, and the
+	// read-only refusal (a task writing a faulted shard drops out up front;
+	// its round-mates still run).
+	durable := union[0].log != nil
+	tasks := make([]*roundTask, 0, len(xs))
+	unionWrite := make([]bool, len(union))
+	hasWrite := false
+	for i := range xs {
+		x := &xs[i]
+		resp := wire.NewResponse()
+		resp.Op, resp.ID = x.t.req.Op, x.t.req.ID
+		uowner := make([]int, len(x.owner))
+		writes := make([]bool, len(union))
+		taskWrites := false
+		for si, sub := range x.t.req.Subs {
+			uowner[si] = uindex[x.parts[x.owner[si]]]
+			if sub.Kind != wire.SubGet {
+				writes[uowner[si]] = true
+				taskWrites = true
+			}
+		}
+		if durable && taskWrites {
+			refused := false
+			for pi, mutates := range writes {
+				if mutates && union[pi].readOnly.Load() {
+					resp.Status = wire.StatusTxFault
+					resp.SetDetail(errShardReadOnly)
+					w.finish(x.t, resp)
+					refused = true
+					break
+				}
+			}
+			if refused {
+				continue
+			}
+		}
+		if taskWrites {
+			hasWrite = true
+			for pi, mutates := range writes {
+				if mutates {
+					unionWrite[pi] = true
+				}
+			}
+		}
+		// Re-verified inside the paused body, where splits cannot publish:
+		// a false return there is authoritative for the whole round.
+		subs, parts, owner := x.t.req.Subs, x.parts, x.owner
+		stale := func() bool {
+			for si, sub := range subs {
+				if s.shards[s.Shard(sub.Key)].route(sub.Key) != parts[owner[si]] {
+					return true
+				}
+			}
+			return false
+		}
+		tasks = append(tasks, &roundTask{
+			x:        x,
+			resp:     resp,
+			uowner:   uowner,
+			writes:   writes,
+			hasWrite: taskWrites,
+			batch:    &multiBatch{subs: subs, owner: uowner, stale: stale, results: resp.Subs[:0]},
+		})
+	}
+	if len(tasks) == 0 {
+		return
+	}
+	durable = durable && hasWrite
+
+	batches := make([]*multiBatch, len(tasks))
+	for i, rt := range tasks {
+		batches[i] = rt.batch
+	}
+	var (
+		syncShs  []*shard // commit records awaiting their fsync
+		syncSeqs []uint64
+		walErr   error
+	)
+	func() {
+		// Same discipline as runAtomicMulti, over the union: every writable
+		// participant's walMu in canonical order BEFORE any view pauses,
+		// held across execution plus the append of both 2PC record batches.
+		locked := make([]bool, len(union))
+		defer func() {
+			for i := len(union) - 1; i >= 0; i-- {
+				if locked[i] {
+					union[i].walMu.Unlock()
+				}
+			}
+		}()
+		defer func() {
+			if r := recover(); r != nil {
+				s.logf("votmd: shard %d: %v in cross-shard ATOMIC round", w.sh.id, r)
+				err := fmt.Errorf("cross-shard round: %v", r)
+				for _, rt := range tasks {
+					if rt.batch.err == nil {
+						rt.batch.err = err
+					}
+				}
+			}
+		}()
+		if durable {
+			for i, p := range union {
+				if unionWrite[i] {
+					p.walMu.Lock()
+					locked[i] = true
+				}
+			}
+		}
+		_ = doAtomicMultiGroup(w.ctx(), w.th, union, batches, !hasWrite)
+		if durable {
+			syncShs, syncSeqs, walErr = w.appendCrossShardRound(union, tasks)
+		}
+	}()
+	// Final fsyncs outside the mutexes (overlapping later groups,
+	// piggybacking across workers); every writing task's response still
+	// waits on every participant's durability point.
+	if walErr == nil {
+		walErr = w.syncAll(syncShs, syncSeqs)
+	}
+	for _, rt := range tasks {
+		resp := rt.resp
+		switch {
+		case rt.batch.err != nil:
+			resp.Subs = resp.Subs[:0]
+			status, detail := errStatus(rt.batch.err)
+			resp.Status = status
+			resp.SetDetail(detail)
+		case walErr != nil && rt.hasWrite:
+			// A read-only task's result needs no durability point; a writing
+			// one cannot distinguish its own records from the round's fault.
+			resp.Subs = resp.Subs[:0]
+			resp.Status = wire.StatusTxFault
+			resp.SetDetail("wal: " + walErr.Error())
+		default:
+			resp.Subs = rt.batch.results
+			if len(rt.x.parts) > 1 {
+				for _, p := range rt.x.parts {
+					p.xsGroups.Add(1)
+				}
+			}
+		}
+		w.finish(rt.x.t, resp)
+	}
+}
+
+// appendCrossShardRound makes a round's committed batches durable with one
+// two-phase flush. Per writable participant it appends ONE record batch
+// holding every task's prepare (task order), fsyncs all participants once —
+// the phase-1 barrier — then appends each participant's commit records,
+// still under the walMus so the round stays contiguous in every log. Each
+// task has its own xid: recovery resolves every task independently by the
+// any-commit rule, and a prepare's effects apply at its commit record's
+// position, keeping replay in task order.
+//
+// Returns the shards and sequences whose commit records await their fsync.
+// On error the round's durability is abandoned wholesale: abort records are
+// appended where possible and every participant holding round records flips
+// read-only.
+func (w *groupWorker) appendCrossShardRound(union []*shard, tasks []*roundTask) ([]*shard, []uint64, error) {
+	prep := make([][]wal.Record, len(union))
+	commit := make([][]wal.Record, len(union))
+	for _, rt := range tasks {
+		if rt.batch.err != nil || !rt.hasWrite {
+			continue
+		}
+		var (
+			xid     uint64
+			haveXID bool
+		)
+		for pi := range union {
+			if !rt.writes[pi] {
+				continue
+			}
+			w.recs, w.valBuf = appendAtomicRecordsOwned(w.recs[:0], w.valBuf[:0], rt.batch.subs, rt.batch.results, rt.uowner, pi)
+			if len(w.recs) == 0 {
+				continue // e.g. only missed deletes landed here
+			}
+			if !haveXID {
+				xid, haveXID = w.s.nextXID(), true
+			}
+			// AppendPrepareValue copies the records' bytes, so the recs and
+			// valBuf scratch are free for the next participant.
+			prep[pi] = append(prep[pi], wal.Record{Kind: wal.RecPrepare, Key: xid, Value: wal.AppendPrepareValue(nil, w.recs)})
+			commit[pi] = append(commit[pi], wal.Record{Kind: wal.RecCommit, Key: xid})
+		}
+	}
+
+	var (
+		prepShs  []*shard
+		prepSeqs []uint64
+		prepIdx  []int // union index per prepShs entry
+	)
+	abortRound := func(err error) {
+		// Memory holds every task's effects but the logs will not replay
+		// them: append the abort decisions where possible (so the next
+		// recovery resolves instantly instead of hunting for commit records)
+		// and flip every participant holding round records read-only.
+		for _, pi := range prepIdx {
+			p := union[pi]
+			aborts := make([]wal.Record, 0, len(prep[pi]))
+			for _, r := range prep[pi] {
+				aborts = append(aborts, wal.Record{Kind: wal.RecAbort, Key: r.Key})
+			}
+			_, _, _ = p.log.Append(aborts)
+			p.xsPrepareAborts.Add(uint64(len(aborts)))
+		}
+		for pi := range union {
+			if len(prep[pi]) > 0 {
+				w.s.noteShardWALFault(union[pi], err)
+			}
+		}
+	}
+	for pi, p := range union {
+		if len(prep[pi]) == 0 {
+			continue
+		}
+		seq, n, err := p.log.Append(prep[pi])
+		if err != nil {
+			abortRound(err)
+			return nil, nil, err
+		}
+		p.walAppends.Add(1)
+		p.walBytes.Add(uint64(n))
+		p.xsPrepares.Add(uint64(len(prep[pi])))
+		prepShs, prepSeqs, prepIdx = append(prepShs, p), append(prepSeqs, seq), append(prepIdx, pi)
+	}
+	if len(prepShs) == 0 {
+		return nil, nil, nil // no task mutated state anywhere
+	}
+	// Phase-1 barrier: every prepare durable before any commit record can
+	// exist. (The walMus stay held; Sync never takes them.)
+	if err := w.syncAll(prepShs, prepSeqs); err != nil {
+		abortRound(err)
+		return nil, nil, err
+	}
+	// Phase 2: the decisions, in task order per participant. A task's group
+	// is committed the moment the first of its commit records becomes
+	// durable — sound because phase 1 made every participant's prepare
+	// outlive it.
+	commitSeqs := make([]uint64, len(prepShs))
+	var firstErr error
+	for i, pi := range prepIdx {
+		p := union[pi]
+		seq, n, err := p.log.Append(commit[pi])
+		if err != nil {
+			w.s.noteShardWALFault(p, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		p.walAppends.Add(1)
+		p.walBytes.Add(uint64(n))
+		commitSeqs[i] = seq
+	}
+	if firstErr != nil {
+		// Some logs hold commit records and some cannot: whether each task
+		// survives a restart is decided by the any-commit rule, not by what
+		// these shards' memory says — flip them all.
+		for _, pi := range prepIdx {
+			w.s.noteShardWALFault(union[pi], firstErr)
+		}
+		return nil, nil, firstErr
+	}
+	return prepShs, commitSeqs, nil
+}
+
+// syncAll flushes one appended sequence per shard, concurrently (each Sync
+// piggybacks with that shard's other committers). A failed flush flips only
+// the failing shard read-only — a sibling whose flush succeeded has its
+// records durable and stays consistent — and the first error is returned.
+func (w *groupWorker) syncAll(shs []*shard, seqs []uint64) error {
+	switch len(shs) {
+	case 0:
+		return nil
+	case 1:
+		if err := shs[0].log.Sync(seqs[0]); err != nil {
+			w.s.noteShardWALFault(shs[0], err)
+			return err
+		}
+		return nil
+	}
+	errs := make([]error, len(shs))
+	var wg sync.WaitGroup
+	for i := range shs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = shs[i].log.Sync(seqs[i])
+		}(i)
+	}
+	wg.Wait()
+	var first error
+	for i, err := range errs {
+		if err != nil {
+			w.s.noteShardWALFault(shs[i], err)
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // runGroup executes w.ops as one grouped transaction. It returns true when

@@ -92,9 +92,11 @@ type Config struct {
 
 	// AutoSplit enables automatic shard splitting (split.go): hot shards —
 	// by abort rate, queue pressure, or lock-mode collapse — are split into
-	// sub-shards with live key migration. Trade-off: an ATOMIC batch whose
-	// keys end up on different sub-shards after a split is answered
-	// CROSS_SHARD, so enable it only for point-op-dominated workloads (see
+	// sub-shards with live key migration. An ATOMIC batch whose keys end up
+	// on different sub-shards after a split still executes with full
+	// atomicity, as one multi-view transaction over every participant
+	// (group.go runAtomicMulti); the cost is a quiescence of each involved
+	// sub-shard, so point-op-dominated workloads split most profitably (see
 	// docs/PROTOCOL.md). Default off.
 	AutoSplit bool
 	// SplitCheckEvery is the advisor polling period. Default 250ms.
@@ -277,6 +279,15 @@ type Server struct {
 	monitorStop chan struct{}
 	monitorWG   sync.WaitGroup
 
+	// xidBase makes cross-shard prepare IDs unique across process
+	// incarnations: decided prepares stay behind in the logs, and recovery
+	// must never pair a stale prepare with a fresh decision. By the time new
+	// xids are issued, every prior incarnation's prepare has been resolved
+	// in-log (resolveCrossShard runs before the workers start), so the
+	// startup-stamped base plus a counter suffices.
+	xidBase uint64
+	xidCtr  atomic.Uint64
+
 	// Durability plumbing (durability.go); inert when Durability is off.
 	snapshotStop chan struct{}
 	snapshotWG   sync.WaitGroup
@@ -323,12 +334,15 @@ func New(cfg Config) (*Server, error) {
 		FaultHook:          cfg.FaultHook,
 	})
 	s.nextViewID.Store(int64(cfg.Shards)) // IDs 1..Shards are the seed views
+	s.xidBase = uint64(time.Now().UnixNano()) << 20
 	durable := cfg.Durability != DurabilityOff
 	var recoveryTh *votm.Thread
+	cr := &crossRecovery{committed: make(map[uint64]bool)}
 	if durable {
 		recoveryTh = s.rt.RegisterThread()
 		defer recoveryTh.Release()
 	}
+	var seeds []*shard
 	for i := 0; i < cfg.Shards; i++ {
 		v, err := s.rt.CreateView(i+1, cfg.ShardWords, votm.AdaptiveQuota)
 		if err != nil {
@@ -347,7 +361,7 @@ func New(cfg Config) (*Server, error) {
 		if durable {
 			// Recover before any worker or connection exists: the do* helpers
 			// apply snapshot entries and replayed records WAL-free.
-			rst, err := s.initShardDurability(sh, recoveryTh)
+			rst, err := s.initShardDurability(sh, recoveryTh, cr)
 			if err != nil {
 				return nil, err
 			}
@@ -357,6 +371,18 @@ func New(cfg Config) (*Server, error) {
 		subs := []*shard{sh}
 		g.subs.Store(&subs)
 		s.shards = append(s.shards, g)
+		seeds = append(seeds, sh)
+	}
+	if durable {
+		// Cross-shard prepares left undecided by a crash need evidence from
+		// EVERY log (a group is committed iff any participant holds its
+		// commit record), so resolution runs only after all shards replayed —
+		// and before any worker can append new groups.
+		if err := s.resolveCrossShard(recoveryTh, cr); err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range seeds {
 		for w := 0; w < cfg.WorkersPerShard; w++ {
 			s.workersWG.Add(1)
 			go s.worker(sh)
@@ -405,6 +431,10 @@ func (s *Server) NumShards() int { return len(s.shards) }
 
 // Shard returns the shard index serving key.
 func (s *Server) Shard(key uint64) int { return ShardOf(key, len(s.shards)) }
+
+// nextXID returns a cross-shard transaction id: unique within the process
+// (counter) and across restarts (startup-stamped base, see xidBase).
+func (s *Server) nextXID() uint64 { return s.xidBase + s.xidCtr.Add(1) }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -684,6 +714,10 @@ func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 				Fsyncs:          fsyncs,
 				SnapshotAgeSec:  snapAge,
 				ReplayedRecords: sh.replayed.Load(),
+
+				CrossShardGroups:   sh.xsGroups.Load(),
+				CrossShardPrepares: sh.xsPrepares.Load(),
+				PrepareAborts:      sh.xsPrepareAborts.Load(),
 			})
 		}
 	}

@@ -175,16 +175,31 @@ func TestServerBasicOps(t *testing.T) {
 		t.Errorf("batch get-after-delete = %v, want NotFound", subs[4].Status)
 	}
 
-	// ATOMIC rejections: cross-shard batch, empty batch, ADD on a value that
-	// is not an 8-byte counter.
+	// ATOMIC across shards: since protocol v3 a batch whose keys hash to
+	// different shards executes as one multi-view transaction rather than
+	// being rejected CROSS_SHARD.
 	other := keysOnShard(srv, 1, 1, 6000)[0]
-	_, err = c.Atomic(ctx, []wire.Sub{
+	subs, err = c.Atomic(ctx, []wire.Sub{
+		{Kind: wire.SubPut, Key: keys[0], Value: []byte("span-a")},
+		{Kind: wire.SubAdd, Key: other, Delta: 41},
 		{Kind: wire.SubGet, Key: keys[0]},
-		{Kind: wire.SubGet, Key: other},
 	})
-	if !errors.Is(err, client.ErrCrossShard) {
-		t.Fatalf("cross-shard batch: %v, want ErrCrossShard", err)
+	if err != nil {
+		t.Fatalf("cross-shard batch: %v", err)
 	}
+	if string(subs[2].Value) != "span-a" || subs[1].Sum != 41 {
+		t.Fatalf("cross-shard batch results: %+v", subs)
+	}
+	var xsGroups uint64
+	for _, st := range srv.StatsAll() {
+		xsGroups += st.CrossShardGroups
+	}
+	if xsGroups == 0 {
+		t.Error("committed cross-shard batch not counted in CrossShardGroups")
+	}
+
+	// ATOMIC rejections: empty batch, ADD on a value that is not an 8-byte
+	// counter.
 	// An empty batch never even leaves the client: the codec refuses it.
 	if _, err = c.Atomic(ctx, nil); !errors.Is(err, wire.ErrProtocol) {
 		t.Fatalf("empty batch: %v, want ErrProtocol", err)

@@ -13,6 +13,7 @@ package server
 
 import (
 	"context"
+	"sort"
 	"time"
 
 	"votm"
@@ -69,50 +70,97 @@ func (g *shardGroup) route(key uint64) *shard {
 	return best
 }
 
-// reqKeys returns the keys a data request touches (1 for point ops, all sub
-// keys for ATOMIC).
-func reqKeys(req *wire.Request) []uint64 {
-	if req.Op == wire.OpAtomic {
-		keys := make([]uint64, len(req.Subs))
-		for i, sub := range req.Subs {
-			keys[i] = sub.Key
-		}
-		return keys
+// shardLess is the canonical participant order of cross-shard ATOMIC
+// execution: wire shard id, then view ID. Every coordinator quiesces (and,
+// when durable, wal-locks) its participants in this one global order, which
+// is the deadlock-freedom contract of votm.AtomicAll.
+func shardLess(a, b *shard) bool {
+	if a.id != b.id {
+		return a.id < b.id
 	}
-	return []uint64{req.Key}
+	return a.view.ID() < b.view.ID()
+}
+
+// atomicPlan resolves an ATOMIC batch's participant sub-shards in canonical
+// order, plus each sub's index into that order (owner[i] is the participant
+// owning subs[i]).
+func (s *Server) atomicPlan(req *wire.Request) (parts []*shard, owner []int) {
+	owner = make([]int, len(req.Subs))
+	for i, sub := range req.Subs {
+		sh := s.shards[s.Shard(sub.Key)].route(sub.Key)
+		idx := -1
+		for j, p := range parts {
+			if p == sh {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(parts)
+			parts = append(parts, sh)
+		}
+		owner[i] = idx
+	}
+	if len(parts) > 1 {
+		perm := make([]int, len(parts))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(a, b int) bool { return shardLess(parts[perm[a]], parts[perm[b]]) })
+		sorted := make([]*shard, len(parts))
+		inv := make([]int, len(parts))
+		for to, from := range perm {
+			sorted[to] = parts[from]
+			inv[from] = to
+		}
+		for i, o := range owner {
+			owner[i] = inv[o]
+		}
+		parts = sorted
+	}
+	return parts, owner
+}
+
+// atomicCoordinator returns the sub-shard that executes an ATOMIC batch:
+// the first participant in canonical order. Dispatch routes the batch
+// there; the coordinator's worker acquires the remaining participants
+// during execution.
+func (s *Server) atomicCoordinator(req *wire.Request) *shard {
+	var best *shard
+	for _, sub := range req.Subs {
+		sh := s.shards[s.Shard(sub.Key)].route(sub.Key)
+		if best == nil || shardLess(sh, best) {
+			best = sh
+		}
+	}
+	return best
 }
 
 // recheckRoute re-resolves a dispatched request against the routing table
 // at execution time. A split between dispatch and execution may have moved
-// the keys: a request now owned by a different sub-shard is answered BUSY
-// (retryable — the next dispatch routes correctly); an ATOMIC batch whose
-// keys now straddle sub-shards is answered CROSS_SHARD (no longer
-// servable as one transaction).
+// the keys: a point request now owned by a different sub-shard — or an
+// ATOMIC batch whose canonical coordinator moved — is answered BUSY
+// (retryable; the next dispatch routes correctly). The coordinator also
+// re-verifies the full ownership map inside the paused multi-view
+// transaction, so a stale answer here costs only a retry, never
+// correctness.
 func (s *Server) recheckRoute(sh *shard, req *wire.Request) *wire.Response {
 	switch req.Op {
-	case wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpCAS, wire.OpAtomic:
+	case wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpCAS:
+		if s.shards[sh.id].route(req.Key) == sh {
+			return nil
+		}
+	case wire.OpAtomic:
+		if s.atomicCoordinator(req) == sh {
+			return nil
+		}
 	default:
 		return nil
 	}
-	g := s.shards[sh.id]
-	keys := reqKeys(req)
-	owner := g.route(keys[0])
-	for _, key := range keys[1:] {
-		if g.route(key) != owner {
-			resp := wire.NewResponse()
-			resp.Op, resp.ID = req.Op, req.ID
-			resp.Status = wire.StatusCrossShard
-			resp.SetDetail("shard split: batch keys now span sub-shards")
-			return resp
-		}
-	}
-	if owner != sh {
-		resp := wire.NewResponse()
-		resp.Op, resp.ID = req.Op, req.ID
-		resp.Status = wire.StatusBusy
-		return resp
-	}
-	return nil
+	resp := wire.NewResponse()
+	resp.Op, resp.ID = req.Op, req.ID
+	resp.Status = wire.StatusBusy
+	return resp
 }
 
 // monitor periodically scores every sub-shard with the viewmgr advisor and

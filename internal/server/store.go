@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -58,6 +59,14 @@ type shard struct {
 	replayed   atomic.Uint64 // redo records replayed at startup
 	snapSeq    atomic.Uint64 // WAL seq covered by the last snapshot
 	lastSnap   atomic.Int64  // unix seconds of the last snapshot; 0 = never
+
+	// Cross-shard ATOMIC meters (group.go runAtomicMulti): committed
+	// multi-participant groups this shard took part in, prepare records it
+	// appended, and prepares that ended in an abort (validation failure or a
+	// mid-protocol WAL fault).
+	xsGroups        atomic.Uint64
+	xsPrepares      atomic.Uint64
+	xsPrepareAborts atomic.Uint64
 }
 
 // noteDepth records the queue depth seen right after an enqueue.
@@ -133,6 +142,11 @@ func (sh *shard) allocBatch(sizes []int, dst []votm.Addr) ([]votm.Addr, error) {
 
 // errBadAdd aborts an ATOMIC batch whose SubAdd hit a non-8-byte value.
 var errBadAdd = errors.New("server: ADD on a value that is not 8 bytes")
+
+// errStaleRoute aborts a cross-shard ATOMIC whose ownership map changed
+// between dispatch and the paused execution window (a concurrent split).
+// Mapped to StatusBusy: nothing executed, the client's retry re-routes.
+var errStaleRoute = errors.New("server: batch keys moved by a concurrent repartition")
 
 // doGet returns the value stored under key, read in one read-only
 // transaction (consistent length + payload snapshot).
@@ -441,4 +455,281 @@ func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub,
 	}
 	sh.keys.Add(keysDelta)
 	return results, nil
+}
+
+// multiBatch is one ATOMIC batch's slot in a multi-view execution: its subs,
+// each sub's owner index into the shared participant slice, and the
+// attempt's commit-side effect lists — kept per batch so that when several
+// batches share one quiesced round (doAtomicMultiGroup) each settles its
+// storage independently of its round-mates' outcomes. err carries the
+// batch's own verdict; results are valid only when err is nil.
+type multiBatch struct {
+	subs    []wire.Sub
+	owner   []int // participant index per sub (into the shared parts)
+	stale   func() bool
+	results []wire.SubResult
+	err     error
+
+	res       []atomicResources
+	usedBlock []bool
+	usedNode  []bool
+	freeRefs  []uint64 // displaced value blocks, freed after commit
+	freeOwner []int    // owning participant of each freeRefs entry
+	freeNodes []ds.Ref // unlinked map nodes, freed after commit
+	nodeOwner []int
+	keysDelta []int64 // per participant
+}
+
+// alloc pre-allocates the blocks and nodes the batch may link (outside the
+// paused views, like doAtomic). On failure everything allocated so far is
+// freed and res is left empty, so settle stays a no-op for this batch.
+func (b *multiBatch) alloc(parts []*shard) error {
+	res := make([]atomicResources, len(b.subs))
+	freePartial := func() {
+		for i, r := range res {
+			p := parts[b.owner[i]]
+			if r.hasBlock {
+				_ = p.view.Free(r.block)
+			}
+			if r.hasNode {
+				_ = p.hm.FreeNode(r.node)
+			}
+		}
+	}
+	for i, sub := range b.subs {
+		p := parts[b.owner[i]]
+		switch sub.Kind {
+		case wire.SubPut, wire.SubAdd:
+			words := enc.BlobWords(8)
+			if sub.Kind == wire.SubPut {
+				words = enc.BlobWords(len(sub.Value))
+			}
+			block, err := p.alloc(words)
+			if err != nil {
+				freePartial()
+				return err
+			}
+			node, err := p.hm.NewNode()
+			if err != nil {
+				_ = p.view.Free(block)
+				freePartial()
+				return err
+			}
+			res[i] = atomicResources{block: block, hasBlock: true, node: node, hasNode: true}
+		}
+	}
+	b.res = res
+	return nil
+}
+
+// exec runs the batch against the quiesced participants' exclusive handles:
+// the stale verdict first (routing is frozen while the views are paused, so
+// it holds for the whole execution), then doAtomic's validate-before-first-
+// write discipline — lock-mode execution has no rollback, so the batch must
+// be known-good before it writes anything.
+func (b *multiBatch) exec(parts []*shard, txs []votm.Tx) error {
+	if b.stale != nil && b.stale() {
+		return errStaleRoute
+	}
+	// Validation pass, strictly read-only (see doAtomic). A key routes to
+	// exactly one participant, so effLen can stay keyed by key alone.
+	effLen := make(map[uint64]int, len(b.subs))
+	lenOf := func(pi int, key uint64) int {
+		if n, ok := effLen[key]; ok {
+			return n
+		}
+		if ref, ok := parts[pi].hm.Get(txs[pi], key); ok {
+			return int(txs[pi].Load(votm.Addr(ref)))
+		}
+		return -1
+	}
+	for i, sub := range b.subs {
+		switch sub.Kind {
+		case wire.SubPut:
+			effLen[sub.Key] = len(sub.Value)
+		case wire.SubDelete:
+			effLen[sub.Key] = -1
+		case wire.SubAdd:
+			if n := lenOf(b.owner[i], sub.Key); n != -1 && n != 8 {
+				return errBadAdd
+			}
+			effLen[sub.Key] = 8
+		}
+	}
+
+	// Write pass. The body runs once, but keep doAtomic's rebuild-from-
+	// scratch discipline so the effect lists always describe exactly the
+	// executed attempt.
+	b.results = b.results[:0]
+	b.freeRefs, b.freeOwner = b.freeRefs[:0], b.freeOwner[:0]
+	b.freeNodes, b.nodeOwner = b.freeNodes[:0], b.nodeOwner[:0]
+	b.usedBlock = make([]bool, len(b.subs))
+	b.usedNode = make([]bool, len(b.subs))
+	b.keysDelta = make([]int64, len(parts))
+	for i, sub := range b.subs {
+		pi := b.owner[i]
+		p, tx := parts[pi], txs[pi]
+		r := wire.SubResult{Kind: sub.Kind, Status: wire.StatusOK}
+		switch sub.Kind {
+		case wire.SubGet:
+			if ref, ok := p.hm.Get(tx, sub.Key); ok {
+				r.Value = enc.LoadBlob(tx, votm.Addr(ref))
+			} else {
+				r.Status = wire.StatusNotFound
+			}
+		case wire.SubPut:
+			enc.StoreBlob(tx, b.res[i].block, sub.Value)
+			prev, existed, used := p.hm.Swap(tx, sub.Key, uint64(b.res[i].block), b.res[i].node)
+			b.usedBlock[i], b.usedNode[i] = true, used
+			if existed {
+				b.freeRefs, b.freeOwner = append(b.freeRefs, prev), append(b.freeOwner, pi)
+			} else {
+				b.keysDelta[pi]++
+			}
+		case wire.SubDelete:
+			ref, ok := p.hm.Get(tx, sub.Key)
+			if !ok {
+				r.Status = wire.StatusNotFound
+				break
+			}
+			node, _ := p.hm.Delete(tx, sub.Key)
+			b.freeRefs, b.freeOwner = append(b.freeRefs, ref), append(b.freeOwner, pi)
+			b.freeNodes, b.nodeOwner = append(b.freeNodes, node), append(b.nodeOwner, pi)
+			b.keysDelta[pi]--
+		case wire.SubAdd:
+			if ref, ok := p.hm.Get(tx, sub.Key); ok {
+				base := votm.Addr(ref)
+				if tx.Load(base) != 8 {
+					return errBadAdd // unreachable: validated above
+				}
+				r.Sum = tx.Load(base+1) + sub.Delta
+				tx.Store(base+1, r.Sum)
+			} else {
+				r.Sum = sub.Delta
+				tx.Store(b.res[i].block, 8)
+				tx.Store(b.res[i].block+1, r.Sum)
+				_, _, used := p.hm.Swap(tx, sub.Key, uint64(b.res[i].block), b.res[i].node)
+				b.usedBlock[i], b.usedNode[i] = true, used
+				b.keysDelta[pi]++
+			}
+		}
+		b.results = append(b.results, r)
+	}
+	return nil
+}
+
+// settle releases the batch's commit-side storage after the round: on
+// success the displaced blocks, unlinked nodes and unused pre-allocations;
+// on failure every pre-allocation (an aborted batch linked nothing).
+func (b *multiBatch) settle(parts []*shard) {
+	if b.err != nil {
+		for i, r := range b.res {
+			p := parts[b.owner[i]]
+			if r.hasBlock {
+				_ = p.view.Free(r.block)
+			}
+			if r.hasNode {
+				_ = p.hm.FreeNode(r.node)
+			}
+		}
+		return
+	}
+	for i, ref := range b.freeRefs {
+		_ = parts[b.freeOwner[i]].view.Free(votm.Addr(ref))
+	}
+	for i, n := range b.freeNodes {
+		_ = parts[b.nodeOwner[i]].hm.FreeNode(n)
+	}
+	for i, r := range b.res {
+		p := parts[b.owner[i]]
+		if r.hasBlock && !b.usedBlock[i] {
+			_ = p.view.Free(r.block)
+		}
+		if r.hasNode && !b.usedNode[i] {
+			_ = p.hm.FreeNode(r.node)
+		}
+	}
+	for i, d := range b.keysDelta {
+		parts[i].keys.Add(d)
+	}
+}
+
+// doAtomicMulti executes an ATOMIC batch spanning sub-shards as one
+// multi-view transaction (votm.AtomicAll): every participant view is
+// quiesced in the caller's canonical order and the batch runs exactly once
+// with exclusive lock-mode access to all of them — the same
+// validate-before-first-write discipline as doAtomic, because lock-mode
+// execution has no rollback. owner[i] is the index in parts of the shard
+// owning subs[i]; stale is evaluated first thing inside the paused body,
+// where routing is frozen (splits publish under the owning view's exclusive
+// section), so its verdict holds for the whole execution.
+func doAtomicMulti(ctx context.Context, th *votm.Thread, parts []*shard, owner []int, readonly bool, subs []wire.Sub, dst []wire.SubResult, stale func() bool) ([]wire.SubResult, error) {
+	b := &multiBatch{subs: subs, owner: owner, stale: stale, results: dst}
+	if err := b.alloc(parts); err != nil {
+		return nil, err
+	}
+	views := make([]*votm.View, len(parts))
+	for i, p := range parts {
+		views[i] = p.view
+	}
+	b.err = votm.AtomicAll(ctx, th, views, readonly, func(txs []votm.Tx) error {
+		return b.exec(parts, txs)
+	})
+	b.settle(parts)
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.results, nil
+}
+
+// doAtomicMultiGroup executes several independent ATOMIC batches inside ONE
+// quiesce of their shared participant set: the views pause once and the
+// batches run back to back with exclusive access, each with its own stale
+// verdict, validation pass and effect lists. A batch's failure (stale route,
+// bad add, panic) lands in its own err and never touches its round-mates —
+// validation precedes every write, so a failed batch wrote nothing. The
+// returned error is round-level (pause failure, cancellation): when non-nil
+// it has been copied into every undecided batch's err.
+func doAtomicMultiGroup(ctx context.Context, th *votm.Thread, parts []*shard, batches []*multiBatch, readonly bool) error {
+	for _, b := range batches {
+		if b.err == nil {
+			if err := b.alloc(parts); err != nil {
+				b.err = err
+			}
+		}
+	}
+	views := make([]*votm.View, len(parts))
+	for i, p := range parts {
+		views[i] = p.view
+	}
+	err := votm.AtomicAll(ctx, th, views, readonly, func(txs []votm.Tx) error {
+		for _, b := range batches {
+			if b.err != nil {
+				continue
+			}
+			func() {
+				defer func() {
+					// Contain a batch panic to its batch (the forwarding guard
+					// cannot fire here: routing is frozen and the stale check
+					// covered every key, so any panic is a batch-local fault).
+					if r := recover(); r != nil && b.err == nil {
+						b.err = fmt.Errorf("panic in atomic batch: %v", r)
+					}
+				}()
+				b.err = b.exec(parts, txs)
+			}()
+		}
+		return nil
+	})
+	if err != nil {
+		for _, b := range batches {
+			if b.err == nil {
+				b.err = err
+			}
+		}
+	}
+	for _, b := range batches {
+		b.settle(parts)
+	}
+	return err
 }

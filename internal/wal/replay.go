@@ -169,7 +169,7 @@ func decodeBatch(body []byte, recs *[]Record) (n int, ok bool) {
 		r := Record{Kind: RecordKind(p[0]), Key: binary.LittleEndian.Uint64(p[1:])}
 		p = p[9:]
 		switch r.Kind {
-		case RecPut:
+		case RecPut, RecPrepare:
 			if len(p) < 4 {
 				return 0, false
 			}
@@ -180,7 +180,7 @@ func decodeBatch(body []byte, recs *[]Record) (n int, ok bool) {
 			}
 			r.Value = p[:vlen:vlen]
 			p = p[vlen:]
-		case RecDelete:
+		case RecDelete, RecCommit, RecAbort:
 		default:
 			return 0, false
 		}

@@ -57,12 +57,28 @@ const (
 	RecPut RecordKind = 1
 	// RecDelete removes a key.
 	RecDelete RecordKind = 2
+
+	// RecPrepare is phase one of a cross-shard ATOMIC group: Key carries the
+	// group's transaction ID (xid), Value the nested encoding
+	// (AppendPrepareValue) of this shard's share of the group's redo records.
+	// A prepare is a promise, not a decision: replay stashes it and applies
+	// the records only at the matching RecCommit.
+	RecPrepare RecordKind = 3
+	// RecCommit is the decision record for xid = Key: replay applies the
+	// stashed prepare at this point in the log. The coordinator appends every
+	// participant's commit only after ALL prepares are durable, so a commit
+	// record anywhere implies every participant can replay its share.
+	RecCommit RecordKind = 4
+	// RecAbort drops the stashed prepare for xid = Key. Written by the
+	// mid-protocol failure path and by recovery when it resolves a dangling
+	// prepare, making each log self-contained afterwards.
+	RecAbort RecordKind = 5
 )
 
 // Record is one logical redo record of a batch. Value is meaningful for
-// RecPut only and borrows the caller's buffer until Append returns (the
-// replayer hands out sub-slices of its read buffer, valid for one apply
-// call).
+// RecPut and RecPrepare only and borrows the caller's buffer until Append
+// returns (the replayer hands out sub-slices of its read buffer, valid for
+// one apply call).
 type Record struct {
 	Kind  RecordKind
 	Key   uint64
@@ -243,7 +259,7 @@ func appendBatch(dst []byte, seq uint64, recs []Record) []byte {
 	for _, r := range recs {
 		dst = append(dst, byte(r.Kind))
 		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
-		if r.Kind == RecPut {
+		if r.Kind == RecPut || r.Kind == RecPrepare {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Value)))
 			dst = append(dst, r.Value...)
 		}
@@ -483,6 +499,65 @@ func RemoveCleanMarker(dir string) error {
 		return err
 	}
 	return syncDir(dir)
+}
+
+// --- prepare-record payload ----------------------------------------------
+
+// AppendPrepareValue encodes recs — one shard's share of a cross-shard
+// group's redo records — as a RecPrepare value: u32 count followed by the
+// batch record encoding. Only RecPut and RecDelete may nest (a prepare never
+// contains another prepare or a decision record).
+func AppendPrepareValue(dst []byte, recs []Record) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for _, r := range recs {
+		dst = append(dst, byte(r.Kind))
+		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+		if r.Kind == RecPut {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Value)))
+			dst = append(dst, r.Value...)
+		}
+	}
+	return dst
+}
+
+// DecodePrepareValue parses a RecPrepare value into *recs (reusing its
+// capacity). It returns false on a malformed payload or a nested kind that
+// is not RecPut/RecDelete. Decoded values borrow the input buffer.
+func DecodePrepareValue(value []byte, recs *[]Record) bool {
+	*recs = (*recs)[:0]
+	if len(value) < 4 {
+		return false
+	}
+	count := int(binary.LittleEndian.Uint32(value))
+	p := value[4:]
+	for i := 0; i < count; i++ {
+		if len(p) < 9 {
+			return false
+		}
+		r := Record{Kind: RecordKind(p[0]), Key: binary.LittleEndian.Uint64(p[1:])}
+		p = p[9:]
+		switch r.Kind {
+		case RecPut:
+			if len(p) < 4 {
+				return false
+			}
+			vlen := int(binary.LittleEndian.Uint32(p))
+			p = p[4:]
+			if vlen > len(p) {
+				return false
+			}
+			r.Value = p[:vlen:vlen]
+			p = p[vlen:]
+		case RecDelete:
+		default:
+			return false
+		}
+		*recs = append(*recs, r)
+	}
+	if len(p) != 0 {
+		return false
+	}
+	return true
 }
 
 // writeFileSync writes path atomically enough for a marker: create, write,

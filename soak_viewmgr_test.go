@@ -169,6 +169,82 @@ func TestRepartitionChaosSoak(t *testing.T) {
 						t.Errorf("worker %d half %d: snapshot sum %d, want %d", id, half, sum, accounts*initBal)
 					}
 				}
+
+				// Cross-view lane: when the cold half is split out the two
+				// halves live in different views, and a batch touching both
+				// takes the multi-view escalation path — the library analogue
+				// of the server's cross-shard ATOMIC — racing the live
+				// split/merge loop below. The batch does one transfer inside
+				// each half, so per-half conservation (the probes above and
+				// the final oracle) still holds, while commit atomicity now
+				// spans two views. Canonical order: ascending view ID, the
+				// same ancestor-first order Split and MergeViews use.
+				if i%7 == 3 && viewIDs[0] != viewIDs[1] {
+					f0, t0 := rng.Intn(accounts), rng.Intn(accounts)
+					f1, t1 := rng.Intn(accounts), rng.Intn(accounts)
+					lo, hi := 0, 1
+					if viewIDs[1] < viewIDs[0] {
+						lo, hi = 1, 0
+					}
+					pair := []*votm.View{views[lo], views[hi]}
+					panicked := false
+					var xerr error
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								if _, ok := r.(votm.InjectedPanic); !ok {
+									panic(r)
+								}
+								panicked = true
+							}
+						}()
+						xerr = votm.AtomicAll(ctx, th, pair, false, func(txs []votm.Tx) error {
+							tx0, tx1 := txs[0], txs[1]
+							if lo == 1 {
+								tx0, tx1 = txs[1], txs[0]
+							}
+							a0, b0 := addrOf(0, f0), addrOf(0, t0)
+							a1, b1 := addrOf(1, f1), addrOf(1, t1)
+							// Validate before the first write: AtomicAll has
+							// no rollback, and routing is frozen while both
+							// views are paused, so if one probe per half
+							// passes, every later access stays in-view and
+							// the batch cannot abort half-written.
+							v0, v1 := tx0.Load(a0), tx1.Load(a1)
+							tx0.Store(a0, v0-1)
+							tx0.Store(b0, tx0.Load(b0)+1)
+							tx1.Store(a1, v1-1)
+							tx1.Store(b1, tx1.Load(b1)+1)
+							return nil
+						})
+					}()
+					switch {
+					case panicked:
+						// Injected pre-body panic: nothing was written.
+					case xerr == nil:
+						tallies[id][0][f0]--
+						tallies[id][0][t0]++
+						tallies[id][1][f1]--
+						tallies[id][1][t1]++
+					case errors.As(xerr, new(*votm.MovedError)):
+						// A repartition moved a half mid-batch; AtomicAll has
+						// no rollback, but the forwarding guard fires on the
+						// pre-write probes, so nothing was written. Re-resolve
+						// each half through its own representative address.
+						for h := 0; h < 2; h++ {
+							if vid, lerr := rt.Locate(viewIDs[h], addrOf(h, 0)); lerr == nil {
+								if nv, verr := rt.View(vid); verr == nil {
+									views[h], viewIDs[h] = nv, vid
+								}
+							}
+						}
+					case errors.Is(xerr, context.Canceled):
+						return
+					default:
+						t.Errorf("worker %d cross-view batch: %v", id, xerr)
+						return
+					}
+				}
 			}
 		}(w)
 	}

@@ -120,6 +120,18 @@ func NewTMProfile(threads int, t Totals, deltaQ, meanReads, meanWrites float64) 
 	return autotm.ProfileFromStats(threads, t.Commits, t.Aborts, deltaQ, meanReads, meanWrites)
 }
 
+// AtomicAll runs fn exactly once with exclusive, irrevocable access to every
+// view of views — the multi-view escalation primitive behind cross-shard
+// ATOMIC batches. Each view is quiesced (RAC pause-and-drain) in the given
+// order, fn receives one lock-mode handle per view (txs[i] accesses
+// views[i]), and the pauses release in reverse order even on a panic. All
+// concurrent multi-view callers must order their views identically, or two
+// of them can deadlock; there is no rollback, so fn must validate before its
+// first write. Each view accounts the run as an escalation.
+func AtomicAll(ctx context.Context, th *Thread, views []*View, readonly bool, fn func(txs []Tx) error) error {
+	return core.AtomicAll(ctx, th, views, readonly, fn)
+}
+
 // QuotaRecorder collects admission-quota changes; wire it into a Runtime
 // with Config.QuotaTrace:
 //

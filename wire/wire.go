@@ -22,11 +22,13 @@ import (
 
 // Version is the protocol version byte written into every encoded frame.
 // Version 2 added the durability fields of ShardStats (WAL/snapshot meters);
-// request layouts are identical in versions 1 and 2. Decoders accept any
-// version in [MinVersion, Version] — a version-1 STATS frame simply carries
-// no durability fields — and must reject frames outside that range with
-// StatusBadRequest (servers) or ErrProtocol (clients).
-const Version = 2
+// version 3 added its cross-shard 2PC meters and made multi-shard ATOMIC
+// batches a served capability rather than a CROSS_SHARD rejection. Request
+// layouts are identical in versions 1-3. Decoders accept any version in
+// [MinVersion, Version] — an older STATS frame simply carries fewer fields —
+// and must reject frames outside that range with StatusBadRequest (servers)
+// or ErrProtocol (clients).
+const Version = 3
 
 // MinVersion is the oldest protocol version decoders still accept.
 const MinVersion = 1
@@ -97,7 +99,7 @@ const (
 	StatusNotFound    Status = 1 // GET/DELETE/CAS on an absent key
 	StatusBusy        Status = 2 // shard in-flight bound exceeded: backpressure
 	StatusCASMismatch Status = 3 // CAS expectation failed; detail = current value
-	StatusCrossShard  Status = 4 // ATOMIC keys hash to more than one shard
+	StatusCrossShard  Status = 4 // legacy (pre-v3): servers now execute multi-shard ATOMIC
 	StatusBadRequest  Status = 5 // malformed or semantically invalid request
 	StatusTooLarge    Status = 6 // value exceeds the server's value bound
 	StatusTxFault     Status = 7 // transaction died server-side (e.g. injected panic)
@@ -193,8 +195,10 @@ const (
 
 func (k SubKind) valid() bool { return k >= SubGet && k <= SubAdd }
 
-// Sub is one sub-operation of an ATOMIC batch. All keys of a batch must
-// hash to the same shard; the batch executes as one transaction.
+// Sub is one sub-operation of an ATOMIC batch. The batch executes as one
+// transaction regardless of where its keys hash: a batch spanning shards is
+// run by a coordinating worker as a single multi-view transaction (votmd
+// ≥ protocol version 3; older servers answered CROSS_SHARD).
 type Sub struct {
 	Kind  SubKind
 	Key   uint64
@@ -248,6 +252,16 @@ type ShardStats struct {
 	Fsyncs          uint64
 	SnapshotAgeSec  uint64
 	ReplayedRecords uint64
+
+	// Cross-shard ATOMIC meters (version 3; zero when decoding an older
+	// frame). CrossShardGroups counts committed multi-shard groups this
+	// shard participated in, CrossShardPrepares the 2PC prepare records it
+	// appended, and PrepareAborts the prepares that ended in an abort
+	// (mid-protocol WAL fault, or an undecided prepare aborted by startup
+	// recovery).
+	CrossShardGroups   uint64
+	CrossShardPrepares uint64
+	PrepareAborts      uint64
 }
 
 // SnapshotNever is the SnapshotAgeSec sentinel meaning "no snapshot yet".
@@ -486,6 +500,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				s.Groups, s.GroupOps, s.QueueHighWater,
 				s.WalAppends, s.WalBytes, s.Fsyncs, s.SnapshotAgeSec,
 				s.ReplayedRecords,
+				s.CrossShardGroups, s.CrossShardPrepares, s.PrepareAborts,
 			} {
 				p = appendU64(p, v)
 			}
@@ -864,6 +879,11 @@ func (resp *Response) parse(p []byte) error {
 				s.Fsyncs = c.u64()
 				s.SnapshotAgeSec = c.u64()
 				s.ReplayedRecords = c.u64()
+			}
+			if ver >= 3 {
+				s.CrossShardGroups = c.u64()
+				s.CrossShardPrepares = c.u64()
+				s.PrepareAborts = c.u64()
 			}
 			resp.Stats = append(resp.Stats, s)
 		}

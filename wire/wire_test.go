@@ -40,6 +40,17 @@ func TestRequestRoundTrip(t *testing.T) {
 			{Kind: SubDelete, Key: 3},
 			{Kind: SubAdd, Key: 4, Delta: 42},
 		}},
+		// Multi-shard ATOMIC: keys spread across the whole hash space. The
+		// frame layout is identical to the single-shard case — shard
+		// placement is a server concern — but since protocol v3 such batches
+		// are served rather than rejected, so they must round-trip cleanly.
+		{Op: OpAtomic, ID: 10, Subs: []Sub{
+			{Kind: SubPut, Key: 0, Value: []byte("shard-a")},
+			{Kind: SubPut, Key: ^uint64(0), Value: []byte("shard-b")},
+			{Kind: SubAdd, Key: 0x8000_0000_0000_0000, Delta: ^uint64(6)},
+			{Kind: SubGet, Key: 0x1234_5678_9abc_def0},
+			{Kind: SubDelete, Key: 0xcafe_babe},
+		}},
 		{Op: OpStats, ID: 8, Shard: AllShards},
 		{Op: OpStats, ID: 9, Shard: 3},
 	}
@@ -100,6 +111,16 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Op: OpStats, ID: 12, Stats: []ShardStats{{
 			Engine: "norec", SnapshotAgeSec: SnapshotNever,
 		}}},
+		// v3 STATS: the cross-shard 2PC meters must survive the round trip.
+		{Op: OpStats, ID: 13, Stats: []ShardStats{{
+			Shard: 2, Engine: "norec", Quota: 2, Commits: 11,
+			WalAppends: 5, Fsyncs: 2,
+			CrossShardGroups: 3, CrossShardPrepares: 6, PrepareAborts: 1,
+		}}},
+		// A cross-shard batch that lost the routing race against a live
+		// repartition: BUSY with the server's detail, no sub results.
+		{Op: OpAtomic, ID: 14, Status: StatusBusy,
+			Value: []byte("server: batch keys moved by a concurrent repartition")},
 	}
 	for _, resp := range resps {
 		got := roundTripResponse(t, resp)
@@ -150,8 +171,8 @@ func TestOldVersionRequestDecode(t *testing.T) {
 	}
 }
 
-// TestOldVersionStatsDecode: a version-1 STATS response (no durability
-// fields) must decode with those fields zero.
+// TestOldVersionStatsDecode: a version-1 STATS response (no durability or
+// cross-shard fields) must decode with those fields zero.
 func TestOldVersionStatsDecode(t *testing.T) {
 	want := ShardStats{
 		Shard: 2, Engine: "norec", Quota: 4, SettledQuota: 2,
@@ -163,14 +184,15 @@ func TestOldVersionStatsDecode(t *testing.T) {
 	stamped := want
 	stamped.WalAppends, stamped.WalBytes, stamped.Fsyncs = 9, 999, 9
 	stamped.SnapshotAgeSec, stamped.ReplayedRecords = 3, 33
+	stamped.CrossShardGroups, stamped.CrossShardPrepares, stamped.PrepareAborts = 7, 14, 1
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 1, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v2 frame as its v1 equivalent: drop the five trailing
-	// durability u64s and downgrade the version byte.
-	const durBytes = 5 * 8
-	frame = frame[:len(frame)-durBytes]
+	// Rewrite the v3 frame as its v1 equivalent: drop the five durability and
+	// three cross-shard trailing u64s and downgrade the version byte.
+	const v1Trailing = (5 + 3) * 8
+	frame = frame[:len(frame)-v1Trailing]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 1
 	got, err := ReadResponse(bytes.NewReader(frame))
@@ -179,6 +201,36 @@ func TestOldVersionStatsDecode(t *testing.T) {
 	}
 	if len(got.Stats) != 1 || !reflect.DeepEqual(got.Stats[0], want) {
 		t.Errorf("v1 STATS decode:\n got %+v\nwant %+v", got.Stats, want)
+	}
+}
+
+// TestV2StatsDecode: a version-2 STATS response carries the durability fields
+// but predates the cross-shard 2PC meters; those must decode as zero.
+func TestV2StatsDecode(t *testing.T) {
+	want := ShardStats{
+		Shard: 1, Engine: "tl2", Quota: 8, Commits: 40, Delta: 0.5,
+		Keys: 9, Groups: 2, GroupOps: 17, QueueHighWater: 3,
+		WalAppends: 9, WalBytes: 999, Fsyncs: 9,
+		SnapshotAgeSec: 3, ReplayedRecords: 33,
+	}
+	stamped := want
+	stamped.CrossShardGroups, stamped.CrossShardPrepares, stamped.PrepareAborts = 4, 8, 2
+	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 2, Stats: []ShardStats{stamped}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v3 frame as its v2 equivalent: drop the three trailing
+	// cross-shard u64s and downgrade the version byte.
+	const xsBytes = 3 * 8
+	frame = frame[:len(frame)-xsBytes]
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+	frame[4] = 2
+	got, err := ReadResponse(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("v2 STATS decode: %v", err)
+	}
+	if len(got.Stats) != 1 || !reflect.DeepEqual(got.Stats[0], want) {
+		t.Errorf("v2 STATS decode:\n got %+v\nwant %+v", got.Stats, want)
 	}
 }
 
@@ -237,6 +289,50 @@ func TestFramingViolations(t *testing.T) {
 	if _, err := ReadResponse(bytes.NewReader(respFrame)); !errors.Is(err, ErrProtocol) {
 		t.Errorf("unflagged response: got %v, want ErrProtocol", err)
 	}
+	// A frame that claims version 3 but is cut short of the cross-shard
+	// meters must be rejected, not misread as a v2 layout.
+	statsFrame, err := AppendResponse(nil, &Response{
+		Op: OpStats, ID: 2,
+		Stats: []ShardStats{{Engine: "norec", CrossShardGroups: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := statsFrame[:len(statsFrame)-8]
+	binary.LittleEndian.PutUint32(short, uint32(len(short)-4))
+	if _, err := ReadResponse(bytes.NewReader(short)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("short v3 STATS: got %v, want ErrProtocol", err)
+	}
+}
+
+// TestAtomicBatchLimit: a batch of exactly MaxAtomicOps subs round-trips;
+// one more is rejected by both the encoder and the parser, whatever shards
+// the keys map to.
+func TestAtomicBatchLimit(t *testing.T) {
+	subs := make([]Sub, MaxAtomicOps)
+	for i := range subs {
+		subs[i] = Sub{Kind: SubAdd, Key: uint64(i) * 0x9e3779b97f4a7c15, Delta: 1}
+	}
+	got := roundTripRequest(t, &Request{Op: OpAtomic, ID: 1, Subs: subs})
+	if len(got.Subs) != MaxAtomicOps {
+		t.Fatalf("round trip kept %d subs, want %d", len(got.Subs), MaxAtomicOps)
+	}
+
+	over := append(subs, Sub{Kind: SubGet, Key: 1})
+	if _, err := AppendRequest(nil, &Request{Op: OpAtomic, ID: 2, Subs: over}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("encode %d subs: got %v, want ErrProtocol", len(over), err)
+	}
+	// Hand-craft the oversized count so the parser sees it too: patch the
+	// sub count u16 in a legal frame.
+	frame, err := AppendRequest(nil, &Request{Op: OpAtomic, ID: 3, Subs: subs[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: len u32 | ver | op | id u32 | count u16 | subs...
+	binary.LittleEndian.PutUint16(frame[10:], MaxAtomicOps+1)
+	if _, err := ParseRequest(frame[4:]); !errors.Is(err, ErrProtocol) {
+		t.Errorf("parse count=%d: got %v, want ErrProtocol", MaxAtomicOps+1, err)
+	}
 }
 
 // FuzzParseRequest asserts the request parser never panics and never
@@ -248,6 +344,15 @@ func FuzzParseRequest(f *testing.F) {
 		{Op: OpCAS, ID: 3, Key: 4, OldValue: []byte("o"), Value: []byte("n")},
 		{Op: OpAtomic, ID: 4, Subs: []Sub{{Kind: SubAdd, Key: 1, Delta: 2}}},
 		{Op: OpStats, ID: 5, Shard: AllShards},
+		// Multi-shard ATOMIC (served since v3): keys at the extremes of the
+		// hash space plus a mixed read/write/counter body.
+		{Op: OpAtomic, ID: 6, Subs: []Sub{
+			{Kind: SubPut, Key: 0, Value: []byte("lo")},
+			{Kind: SubPut, Key: ^uint64(0), Value: []byte("hi")},
+			{Kind: SubAdd, Key: 0x8000_0000_0000_0000, Delta: ^uint64(0)},
+			{Kind: SubGet, Key: 0x9e3779b97f4a7c15},
+			{Kind: SubDelete, Key: 7},
+		}},
 	}
 	for _, req := range seed {
 		frame, err := AppendRequest(nil, req)
@@ -274,4 +379,75 @@ func FuzzParseRequest(f *testing.F) {
 			t.Fatalf("parse/encode not stable:\n%+v\n%+v", req, again)
 		}
 	})
+}
+
+// FuzzParseResponse asserts the response parser never panics, and that
+// whatever it accepts re-encodes at the current version and re-parses to the
+// same value. Seeds cover the v3 additions: cross-shard STATS meters and
+// multi-sub ATOMIC results with per-sub statuses.
+func FuzzParseResponse(f *testing.F) {
+	seed := []*Response{
+		{Op: OpPing, ID: 1},
+		{Op: OpGet, ID: 2, Value: []byte("payload")},
+		{Op: OpAtomic, ID: 3, Subs: []SubResult{
+			{Kind: SubGet, Status: StatusOK, Value: []byte("x")},
+			{Kind: SubGet, Status: StatusNotFound},
+			{Kind: SubAdd, Status: StatusOK, Sum: ^uint64(8)},
+		}},
+		{Op: OpAtomic, ID: 4, Status: StatusBusy,
+			Value: []byte("server: batch keys moved by a concurrent repartition")},
+		{Op: OpStats, ID: 5, Stats: []ShardStats{{
+			Shard: 1, Engine: "norec", Quota: 4, Commits: 10, Delta: 0.5,
+			WalAppends: 3, WalBytes: 300, Fsyncs: 2,
+			SnapshotAgeSec: SnapshotNever, ReplayedRecords: 7,
+			CrossShardGroups: 2, CrossShardPrepares: 4, PrepareAborts: 1,
+		}}},
+		{Op: OpError, ID: 0, Status: StatusBadRequest, Value: []byte("bad")},
+	}
+	for _, resp := range seed {
+		frame, err := AppendResponse(nil, resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:]) // payload without the length prefix
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		resp, err := ParseResponse(payload)
+		if err != nil {
+			return
+		}
+		frame, err := AppendResponse(nil, resp)
+		if err != nil {
+			t.Fatalf("reencode of parsed response failed: %v", err)
+		}
+		again, err := ParseResponse(frame[4:])
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if !respEqual(resp, again) {
+			t.Fatalf("parse/encode not stable:\n%+v\n%+v", resp, again)
+		}
+	})
+}
+
+// respEqual compares responses treating NaN deltas as equal to themselves
+// (reflect.DeepEqual would reject NaN == NaN) and nil/empty byte slices as
+// interchangeable.
+func respEqual(a, b *Response) bool {
+	if len(a.Stats) != len(b.Stats) {
+		return false
+	}
+	for i := range a.Stats {
+		da, db := a.Stats[i].Delta, b.Stats[i].Delta
+		if math.IsNaN(da) != math.IsNaN(db) {
+			return false
+		}
+		if math.IsNaN(da) {
+			a.Stats[i].Delta, b.Stats[i].Delta = 0, 0
+		}
+	}
+	if len(a.Value) == 0 && len(b.Value) == 0 {
+		a.Value, b.Value = nil, nil
+	}
+	return reflect.DeepEqual(a, b)
 }
