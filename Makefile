@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race cover bench bench-server tables ablations serve soak-viewmgr soak-recovery fuzz-wal fmt vet clean
+.PHONY: all build test short race cover bench bench-server bench-vacation tables ablations serve replay soak-viewmgr soak-recovery fuzz-wal fuzz-wire fmt vet clean
 
 all: build test
 
@@ -43,13 +43,30 @@ bench:
 # group): every write group appended and answered only after its flush — the
 # sameshard/xshard ATOMIC pair is the cross-shard 2PC overhead ratio. The
 # eigenbench cross-view δ(Q) cells ride the same JSON (benchreport keys on
-# the pkg: headers).
+# the pkg: headers). Every cell also reports closed-loop tail latency
+# (p50-ns/p99-ns/p999-ns, sampled every 8th request at the generator's
+# pipelining depth) so batching's latency cost shows up next to its
+# throughput win.
 bench-server:
 	( $(GO) test -run='^$$' -bench='BenchmarkServerThroughput|BenchmarkServerDurable' \
 		-benchmem -benchtime=200000x ./internal/server && \
 	  $(GO) test -run='^$$' -bench='BenchmarkCrossViewDelta' \
 		-benchmem -benchtime=1x ./internal/eigenbench ) \
 		| tee /dev/stderr | $(GO) run ./cmd/benchreport -o $(BENCH_DIR)/BENCH_server.json
+
+# Reservation-mix loopback benchmark (internal/vacation): 70% multi-key
+# cross-shard reservations, 20% single-key deposits, 10% ordered table
+# scans — the contention profile the paper's vacation tables describe.
+bench-vacation:
+	$(GO) test -run='^$$' -bench=BenchmarkVacationMix -benchmem ./internal/vacation
+
+# Golden-trace determinism check: replay the committed wire trace
+# (internal/replay/testdata/golden.trace) byte for byte against two fresh
+# servers; both final states must hash to the committed digest. Regenerate
+# the trace intentionally with:
+#   go test ./internal/replay -run TestGoldenTraceReplay -count=1 -args -update
+replay:
+	$(GO) test -count=1 -run 'TestGoldenTraceReplay|TestRecordReplayRoundTrip' -v ./internal/replay
 
 tables:
 	$(GO) run ./cmd/votm-bench -table all -scale default
@@ -87,6 +104,13 @@ FUZZ_TIME ?= 30s
 
 fuzz-wal:
 	$(GO) test -run='^$$' -fuzz=FuzzReplay -fuzztime=$(FUZZ_TIME) ./internal/wal
+
+# Wire parser fuzzing: request and response decoders (seed corpus includes
+# v4 SCAN frames — plain pages, continuations, degenerate ranges) must never
+# panic and must re-encode/re-parse stably. FUZZ_TIME=0x replays the corpus.
+fuzz-wire:
+	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=$(FUZZ_TIME) ./wire
+	$(GO) test -run='^$$' -fuzz=FuzzParseResponse -fuzztime=$(FUZZ_TIME) ./wire
 
 fmt:
 	gofmt -w .

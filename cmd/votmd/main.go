@@ -119,8 +119,8 @@ func main() {
 		go func() {
 			for range time.Tick(*statsSec) {
 				for _, r := range srv.StatsAll() {
-					line := fmt.Sprintf("shard %d [%s]: Q=%d commits=%d aborts=%d keys=%d delta=%.3f splits=%d",
-						r.Shard, r.Engine, r.Quota, r.Commits, r.Aborts, r.Keys, r.Delta, r.Repartitions)
+					line := fmt.Sprintf("shard %d [%s]: Q=%d commits=%d aborts=%d keys=%d delta=%.3f splits=%d scans=%d scannedKeys=%d",
+						r.Shard, r.Engine, r.Quota, r.Commits, r.Aborts, r.Keys, r.Delta, r.Repartitions, r.Scans, r.ScannedKeys)
 					if durable {
 						age := "never"
 						if r.SnapshotAgeSec != wire.SnapshotNever {

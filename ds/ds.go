@@ -1,7 +1,7 @@
 // Package ds exposes VOTM's transactional data structures: a sorted linked
-// list (the paper's Figures 1–2), a bounded FIFO queue, and a chained hash
-// map, all living inside a view's word heap and manipulated through
-// transactions.
+// list (the paper's Figures 1–2), a bounded FIFO queue, a chained hash
+// map, and an ordered skip list, all living inside a view's word heap and
+// manipulated through transactions.
 //
 // Memory discipline (matching the paper, where malloc_block is not
 // transactional): node blocks are allocated with the view allocator
@@ -38,6 +38,10 @@ type Queue = stmds.Queue
 // HashMap is a fixed-bucket chained hash map in view memory.
 type HashMap = stmds.HashMap
 
+// SkipList is a transactional ordered map in view memory with deterministic
+// tower heights and in-order iteration.
+type SkipList = stmds.SkipList
+
 // NewList allocates a list header in v.
 func NewList(v *votm.View) (*List, error) { return stmds.NewList(v) }
 
@@ -49,4 +53,10 @@ func NewQueue(v *votm.View, capacity int) (*Queue, error) {
 // NewHashMap allocates a hash map with nbuckets chains in v.
 func NewHashMap(v *votm.View, nbuckets int) (*HashMap, error) {
 	return stmds.NewHashMap(v, nbuckets)
+}
+
+// NewSkipList allocates a skip list in v. maxLevel <= 0 selects the
+// default maximum tower height.
+func NewSkipList(v *votm.View, maxLevel int) (*SkipList, error) {
+	return stmds.NewSkipList(v, maxLevel)
 }

@@ -1,0 +1,347 @@
+// Package replay is a wire-level record/replay harness for votmd. It
+// captures a client workload as a trace — every request frame, byte for
+// byte, in global arrival order, tagged with its connection — and replays
+// it against a fresh server, fully serialized: one frame in, one response
+// out, in exactly the recorded order. Because the server's data structures
+// are deterministic functions of the operation sequence (skip-list towers
+// hash from keys, sharding hashes from keys, no RNG on the execution
+// path), two replays of one trace must end in identical state; the ordered
+// full-keyspace SCAN digest (StateDigest) is the equality witness. A
+// committed golden trace plus its digest turns that property into a CI
+// regression check: any change that makes execution order- or
+// byte-sensitive breaks the digest.
+package replay
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"votm/client"
+	"votm/wire"
+)
+
+// magic heads every trace file; bump the trailing digit on format changes.
+const magic = "VOTMTRC1"
+
+// Record kinds: a connection opening, one request frame arriving on it, a
+// connection closing. Arrival order in the file is global arrival order.
+const (
+	recOpen  = 1
+	recFrame = 2
+	recClose = 3
+)
+
+// Record is one traced event.
+type Record struct {
+	Kind  uint8
+	Conn  uint32
+	Frame []byte // raw request frame including its length prefix; recFrame only
+}
+
+// Writer appends trace records to an underlying stream. Methods are safe
+// for concurrent use; each call appends one whole record, so interleaved
+// writers still produce a well-formed global order.
+type Writer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewWriter stamps the magic and returns a trace writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w}, nil
+}
+
+func (w *Writer) record(kind uint8, conn uint32, frame []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	var hdr [9]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], conn)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(frame)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if len(frame) > 0 {
+		if _, err := w.w.Write(frame); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Open records connection conn opening.
+func (w *Writer) Open(conn uint32) error { return w.record(recOpen, conn, nil) }
+
+// Frame records one raw request frame (length prefix included) arriving on
+// conn.
+func (w *Writer) Frame(conn uint32, frame []byte) error { return w.record(recFrame, conn, frame) }
+
+// Close records connection conn closing.
+func (w *Writer) Close(conn uint32) error { return w.record(recClose, conn, nil) }
+
+// ReadTrace parses a whole trace stream.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("replay: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("replay: bad magic %q", head)
+	}
+	var recs []Record
+	var hdr [9]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("replay: record %d header: %w", len(recs), err)
+		}
+		rec := Record{Kind: hdr[0], Conn: binary.LittleEndian.Uint32(hdr[1:])}
+		n := binary.LittleEndian.Uint32(hdr[5:])
+		if rec.Kind != recOpen && rec.Kind != recFrame && rec.Kind != recClose {
+			return nil, fmt.Errorf("replay: record %d has kind %d", len(recs), rec.Kind)
+		}
+		if n > wire.MaxFrame+4 {
+			return nil, fmt.Errorf("replay: record %d frame of %d bytes exceeds MaxFrame", len(recs), n)
+		}
+		if n > 0 {
+			rec.Frame = make([]byte, n)
+			if _, err := io.ReadFull(br, rec.Frame); err != nil {
+				return nil, fmt.Errorf("replay: record %d frame: %w", len(recs), err)
+			}
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// readRawFrame reads one length-prefixed wire frame, returning it whole
+// (prefix included) so it can be recorded or re-sent verbatim.
+func readRawFrame(br *bufio.Reader) ([]byte, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(br, pfx[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(pfx[:])
+	if n > wire.MaxFrame {
+		return nil, fmt.Errorf("replay: frame of %d bytes exceeds MaxFrame", n)
+	}
+	frame := make([]byte, 4+n)
+	copy(frame, pfx[:])
+	if _, err := io.ReadFull(br, frame[4:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// Proxy is a recording TCP proxy: clients connect to it instead of the
+// server, and every request frame they send is appended to the trace (in
+// global arrival order across connections) before being forwarded.
+// Responses stream back unrecorded — replay re-derives them. Close the
+// proxy before reading the trace.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	w      *Writer
+
+	mu    sync.Mutex
+	next  uint32
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// NewProxy starts a recording proxy on a loopback port in front of the
+// server at target, writing the trace to w.
+func NewProxy(target string, w io.Writer) (*Proxy, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, w: tw, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's dial address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting, closes every proxied connection and waits for the
+// trace to quiesce.
+func (p *Proxy) Close() error {
+	err := p.ln.Close()
+	p.mu.Lock()
+	for nc := range p.conns {
+		_ = nc.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.serve(nc)
+	}
+}
+
+func (p *Proxy) track(nc net.Conn, add bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if add {
+		p.conns[nc] = struct{}{}
+	} else {
+		delete(p.conns, nc)
+	}
+}
+
+func (p *Proxy) serve(down net.Conn) {
+	defer p.wg.Done()
+	p.track(down, true)
+	defer p.track(down, false)
+	defer down.Close()
+
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+
+	p.mu.Lock()
+	id := p.next
+	p.next++
+	p.mu.Unlock()
+	if err := p.w.Open(id); err != nil {
+		return
+	}
+	defer func() { _ = p.w.Close(id) }()
+
+	// Response side: plain byte stream back to the client.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = io.Copy(down, upstream)
+	}()
+
+	br := bufio.NewReaderSize(down, 1<<16)
+	for {
+		frame, err := readRawFrame(br)
+		if err != nil {
+			break
+		}
+		if err := p.w.Frame(id, frame); err != nil {
+			break
+		}
+		if _, err := upstream.Write(frame); err != nil {
+			break
+		}
+	}
+	_ = upstream.Close()
+	<-done
+}
+
+// Replay sends a trace against the server at addr, fully serialized: each
+// frame is written and its single response read to completion before the
+// next record proceeds, so the server observes exactly the recorded
+// operation order regardless of how concurrent the original capture was.
+// Returns the number of request frames replayed.
+func Replay(records []Record, addr string) (int, error) {
+	type rconn struct {
+		nc net.Conn
+		br *bufio.Reader
+	}
+	conns := make(map[uint32]*rconn)
+	defer func() {
+		for _, rc := range conns {
+			_ = rc.nc.Close()
+		}
+	}()
+	frames := 0
+	for i, rec := range records {
+		switch rec.Kind {
+		case recOpen:
+			if _, dup := conns[rec.Conn]; dup {
+				return frames, fmt.Errorf("replay: record %d reopens conn %d", i, rec.Conn)
+			}
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				return frames, fmt.Errorf("replay: record %d dial: %w", i, err)
+			}
+			conns[rec.Conn] = &rconn{nc: nc, br: bufio.NewReaderSize(nc, 1<<16)}
+		case recFrame:
+			rc, ok := conns[rec.Conn]
+			if !ok {
+				return frames, fmt.Errorf("replay: record %d frame on unopened conn %d", i, rec.Conn)
+			}
+			if _, err := rc.nc.Write(rec.Frame); err != nil {
+				return frames, fmt.Errorf("replay: record %d write: %w", i, err)
+			}
+			if _, err := readRawFrame(rc.br); err != nil {
+				return frames, fmt.Errorf("replay: record %d response: %w", i, err)
+			}
+			frames++
+		case recClose:
+			if rc, ok := conns[rec.Conn]; ok {
+				_ = rc.nc.Close()
+				delete(conns, rec.Conn)
+			}
+		default:
+			return frames, fmt.Errorf("replay: record %d has kind %d", i, rec.Kind)
+		}
+	}
+	return frames, nil
+}
+
+// StateDigest hashes the server's entire key-value state through an
+// ordered full-keyspace SCAN: sha256 over (key, length, value) in key
+// order. Two servers answer the same digest iff their visible state is
+// identical. (The scan range is [0, MaxUint64), which excludes the single
+// key ^uint64(0) — no workload here uses it.)
+func StateDigest(ctx context.Context, c *client.Client) (string, error) {
+	h := sha256.New()
+	var buf [12]byte
+	sc := c.Scan(0, ^uint64(0), client.ScanOptions{})
+	n := 0
+	for sc.Next(ctx) {
+		e := sc.Entry()
+		binary.LittleEndian.PutUint64(buf[0:], e.Key)
+		binary.LittleEndian.PutUint32(buf[8:], uint32(len(e.Value)))
+		h.Write(buf[:])
+		h.Write(e.Value)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], uint64(n))
+	h.Write(tail[:])
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -176,7 +178,13 @@ const (
 	benchWindow  = 512      // in-flight requests (stays under QueueDepth: no BUSY)
 	benchChunk   = 32       // completions per credit message reader → writer
 	benchWriteHW = 32 << 10 // flush threshold for the generator's write buffer
+	benchLatN    = 8        // latency-sample every Nth request
 )
+
+// pctlNS picks the q-permille (500 = p50) entry from sorted latencies.
+func pctlNS(sorted []int64, q int) float64 {
+	return float64(sorted[(len(sorted)-1)*q/1000])
+}
 
 func benchServer(b *testing.B, cfg server.Config,
 	build func(*wire.Request, *rand.Rand, []byte)) {
@@ -223,6 +231,15 @@ func benchServerWindow(b *testing.B, cfg server.Config, window int,
 	// tax both batch settings equally and compress the measured ratio.
 	credits := make(chan int, window/benchChunk+1)
 	readerDone := make(chan error, 1)
+	// Tail latency rides along: every benchLatN-th request stamps its build
+	// time into a slot keyed by request ID, and the reader diffs on arrival
+	// (responses can come back out of order across workers, so it matches by
+	// ID, not position). Stores and loads are atomic because the socket
+	// round-trip orders them logically but not for the race detector. The
+	// measured number is closed-loop latency — queueing in the pipelining
+	// window included — which is what a client at this depth would see.
+	sendNS := make([]int64, b.N/benchLatN+1)
+	latNS := make([]int64, 0, len(sendNS))
 	rng := rand.New(rand.NewSource(1))
 	req := &wire.Request{}
 	wbuf := make([]byte, 0, benchWriteHW+4096)
@@ -252,6 +269,10 @@ func benchServerWindow(b *testing.B, cfg server.Config, window int,
 				readerDone <- fmt.Errorf("response %d: status %v", i, resp.Status)
 				return
 			}
+			if idx := int(resp.ID) - 1; idx%benchLatN == 0 {
+				sent := atomic.LoadInt64(&sendNS[idx/benchLatN])
+				latNS = append(latNS, time.Now().UnixNano()-sent)
+			}
 			if done++; done == benchChunk {
 				credits <- done
 				done = 0
@@ -277,6 +298,9 @@ func benchServerWindow(b *testing.B, cfg server.Config, window int,
 		avail--
 		build(req, rng, val)
 		req.ID = uint32(i + 1)
+		if i%benchLatN == 0 {
+			atomic.StoreInt64(&sendNS[i/benchLatN], time.Now().UnixNano())
+		}
 		wbuf, err = wire.AppendRequest(wbuf, req)
 		if err != nil {
 			b.Fatalf("encode: %v", err)
@@ -292,6 +316,12 @@ func benchServerWindow(b *testing.B, cfg server.Config, window int,
 	b.StopTimer()
 
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+	if len(latNS) > 0 {
+		sort.Slice(latNS, func(i, j int) bool { return latNS[i] < latNS[j] })
+		b.ReportMetric(pctlNS(latNS, 500), "p50-ns")
+		b.ReportMetric(pctlNS(latNS, 990), "p99-ns")
+		b.ReportMetric(pctlNS(latNS, 999), "p999-ns")
+	}
 	var groups, groupOps, appends, fsyncs uint64
 	for _, st := range srv.StatsAll() {
 		groups += st.Groups

@@ -121,13 +121,18 @@ func (c *conn) dispatch(req *wire.Request) {
 	}
 
 	var sh *shard
-	if req.Op == wire.OpAtomic {
+	switch req.Op {
+	case wire.OpAtomic:
 		// An ATOMIC batch may span shards: it is dispatched to its canonical
 		// coordinator (the first participant in the global acquisition
 		// order), whose worker executes it as one multi-view transaction
 		// (group.go runAtomicMulti).
 		sh = s.atomicCoordinator(req)
-	} else {
+	case wire.OpScan:
+		// A SCAN page consults every sub-shard: it runs on the global scan
+		// coordinator, the front of the same acquisition order (scan.go).
+		sh = s.scanCoordinator()
+	default:
 		sh = s.shards[s.Shard(req.Key)].route(req.Key)
 	}
 
@@ -169,6 +174,18 @@ func (c *conn) validate(req *wire.Request) (wire.Status, string) {
 				return wire.StatusTooLarge, fmt.Sprintf("value exceeds %d bytes", max)
 			}
 		}
+	case wire.OpScan:
+		// The framing layer already bounds Limit at MaxScanKeys; range and
+		// cursor shape are semantic and rejected here (docs/PROTOCOL.md §SCAN).
+		if req.Limit == 0 {
+			return wire.StatusBadRequest, "scan limit must be positive"
+		}
+		if req.Key >= req.End {
+			return wire.StatusBadRequest, "scan range is empty or reversed"
+		}
+		if req.HasCursor && (req.Cursor < req.Key || req.Cursor >= req.End) {
+			return wire.StatusBadRequest, "scan cursor outside range"
+		}
 	}
 	return wire.StatusOK, ""
 }
@@ -179,6 +196,9 @@ func respSizeHint(r *wire.Response) int {
 	n := 64 + len(r.Value) + 104*len(r.Stats)
 	for i := range r.Subs {
 		n += 24 + len(r.Subs[i].Value)
+	}
+	for i := range r.Entries {
+		n += 16 + len(r.Entries[i].Value)
 	}
 	return n
 }

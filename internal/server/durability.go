@@ -270,7 +270,7 @@ func (s *Server) snapshotShard(sh *shard, th *votm.Thread) (int, error) {
 	}
 	err := sh.view.AtomicRead(context.Background(), th, func(tx votm.Tx) error {
 		entries, blobs = entries[:0], blobs[:0]
-		sh.hm.ForEach(tx, func(key, val uint64) {
+		sh.idx.ForEach(tx, func(key, val uint64) {
 			start := len(blobs)
 			blobs = enc.AppendBlob(blobs, tx, votm.Addr(val))
 			entries = append(entries, wal.Entry{Key: key, Value: blobs[start:len(blobs):len(blobs)]})

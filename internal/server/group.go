@@ -151,6 +151,13 @@ func (w *groupWorker) run(batch []task) {
 			w.finish(t, resp)
 			continue
 		}
+		if t.req.Op == wire.OpScan {
+			// A SCAN page pauses every view; settle lagged flushes first so
+			// the writes it reveals never outrun their durability answers.
+			w.flushPending()
+			w.runScan(t)
+			continue
+		}
 		if t.req.Op == wire.OpAtomic {
 			parts, owner := w.s.atomicPlan(t.req)
 			if len(parts) == 1 && parts[0] == w.sh {
@@ -978,7 +985,6 @@ func (w *groupWorker) runGroup() bool {
 	// pressure), fall back to per-op allocation so that only the op that
 	// actually fails is answered INTERNAL and skipped.
 	w.sizes = w.sizes[:0]
-	nodeWords := sh.hm.NodeWords()
 	for i := range ops {
 		op := &ops[i]
 		req := op.t.req
@@ -989,7 +995,9 @@ func (w *groupWorker) runGroup() bool {
 			readonly = false
 		}
 		if req.Op == wire.OpPut || req.Op == wire.OpCAS {
-			w.sizes = append(w.sizes, enc.BlobWords(len(req.Value)), nodeWords)
+			// Node words are key-dependent: the skip list's tower height is a
+			// deterministic function of the key.
+			w.sizes = append(w.sizes, enc.BlobWords(len(req.Value)), sh.idx.NodeWords(req.Key))
 		}
 		live++
 	}
@@ -1020,7 +1028,7 @@ func (w *groupWorker) runGroup() bool {
 			if err == nil {
 				op.block, op.hasBlock = block, true
 				var node ds.Ref
-				if node, err = sh.hm.NewNode(); err == nil {
+				if node, err = sh.idx.NewNode(req.Key); err == nil {
 					op.node, op.hasNode = node, true
 				}
 			}
@@ -1114,14 +1122,14 @@ func (w *groupWorker) runGroup() bool {
 			resp.Created = false
 			switch req.Op {
 			case wire.OpGet:
-				if ref, ok := sh.hm.Get(tx, req.Key); ok {
+				if ref, ok := sh.idx.Get(tx, req.Key); ok {
 					resp.Value = enc.AppendBlob(resp.Value, tx, votm.Addr(ref))
 				} else {
 					resp.Status = wire.StatusNotFound
 				}
 			case wire.OpPut:
 				enc.StoreBlob(tx, op.block, req.Value)
-				prev, existed, used := sh.hm.Swap(tx, req.Key, uint64(op.block), op.node)
+				prev, existed, used := sh.idx.Swap(tx, req.Key, uint64(op.block), op.node)
 				op.usedBlock, op.usedNode = true, used
 				if existed {
 					w.frees = append(w.frees, votm.Addr(prev))
@@ -1130,15 +1138,15 @@ func (w *groupWorker) runGroup() bool {
 				}
 				resp.Created = !existed
 			case wire.OpDelete:
-				if ref, ok := sh.hm.Get(tx, req.Key); ok {
-					node, _ := sh.hm.Delete(tx, req.Key)
+				if ref, ok := sh.idx.Get(tx, req.Key); ok {
+					node, _ := sh.idx.Delete(tx, req.Key)
 					w.frees = append(w.frees, votm.Addr(ref), votm.Addr(node))
 					w.keysDelta--
 				} else {
 					resp.Status = wire.StatusNotFound
 				}
 			case wire.OpCAS:
-				ref, ok := sh.hm.Get(tx, req.Key)
+				ref, ok := sh.idx.Get(tx, req.Key)
 				if !ok {
 					resp.Status = wire.StatusNotFound
 					break
@@ -1150,7 +1158,7 @@ func (w *groupWorker) runGroup() bool {
 					break
 				}
 				enc.StoreBlob(tx, op.block, req.Value)
-				prev, _, used := sh.hm.Swap(tx, req.Key, uint64(op.block), op.node)
+				prev, _, used := sh.idx.Swap(tx, req.Key, uint64(op.block), op.node)
 				op.usedBlock, op.usedNode = true, used
 				w.frees = append(w.frees, votm.Addr(prev))
 			}
@@ -1258,7 +1266,7 @@ func (w *groupWorker) releaseOp(op *groupOp) {
 		op.hasBlock = false
 	}
 	if op.hasNode {
-		_ = w.sh.hm.FreeNode(op.node)
+		_ = w.sh.idx.FreeNode(op.node)
 		op.hasNode = false
 	}
 }

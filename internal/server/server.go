@@ -348,14 +348,14 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		hm, err := ds.NewHashMap(v, cfg.Buckets)
+		idx, err := ds.NewSkipList(v, 0)
 		if err != nil {
 			return nil, err
 		}
 		sh := &shard{
 			id:    i,
 			view:  v,
-			hm:    hm,
+			idx:   idx,
 			queue: make(chan task, cfg.QueueDepth),
 		}
 		if durable {
@@ -718,6 +718,9 @@ func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 				CrossShardGroups:   sh.xsGroups.Load(),
 				CrossShardPrepares: sh.xsPrepares.Load(),
 				PrepareAborts:      sh.xsPrepareAborts.Load(),
+
+				Scans:       sh.scans.Load(),
+				ScannedKeys: sh.scannedKeys.Load(),
 			})
 		}
 	}

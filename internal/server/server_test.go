@@ -281,8 +281,14 @@ func TestLoopbackSoak(t *testing.T) {
 		rounds = 40
 	}
 
+	// A single-key write through the ordered index spans ~50 instrumented
+	// ops (a tower walk per access), so the conflict period is calibrated to
+	// inject roughly one abort every couple of attempts — enough pressure to
+	// drive delta(Q) and move the quota, low enough that transactions retry
+	// and commit instead of all burning straight through the retry budget
+	// into escalation (which starves the controller of commit signal).
 	inj := votm.NewFaultInjector(votm.FaultConfig{
-		ConflictEvery: 7, // aborts on the instrumented paths drive delta(Q) up
+		ConflictEvery: 37,
 		LatencyEvery:  151,
 		Latency:       20 * time.Microsecond,
 	})

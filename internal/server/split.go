@@ -154,6 +154,13 @@ func (s *Server) recheckRoute(sh *shard, req *wire.Request) *wire.Response {
 		if s.atomicCoordinator(req) == sh {
 			return nil
 		}
+	case wire.OpScan:
+		// The scan coordinator is the least sub-shard in canonical order; a
+		// split only ever appends deeper sub-shards, so in practice it never
+		// moves — but the body's membership re-check is the real guard.
+		if s.scanCoordinator() == sh {
+			return nil
+		}
 	default:
 		return nil
 	}
@@ -236,7 +243,7 @@ func (s *Server) splitShard(g *shardGroup, sh *shard) error {
 	if err != nil {
 		return err
 	}
-	hm, err := ds.NewHashMap(v, s.cfg.Buckets)
+	idx, err := ds.NewSkipList(v, 0)
 	if err != nil {
 		_ = s.rt.DestroyView(vid)
 		return err
@@ -244,7 +251,7 @@ func (s *Server) splitShard(g *shardGroup, sh *shard) error {
 	child := &shard{
 		id:    sh.id,
 		view:  v,
-		hm:    hm,
+		idx:   idx,
 		queue: make(chan task, s.cfg.QueueDepth),
 	}
 	child.routeBits.Store(packRoute(prefix|1<<depth, depth+1))
@@ -256,7 +263,7 @@ func (s *Server) splitShard(g *shardGroup, sh *shard) error {
 	err = sh.view.Exclusive(ctx, func(ptx votm.Tx) error {
 		// Pass 1: find the migrating entries and snapshot their values. The
 		// parent is quiescent, so the snapshot cannot go stale.
-		sh.hm.ForEach(ptx, func(key, ref uint64) {
+		sh.idx.ForEach(ptx, func(key, ref uint64) {
 			if subMix(key)&(1<<depth) != 0 {
 				moved = append(moved, movedEntry{
 					key:       key,
@@ -272,14 +279,14 @@ func (s *Server) splitShard(g *shardGroup, sh *shard) error {
 			if moved[i].childRef, err = child.alloc(enc.BlobWords(len(moved[i].val))); err != nil {
 				return err
 			}
-			if moved[i].childNode, err = child.hm.NewNode(); err != nil {
+			if moved[i].childNode, err = child.idx.NewNode(moved[i].key); err != nil {
 				return err
 			}
 		}
 		if err := child.view.Exclusive(ctx, func(ctx2 votm.Tx) error {
 			for _, e := range moved {
 				enc.StoreBlob(ctx2, e.childRef, e.val)
-				child.hm.Put(ctx2, e.key, uint64(e.childRef), e.childNode)
+				child.idx.Put(ctx2, e.key, uint64(e.childRef), e.childNode)
 			}
 			return nil
 		}); err != nil {
@@ -292,7 +299,7 @@ func (s *Server) splitShard(g *shardGroup, sh *shard) error {
 		g.subs.Store(&newSubs)
 		sh.routeBits.Store(packRoute(prefix, depth+1))
 		for i := range moved {
-			node, ok := sh.hm.Delete(ptx, moved[i].key)
+			node, ok := sh.idx.Delete(ptx, moved[i].key)
 			if ok {
 				moved[i].parentNode, moved[i].hasParentNode = node, true
 			}
@@ -310,7 +317,7 @@ func (s *Server) splitShard(g *shardGroup, sh *shard) error {
 	// worker pool.
 	for _, e := range moved {
 		if e.hasParentNode {
-			_ = sh.hm.FreeNode(e.parentNode)
+			_ = sh.idx.FreeNode(e.parentNode)
 		}
 		_ = sh.view.Free(votm.Addr(e.parentRef))
 	}

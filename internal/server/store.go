@@ -1,8 +1,10 @@
-// Shard store: each shard is one VOTM view holding a ds.HashMap from key to
-// a value-block reference, with the value bytes packed through enc. The ops
-// below follow the repo's memory discipline — blocks and map nodes are
-// allocated outside transactions, linked inside, and freed only after the
-// transaction commits — so retried bodies stay side-effect free.
+// Shard store: each shard is one VOTM view holding a ds.SkipList from key
+// to a value-block reference, with the value bytes packed through enc. The
+// ordered index is what makes wire-level SCAN a per-shard Seek/Next merge
+// (see scan.go); point ops pay a modest constant over the old hash map for
+// it. The ops below follow the repo's memory discipline — blocks and index
+// nodes are allocated outside transactions, linked inside, and freed only
+// after the transaction commits — so retried bodies stay side-effect free.
 package server
 
 import (
@@ -22,15 +24,15 @@ import (
 )
 
 // shard is one serving sub-shard: a view (own STM engine + RAC controller),
-// its hash map, the bounded request queue feeding the shard's workers, and a
-// live-key counter kept outside the heap so STATS never needs a transaction.
-// A wire-level shard starts as exactly one sub-shard; automatic splitting
-// (split.go) adds more, each owning the keys whose subMix matches its
-// routeBits rule.
+// its ordered key index, the bounded request queue feeding the shard's
+// workers, and a live-key counter kept outside the heap so STATS never needs
+// a transaction. A wire-level shard starts as exactly one sub-shard;
+// automatic splitting (split.go) adds more, each owning the keys whose
+// subMix matches its routeBits rule.
 type shard struct {
 	id    int // wire-level shard index (the routing group)
 	view  *votm.View
-	hm    *ds.HashMap
+	idx   *ds.SkipList
 	queue chan task
 	keys  atomic.Int64
 	// queueHW is the high-water mark of the queue depth observed at
@@ -67,6 +69,11 @@ type shard struct {
 	xsGroups        atomic.Uint64
 	xsPrepares      atomic.Uint64
 	xsPrepareAborts atomic.Uint64
+
+	// Scan meters (scan.go): pages this shard coordinated, and entries it
+	// contributed to any page's merge.
+	scans       atomic.Uint64
+	scannedKeys atomic.Uint64
 }
 
 // noteDepth records the queue depth seen right after an enqueue.
@@ -157,7 +164,7 @@ func (sh *shard) doGet(ctx context.Context, th *votm.Thread, key uint64) ([]byte
 	)
 	err := sh.view.AtomicRead(ctx, th, func(tx votm.Tx) error {
 		val, found = nil, false
-		if ref, ok := sh.hm.Get(tx, key); ok {
+		if ref, ok := sh.idx.Get(tx, key); ok {
 			val = enc.LoadBlob(tx, votm.Addr(ref))
 			found = true
 		}
@@ -175,7 +182,7 @@ func (sh *shard) doPut(ctx context.Context, th *votm.Thread, key uint64, val []b
 	if err != nil {
 		return false, err
 	}
-	node, err := sh.hm.NewNode()
+	node, err := sh.idx.NewNode(key)
 	if err != nil {
 		_ = sh.view.Free(block)
 		return false, err
@@ -186,12 +193,12 @@ func (sh *shard) doPut(ctx context.Context, th *votm.Thread, key uint64, val []b
 	)
 	err = sh.view.Atomic(ctx, th, func(tx votm.Tx) error {
 		enc.StoreBlob(tx, block, val)
-		prev, existed, used = sh.hm.Swap(tx, key, uint64(block), node)
+		prev, existed, used = sh.idx.Swap(tx, key, uint64(block), node)
 		return nil
 	})
 	if err != nil {
 		_ = sh.view.Free(block)
-		_ = sh.hm.FreeNode(node)
+		_ = sh.idx.FreeNode(node)
 		return false, err
 	}
 	if existed {
@@ -200,7 +207,7 @@ func (sh *shard) doPut(ctx context.Context, th *votm.Thread, key uint64, val []b
 		sh.keys.Add(1)
 	}
 	if !used {
-		_ = sh.hm.FreeNode(node)
+		_ = sh.idx.FreeNode(node)
 	}
 	return !existed, nil
 }
@@ -214,11 +221,11 @@ func (sh *shard) doDelete(ctx context.Context, th *votm.Thread, key uint64) (boo
 	)
 	err := sh.view.Atomic(ctx, th, func(tx votm.Tx) error {
 		valRef, node, found = 0, ds.NilRef, false
-		ref, ok := sh.hm.Get(tx, key)
+		ref, ok := sh.idx.Get(tx, key)
 		if !ok {
 			return nil
 		}
-		n, ok := sh.hm.Delete(tx, key)
+		n, ok := sh.idx.Delete(tx, key)
 		if !ok {
 			return nil // unreachable: same transaction as the Get
 		}
@@ -228,7 +235,7 @@ func (sh *shard) doDelete(ctx context.Context, th *votm.Thread, key uint64) (boo
 	if err != nil || !found {
 		return false, err
 	}
-	_ = sh.hm.FreeNode(node)
+	_ = sh.idx.FreeNode(node)
 	_ = sh.view.Free(votm.Addr(valRef))
 	sh.keys.Add(-1)
 	return true, nil
@@ -250,7 +257,7 @@ func (sh *shard) doCAS(ctx context.Context, th *votm.Thread, key uint64, expect,
 	if err != nil {
 		return casOK, nil, err
 	}
-	node, err := sh.hm.NewNode()
+	node, err := sh.idx.NewNode(key)
 	if err != nil {
 		_ = sh.view.Free(block)
 		return casOK, nil, err
@@ -263,7 +270,7 @@ func (sh *shard) doCAS(ctx context.Context, th *votm.Thread, key uint64, expect,
 	)
 	err = sh.view.Atomic(ctx, th, func(tx votm.Tx) error {
 		outcome, current, prev, used = casOK, nil, 0, false
-		ref, ok := sh.hm.Get(tx, key)
+		ref, ok := sh.idx.Get(tx, key)
 		if !ok {
 			outcome = casMissing
 			return nil
@@ -275,18 +282,18 @@ func (sh *shard) doCAS(ctx context.Context, th *votm.Thread, key uint64, expect,
 		}
 		enc.StoreBlob(tx, block, newVal)
 		var existed bool
-		prev, existed, used = sh.hm.Swap(tx, key, uint64(block), node)
+		prev, existed, used = sh.idx.Swap(tx, key, uint64(block), node)
 		_ = existed // necessarily true: the key was just read in this tx
 		return nil
 	})
 	if err != nil || outcome != casOK {
 		_ = sh.view.Free(block)
-		_ = sh.hm.FreeNode(node)
+		_ = sh.idx.FreeNode(node)
 		return outcome, current, err
 	}
 	_ = sh.view.Free(votm.Addr(prev))
 	if !used {
-		_ = sh.hm.FreeNode(node)
+		_ = sh.idx.FreeNode(node)
 	}
 	return casOK, nil, nil
 }
@@ -313,7 +320,7 @@ func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub,
 				_ = sh.view.Free(r.block)
 			}
 			if r.hasNode {
-				_ = sh.hm.FreeNode(r.node)
+				_ = sh.idx.FreeNode(r.node)
 			}
 		}
 	}
@@ -329,7 +336,7 @@ func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub,
 				freeAll()
 				return nil, err
 			}
-			node, err := sh.hm.NewNode()
+			node, err := sh.idx.NewNode(sub.Key)
 			if err != nil {
 				_ = sh.view.Free(block)
 				freeAll()
@@ -358,7 +365,7 @@ func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub,
 			if n, ok := effLen[key]; ok {
 				return n
 			}
-			if ref, ok := sh.hm.Get(tx, key); ok {
+			if ref, ok := sh.idx.Get(tx, key); ok {
 				return int(tx.Load(votm.Addr(ref)))
 			}
 			return -1
@@ -388,14 +395,14 @@ func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub,
 			r := wire.SubResult{Kind: sub.Kind, Status: wire.StatusOK}
 			switch sub.Kind {
 			case wire.SubGet:
-				if ref, ok := sh.hm.Get(tx, sub.Key); ok {
+				if ref, ok := sh.idx.Get(tx, sub.Key); ok {
 					r.Value = enc.LoadBlob(tx, votm.Addr(ref))
 				} else {
 					r.Status = wire.StatusNotFound
 				}
 			case wire.SubPut:
 				enc.StoreBlob(tx, res[i].block, sub.Value)
-				prev, existed, used := sh.hm.Swap(tx, sub.Key, uint64(res[i].block), res[i].node)
+				prev, existed, used := sh.idx.Swap(tx, sub.Key, uint64(res[i].block), res[i].node)
 				usedBlock[i], usedNode[i] = true, used
 				if existed {
 					freeRefs = append(freeRefs, prev)
@@ -403,17 +410,17 @@ func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub,
 					keysDelta++
 				}
 			case wire.SubDelete:
-				ref, ok := sh.hm.Get(tx, sub.Key)
+				ref, ok := sh.idx.Get(tx, sub.Key)
 				if !ok {
 					r.Status = wire.StatusNotFound
 					break
 				}
-				node, _ := sh.hm.Delete(tx, sub.Key)
+				node, _ := sh.idx.Delete(tx, sub.Key)
 				freeRefs = append(freeRefs, ref)
 				freeNodes = append(freeNodes, node)
 				keysDelta--
 			case wire.SubAdd:
-				if ref, ok := sh.hm.Get(tx, sub.Key); ok {
+				if ref, ok := sh.idx.Get(tx, sub.Key); ok {
 					base := votm.Addr(ref)
 					if tx.Load(base) != 8 {
 						return errBadAdd // unreachable: validated above
@@ -424,7 +431,7 @@ func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub,
 					r.Sum = sub.Delta
 					tx.Store(res[i].block, 8)
 					tx.Store(res[i].block+1, r.Sum)
-					_, _, used := sh.hm.Swap(tx, sub.Key, uint64(res[i].block), res[i].node)
+					_, _, used := sh.idx.Swap(tx, sub.Key, uint64(res[i].block), res[i].node)
 					usedBlock[i], usedNode[i] = true, used
 					keysDelta++
 				}
@@ -443,14 +450,14 @@ func (sh *shard) doAtomic(ctx context.Context, th *votm.Thread, subs []wire.Sub,
 		_ = sh.view.Free(votm.Addr(ref))
 	}
 	for _, n := range freeNodes {
-		_ = sh.hm.FreeNode(n)
+		_ = sh.idx.FreeNode(n)
 	}
 	for i, r := range res {
 		if r.hasBlock && !usedBlock[i] {
 			_ = sh.view.Free(r.block)
 		}
 		if r.hasNode && !usedNode[i] {
-			_ = sh.hm.FreeNode(r.node)
+			_ = sh.idx.FreeNode(r.node)
 		}
 	}
 	sh.keys.Add(keysDelta)
@@ -492,7 +499,7 @@ func (b *multiBatch) alloc(parts []*shard) error {
 				_ = p.view.Free(r.block)
 			}
 			if r.hasNode {
-				_ = p.hm.FreeNode(r.node)
+				_ = p.idx.FreeNode(r.node)
 			}
 		}
 	}
@@ -509,7 +516,7 @@ func (b *multiBatch) alloc(parts []*shard) error {
 				freePartial()
 				return err
 			}
-			node, err := p.hm.NewNode()
+			node, err := p.idx.NewNode(sub.Key)
 			if err != nil {
 				_ = p.view.Free(block)
 				freePartial()
@@ -538,7 +545,7 @@ func (b *multiBatch) exec(parts []*shard, txs []votm.Tx) error {
 		if n, ok := effLen[key]; ok {
 			return n
 		}
-		if ref, ok := parts[pi].hm.Get(txs[pi], key); ok {
+		if ref, ok := parts[pi].idx.Get(txs[pi], key); ok {
 			return int(txs[pi].Load(votm.Addr(ref)))
 		}
 		return -1
@@ -572,14 +579,14 @@ func (b *multiBatch) exec(parts []*shard, txs []votm.Tx) error {
 		r := wire.SubResult{Kind: sub.Kind, Status: wire.StatusOK}
 		switch sub.Kind {
 		case wire.SubGet:
-			if ref, ok := p.hm.Get(tx, sub.Key); ok {
+			if ref, ok := p.idx.Get(tx, sub.Key); ok {
 				r.Value = enc.LoadBlob(tx, votm.Addr(ref))
 			} else {
 				r.Status = wire.StatusNotFound
 			}
 		case wire.SubPut:
 			enc.StoreBlob(tx, b.res[i].block, sub.Value)
-			prev, existed, used := p.hm.Swap(tx, sub.Key, uint64(b.res[i].block), b.res[i].node)
+			prev, existed, used := p.idx.Swap(tx, sub.Key, uint64(b.res[i].block), b.res[i].node)
 			b.usedBlock[i], b.usedNode[i] = true, used
 			if existed {
 				b.freeRefs, b.freeOwner = append(b.freeRefs, prev), append(b.freeOwner, pi)
@@ -587,17 +594,17 @@ func (b *multiBatch) exec(parts []*shard, txs []votm.Tx) error {
 				b.keysDelta[pi]++
 			}
 		case wire.SubDelete:
-			ref, ok := p.hm.Get(tx, sub.Key)
+			ref, ok := p.idx.Get(tx, sub.Key)
 			if !ok {
 				r.Status = wire.StatusNotFound
 				break
 			}
-			node, _ := p.hm.Delete(tx, sub.Key)
+			node, _ := p.idx.Delete(tx, sub.Key)
 			b.freeRefs, b.freeOwner = append(b.freeRefs, ref), append(b.freeOwner, pi)
 			b.freeNodes, b.nodeOwner = append(b.freeNodes, node), append(b.nodeOwner, pi)
 			b.keysDelta[pi]--
 		case wire.SubAdd:
-			if ref, ok := p.hm.Get(tx, sub.Key); ok {
+			if ref, ok := p.idx.Get(tx, sub.Key); ok {
 				base := votm.Addr(ref)
 				if tx.Load(base) != 8 {
 					return errBadAdd // unreachable: validated above
@@ -608,7 +615,7 @@ func (b *multiBatch) exec(parts []*shard, txs []votm.Tx) error {
 				r.Sum = sub.Delta
 				tx.Store(b.res[i].block, 8)
 				tx.Store(b.res[i].block+1, r.Sum)
-				_, _, used := p.hm.Swap(tx, sub.Key, uint64(b.res[i].block), b.res[i].node)
+				_, _, used := p.idx.Swap(tx, sub.Key, uint64(b.res[i].block), b.res[i].node)
 				b.usedBlock[i], b.usedNode[i] = true, used
 				b.keysDelta[pi]++
 			}
@@ -629,7 +636,7 @@ func (b *multiBatch) settle(parts []*shard) {
 				_ = p.view.Free(r.block)
 			}
 			if r.hasNode {
-				_ = p.hm.FreeNode(r.node)
+				_ = p.idx.FreeNode(r.node)
 			}
 		}
 		return
@@ -638,7 +645,7 @@ func (b *multiBatch) settle(parts []*shard) {
 		_ = parts[b.freeOwner[i]].view.Free(votm.Addr(ref))
 	}
 	for i, n := range b.freeNodes {
-		_ = parts[b.nodeOwner[i]].hm.FreeNode(n)
+		_ = parts[b.nodeOwner[i]].idx.FreeNode(n)
 	}
 	for i, r := range b.res {
 		p := parts[b.owner[i]]
@@ -646,7 +653,7 @@ func (b *multiBatch) settle(parts []*shard) {
 			_ = p.view.Free(r.block)
 		}
 		if r.hasNode && !b.usedNode[i] {
-			_ = p.hm.FreeNode(r.node)
+			_ = p.idx.FreeNode(r.node)
 		}
 	}
 	for i, d := range b.keysDelta {

@@ -124,3 +124,102 @@ func BenchmarkHashMapGet(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkSkipListPut(b *testing.B) {
+	_, v, th := benchView(b, 1<<22)
+	sl, err := stmds.NewSkipList(v, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	nodes := make([]stmds.Ref, b.N)
+	for i := range nodes {
+		n, err := sl.NewNode(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i)
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			sl.Put(tx, key, key, nodes[i])
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkipListGet(b *testing.B) {
+	_, v, th := benchView(b, 1<<20)
+	sl, err := stmds.NewSkipList(v, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 4096; i++ {
+		key := uint64(i)
+		n, err := sl.NewNode(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			sl.Put(tx, key, key*3, n)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i % 4096)
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			if got, ok := sl.Get(tx, key); !ok || got != key*3 {
+				b.Errorf("Get(%d) = %d,%v", key, got, ok)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkipListScan walks a 64-key window per op — the shard-side cost
+// of one SCAN page segment.
+func BenchmarkSkipListScan(b *testing.B) {
+	_, v, th := benchView(b, 1<<20)
+	sl, err := stmds.NewSkipList(v, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 4096; i++ {
+		key := uint64(i)
+		n, err := sl.NewNode(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			sl.Put(tx, key, key, n)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := uint64((i * 61) % 4000)
+		if err := v.Atomic(ctx, th, func(tx core.Tx) error {
+			n := sl.Seek(tx, from)
+			for j := 0; j < 64 && n != stmds.NilRef; j++ {
+				_ = sl.NodeVal(tx, n)
+				n = sl.Next(tx, n)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

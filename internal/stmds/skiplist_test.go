@@ -1,0 +1,425 @@
+package stmds_test
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"votm/internal/core"
+	"votm/internal/stmds"
+)
+
+func newSkipList(t *testing.T, v *core.View) *stmds.SkipList {
+	t.Helper()
+	sl, err := stmds.NewSkipList(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sl
+}
+
+// slPut inserts or overwrites key outside the hot path: allocate a spare,
+// run the transaction, free the spare when it went unused.
+func slPut(t *testing.T, v *core.View, th *core.Thread, sl *stmds.SkipList, key, val uint64) {
+	t.Helper()
+	spare, err := sl.NewNode(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var used bool
+	run(t, v, th, func(tx core.Tx) error {
+		used = sl.Put(tx, key, val, spare)
+		return nil
+	})
+	if !used {
+		if err := sl.FreeNode(spare); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSkipListBasic(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 1<<14, 2)
+	th := rt.RegisterThread()
+	sl := newSkipList(t, v)
+
+	slPut(t, v, th, sl, 7, 70)
+	slPut(t, v, th, sl, 3, 30)
+	slPut(t, v, th, sl, 11, 110)
+
+	run(t, v, th, func(tx core.Tx) error {
+		for _, c := range []struct{ k, want uint64 }{{3, 30}, {7, 70}, {11, 110}} {
+			if got, ok := sl.Get(tx, c.k); !ok || got != c.want {
+				t.Errorf("Get(%d) = (%d,%v), want (%d,true)", c.k, got, ok, c.want)
+			}
+		}
+		if _, ok := sl.Get(tx, 5); ok {
+			t.Error("Get(5) found a phantom key")
+		}
+		if n := sl.Len(tx); n != 3 {
+			t.Errorf("Len = %d, want 3", n)
+		}
+		return nil
+	})
+
+	// Overwrite updates in place, no new node consumed.
+	slPut(t, v, th, sl, 7, 77)
+	run(t, v, th, func(tx core.Tx) error {
+		if got, _ := sl.Get(tx, 7); got != 77 {
+			t.Errorf("after overwrite Get(7) = %d, want 77", got)
+		}
+		if n := sl.Len(tx); n != 3 {
+			t.Errorf("Len after overwrite = %d, want 3", n)
+		}
+		return nil
+	})
+}
+
+func TestSkipListSwap(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 1<<14, 2)
+	th := rt.RegisterThread()
+	sl := newSkipList(t, v)
+
+	spare, err := sl.NewNode(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, v, th, func(tx core.Tx) error {
+		prev, existed, used := sl.Swap(tx, 42, 1, spare)
+		if existed || !used || prev != 0 {
+			t.Errorf("first Swap = (%d,%v,%v), want (0,false,true)", prev, existed, used)
+		}
+		return nil
+	})
+	spare2, err := sl.NewNode(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, v, th, func(tx core.Tx) error {
+		prev, existed, used := sl.Swap(tx, 42, 2, spare2)
+		if !existed || used || prev != 1 {
+			t.Errorf("second Swap = (%d,%v,%v), want (1,true,false)", prev, existed, used)
+		}
+		return nil
+	})
+	if err := sl.FreeNode(spare2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListDelete(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 1<<14, 2)
+	th := rt.RegisterThread()
+	sl := newSkipList(t, v)
+
+	keys := []uint64{9, 2, 6, 4, 13, 1}
+	for _, k := range keys {
+		slPut(t, v, th, sl, k, k*10)
+	}
+	var (
+		node  stmds.Ref
+		found bool
+	)
+	run(t, v, th, func(tx core.Tx) error {
+		node, found = sl.Delete(tx, 6)
+		return nil
+	})
+	if !found || node == stmds.NilRef {
+		t.Fatalf("Delete(6) = (%v,%v)", node, found)
+	}
+	if err := sl.FreeNode(node); err != nil {
+		t.Fatal(err)
+	}
+	run(t, v, th, func(tx core.Tx) error {
+		if _, ok := sl.Get(tx, 6); ok {
+			t.Error("deleted key still present")
+		}
+		if _, ok := sl.Delete(tx, 6); ok {
+			t.Error("second Delete of same key succeeded")
+		}
+		if n := sl.Len(tx); n != len(keys)-1 {
+			t.Errorf("Len = %d, want %d", n, len(keys)-1)
+		}
+		// Survivors intact and still ordered.
+		want := []uint64{1, 2, 4, 9, 13}
+		var got []uint64
+		sl.ForEach(tx, func(k, val uint64) {
+			got = append(got, k)
+			if val != k*10 {
+				t.Errorf("key %d holds %d, want %d", k, val, k*10)
+			}
+		})
+		if len(got) != len(want) {
+			t.Fatalf("ForEach keys = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ForEach keys = %v, want %v", got, want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestSkipListOrderedIteration shuffles a key set in, then checks ForEach
+// and Seek/Next both walk it back in ascending order.
+func TestSkipListOrderedIteration(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 1<<18, 2)
+	th := rt.RegisterThread()
+	sl := newSkipList(t, v)
+
+	const n = 500
+	rng := rand.New(rand.NewSource(8))
+	keys := make([]uint64, 0, n)
+	seen := map[uint64]bool{}
+	for len(keys) < n {
+		k := uint64(rng.Intn(1 << 20))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		slPut(t, v, th, sl, k, ^k)
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	run(t, v, th, func(tx core.Tx) error {
+		var got []uint64
+		sl.ForEach(tx, func(k, val uint64) {
+			got = append(got, k)
+			if val != ^k {
+				t.Errorf("key %d holds %d, want %d", k, val, ^k)
+			}
+		})
+		if len(got) != n {
+			t.Fatalf("ForEach visited %d keys, want %d", len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order broken at %d: got %d, want %d", i, got[i], want[i])
+			}
+		}
+		// Seek from the midpoint resumes exactly mid-sequence.
+		mid := want[n/2]
+		node := sl.Seek(tx, mid)
+		for i := n / 2; i < n; i++ {
+			if node == stmds.NilRef {
+				t.Fatalf("Seek walk ended early at %d", i)
+			}
+			if k := sl.NodeKey(tx, node); k != want[i] {
+				t.Fatalf("Seek walk at %d: key %d, want %d", i, k, want[i])
+			}
+			node = sl.Next(tx, node)
+		}
+		if node != stmds.NilRef {
+			t.Error("Seek walk ran past the end")
+		}
+		// Seek between keys lands on the successor; past the end is NilRef.
+		if nd := sl.Seek(tx, want[n-1]+1); nd != stmds.NilRef {
+			t.Error("Seek past max returned a node")
+		}
+		if nd := sl.First(tx); nd == stmds.NilRef || sl.NodeKey(tx, nd) != want[0] {
+			t.Error("First does not return the least key")
+		}
+		return nil
+	})
+}
+
+// TestSkipListDeterministicLayout checks NodeWords is a pure function of
+// the key, identical across independent lists — the property whole-server
+// replay relies on.
+func TestSkipListDeterministicLayout(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 1<<14, 2)
+	defer rt.RegisterThread().Release()
+	a := newSkipList(t, v)
+	b := newSkipList(t, v)
+	heights := map[int]int{}
+	for k := uint64(0); k < 4096; k++ {
+		wa, wb := a.NodeWords(k), b.NodeWords(k)
+		if wa != wb {
+			t.Fatalf("NodeWords(%d) differs across instances: %d vs %d", k, wa, wb)
+		}
+		if wa < 3 {
+			t.Fatalf("NodeWords(%d) = %d, below minimum node size", k, wa)
+		}
+		heights[wa-2]++
+	}
+	// Geometric(1/2) heights: roughly half the keys at height 1, and some
+	// spread above it. Loose sanity bounds, not a distribution test.
+	if heights[1] < 1500 || heights[1] > 2600 {
+		t.Errorf("height-1 count %d outside sanity bounds", heights[1])
+	}
+	if len(heights) < 4 {
+		t.Errorf("only %d distinct heights in 4096 keys", len(heights))
+	}
+}
+
+// TestSkipListQuickVsModel drives a random op sequence against a Go map
+// oracle, including interleaved deletes, then verifies content and order.
+func TestSkipListQuickVsModel(t *testing.T) {
+	rt, v := newView(t, core.NOrec, 2, 1<<18, 2)
+	th := rt.RegisterThread()
+	sl := newSkipList(t, v)
+
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(88))
+	for i := 0; i < 2000; i++ {
+		key := uint64(rng.Intn(256))
+		switch rng.Intn(3) {
+		case 0, 1:
+			val := uint64(i)
+			slPut(t, v, th, sl, key, val)
+			model[key] = val
+		default:
+			var (
+				node  stmds.Ref
+				found bool
+			)
+			run(t, v, th, func(tx core.Tx) error {
+				node, found = sl.Delete(tx, key)
+				return nil
+			})
+			if _, want := model[key]; found != want {
+				t.Fatalf("Delete(%d) found=%v, model says %v", key, found, want)
+			}
+			if found {
+				if err := sl.FreeNode(node); err != nil {
+					t.Fatal(err)
+				}
+				delete(model, key)
+			}
+		}
+	}
+	run(t, v, th, func(tx core.Tx) error {
+		var prev uint64
+		first := true
+		count := 0
+		sl.ForEach(tx, func(k, val uint64) {
+			if !first && k <= prev {
+				t.Errorf("order broken: %d after %d", k, prev)
+			}
+			first, prev = false, k
+			count++
+			if want, ok := model[k]; !ok || val != want {
+				t.Errorf("key %d = %d, model (%d,%v)", k, val, want, ok)
+			}
+		})
+		if count != len(model) {
+			t.Errorf("list holds %d keys, model %d", count, len(model))
+		}
+		return nil
+	})
+}
+
+// TestSkipListConcurrentDisjointKeys has several goroutines churn disjoint
+// key ranges of one shared list under NOrec, then validates every range —
+// the shard worker's access pattern.
+func TestSkipListConcurrentDisjointKeys(t *testing.T) {
+	const (
+		workers = 4
+		span    = 64
+	)
+	rounds := 200
+	if testing.Short() {
+		rounds = 60
+	}
+	rt, v := newView(t, core.NOrec, workers, 1<<20, workers)
+	sl := newSkipList(t, v)
+
+	models := make([]map[uint64]uint64, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		models[w] = make(map[uint64]uint64)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			defer th.Release()
+			rng := rand.New(rand.NewSource(int64(w)*991 + 7))
+			model := models[w]
+			for r := 0; r < rounds; r++ {
+				key := uint64(w*span + rng.Intn(span))
+				val := uint64(r + 1)
+				if rng.Intn(4) == 0 {
+					var (
+						node  stmds.Ref
+						found bool
+					)
+					if err := v.Atomic(context.Background(), th, func(tx core.Tx) error {
+						node, found = sl.Delete(tx, key)
+						return nil
+					}); err != nil {
+						errCh <- err
+						return
+					}
+					if found {
+						_ = sl.FreeNode(node)
+						delete(model, key)
+					}
+					continue
+				}
+				spare, err := sl.NewNode(key)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var used bool
+				if err := v.Atomic(context.Background(), th, func(tx core.Tx) error {
+					used = sl.Put(tx, key, val, spare)
+					return nil
+				}); err != nil {
+					errCh <- err
+					return
+				}
+				if !used {
+					_ = sl.FreeNode(spare)
+				}
+				model[key] = val
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	th := rt.RegisterThread()
+	total := 0
+	for w, model := range models {
+		total += len(model)
+		for k := uint64(w * span); k < uint64((w+1)*span); k++ {
+			var (
+				got uint64
+				ok  bool
+			)
+			run(t, v, th, func(tx core.Tx) error {
+				got, ok = sl.Get(tx, k)
+				return nil
+			})
+			want, exists := model[k]
+			if ok != exists || (ok && got != want) {
+				t.Errorf("key %d: list (%d,%v), model (%d,%v)", k, got, ok, want, exists)
+			}
+		}
+	}
+	run(t, v, th, func(tx core.Tx) error {
+		if n := sl.Len(tx); n != total {
+			t.Errorf("Len = %d, models hold %d", n, total)
+		}
+		var prev uint64
+		first := true
+		sl.ForEach(tx, func(k, _ uint64) {
+			if !first && k <= prev {
+				t.Errorf("order broken: %d after %d", k, prev)
+			}
+			first, prev = false, k
+		})
+		return nil
+	})
+}

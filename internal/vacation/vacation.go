@@ -1,0 +1,275 @@
+// Package vacation is a travel-reservation workload driver for votmd, in
+// the spirit of STAMP's vacation benchmark: a read-mostly mix of ordered
+// table queries (wire-level SCAN) against multi-key reservation
+// transactions (wire-level ATOMIC) that almost always span shards and so
+// ride the cross-shard two-phase commit path.
+//
+// The keyspace is partitioned into tables by the top byte of the key, so
+// each table is one contiguous key range and a SCAN over it is a
+// consistent ordered snapshot:
+//
+//	flights      capacity counters, one per flight
+//	rooms        capacity counters, one per hotel
+//	customers    balance counters, created on first purchase
+//	reservations one fixed-shape record per acknowledged reservation
+//
+// A reservation is ONE atomic batch — decrement the flight's seats,
+// decrement the hotel's rooms, charge the customer, write the reservation
+// record — which makes the workload self-auditing: every acknowledged
+// reservation moved exactly one unit of each capacity and Price worth of
+// balance, every rejected one moved nothing, so table-level scans must
+// reconcile exactly with the acknowledged count (Audit). That conservation
+// law is the oracle the chaos and crash-recovery soaks assert.
+package vacation
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"votm/client"
+	"votm/wire"
+)
+
+// Table tags the top byte of a key, giving each table a contiguous,
+// independently scannable key range.
+type Table uint8
+
+const (
+	TableFlight      Table = 1
+	TableRoom        Table = 2
+	TableCustomer    Table = 3
+	TableReservation Table = 4
+)
+
+// idMask bounds in-table ids to the low 56 bits.
+const idMask = 1<<56 - 1
+
+// Key places id in tbl's key range.
+func Key(tbl Table, id uint64) uint64 { return uint64(tbl)<<56 | id&idMask }
+
+// Range returns tbl's half-open key range [lo, hi) for scanning.
+func Range(tbl Table) (lo, hi uint64) { return uint64(tbl) << 56, uint64(tbl+1) << 56 }
+
+// Config sizes the workload. Zero values select the defaults.
+type Config struct {
+	Flights   int    // flights on offer (default 16)
+	Rooms     int    // hotels on offer (default 16)
+	Customers int    // customer population (default 32)
+	Capacity  uint64 // seats per flight and rooms per hotel (default 1000)
+	Price     uint64 // charge per reservation (default 199)
+
+	// IDBase namespaces this driver's reservation ids; two drivers writing
+	// the same tables (or the same driver before and after a restart) must
+	// use distinct bases so their record keys cannot collide.
+	IDBase uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Flights <= 0 {
+		c.Flights = 16
+	}
+	if c.Rooms <= 0 {
+		c.Rooms = 16
+	}
+	if c.Customers <= 0 {
+		c.Customers = 32
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1000
+	}
+	if c.Price == 0 {
+		c.Price = 199
+	}
+	return c
+}
+
+// Record is one reservation's stored payload.
+type Record struct {
+	Flight, Room, Customer uint64
+	Price                  uint64
+}
+
+const recordLen = 32
+
+func (r Record) encode() []byte {
+	b := make([]byte, recordLen)
+	binary.LittleEndian.PutUint64(b[0:], r.Flight)
+	binary.LittleEndian.PutUint64(b[8:], r.Room)
+	binary.LittleEndian.PutUint64(b[16:], r.Customer)
+	binary.LittleEndian.PutUint64(b[24:], r.Price)
+	return b
+}
+
+// DecodeRecord parses a stored reservation record.
+func DecodeRecord(b []byte) (Record, error) {
+	if len(b) != recordLen {
+		return Record{}, fmt.Errorf("vacation: record has %d bytes, want %d", len(b), recordLen)
+	}
+	return Record{
+		Flight:   binary.LittleEndian.Uint64(b[0:]),
+		Room:     binary.LittleEndian.Uint64(b[8:]),
+		Customer: binary.LittleEndian.Uint64(b[16:]),
+		Price:    binary.LittleEndian.Uint64(b[24:]),
+	}, nil
+}
+
+// Driver runs the workload against one client. Safe for concurrent use;
+// reservation ids are drawn from one atomic sequence under Config.IDBase.
+type Driver struct {
+	c   *client.Client
+	cfg Config
+	seq atomic.Uint64
+}
+
+// New wraps c in a workload driver.
+func New(c *client.Client, cfg Config) *Driver {
+	return &Driver{c: c, cfg: cfg.withDefaults()}
+}
+
+// Config returns the driver's effective (defaulted) configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// Setup seeds every flight's and hotel's capacity counter. Idempotent only
+// on a fresh keyspace; call once per server lifetime. A TxFault answer
+// promises the Add rolled back whole, so seeding under fault injection
+// retries that one counter — never re-adding one that was acknowledged.
+func (d *Driver) Setup(ctx context.Context) error {
+	seed := func(key uint64) error {
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			if _, err = d.c.Add(ctx, key, d.cfg.Capacity); !errors.Is(err, client.ErrTxFault) {
+				return err
+			}
+		}
+		return err
+	}
+	for f := 0; f < d.cfg.Flights; f++ {
+		if err := seed(Key(TableFlight, uint64(f))); err != nil {
+			return fmt.Errorf("vacation: seed flight %d: %w", f, err)
+		}
+	}
+	for r := 0; r < d.cfg.Rooms; r++ {
+		if err := seed(Key(TableRoom, uint64(r))); err != nil {
+			return fmt.Errorf("vacation: seed room %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Reserve books flight and room for customer as one ATOMIC batch. The four
+// keys live in four different tables, so the batch routinely spans shards
+// and commits through the server's multi-view two-phase path. An error
+// means the server rejected or rolled back the WHOLE batch (BUSY, TxFault,
+// ...): nothing was charged and no capacity moved.
+func (d *Driver) Reserve(ctx context.Context, flight, room, customer uint64) error {
+	rec := Record{Flight: flight, Room: room, Customer: customer, Price: d.cfg.Price}
+	id := d.cfg.IDBase + d.seq.Add(1)
+	_, err := d.c.Atomic(ctx, []wire.Sub{
+		{Kind: wire.SubAdd, Key: Key(TableFlight, flight), Delta: ^uint64(0)}, // -1 seat
+		{Kind: wire.SubAdd, Key: Key(TableRoom, room), Delta: ^uint64(0)},     // -1 room
+		{Kind: wire.SubAdd, Key: Key(TableCustomer, customer), Delta: d.cfg.Price},
+		{Kind: wire.SubPut, Key: Key(TableReservation, id), Value: rec.encode()},
+	})
+	return err
+}
+
+// ReserveRandom books a uniformly random flight/room/customer triple.
+func (d *Driver) ReserveRandom(ctx context.Context, rng *rand.Rand) error {
+	return d.Reserve(ctx,
+		uint64(rng.Intn(d.cfg.Flights)),
+		uint64(rng.Intn(d.cfg.Rooms)),
+		uint64(rng.Intn(d.cfg.Customers)))
+}
+
+// Deposit credits a customer's balance directly — the workload's
+// single-key write, exercising the grouped point-op path alongside the
+// reservation batches.
+func (d *Driver) Deposit(ctx context.Context, customer, amount uint64) error {
+	_, err := d.c.Add(ctx, Key(TableCustomer, customer), amount)
+	return err
+}
+
+// TableSum scans tbl and returns the number of entries and the sum of
+// their 8-byte counter values. One consistent snapshot when the table fits
+// in a page (every default table does).
+func (d *Driver) TableSum(ctx context.Context, tbl Table) (count int, sum uint64, err error) {
+	lo, hi := Range(tbl)
+	sc := d.c.Scan(lo, hi, client.ScanOptions{})
+	for sc.Next(ctx) {
+		v, err := client.Counter(sc.Entry().Value)
+		if err != nil {
+			return 0, 0, fmt.Errorf("vacation: table %d key %d: %w", tbl, sc.Entry().Key, err)
+		}
+		count++
+		sum += v
+	}
+	return count, sum, sc.Err()
+}
+
+// Reservations scans and decodes the reservation table.
+func (d *Driver) Reservations(ctx context.Context) ([]Record, error) {
+	lo, hi := Range(TableReservation)
+	var out []Record
+	sc := d.c.Scan(lo, hi, client.ScanOptions{})
+	for sc.Next(ctx) {
+		rec, err := DecodeRecord(sc.Entry().Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// Audit asserts the conservation oracle against the live tables: with
+// acked acknowledged reservations and deposited directly-credited balance,
+// every capacity counter and the customer ledger must reconcile exactly.
+// Any drift means a reservation batch half-applied.
+func (d *Driver) Audit(ctx context.Context, acked uint64, deposited uint64) error {
+	cfg := d.cfg
+	for _, tbl := range []struct {
+		t    Table
+		name string
+		n    int
+	}{{TableFlight, "flights", cfg.Flights}, {TableRoom, "rooms", cfg.Rooms}} {
+		count, sum, err := d.TableSum(ctx, tbl.t)
+		if err != nil {
+			return err
+		}
+		if count != tbl.n {
+			return fmt.Errorf("vacation: %s table has %d entries, want %d", tbl.name, count, tbl.n)
+		}
+		if want := uint64(tbl.n)*cfg.Capacity - acked; sum != want {
+			return fmt.Errorf("vacation: %s capacity %d after %d reservations, want %d", tbl.name, sum, acked, want)
+		}
+	}
+
+	custCount, balance, err := d.TableSum(ctx, TableCustomer)
+	if err != nil {
+		return err
+	}
+	if custCount > cfg.Customers {
+		return fmt.Errorf("vacation: %d customers materialized, population is %d", custCount, cfg.Customers)
+	}
+	if want := acked*cfg.Price + deposited; balance != want {
+		return fmt.Errorf("vacation: customer ledger holds %d, want %d (%d reservations + %d deposited)", balance, want, acked, deposited)
+	}
+
+	recs, err := d.Reservations(ctx)
+	if err != nil {
+		return err
+	}
+	if uint64(len(recs)) != acked {
+		return fmt.Errorf("vacation: %d reservation records, %d acknowledged", len(recs), acked)
+	}
+	for _, r := range recs {
+		if r.Price != cfg.Price || r.Flight >= uint64(cfg.Flights) || r.Room >= uint64(cfg.Rooms) || r.Customer >= uint64(cfg.Customers) {
+			return fmt.Errorf("vacation: malformed reservation record %+v", r)
+		}
+	}
+	return nil
+}

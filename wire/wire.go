@@ -23,12 +23,14 @@ import (
 // Version is the protocol version byte written into every encoded frame.
 // Version 2 added the durability fields of ShardStats (WAL/snapshot meters);
 // version 3 added its cross-shard 2PC meters and made multi-shard ATOMIC
-// batches a served capability rather than a CROSS_SHARD rejection. Request
-// layouts are identical in versions 1-3. Decoders accept any version in
-// [MinVersion, Version] — an older STATS frame simply carries fewer fields —
-// and must reject frames outside that range with StatusBadRequest (servers)
-// or ErrProtocol (clients).
-const Version = 3
+// batches a served capability rather than a CROSS_SHARD rejection; version 4
+// added the SCAN opcode (ordered range reads with cursor continuation) and
+// ShardStats' scan meters. Request layouts of the pre-existing opcodes are
+// identical in versions 1-4; OpScan frames are valid only at version 4.
+// Decoders accept any version in [MinVersion, Version] — an older STATS
+// frame simply carries fewer fields — and must reject frames outside that
+// range with StatusBadRequest (servers) or ErrProtocol (clients).
+const Version = 4
 
 // MinVersion is the oldest protocol version decoders still accept.
 const MinVersion = 1
@@ -39,6 +41,10 @@ const MaxFrame = 1 << 20
 
 // MaxAtomicOps bounds the number of sub-operations in one ATOMIC batch.
 const MaxAtomicOps = 1024
+
+// MaxScanKeys bounds the number of entries one SCAN page may request or
+// carry; larger result sets continue through the response cursor.
+const MaxScanKeys = 1024
 
 // respFlag marks a response opcode (request opcode | respFlag).
 const respFlag = 0x80
@@ -55,6 +61,7 @@ const (
 	OpCAS    Op = 0x05 // key + expected bytes + new bytes
 	OpAtomic Op = 0x06 // single-shard multi-key transaction
 	OpStats  Op = 0x07 // per-shard statistics snapshot
+	OpScan   Op = 0x08 // ordered range read with cursor continuation (v4+)
 
 	// OpError is a response-only opcode: the server's reply to a frame it
 	// could not parse. The stream is unframed from that point on — the real
@@ -82,13 +89,15 @@ func (o Op) String() string {
 		return "ATOMIC"
 	case OpStats:
 		return "STATS"
+	case OpScan:
+		return "SCAN"
 	case OpError:
 		return "ERROR"
 	}
 	return fmt.Sprintf("op(0x%02x)", uint8(o))
 }
 
-func (o Op) valid() bool { return (o >= OpPing && o <= OpStats) || o == OpError }
+func (o Op) valid() bool { return (o >= OpPing && o <= OpScan) || o == OpError }
 
 // Status is a response status code.
 type Status uint8
@@ -262,6 +271,12 @@ type ShardStats struct {
 	CrossShardGroups   uint64
 	CrossShardPrepares uint64
 	PrepareAborts      uint64
+
+	// Scan meters (version 4; zero when decoding an older frame). Scans
+	// counts SCAN pages this shard coordinated; ScannedKeys the entries it
+	// contributed to any page's merge.
+	Scans       uint64
+	ScannedKeys uint64
 }
 
 // SnapshotNever is the SnapshotAgeSec sentinel meaning "no snapshot yet".
@@ -271,8 +286,9 @@ const SnapshotNever = ^uint64(0)
 const AllShards = ^uint32(0)
 
 // Request is a decoded request frame. Fields beyond Op/ID are populated
-// per-opcode: Key (GET/PUT/DELETE/CAS), Value (PUT/CAS new value), OldValue
-// (CAS expectation), Subs (ATOMIC), Shard (STATS).
+// per-opcode: Key (GET/PUT/DELETE/CAS; SCAN start key), Value (PUT/CAS new
+// value), OldValue (CAS expectation), Subs (ATOMIC), Shard (STATS),
+// End/Limit/Cursor/HasCursor (SCAN).
 //
 // Decoded byte fields (Value, OldValue, Sub.Value) borrow the parsed
 // payload: they are sub-slices of the buffer handed to ParseRequest /
@@ -288,14 +304,34 @@ type Request struct {
 	Subs     []Sub
 	Shard    uint32
 
+	// SCAN fields (v4+): the request asks for up to Limit entries of the
+	// half-open key range [Key, End). A continuation page sets HasCursor and
+	// resumes at Cursor (the cursor a previous response returned). Limit is
+	// capped at MaxScanKeys at the framing layer; range/cursor semantics
+	// (empty range, cursor outside the range) are validated by the server,
+	// which answers BAD_REQUEST rather than poisoning the stream.
+	End       uint64
+	Cursor    uint64
+	Limit     uint32
+	HasCursor bool
+
 	// frame is the retained frame-payload buffer of a pooled request
 	// (ReadRequestReuse reads into it; the byte fields above borrow it).
 	frame []byte
 }
 
+// ScanEntry is one key/value pair of a SCAN result page. Value borrows the
+// parsed payload buffer like every other decoded byte field.
+type ScanEntry struct {
+	Key   uint64
+	Value []byte
+}
+
 // Response is a decoded response frame. Value carries GET results and
 // non-OK detail bytes; Subs carries ATOMIC results; Stats carries STATS
-// results; Created reports whether a PUT inserted (vs updated).
+// results; Created reports whether a PUT inserted (vs updated); Entries,
+// More and Cursor carry a SCAN page (More set means the range has further
+// entries and Cursor is where the next page resumes).
 //
 // Like Request, decoded byte fields borrow the parsed payload buffer.
 type Response struct {
@@ -306,6 +342,9 @@ type Response struct {
 	Created bool
 	Subs    []SubResult
 	Stats   []ShardStats
+	Entries []ScanEntry
+	More    bool
+	Cursor  uint64
 
 	// Next chains responses for batched producer→writer hand-off (a group
 	// worker sends a whole group's responses for one connection as a single
@@ -366,11 +405,14 @@ func (r *Response) Release() {
 }
 
 func (r *Response) reset() {
-	val, subs, frame := r.Value[:0], r.Subs, r.frame
+	val, subs, entries, frame := r.Value[:0], r.Subs, r.Entries, r.frame
 	for i := range subs {
 		subs[i] = SubResult{}
 	}
-	*r = Response{Value: val, Subs: subs[:0], frame: frame}
+	for i := range entries {
+		entries[i] = ScanEntry{} // drop value aliases
+	}
+	*r = Response{Value: val, Subs: subs[:0], Entries: entries[:0], frame: frame}
 }
 
 // --- encoding ----------------------------------------------------------
@@ -441,6 +483,19 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		}
 	case OpStats:
 		p = appendU32(p, r.Shard)
+	case OpScan:
+		if r.Limit > MaxScanKeys {
+			return p[:start], fmt.Errorf("%w: scan limit %d exceeds MaxScanKeys", ErrProtocol, r.Limit)
+		}
+		p = appendU64(p, r.Key)
+		p = appendU64(p, r.End)
+		p = appendU64(p, r.Cursor)
+		p = appendU32(p, r.Limit)
+		var flags byte
+		if r.HasCursor {
+			flags |= 1
+		}
+		p = append(p, flags)
 	}
 	return endFrame(p, start)
 }
@@ -482,6 +537,21 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				p = appendU64(p, s.Sum)
 			}
 		}
+	case OpScan:
+		if len(r.Entries) > MaxScanKeys {
+			return p[:start], fmt.Errorf("%w: scan page of %d entries", ErrProtocol, len(r.Entries))
+		}
+		p = appendU16(p, uint16(len(r.Entries)))
+		for _, e := range r.Entries {
+			p = appendU64(p, e.Key)
+			p = appendBytes(p, e.Value)
+		}
+		var more byte
+		if r.More {
+			more = 1
+		}
+		p = append(p, more)
+		p = appendU64(p, r.Cursor)
 	case OpStats:
 		p = appendU16(p, uint16(len(r.Stats)))
 		for _, s := range r.Stats {
@@ -501,6 +571,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				s.WalAppends, s.WalBytes, s.Fsyncs, s.SnapshotAgeSec,
 				s.ReplayedRecords,
 				s.CrossShardGroups, s.CrossShardPrepares, s.PrepareAborts,
+				s.Scans, s.ScannedKeys,
 			} {
 				p = appendU64(p, v)
 			}
@@ -713,12 +784,16 @@ func ParseRequestReuse(req *Request, p []byte) error {
 
 func (req *Request) parse(p []byte) error {
 	c := &cursor{b: p}
-	if v := c.u8(); c.err == nil && (v < MinVersion || v > Version) {
-		return fmt.Errorf("%w: version %d", ErrProtocol, v)
+	ver := c.u8()
+	if c.err == nil && (ver < MinVersion || ver > Version) {
+		return fmt.Errorf("%w: version %d", ErrProtocol, ver)
 	}
 	op := Op(c.u8())
 	if c.err == nil && (!op.valid() || op == OpError) {
 		return fmt.Errorf("%w: bad opcode %v", ErrProtocol, op)
+	}
+	if c.err == nil && op == OpScan && ver < 4 {
+		return fmt.Errorf("%w: SCAN requires version 4, frame is version %d", ErrProtocol, ver)
 	}
 	req.Op, req.ID = op, c.u32()
 	switch op {
@@ -753,6 +828,17 @@ func (req *Request) parse(p []byte) error {
 		}
 	case OpStats:
 		req.Shard = c.u32()
+	case OpScan:
+		req.Key = c.u64()
+		req.End = c.u64()
+		req.Cursor = c.u64()
+		req.Limit = c.u32()
+		if c.err == nil && req.Limit > MaxScanKeys {
+			return fmt.Errorf("%w: scan limit %d exceeds MaxScanKeys", ErrProtocol, req.Limit)
+		}
+		// Unknown flag bits are ignored, matching the struct-level round-trip
+		// contract of the other boolean fields.
+		req.HasCursor = c.u8()&1 == 1
 	}
 	return c.done()
 }
@@ -819,6 +905,9 @@ func (resp *Response) parse(p []byte) error {
 	if c.err == nil && !op.valid() {
 		return fmt.Errorf("%w: bad opcode %v", ErrProtocol, op)
 	}
+	if c.err == nil && op == OpScan && ver < 4 {
+		return fmt.Errorf("%w: SCAN requires version 4, frame is version %d", ErrProtocol, ver)
+	}
 	resp.Op, resp.ID, resp.Status = op, c.u32(), Status(c.u8())
 	if resp.Status != StatusOK {
 		resp.Value = c.bytes()
@@ -845,6 +934,18 @@ func (resp *Response) parse(p []byte) error {
 			}
 			resp.Subs = append(resp.Subs, s)
 		}
+	case OpScan:
+		n := int(c.u16())
+		if c.err == nil && n > MaxScanKeys {
+			return fmt.Errorf("%w: scan page of %d entries", ErrProtocol, n)
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			e := ScanEntry{Key: c.u64()}
+			e.Value = c.bytes()
+			resp.Entries = append(resp.Entries, e)
+		}
+		resp.More = c.u8() == 1
+		resp.Cursor = c.u64()
 	case OpStats:
 		n := int(c.u16())
 		for i := 0; i < n && c.err == nil; i++ {
@@ -884,6 +985,10 @@ func (resp *Response) parse(p []byte) error {
 				s.CrossShardGroups = c.u64()
 				s.CrossShardPrepares = c.u64()
 				s.PrepareAborts = c.u64()
+			}
+			if ver >= 4 {
+				s.Scans = c.u64()
+				s.ScannedKeys = c.u64()
 			}
 			resp.Stats = append(resp.Stats, s)
 		}

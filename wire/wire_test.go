@@ -53,6 +53,17 @@ func TestRequestRoundTrip(t *testing.T) {
 		}},
 		{Op: OpStats, ID: 8, Shard: AllShards},
 		{Op: OpStats, ID: 9, Shard: 3},
+		// SCAN (v4): first page, continuation page, and the degenerate
+		// shapes the framing layer deliberately lets through — limit 0,
+		// empty and reversed ranges, a cursor past the end — which the
+		// server answers with BAD_REQUEST instead of dropping the stream.
+		{Op: OpScan, ID: 11, Key: 100, End: 200, Limit: 64},
+		{Op: OpScan, ID: 12, Key: 100, End: 200, Limit: MaxScanKeys, Cursor: 150, HasCursor: true},
+		{Op: OpScan, ID: 13, Key: 0, End: ^uint64(0), Limit: 1},
+		{Op: OpScan, ID: 14, Key: 5, End: 9, Limit: 0},
+		{Op: OpScan, ID: 15, Key: 7, End: 7, Limit: 8},
+		{Op: OpScan, ID: 16, Key: 9, End: 5, Limit: 8},
+		{Op: OpScan, ID: 17, Key: 5, End: 9, Limit: 8, Cursor: 1000, HasCursor: true},
 	}
 	for _, req := range reqs {
 		got := roundTripRequest(t, req)
@@ -121,6 +132,19 @@ func TestResponseRoundTrip(t *testing.T) {
 		// repartition: BUSY with the server's detail, no sub results.
 		{Op: OpAtomic, ID: 14, Status: StatusBusy,
 			Value: []byte("server: batch keys moved by a concurrent repartition")},
+		// SCAN pages (v4): a final page, a continuation page with a cursor,
+		// an empty page, and the typed rejections a server answers for
+		// semantically invalid ranges.
+		{Op: OpScan, ID: 15, Entries: []ScanEntry{
+			{Key: 1, Value: []byte("a")},
+			{Key: 2, Value: []byte{}},
+			{Key: 9, Value: []byte("long-ish value bytes")},
+		}},
+		{Op: OpScan, ID: 16, Entries: []ScanEntry{{Key: 5, Value: []byte("x")}},
+			More: true, Cursor: 6},
+		{Op: OpScan, ID: 17},
+		{Op: OpScan, ID: 18, Status: StatusBadRequest, Value: []byte("scan limit must be positive")},
+		{Op: OpScan, ID: 19, Status: StatusBusy},
 	}
 	for _, resp := range resps {
 		got := roundTripResponse(t, resp)
@@ -185,13 +209,15 @@ func TestOldVersionStatsDecode(t *testing.T) {
 	stamped.WalAppends, stamped.WalBytes, stamped.Fsyncs = 9, 999, 9
 	stamped.SnapshotAgeSec, stamped.ReplayedRecords = 3, 33
 	stamped.CrossShardGroups, stamped.CrossShardPrepares, stamped.PrepareAborts = 7, 14, 1
+	stamped.Scans, stamped.ScannedKeys = 21, 2100
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 1, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v3 frame as its v1 equivalent: drop the five durability and
-	// three cross-shard trailing u64s and downgrade the version byte.
-	const v1Trailing = (5 + 3) * 8
+	// Rewrite the v4 frame as its v1 equivalent: drop the five durability,
+	// three cross-shard and two scan trailing u64s, then downgrade the
+	// version byte.
+	const v1Trailing = (5 + 3 + 2) * 8
 	frame = frame[:len(frame)-v1Trailing]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 1
@@ -215,13 +241,14 @@ func TestV2StatsDecode(t *testing.T) {
 	}
 	stamped := want
 	stamped.CrossShardGroups, stamped.CrossShardPrepares, stamped.PrepareAborts = 4, 8, 2
+	stamped.Scans, stamped.ScannedKeys = 5, 500
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 2, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v3 frame as its v2 equivalent: drop the three trailing
-	// cross-shard u64s and downgrade the version byte.
-	const xsBytes = 3 * 8
+	// Rewrite the v4 frame as its v2 equivalent: drop the three cross-shard
+	// and two scan trailing u64s, then downgrade the version byte.
+	const xsBytes = (3 + 2) * 8
 	frame = frame[:len(frame)-xsBytes]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 2
@@ -231,6 +258,37 @@ func TestV2StatsDecode(t *testing.T) {
 	}
 	if len(got.Stats) != 1 || !reflect.DeepEqual(got.Stats[0], want) {
 		t.Errorf("v2 STATS decode:\n got %+v\nwant %+v", got.Stats, want)
+	}
+}
+
+// TestV3StatsDecode: a version-3 STATS response carries the cross-shard 2PC
+// meters but predates the scan meters; those must decode as zero.
+func TestV3StatsDecode(t *testing.T) {
+	want := ShardStats{
+		Shard: 3, Engine: "norec", Quota: 2, Commits: 15, Delta: 0.75,
+		Keys: 4, Groups: 3, GroupOps: 21, QueueHighWater: 5,
+		WalAppends: 2, WalBytes: 256, Fsyncs: 1,
+		SnapshotAgeSec: 9, ReplayedRecords: 12,
+		CrossShardGroups: 4, CrossShardPrepares: 8, PrepareAborts: 2,
+	}
+	stamped := want
+	stamped.Scans, stamped.ScannedKeys = 6, 600
+	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 3, Stats: []ShardStats{stamped}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v4 frame as its v3 equivalent: drop the two trailing scan
+	// u64s and downgrade the version byte.
+	const scanBytes = 2 * 8
+	frame = frame[:len(frame)-scanBytes]
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+	frame[4] = 3
+	got, err := ReadResponse(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("v3 STATS decode: %v", err)
+	}
+	if len(got.Stats) != 1 || !reflect.DeepEqual(got.Stats[0], want) {
+		t.Errorf("v3 STATS decode:\n got %+v\nwant %+v", got.Stats, want)
 	}
 }
 
@@ -335,6 +393,89 @@ func TestAtomicBatchLimit(t *testing.T) {
 	}
 }
 
+// TestScanLimitBound: a SCAN requesting exactly MaxScanKeys round-trips; a
+// larger limit is rejected by both the encoder and the parser, and an
+// oversized response page count is rejected too.
+func TestScanLimitBound(t *testing.T) {
+	got := roundTripRequest(t, &Request{Op: OpScan, ID: 1, Key: 0, End: 10, Limit: MaxScanKeys})
+	if got.Limit != MaxScanKeys {
+		t.Fatalf("round trip kept limit %d, want %d", got.Limit, MaxScanKeys)
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpScan, ID: 2, End: 10, Limit: MaxScanKeys + 1}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("encode limit %d: got %v, want ErrProtocol", MaxScanKeys+1, err)
+	}
+	// Patch the limit in a legal frame so the parser sees the oversize.
+	frame, err := AppendRequest(nil, &Request{Op: OpScan, ID: 3, End: 10, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: len u32 | ver | op | id u32 | key u64 | end u64 | cursor u64 | limit u32 | flags u8
+	binary.LittleEndian.PutUint32(frame[34:], MaxScanKeys+1)
+	if _, err := ParseRequest(frame[4:]); !errors.Is(err, ErrProtocol) {
+		t.Errorf("parse limit=%d: got %v, want ErrProtocol", MaxScanKeys+1, err)
+	}
+	// Response page count beyond the bound.
+	respFrame, err := AppendResponse(nil, &Response{Op: OpScan, ID: 4,
+		Entries: []ScanEntry{{Key: 1, Value: []byte("v")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: len u32 | ver | op|0x80 | id u32 | status | count u16 | ...
+	binary.LittleEndian.PutUint16(respFrame[11:], MaxScanKeys+1)
+	if _, err := ParseResponse(respFrame[4:]); !errors.Is(err, ErrProtocol) {
+		t.Errorf("parse page count=%d: got %v, want ErrProtocol", MaxScanKeys+1, err)
+	}
+}
+
+// TestScanVersionGate: OpScan frames stamped with a pre-v4 version byte are
+// protocol violations in both directions.
+func TestScanVersionGate(t *testing.T) {
+	frame, err := AppendRequest(nil, &Request{Op: OpScan, ID: 1, End: 10, Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[4] = 3
+	if _, err := ReadRequest(bytes.NewReader(frame)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("v3 SCAN request: got %v, want ErrProtocol", err)
+	}
+	respFrame, err := AppendResponse(nil, &Response{Op: OpScan, ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	respFrame[4] = 3
+	if _, err := ReadResponse(bytes.NewReader(respFrame)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("v3 SCAN response: got %v, want ErrProtocol", err)
+	}
+}
+
+// TestScanTruncation: SCAN frames cut mid-entry or missing the trailing
+// cursor fail typed, never panic or misparse.
+func TestScanTruncation(t *testing.T) {
+	respFrame, err := AppendResponse(nil, &Response{Op: OpScan, ID: 1,
+		Entries: []ScanEntry{{Key: 7, Value: []byte("payload")}}, More: true, Cursor: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(respFrame)-4; cut++ {
+		short := append([]byte(nil), respFrame[:len(respFrame)-cut]...)
+		binary.LittleEndian.PutUint32(short, uint32(len(short)-4))
+		if _, err := ParseResponse(short[4:]); err == nil {
+			t.Fatalf("truncated SCAN response (cut %d bytes) parsed", cut)
+		}
+	}
+	reqFrame, err := AppendRequest(nil, &Request{Op: OpScan, ID: 2, Key: 1, End: 9, Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(reqFrame)-4; cut++ {
+		short := append([]byte(nil), reqFrame[:len(reqFrame)-cut]...)
+		binary.LittleEndian.PutUint32(short, uint32(len(short)-4))
+		if _, err := ParseRequest(short[4:]); err == nil {
+			t.Fatalf("truncated SCAN request (cut %d bytes) parsed", cut)
+		}
+	}
+}
+
 // FuzzParseRequest asserts the request parser never panics and never
 // accepts trailing garbage.
 func FuzzParseRequest(f *testing.F) {
@@ -353,6 +494,11 @@ func FuzzParseRequest(f *testing.F) {
 			{Kind: SubGet, Key: 0x9e3779b97f4a7c15},
 			{Kind: SubDelete, Key: 7},
 		}},
+		// SCAN (v4): a plain page request, a continuation, and the
+		// degenerate ranges the server rejects semantically.
+		{Op: OpScan, ID: 7, Key: 10, End: 20, Limit: 8},
+		{Op: OpScan, ID: 8, Key: 0, End: ^uint64(0), Limit: MaxScanKeys, Cursor: 0x9e37, HasCursor: true},
+		{Op: OpScan, ID: 9, Key: 9, End: 5, Limit: 0},
 	}
 	for _, req := range seed {
 		frame, err := AppendRequest(nil, req)
@@ -403,6 +549,13 @@ func FuzzParseResponse(f *testing.F) {
 			CrossShardGroups: 2, CrossShardPrepares: 4, PrepareAborts: 1,
 		}}},
 		{Op: OpError, ID: 0, Status: StatusBadRequest, Value: []byte("bad")},
+		// SCAN pages (v4): entries + continuation cursor, and a typed range
+		// rejection.
+		{Op: OpScan, ID: 6, Entries: []ScanEntry{
+			{Key: 1, Value: []byte("a")},
+			{Key: 2, Value: []byte("bb")},
+		}, More: true, Cursor: 3},
+		{Op: OpScan, ID: 7, Status: StatusBadRequest, Value: []byte("reversed scan bounds")},
 	}
 	for _, resp := range seed {
 		frame, err := AppendResponse(nil, resp)
