@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race cover bench bench-server bench-vacation tables ablations serve replay soak-viewmgr soak-recovery fuzz-wal fuzz-wire fmt vet clean
+.PHONY: all build test short race cover bench bench-server bench-vacation tables ablations serve replay soak-viewmgr soak-recovery soak-cluster fuzz-wal fuzz-wire fmt vet clean
 
 all: build test
 
@@ -96,6 +96,14 @@ SOAK_ROUNDS ?= 20
 soak-recovery:
 	VOTM_SOAK_ROUNDS=$(SOAK_ROUNDS) $(GO) test -race -count=1 -timeout 600s \
 		-run TestCrashRecoverySoak -v ./internal/server
+
+# Cluster soak: a 3-node loopback cluster hands shards off between nodes
+# under live routed traffic (zero lost acked writes, epoch convergence,
+# goroutine-leak check), then a two-process leader SIGKILL must promote the
+# follower with every leader-acked write intact.
+soak-cluster:
+	$(GO) test -race -count=1 -timeout 600s \
+		-run 'TestClusterHandoffSoak|TestClusterLeaderKillPromotion' -v ./internal/server
 
 # WAL torn-tail recovery fuzzing: mutated segment files (truncations, bit
 # flips) must replay to an intact prefix, truncate the damage idempotently,

@@ -65,6 +65,11 @@ type Options struct {
 	// subsequent retry doubles it, and every wait is jittered to 50–150%
 	// of nominal. Waits are context-aware. Default 2ms.
 	BusyBackoff time.Duration
+
+	// MapRetries bounds how many times a Cluster client refetches the
+	// shard map and retries after a WRONG_SHARD redirect or a node
+	// transport failure. Default 4. Ignored by a plain Client.
+	MapRetries int
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +84,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BusyBackoff <= 0 {
 		o.BusyBackoff = 2 * time.Millisecond
+	}
+	if o.MapRetries <= 0 {
+		o.MapRetries = 4
 	}
 	return o
 }

@@ -1,0 +1,315 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"votm/wire"
+)
+
+// stubClusterNode is a scriptable votmd cluster member: it answers
+// SHARDMAP_GET/WATCH from its current map and hands every other request to
+// the test's handler. It mirrors the splitRaceServer stub (splitrace_test.go)
+// but speaks the v5 cluster ops, so the routing layer can be driven through
+// a real TCP round trip without a real cluster.
+type stubClusterNode struct {
+	t  *testing.T
+	ln net.Listener
+
+	mu      sync.Mutex
+	m       wire.ShardMap
+	handler func(req *wire.Request) *wire.Response
+	served  int // data (non-map) requests seen
+	conns   []net.Conn
+}
+
+// kill simulates node death: stop accepting and sever live connections.
+func (s *stubClusterNode) kill() {
+	_ = s.ln.Close()
+	s.mu.Lock()
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
+}
+
+func newStubClusterNode(t *testing.T, m wire.ShardMap) *stubClusterNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &stubClusterNode{t: t, ln: ln, m: m}
+	go s.acceptLoop()
+	t.Cleanup(func() { _ = ln.Close() })
+	return s
+}
+
+func (s *stubClusterNode) addr() string { return s.ln.Addr().String() }
+
+func (s *stubClusterNode) setMap(m wire.ShardMap) {
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+}
+
+func (s *stubClusterNode) setHandler(h func(req *wire.Request) *wire.Response) {
+	s.mu.Lock()
+	s.handler = h
+	s.mu.Unlock()
+}
+
+func (s *stubClusterNode) servedData() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+func (s *stubClusterNode) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns = append(s.conns, nc)
+		s.mu.Unlock()
+		go s.serve(nc)
+	}
+}
+
+func (s *stubClusterNode) serve(nc net.Conn) {
+	defer nc.Close()
+	for {
+		req, err := wire.ReadRequest(nc)
+		if err != nil {
+			return
+		}
+		var resp *wire.Response
+		switch req.Op {
+		case wire.OpPing:
+			resp = &wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusOK}
+		case wire.OpShardMapGet, wire.OpShardMapWatch:
+			s.mu.Lock()
+			m := s.m
+			s.mu.Unlock()
+			resp = &wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusOK, Map: m}
+		default:
+			s.mu.Lock()
+			s.served++
+			h := s.handler
+			s.mu.Unlock()
+			if h != nil {
+				resp = h(req)
+			}
+			if resp == nil {
+				resp = &wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusOK}
+			}
+			resp.Op, resp.ID = req.Op, req.ID
+		}
+		if err := wire.WriteResponse(nc, resp); err != nil {
+			return
+		}
+	}
+}
+
+// twoNodeMap builds a one-shard map at the given epoch led by `leader`.
+func twoNodeMap(epoch uint64, leader uint32, addrA, addrB string) wire.ShardMap {
+	return wire.ShardMap{
+		Epoch: epoch,
+		Nodes: []wire.NodeInfo{{ID: 1, Addr: addrA}, {ID: 2, Addr: addrB}},
+		Shards: []wire.ShardRoute{
+			{Shard: 0, Epoch: epoch, Leader: leader, Replicas: []uint32{1, 2}},
+		},
+	}
+}
+
+// TestClusterFollowsWrongShardRedirect: a handoff moves the shard between
+// the client learning the map and sending — the old leader answers
+// WRONG_SHARD with its newer epoch. The routing client must refetch the
+// map and land the request on the new leader without the caller noticing.
+func TestClusterFollowsWrongShardRedirect(t *testing.T) {
+	a := newStubClusterNode(t, wire.ShardMap{})
+	b := newStubClusterNode(t, wire.ShardMap{})
+	m1 := twoNodeMap(1, 1, a.addr(), b.addr())
+	m2 := twoNodeMap(2, 2, a.addr(), b.addr())
+	a.setMap(m1)
+	b.setMap(m2)
+
+	// Node A has already handed the shard off: every data op redirects
+	// with epoch 2, and its map service serves the new map on refetch.
+	a.setHandler(func(req *wire.Request) *wire.Response {
+		a.setMap(m2)
+		return &wire.Response{
+			Status: wire.StatusWrongShard,
+			Value:  wire.WrongShardDetail(nil, 2),
+		}
+	})
+
+	cl, err := DialCluster(a.addr(), Options{PoolSize: 1, BusyBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	defer cl.Close()
+	if got := cl.Epoch(); got != 1 {
+		t.Fatalf("initial epoch = %d, want 1", got)
+	}
+
+	if _, err := cl.Put(context.Background(), 7, []byte("v")); err != nil {
+		t.Fatalf("Put across redirect: %v", err)
+	}
+	if got := b.servedData(); got != 1 {
+		t.Errorf("new leader served %d data ops, want 1", got)
+	}
+	if got := cl.Epoch(); got != 2 {
+		t.Errorf("client epoch after redirect = %d, want 2", got)
+	}
+}
+
+// TestClusterRedirectLoopSurfacesClusterError: a node that keeps
+// redirecting while the map never changes must not loop forever — after
+// MapRetries the caller gets a typed *ClusterError that errors.Is-matches
+// wire.ErrWrongShard and carries the epoch the cluster reported.
+func TestClusterRedirectLoopSurfacesClusterError(t *testing.T) {
+	a := newStubClusterNode(t, wire.ShardMap{})
+	b := newStubClusterNode(t, wire.ShardMap{})
+	// Both nodes agree A leads, but A redirects anyway (epoch 5): the map
+	// can never satisfy the redirect, so retries must exhaust.
+	m := twoNodeMap(5, 1, a.addr(), b.addr())
+	a.setMap(m)
+	b.setMap(m)
+	a.setHandler(func(req *wire.Request) *wire.Response {
+		return &wire.Response{
+			Status: wire.StatusWrongShard,
+			Value:  wire.WrongShardDetail(nil, 5),
+		}
+	})
+
+	cl, err := DialCluster(a.addr(), Options{
+		PoolSize:       1,
+		BusyBackoff:    time.Millisecond,
+		MapRetries:     2,
+		RequestTimeout: 250 * time.Millisecond, // bounds the WATCH long-poll
+	})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	defer cl.Close()
+
+	_, err = cl.Get(context.Background(), 7)
+	var cerr *ClusterError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("Get = %v, want *ClusterError", err)
+	}
+	if !errors.Is(err, wire.ErrWrongShard) {
+		t.Errorf("errors.Is(err, ErrWrongShard) = false for %v", err)
+	}
+	if cerr.Epoch < 5 {
+		t.Errorf("ClusterError.Epoch = %d, want >= 5", cerr.Epoch)
+	}
+	if got := a.servedData(); got != 3 { // initial try + MapRetries
+		t.Errorf("leader saw %d attempts, want 3", got)
+	}
+}
+
+// TestClusterAtomicCrossNode: a batch whose keys route to shards led by
+// different nodes is refused client-side with wire.ErrCrossShard — the
+// cluster does not run transactions across nodes.
+func TestClusterAtomicCrossNode(t *testing.T) {
+	a := newStubClusterNode(t, wire.ShardMap{})
+	b := newStubClusterNode(t, wire.ShardMap{})
+	m := wire.ShardMap{
+		Epoch: 3,
+		Nodes: []wire.NodeInfo{{ID: 1, Addr: a.addr()}, {ID: 2, Addr: b.addr()}},
+		Shards: []wire.ShardRoute{
+			{Shard: 0, Epoch: 3, Leader: 1},
+			{Shard: 1, Epoch: 3, Leader: 2},
+		},
+	}
+	a.setMap(m)
+	b.setMap(m)
+
+	cl, err := DialCluster(a.addr(), Options{PoolSize: 1})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	defer cl.Close()
+
+	// Find two keys on different shards under the 2-shard placement hash.
+	var k0, k1 uint64
+	foundK1 := false
+	for k := uint64(0); k < 1024; k++ {
+		if shardOfKey(&m, k) == 0 {
+			k0 = k
+		} else if !foundK1 {
+			k1, foundK1 = k, true
+		}
+	}
+	if !foundK1 {
+		t.Fatal("no key found for shard 1")
+	}
+
+	_, err = cl.Atomic(context.Background(), []wire.Sub{
+		{Kind: wire.SubPut, Key: k0, Value: []byte("a")},
+		{Kind: wire.SubPut, Key: k1, Value: []byte("b")},
+	})
+	if !errors.Is(err, wire.ErrCrossShard) {
+		t.Fatalf("cross-node Atomic = %v, want ErrCrossShard", err)
+	}
+	var cerr *ClusterError
+	if !errors.As(err, &cerr) || cerr.Epoch != 3 {
+		t.Fatalf("cross-node Atomic error = %#v, want *ClusterError at epoch 3", err)
+	}
+	if a.servedData() != 0 || b.servedData() != 0 {
+		t.Errorf("cross-node batch reached a server (a=%d b=%d ops), want client-side refusal",
+			a.servedData(), b.servedData())
+	}
+
+	// Same-leader batches still go through.
+	if _, err := cl.Atomic(context.Background(), []wire.Sub{
+		{Kind: wire.SubPut, Key: k0, Value: []byte("a")},
+	}); err != nil {
+		t.Fatalf("single-leader Atomic: %v", err)
+	}
+}
+
+// TestClusterTransportFailover: the leader dies mid-session; the next
+// request must redial, refetch the map (which now names the survivor),
+// and succeed against the new leader.
+func TestClusterTransportFailover(t *testing.T) {
+	a := newStubClusterNode(t, wire.ShardMap{})
+	b := newStubClusterNode(t, wire.ShardMap{})
+	m1 := twoNodeMap(1, 1, a.addr(), b.addr())
+	a.setMap(m1)
+	b.setMap(m1)
+
+	cl, err := DialCluster(b.addr(), Options{PoolSize: 1, BusyBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Put(context.Background(), 7, []byte("v")); err != nil {
+		t.Fatalf("Put to live leader: %v", err)
+	}
+
+	// Leader A dies; the survivor's map service promotes B.
+	a.kill()
+	b.setMap(twoNodeMap(2, 2, a.addr(), b.addr()))
+
+	if _, err := cl.Put(context.Background(), 7, []byte("v2")); err != nil {
+		t.Fatalf("Put after leader death: %v", err)
+	}
+	if got := b.servedData(); got != 1 {
+		t.Errorf("survivor served %d data ops, want 1", got)
+	}
+	if got := cl.Epoch(); got != 2 {
+		t.Errorf("client epoch after failover = %d, want 2", got)
+	}
+}

@@ -10,6 +10,11 @@
 // Usage:
 //
 //	votmd -addr :7421 -shards 8 -workers 4 -engine norec
+//
+// Cluster mode (docs/PROTOCOL.md §Cluster): `-cluster-seed` hosts the
+// shard-map service (standalone with -durability off, or as the first data
+// node with -durability group); `-join addr` joins an existing cluster as a
+// member whose shards replicate leader WAL streams.
 package main
 
 import (
@@ -17,12 +22,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"votm"
+	"votm/internal/cluster"
 	"votm/internal/server"
 	"votm/wire"
 )
@@ -56,8 +63,49 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durability root directory (required unless -durability off)")
 		snapEvery  = flag.Duration("snapshot-every", 30*time.Second, "periodic per-shard snapshot interval")
 		walSegMB   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 64 MiB)")
+
+		clusterSeed = flag.Bool("cluster-seed", false, "host the cluster shard-map service; with -durability group this node also serves data as the first member, with -durability off it runs the map service standalone (no data plane)")
+		join        = flag.String("join", "", "seed node address to join as a cluster member (requires -durability group; mutually exclusive with -cluster-seed)")
+		replicas    = flag.Int("replicas", 1, "desired WAL-stream followers per shard in cluster mode")
+		advertise   = flag.String("advertise", "", "address other nodes and routing clients reach this node at (defaults to -addr)")
+		replTO      = flag.Duration("repl-timeout", 2*time.Second, "semi-synchronous replication wait before a lagging follower is detached")
 	)
 	flag.Parse()
+
+	logger := log.New(os.Stderr, "votmd: ", log.LstdFlags|log.Lmicroseconds)
+	clustered := *clusterSeed || *join != ""
+	if *advertise == "" {
+		*advertise = *addr
+	}
+
+	// Standalone control plane: -cluster-seed without a data plane runs only
+	// the shard-map service — the process data nodes join and routing clients
+	// bootstrap from. Shard count and replica target come from the same flags
+	// the members use.
+	if *clusterSeed && *durability == server.DurabilityOff {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			logger.Fatalf("listen: %v", err)
+		}
+		svc := cluster.NewService(*shards, *replicas, func(f string, a ...any) { logger.Printf(f, a...) })
+		svc.StartHealth(2*time.Second, 3, time.Second)
+		done := make(chan error, 1)
+		go func() { done <- cluster.Serve(ln, svc) }()
+		logger.Printf("shard-map service (standalone seed): %d shards, %d replicas, on %s", *shards, *replicas, *addr)
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+		select {
+		case sig := <-sigCh:
+			logger.Printf("received %v: closing shard-map service", sig)
+			svc.Close()
+			<-done
+		case err := <-done:
+			if err != nil {
+				logger.Fatalf("serve: %v", err)
+			}
+		}
+		return
+	}
 
 	var kind votm.EngineKind
 	switch *engine {
@@ -72,7 +120,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	logger := log.New(os.Stderr, "votmd: ", log.LstdFlags|log.Lmicroseconds)
 	srv, err := server.New(server.Config{
 		Addr:            *addr,
 		Shards:          *shards,
@@ -99,6 +146,12 @@ func main() {
 		DataDir:         *dataDir,
 		SnapshotEvery:   *snapEvery,
 		WALSegmentBytes: *walSegMB,
+
+		ClusterSeed:      *clusterSeed,
+		ClusterJoin:      *join,
+		ClusterReplicas:  *replicas,
+		ClusterAdvertise: *advertise,
+		ReplTimeout:      *replTO,
 
 		Logf: func(f string, a ...any) { logger.Printf(f, a...) },
 	})
@@ -128,6 +181,10 @@ func main() {
 						}
 						line += fmt.Sprintf(" walAppends=%d walBytes=%d fsyncs=%d snapAge=%s replayed=%d",
 							r.WalAppends, r.WalBytes, r.Fsyncs, age, r.ReplayedRecords)
+					}
+					if clustered {
+						line += fmt.Sprintf(" followerAcks=%d replLag=%d handoffs=%d",
+							r.FollowerAcks, r.ReplicaLagRecords, r.Handoffs)
 					}
 					logger.Print(line)
 				}

@@ -1,0 +1,33 @@
+// Package cluster is votmd's control plane: the shard-map service that
+// assigns wire shards to nodes, the standalone seed server that exposes it
+// over the v5 SHARDMAP_* opcodes, and the node-health monitor that promotes
+// a follower when a leader dies.
+//
+// The data plane — WAL-stream replication, WRONG_SHARD redirects, live
+// handoff — lives in internal/server; this package holds only the placement
+// state machine and is imported by both the server and the cluster client.
+//
+// # Epoch semantics
+//
+// The map carries one monotonically increasing epoch, bumped on every
+// change (join, leader reassignment, death). Each shard route additionally
+// records the map epoch at which that shard's placement last changed, so a
+// client can tell whether a WRONG_SHARD redirect (whose detail is the
+// answering node's map epoch) postdates the map it routed by: a redirect
+// with a higher epoch means refetch and retry; one at or below the client's
+// epoch means the client raced a node that has not caught up yet, and a
+// bounded retry against the freshly fetched map resolves it either way.
+package cluster
+
+// ShardOf maps a key to its wire shard index — the cluster-wide placement
+// hash, shared by every node and by the routing client (server.ShardOf
+// delegates here). The mix deliberately differs from ds.HashMap's bucket
+// hash so one shard's keys still spread over that shard's buckets, and from
+// the server's subMix so auto-split bisection stays independent.
+func ShardOf(key uint64, shards int) int {
+	h := key
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(shards))
+}

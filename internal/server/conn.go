@@ -115,6 +115,23 @@ func (c *conn) dispatch(req *wire.Request) {
 		return
 	}
 
+	if s.cluster != nil {
+		// Cluster mode: map ops answer here, replication/handoff streams
+		// queue to their shard, and data ops gate on this node's role
+		// (WRONG_SHARD redirect / handoff BUSY) before normal dispatch.
+		if s.cluster.dispatch(c, req) {
+			return
+		}
+	} else {
+		switch req.Op {
+		case wire.OpShardMapGet, wire.OpShardMapWatch, wire.OpShardMapJoin,
+			wire.OpShardMapUpdate, wire.OpReplicate, wire.OpHandoff:
+			// Typed refusal: these would otherwise be misrouted as data ops.
+			reject(wire.StatusBadRequest, "not a cluster member")
+			return
+		}
+	}
+
 	if status, msg := c.validate(req); status != wire.StatusOK {
 		reject(status, msg)
 		return

@@ -133,6 +133,14 @@ func (s *Server) initShardDurability(sh *shard, th *votm.Thread, cr *crossRecove
 	log, err := wal.Open(sh.dataDir, wal.Options{
 		SegmentBytes: s.cfg.WALSegmentBytes,
 		Fault:        s.cfg.DiskFaultHook,
+		// The tee feeds the cluster replication senders (replication.go).
+		// s.cluster is assigned before any worker starts appending and stays
+		// nil outside cluster mode, where the indirection is a nil check.
+		Tee: func(seq uint64, frame []byte) {
+			if cn := s.cluster; cn != nil {
+				cn.tee(sh.id, seq, frame)
+			}
+		},
 	})
 	if err != nil {
 		return st, fmt.Errorf("shard %d: open wal: %w", sh.id, err)
@@ -251,18 +259,23 @@ func (s *Server) resolveCrossShard(th *votm.Thread, cr *crossRecovery) error {
 	return nil
 }
 
-// snapshotShard writes one shard's full state as a snapshot and prunes the
-// log behind it. The state walk runs as a read-only view transaction with
-// walMu held, so the captured WAL sequence exactly matches the captured
-// state (writes execute under walMu); the file I/O happens after the walk,
-// off the mutex. Returns the entry count.
-func (s *Server) snapshotShard(sh *shard, th *votm.Thread) (int, error) {
+// captureShardState walks one shard's full state as a read-only view
+// transaction with walMu held, so the captured WAL sequence exactly matches
+// the captured state (writes execute under walMu). Shared by snapshots,
+// replication bootstraps and live handoffs — anything that needs a
+// consistent (state, seq) pair. The lockFn hook runs while walMu is still
+// held, before the walk; replication bootstraps use it to reset their frame
+// buffer inside the same critical section (see replication.go).
+func (s *Server) captureShardState(sh *shard, th *votm.Thread, lockFn func()) ([]wal.Entry, uint64, error) {
 	var (
 		entries []wal.Entry
 		blobs   []byte
 		seq     uint64
 	)
 	sh.walMu.Lock()
+	if lockFn != nil {
+		lockFn()
+	}
 	if sh.log != nil {
 		seq = sh.log.NextSeq() - 1
 	} else {
@@ -278,6 +291,17 @@ func (s *Server) snapshotShard(sh *shard, th *votm.Thread) (int, error) {
 		return nil
 	})
 	sh.walMu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	return entries, seq, nil
+}
+
+// snapshotShard writes one shard's full state as a snapshot and prunes the
+// log behind it; the file I/O happens after the captureShardState walk, off
+// the mutex. Returns the entry count.
+func (s *Server) snapshotShard(sh *shard, th *votm.Thread) (int, error) {
+	entries, seq, err := s.captureShardState(sh, th, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -102,6 +102,9 @@ type groupWorker struct {
 	pending []pendingGroup
 	opsFree [][]groupOp
 
+	// repScratch recycles waitReplicated's follower snapshot (cluster mode).
+	repScratch []*replica
+
 	// reqCtx is the group-execution context. Creating context.WithTimeout
 	// per request would put two allocations and a timer on the hot path, so
 	// one context is reused until half its budget has elapsed: every group
@@ -143,6 +146,18 @@ func (w *groupWorker) ctx() context.Context {
 func (w *groupWorker) run(batch []task) {
 	w.ops = w.ops[:0]
 	for _, t := range batch {
+		if t.req.Op == wire.OpReplicate || t.req.Op == wire.OpHandoff {
+			// Cluster stream ops carry WAL sequences, not keys: they bypass
+			// the route recheck. Lagged groups settle first so AppendFrames
+			// and installs never interleave with an unflushed append.
+			w.flushPending()
+			if t.req.Op == wire.OpReplicate {
+				w.runReplicate(t)
+			} else {
+				w.runHandoff(t)
+			}
+			continue
+		}
 		// A split between dispatch and execution may have moved this
 		// request's keys to another sub-shard: answer BUSY (retryable)
 		// instead of operating on a stale owner. Only the moved requests
@@ -220,7 +235,13 @@ func (w *groupWorker) flushPending() {
 	if len(w.pending) == 0 {
 		return
 	}
-	err := w.sh.log.Sync(w.pending[len(w.pending)-1].seq)
+	last := w.pending[len(w.pending)-1].seq
+	err := w.sh.log.Sync(last)
+	if err == nil {
+		// Semi-sync: the whole lag window waits on the newest sequence
+		// before any member answers (no-op outside cluster leadership).
+		w.repScratch = w.s.waitReplicated(w.sh, last, w.repScratch)
+	}
 	for pi := range w.pending {
 		g := &w.pending[pi]
 		if err != nil {
@@ -260,6 +281,9 @@ func errStatus(err error) (wire.Status, string) {
 	case errors.Is(err, errStaleRoute):
 		// BUSY promises the request was not executed; errStaleRoute aborts
 		// before the batch's first write, so the promise holds.
+		return wire.StatusBusy, err.Error()
+	case errors.Is(err, errShardMoving):
+		// Same promise: the handoff barrier refuses before execution.
 		return wire.StatusBusy, err.Error()
 	case errors.Is(err, votm.ErrViewDestroyed):
 		return wire.StatusShutdown, "shard shutting down"
@@ -312,6 +336,14 @@ func (w *groupWorker) runAtomicSingle(t task) {
 		if durable {
 			sh.walMu.Lock()
 			walLocked = true
+			if w.movingBarrier() {
+				// The handoff capture acquires walMu after setting moving:
+				// reaching here with it set means this batch would commit
+				// behind the captured state — refuse instead.
+				resp.Status = wire.StatusBusy
+				resp.SetDetail(errShardMoving.Error())
+				return
+			}
 		}
 		subs, err := w.sh.doAtomic(w.ctx(), w.th, t.req.Subs, resp.Subs[:0])
 		if err != nil {
@@ -333,6 +365,9 @@ func (w *groupWorker) runAtomicSingle(t task) {
 	// and concurrent committers share fsyncs (wal.Log.Sync piggybacking).
 	if walErr == nil && walSeq != 0 {
 		walErr = sh.log.Sync(walSeq)
+		if walErr == nil {
+			w.repScratch = w.s.waitReplicated(sh, walSeq, w.repScratch)
+		}
 	}
 	if walErr != nil {
 		w.noteWALFault(walErr)
@@ -452,6 +487,15 @@ func (w *groupWorker) runAtomicMulti(t task, parts []*shard, owner []int) {
 					locked[i] = true
 				}
 			}
+			if cn := s.cluster; cn != nil {
+				for i, p := range parts {
+					if writable[i] && cn.states[p.id].moving.Load() {
+						resp.Status = wire.StatusBusy
+						resp.SetDetail(errShardMoving.Error())
+						return
+					}
+				}
+			}
 		}
 		results, err := doAtomicMulti(w.ctx(), w.th, parts, owner, !hasWrite, t.req.Subs, resp.Subs[:0], stale)
 		if err != nil {
@@ -468,9 +512,15 @@ func (w *groupWorker) runAtomicMulti(t task, parts []*shard, owner []int) {
 	}()
 	// Final fsyncs happen outside the mutexes (overlapping later groups,
 	// piggybacking across workers); the response still waits on every
-	// participant's durability point.
+	// participant's durability point — and, under cluster leadership, every
+	// participant's semi-sync replication point.
 	if walErr == nil {
 		walErr = w.syncAll(syncShards, syncSeqs)
+		if walErr == nil {
+			for i := range syncShards {
+				w.repScratch = s.waitReplicated(syncShards[i], syncSeqs[i], w.repScratch)
+			}
+		}
 	}
 	if walErr != nil {
 		resp.Subs = resp.Subs[:0]
@@ -774,6 +824,20 @@ func (w *groupWorker) runAtomicMultiBatch(xs []xtask) {
 					locked[i] = true
 				}
 			}
+			if cn := s.cluster; cn != nil {
+				for i, p := range union {
+					if unionWrite[i] && cn.states[p.id].moving.Load() {
+						// A participant is quiesced for a handoff: refuse the
+						// whole round before anything executes (BUSY).
+						for _, rt := range tasks {
+							if rt.batch.err == nil {
+								rt.batch.err = errShardMoving
+							}
+						}
+						return
+					}
+				}
+			}
 		}
 		_ = doAtomicMultiGroup(w.ctx(), w.th, union, batches, !hasWrite)
 		if durable {
@@ -782,9 +846,15 @@ func (w *groupWorker) runAtomicMultiBatch(xs []xtask) {
 	}()
 	// Final fsyncs outside the mutexes (overlapping later groups,
 	// piggybacking across workers); every writing task's response still
-	// waits on every participant's durability point.
+	// waits on every participant's durability point — and, under cluster
+	// leadership, every participant's semi-sync replication point.
 	if walErr == nil {
 		walErr = w.syncAll(syncShs, syncSeqs)
+		if walErr == nil {
+			for i := range syncShs {
+				w.repScratch = s.waitReplicated(syncShs[i], syncSeqs[i], w.repScratch)
+			}
+		}
 	}
 	for _, rt := range tasks {
 		resp := rt.resp
@@ -1101,6 +1171,22 @@ func (w *groupWorker) runGroup() bool {
 	if durable {
 		sh.walMu.Lock()
 		walLocked = true
+		if w.movingBarrier() {
+			// The handoff capture acquires walMu after setting moving:
+			// reaching here with it set means this group would commit behind
+			// the captured state — refuse every live op instead (BUSY).
+			for i := range ops {
+				op := &ops[i]
+				if op.skip {
+					continue
+				}
+				w.releaseOp(op)
+				op.resp.Status = wire.StatusBusy
+				op.resp.SetDetail(errShardMoving.Error())
+			}
+			w.finishGroup(ops)
+			return false
+		}
 	}
 
 	// The body may be re-executed after a conflict: every per-op outcome

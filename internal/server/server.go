@@ -26,6 +26,7 @@ import (
 
 	"votm"
 	"votm/ds"
+	"votm/internal/cluster"
 	"votm/internal/faultinject"
 	"votm/wire"
 )
@@ -133,6 +134,31 @@ type Config struct {
 	// testing (see internal/faultinject). Leave nil in production.
 	FaultHook votm.FaultHook
 
+	// ClusterSeed makes this node host the shard-map service (package
+	// internal/cluster) on its data listener and join it in-process: the
+	// first seed-hosted node leads every shard. Mutually exclusive with
+	// ClusterJoin. Cluster mode (either field) requires DurabilityGroup —
+	// replication streams the per-shard WAL — and ClusterAdvertise; it is
+	// incompatible with AutoSplit (placement is by wire-level shard id: the
+	// cluster routes on the parent shard, and sub-shard fan-out below one
+	// node would make the shipped WAL streams ambiguous).
+	ClusterSeed bool
+	// ClusterJoin is the seed node's address; a non-empty value joins this
+	// node to that cluster at startup.
+	ClusterJoin string
+	// ClusterReplicas is the desired follower count per shard, honored by
+	// the hosted shard-map service (seed node only). Default 1 in cluster
+	// mode.
+	ClusterReplicas int
+	// ClusterAdvertise is the address other nodes and routing clients use
+	// to reach this node. Required in cluster mode.
+	ClusterAdvertise string
+	// ReplTimeout bounds the leader's semi-synchronous wait for follower
+	// acknowledgement after a group's fsync; a follower that misses it is
+	// detached (logged) and no longer blocks commits until it catches up.
+	// Default 2s.
+	ReplTimeout time.Duration
+
 	// Logf, when non-nil, receives server log lines.
 	Logf func(format string, args ...any)
 }
@@ -201,6 +227,14 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 30 * time.Second
 	}
+	if c.ClusterSeed || c.ClusterJoin != "" {
+		if c.ClusterReplicas == 0 {
+			c.ClusterReplicas = 1
+		}
+		if c.ReplTimeout <= 0 {
+			c.ReplTimeout = 2 * time.Second
+		}
+	}
 	return c
 }
 
@@ -249,6 +283,27 @@ func (c Config) validate() error {
 	if c.WALSegmentBytes < 0 {
 		return fmt.Errorf("server: Config.WALSegmentBytes must not be negative, got %d", c.WALSegmentBytes)
 	}
+	if c.ClusterReplicas < 0 {
+		return fmt.Errorf("server: Config.ClusterReplicas must not be negative, got %d", c.ClusterReplicas)
+	}
+	if c.ClusterSeed || c.ClusterJoin != "" {
+		if c.ClusterSeed && c.ClusterJoin != "" {
+			return errors.New("server: Config.ClusterSeed and Config.ClusterJoin are mutually exclusive")
+		}
+		if c.Durability != DurabilityGroup {
+			return fmt.Errorf("server: cluster mode requires Config.Durability %q (replication streams the per-shard WAL), got %q",
+				DurabilityGroup, c.Durability)
+		}
+		if c.ClusterAdvertise == "" {
+			return errors.New("server: cluster mode requires Config.ClusterAdvertise")
+		}
+		if c.AutoSplit {
+			// Unreachable today (DurabilityGroup already rejects AutoSplit),
+			// but the constraint is independent: cluster placement routes on
+			// the wire-level shard id.
+			return errors.New("server: cluster mode is incompatible with Config.AutoSplit (placement is per wire-level shard)")
+		}
+	}
 	return nil
 }
 
@@ -256,15 +311,13 @@ func (c Config) validate() error {
 // began (e.g. a shard split racing the drain).
 var ErrServerDraining = errors.New("server: draining")
 
-// ShardOf maps a key to its shard index. The mix deliberately differs from
+// ShardOf maps a key to its shard index. It delegates to the cluster-wide
+// placement hash (internal/cluster): every node of a cluster — and the
+// routing client — must agree on it, and the mix deliberately differs from
 // ds.HashMap's bucket hash so one shard's keys still spread over that
 // shard's buckets.
 func ShardOf(key uint64, shards int) int {
-	h := key
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	return int(h % uint64(shards))
+	return cluster.ShardOf(key, shards)
 }
 
 // Server is a votmd instance.
@@ -292,6 +345,11 @@ type Server struct {
 	snapshotStop chan struct{}
 	snapshotWG   sync.WaitGroup
 	recovery     []RecoveryStats
+
+	// cluster is non-nil when this node is part of a cluster (cluster.go);
+	// it is assigned in New before any worker starts, so workers and WAL
+	// tees may read it without synchronization.
+	cluster *clusterNode
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -382,6 +440,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if cfg.ClusterSeed || cfg.ClusterJoin != "" {
+		// Assigned before any worker starts: tees and workers read s.cluster
+		// without further synchronization.
+		s.cluster = newClusterNode(s)
+	}
 	for _, sh := range seeds {
 		for w := 0; w < cfg.WorkersPerShard; w++ {
 			s.workersWG.Add(1)
@@ -397,6 +460,14 @@ func New(cfg Config) (*Server, error) {
 		s.monitorStop = make(chan struct{})
 		s.monitorWG.Add(1)
 		go s.monitor()
+	}
+	if s.cluster != nil {
+		// Joining dials the seed (or the in-process service) and applies the
+		// first map; the watch loop then tracks placement changes.
+		if err := s.cluster.start(); err != nil {
+			_ = s.Shutdown(context.Background())
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -456,7 +527,14 @@ func (s *Server) ListenAndServe() error {
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
+	draining := s.draining.Load()
 	s.mu.Unlock()
+	if draining {
+		// Shutdown already passed its listener-close step (it saw s.ln nil):
+		// close here or nobody will, and Accept would block forever.
+		_ = ln.Close()
+		return nil
+	}
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -531,6 +609,13 @@ func (s *Server) shutdown(ctx context.Context) error {
 		close(s.snapshotStop)
 		s.snapshotWG.Wait()
 	}
+	if s.cluster != nil {
+		// Stop the control plane now (pending SHARDMAP_WATCHes answer
+		// Shutdown immediately) but keep the replication senders alive: the
+		// drain below still commits groups, and their semi-sync waits need
+		// live followers.
+		s.cluster.stopControl()
+	}
 
 	s.mu.Lock()
 	if s.ln != nil {
@@ -562,6 +647,11 @@ func (s *Server) shutdown(ctx context.Context) error {
 		close(sh.queue)
 	}
 	s.workersWG.Wait()
+
+	// Nothing appends anymore: retire the replication senders.
+	if s.cluster != nil {
+		s.cluster.stopSenders()
+	}
 
 	// Workers are quiescent and every answered write is on disk: write the
 	// final snapshots and mark the logs cleanly closed so the next startup
@@ -722,6 +812,11 @@ func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 				Scans:       sh.scans.Load(),
 				ScannedKeys: sh.scannedKeys.Load(),
 			})
+		}
+		if s.cluster != nil {
+			st := &resp.Stats[len(resp.Stats)-1]
+			st.Handoffs = s.cluster.states[g.id].handoffs.Load()
+			st.FollowerAcks, st.ReplicaLagRecords = s.cluster.replStats(g.id)
 		}
 	}
 	return resp

@@ -113,6 +113,14 @@ type Options struct {
 	// Fault, when non-nil, is invoked at every append and fsync site; a
 	// non-nil return injects an I/O failure there. Test-only.
 	Fault faultinject.DiskHook
+
+	// Tee, when non-nil, observes every appended batch frame (the exact
+	// encoded bytes, length/CRC header included) after its write succeeds.
+	// It is called with the append mutex held and the frame buffer is
+	// reused by the next append — implementations must copy what they keep
+	// and return quickly. The replication sender uses this to fan batches
+	// out to followers without re-reading the segment files.
+	Tee func(seq uint64, frame []byte)
 }
 
 // Log is one shard's write-ahead log. Append callers must be externally
@@ -307,6 +315,9 @@ func (l *Log) Append(recs []Record) (seq uint64, n int, err error) {
 	l.segSize += int64(len(l.buf))
 	l.nextSeq++
 	l.appended.Store(seq)
+	if l.opts.Tee != nil {
+		l.opts.Tee(seq, l.buf)
+	}
 	return seq, len(l.buf), nil
 }
 

@@ -25,12 +25,17 @@ import (
 // version 3 added its cross-shard 2PC meters and made multi-shard ATOMIC
 // batches a served capability rather than a CROSS_SHARD rejection; version 4
 // added the SCAN opcode (ordered range reads with cursor continuation) and
-// ShardStats' scan meters. Request layouts of the pre-existing opcodes are
-// identical in versions 1-4; OpScan frames are valid only at version 4.
-// Decoders accept any version in [MinVersion, Version] — an older STATS
-// frame simply carries fewer fields — and must reject frames outside that
-// range with StatusBadRequest (servers) or ErrProtocol (clients).
-const Version = 4
+// ShardStats' scan meters; version 5 added the cluster control plane — the
+// SHARDMAP_* opcodes (epoch-versioned shard→node assignments), the
+// node-to-node REPLICATE/HANDOFF stream opcodes, the WRONG_SHARD status
+// (epoch-stamped redirect) and ShardStats' replication meters. Request
+// layouts of the pre-existing opcodes are identical in versions 1-5; OpScan
+// frames are valid only at version 4+, the cluster opcodes only at
+// version 5. Decoders accept any version in [MinVersion, Version] — an
+// older STATS frame simply carries fewer fields — and must reject frames
+// outside that range with StatusBadRequest (servers) or ErrProtocol
+// (clients).
+const Version = 5
 
 // MinVersion is the oldest protocol version decoders still accept.
 const MinVersion = 1
@@ -63,6 +68,16 @@ const (
 	OpStats  Op = 0x07 // per-shard statistics snapshot
 	OpScan   Op = 0x08 // ordered range read with cursor continuation (v4+)
 
+	// Cluster control plane (v5+). The SHARDMAP_* opcodes talk to the
+	// shard-map service (hosted by a votmd node or a standalone seed
+	// process); REPLICATE and HANDOFF are node-to-node streams.
+	OpShardMapGet    Op = 0x09 // fetch the current shard map
+	OpShardMapWatch  Op = 0x0A // long-poll: answer when the map epoch exceeds Key
+	OpShardMapJoin   Op = 0x0B // register this node (Value = advertised addr) -> node id + map
+	OpShardMapUpdate Op = 0x0C // reassign Shard's leader to node Key -> new map
+	OpReplicate      Op = 0x0D // leader->follower WAL batch frames for Shard starting at seq Key
+	OpHandoff        Op = 0x0E // leader->target snapshot install for Shard (Phase: begin/entries/commit)
+
 	// OpError is a response-only opcode: the server's reply to a frame it
 	// could not parse. The stream is unframed from that point on — the real
 	// opcode and request ID are unknowable — so the reply carries ID 0 and
@@ -91,13 +106,25 @@ func (o Op) String() string {
 		return "STATS"
 	case OpScan:
 		return "SCAN"
+	case OpShardMapGet:
+		return "SHARDMAP_GET"
+	case OpShardMapWatch:
+		return "SHARDMAP_WATCH"
+	case OpShardMapJoin:
+		return "SHARDMAP_JOIN"
+	case OpShardMapUpdate:
+		return "SHARDMAP_UPDATE"
+	case OpReplicate:
+		return "REPLICATE"
+	case OpHandoff:
+		return "HANDOFF"
 	case OpError:
 		return "ERROR"
 	}
 	return fmt.Sprintf("op(0x%02x)", uint8(o))
 }
 
-func (o Op) valid() bool { return (o >= OpPing && o <= OpScan) || o == OpError }
+func (o Op) valid() bool { return (o >= OpPing && o <= OpHandoff) || o == OpError }
 
 // Status is a response status code.
 type Status uint8
@@ -114,6 +141,13 @@ const (
 	StatusTxFault     Status = 7 // transaction died server-side (e.g. injected panic)
 	StatusShutdown    Status = 8 // server is draining; no new requests accepted
 	StatusInternal    Status = 9 // unexpected server error
+
+	// StatusWrongShard (v5) is the cluster redirect: the addressed node does
+	// not lead the request's shard. The detail bytes are the node's current
+	// shard-map epoch as a little-endian u64 (see WrongShardEpoch) — a client
+	// whose map epoch is older must refetch the map and retry against the
+	// shard's current leader.
+	StatusWrongShard Status = 10
 )
 
 func (s Status) String() string {
@@ -138,6 +172,8 @@ func (s Status) String() string {
 		return "SHUTTING_DOWN"
 	case StatusInternal:
 		return "INTERNAL"
+	case StatusWrongShard:
+		return "WRONG_SHARD"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -176,7 +212,20 @@ var (
 	ErrTxFault     = &Error{Status: StatusTxFault}
 	ErrShutdown    = &Error{Status: StatusShutdown}
 	ErrInternal    = &Error{Status: StatusInternal}
+	ErrWrongShard  = &Error{Status: StatusWrongShard}
 )
+
+// WrongShardDetail encodes a shard-map epoch as WRONG_SHARD detail bytes.
+func WrongShardDetail(dst []byte, epoch uint64) []byte { return appendU64(dst, epoch) }
+
+// WrongShardEpoch decodes the shard-map epoch carried by a WRONG_SHARD
+// error's detail bytes; 0 if the detail is absent or malformed.
+func WrongShardEpoch(detail []byte) uint64 {
+	if len(detail) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(detail)
+}
 
 // Err converts a status (plus detail) to its typed error; StatusOK is nil.
 func (s Status) Err(detail []byte) error {
@@ -190,6 +239,82 @@ func (s Status) Err(detail []byte) error {
 // version, oversized frame, truncated payload). Unlike an *Error it is not
 // recoverable: the connection must be dropped.
 var ErrProtocol = errors.New("wire: protocol violation")
+
+// HandoffPhase sequences an OpHandoff snapshot install (v5). A handoff
+// ships a shard's state in chunks: one begin frame (Key = the snapshot's
+// WAL sequence), any number of entries frames (Value = packed key/value
+// entries), and one commit frame (Key = the shard's new epoch, or 0 when
+// the install leaves the target a follower rather than the new leader).
+type HandoffPhase uint8
+
+// OpHandoff phases.
+const (
+	HandoffBegin   HandoffPhase = 0
+	HandoffEntries HandoffPhase = 1
+	HandoffCommit  HandoffPhase = 2
+)
+
+func (p HandoffPhase) valid() bool { return p <= HandoffCommit }
+
+// MaxMapNodes bounds the node list of an encoded shard map.
+const MaxMapNodes = 1024
+
+// MaxMapShards bounds the shard-route list of an encoded shard map.
+const MaxMapShards = 16384
+
+// MaxShardReplicas bounds one shard route's replica list.
+const MaxShardReplicas = 8
+
+// NodeInfo is one cluster node in a shard map: its seed-assigned id and
+// the address peers and clients dial it at.
+type NodeInfo struct {
+	ID   uint32
+	Addr string
+}
+
+// ShardRoute is one wire shard's placement: the node that leads it (serves
+// reads and writes), the follower nodes replicating its WAL, and the epoch
+// at which this assignment was made. Cluster routing is by parent wire
+// shard id — a node's internal auto-split sub-shards are invisible here.
+type ShardRoute struct {
+	Shard    uint32
+	Epoch    uint64
+	Leader   uint32
+	Replicas []uint32
+}
+
+// ShardMap is the cluster's epoch-versioned shard→node assignment, served
+// by the shard-map service over OpShardMapGet/Watch. Epoch increases on
+// every change; a ShardRoute's Epoch records the map epoch at which that
+// shard's placement last changed.
+type ShardMap struct {
+	Epoch  uint64
+	Nodes  []NodeInfo
+	Shards []ShardRoute
+}
+
+// Node returns the NodeInfo with the given id, or nil.
+func (m *ShardMap) Node(id uint32) *NodeInfo {
+	for i := range m.Nodes {
+		if m.Nodes[i].ID == id {
+			return &m.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Route returns the ShardRoute for the given wire shard id, or nil.
+func (m *ShardMap) Route(shard uint32) *ShardRoute {
+	if int(shard) < len(m.Shards) && m.Shards[shard].Shard == shard {
+		return &m.Shards[shard]
+	}
+	for i := range m.Shards {
+		if m.Shards[i].Shard == shard {
+			return &m.Shards[i]
+		}
+	}
+	return nil
+}
 
 // SubKind identifies one sub-operation of an ATOMIC batch.
 type SubKind uint8
@@ -277,6 +402,16 @@ type ShardStats struct {
 	// contributed to any page's merge.
 	Scans       uint64
 	ScannedKeys uint64
+
+	// Replication meters (version 5; zero when decoding an older frame or
+	// outside cluster mode). FollowerAcks is the leader's acked-follower
+	// watermark: the highest WAL sequence every live follower has durably
+	// acknowledged (0 with no followers attached). ReplicaLagRecords is the
+	// leader's last-appended sequence minus that watermark. Handoffs counts
+	// HANDOFF installs and live shard moves this shard took part in.
+	FollowerAcks      uint64
+	ReplicaLagRecords uint64
+	Handoffs          uint64
 }
 
 // SnapshotNever is the SnapshotAgeSec sentinel meaning "no snapshot yet".
@@ -315,6 +450,15 @@ type Request struct {
 	Limit     uint32
 	HasCursor bool
 
+	// Phase sequences an OpHandoff install (v5). The cluster opcodes reuse
+	// the fields above: SHARDMAP_WATCH carries the caller's map epoch in
+	// Key; SHARDMAP_JOIN its advertised address in Value; SHARDMAP_UPDATE
+	// the shard in Shard and the new leader's node id in Key; REPLICATE the
+	// shard in Shard, the first batch sequence in Key (0 = probe) and raw
+	// CRC-framed WAL batch frames in Value; HANDOFF the shard in Shard plus
+	// per-phase Key/Value (see HandoffPhase).
+	Phase HandoffPhase
+
 	// frame is the retained frame-payload buffer of a pooled request
 	// (ReadRequestReuse reads into it; the byte fields above borrow it).
 	frame []byte
@@ -345,6 +489,14 @@ type Response struct {
 	Entries []ScanEntry
 	More    bool
 	Cursor  uint64
+
+	// Map carries the shard map of an OK SHARDMAP_GET/WATCH/JOIN/UPDATE
+	// response (v5). Unlike the borrowed byte fields it owns its memory —
+	// the control plane is off the hot path, so decode copies. Cursor is
+	// reused by the cluster opcodes: SHARDMAP_JOIN returns the assigned
+	// node id, REPLICATE and HANDOFF the follower's next expected WAL
+	// sequence.
+	Map ShardMap
 
 	// Next chains responses for batched producer→writer hand-off (a group
 	// worker sends a whole group's responses for one connection as a single
@@ -496,8 +648,62 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 			flags |= 1
 		}
 		p = append(p, flags)
+	case OpShardMapGet:
+	case OpShardMapWatch:
+		p = appendU64(p, r.Key)
+	case OpShardMapJoin:
+		p = appendBytes(p, r.Value)
+	case OpShardMapUpdate:
+		p = appendU32(p, r.Shard)
+		p = appendU64(p, r.Key)
+	case OpReplicate:
+		p = appendU32(p, r.Shard)
+		p = appendU64(p, r.Key)
+		p = appendBytes(p, r.Value)
+	case OpHandoff:
+		if !r.Phase.valid() {
+			return p[:start], fmt.Errorf("%w: bad handoff phase %d", ErrProtocol, r.Phase)
+		}
+		p = appendU32(p, r.Shard)
+		p = append(p, byte(r.Phase))
+		p = appendU64(p, r.Key)
+		p = appendBytes(p, r.Value)
 	}
 	return endFrame(p, start)
+}
+
+// appendShardMap appends m's encoding: epoch, node list, shard-route list.
+func appendShardMap(p []byte, m *ShardMap) ([]byte, error) {
+	if len(m.Nodes) > MaxMapNodes {
+		return p, fmt.Errorf("%w: shard map with %d nodes", ErrProtocol, len(m.Nodes))
+	}
+	if len(m.Shards) > MaxMapShards {
+		return p, fmt.Errorf("%w: shard map with %d shards", ErrProtocol, len(m.Shards))
+	}
+	p = appendU64(p, m.Epoch)
+	p = appendU16(p, uint16(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		p = appendU32(p, n.ID)
+		if len(n.Addr) > math.MaxUint8 {
+			return p, fmt.Errorf("%w: node address too long", ErrProtocol)
+		}
+		p = append(p, byte(len(n.Addr)))
+		p = append(p, n.Addr...)
+	}
+	p = appendU32(p, uint32(len(m.Shards)))
+	for _, r := range m.Shards {
+		if len(r.Replicas) > MaxShardReplicas {
+			return p, fmt.Errorf("%w: shard route with %d replicas", ErrProtocol, len(r.Replicas))
+		}
+		p = appendU32(p, r.Shard)
+		p = appendU64(p, r.Epoch)
+		p = appendU32(p, r.Leader)
+		p = append(p, byte(len(r.Replicas)))
+		for _, id := range r.Replicas {
+			p = appendU32(p, id)
+		}
+	}
+	return p, nil
 }
 
 // AppendResponse appends r's frame (length prefix included) to dst. It
@@ -572,10 +778,24 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				s.ReplayedRecords,
 				s.CrossShardGroups, s.CrossShardPrepares, s.PrepareAborts,
 				s.Scans, s.ScannedKeys,
+				s.FollowerAcks, s.ReplicaLagRecords, s.Handoffs,
 			} {
 				p = appendU64(p, v)
 			}
 		}
+	case OpShardMapGet, OpShardMapWatch, OpShardMapUpdate:
+		var err error
+		if p, err = appendShardMap(p, &r.Map); err != nil {
+			return p[:start], err
+		}
+	case OpShardMapJoin:
+		p = appendU64(p, r.Cursor)
+		var err error
+		if p, err = appendShardMap(p, &r.Map); err != nil {
+			return p[:start], err
+		}
+	case OpReplicate, OpHandoff:
+		p = appendU64(p, r.Cursor)
 	}
 	return endFrame(p, start)
 }
@@ -795,6 +1015,9 @@ func (req *Request) parse(p []byte) error {
 	if c.err == nil && op == OpScan && ver < 4 {
 		return fmt.Errorf("%w: SCAN requires version 4, frame is version %d", ErrProtocol, ver)
 	}
+	if c.err == nil && op >= OpShardMapGet && op <= OpHandoff && ver < 5 {
+		return fmt.Errorf("%w: %v requires version 5, frame is version %d", ErrProtocol, op, ver)
+	}
 	req.Op, req.ID = op, c.u32()
 	switch op {
 	case OpPing:
@@ -839,6 +1062,26 @@ func (req *Request) parse(p []byte) error {
 		// Unknown flag bits are ignored, matching the struct-level round-trip
 		// contract of the other boolean fields.
 		req.HasCursor = c.u8()&1 == 1
+	case OpShardMapGet:
+	case OpShardMapWatch:
+		req.Key = c.u64()
+	case OpShardMapJoin:
+		req.Value = c.bytes()
+	case OpShardMapUpdate:
+		req.Shard = c.u32()
+		req.Key = c.u64()
+	case OpReplicate:
+		req.Shard = c.u32()
+		req.Key = c.u64()
+		req.Value = c.bytes()
+	case OpHandoff:
+		req.Shard = c.u32()
+		req.Phase = HandoffPhase(c.u8())
+		if c.err == nil && !req.Phase.valid() {
+			return fmt.Errorf("%w: bad handoff phase %d", ErrProtocol, req.Phase)
+		}
+		req.Key = c.u64()
+		req.Value = c.bytes()
 	}
 	return c.done()
 }
@@ -907,6 +1150,9 @@ func (resp *Response) parse(p []byte) error {
 	}
 	if c.err == nil && op == OpScan && ver < 4 {
 		return fmt.Errorf("%w: SCAN requires version 4, frame is version %d", ErrProtocol, ver)
+	}
+	if c.err == nil && op >= OpShardMapGet && op <= OpHandoff && ver < 5 {
+		return fmt.Errorf("%w: %v requires version 5, frame is version %d", ErrProtocol, op, ver)
 	}
 	resp.Op, resp.ID, resp.Status = op, c.u32(), Status(c.u8())
 	if resp.Status != StatusOK {
@@ -990,8 +1236,61 @@ func (resp *Response) parse(p []byte) error {
 				s.Scans = c.u64()
 				s.ScannedKeys = c.u64()
 			}
+			if ver >= 5 {
+				s.FollowerAcks = c.u64()
+				s.ReplicaLagRecords = c.u64()
+				s.Handoffs = c.u64()
+			}
 			resp.Stats = append(resp.Stats, s)
 		}
+	case OpShardMapGet, OpShardMapWatch, OpShardMapUpdate:
+		c.shardMap(&resp.Map)
+	case OpShardMapJoin:
+		resp.Cursor = c.u64()
+		c.shardMap(&resp.Map)
+	case OpReplicate, OpHandoff:
+		resp.Cursor = c.u64()
 	}
 	return c.done()
+}
+
+// shardMap decodes a ShardMap, copying addresses and replica lists so the
+// result owns its memory (the control plane is off the pooled hot path).
+func (c *cursor) shardMap(m *ShardMap) {
+	m.Epoch = c.u64()
+	nn := int(c.u16())
+	if c.err == nil && nn > MaxMapNodes {
+		c.err = fmt.Errorf("%w: shard map with %d nodes", ErrProtocol, nn)
+		return
+	}
+	for i := 0; i < nn && c.err == nil; i++ {
+		n := NodeInfo{ID: c.u32()}
+		addrLen := int(c.u8())
+		if c.err == nil && addrLen > len(c.b)-c.off {
+			c.fail()
+			return
+		}
+		if c.err == nil {
+			n.Addr = string(c.b[c.off : c.off+addrLen])
+			c.off += addrLen
+		}
+		m.Nodes = append(m.Nodes, n)
+	}
+	ns := int(c.u32())
+	if c.err == nil && ns > MaxMapShards {
+		c.err = fmt.Errorf("%w: shard map with %d shards", ErrProtocol, ns)
+		return
+	}
+	for i := 0; i < ns && c.err == nil; i++ {
+		r := ShardRoute{Shard: c.u32(), Epoch: c.u64(), Leader: c.u32()}
+		nr := int(c.u8())
+		if c.err == nil && nr > MaxShardReplicas {
+			c.err = fmt.Errorf("%w: shard route with %d replicas", ErrProtocol, nr)
+			return
+		}
+		for j := 0; j < nr && c.err == nil; j++ {
+			r.Replicas = append(r.Replicas, c.u32())
+		}
+		m.Shards = append(m.Shards, r)
+	}
 }

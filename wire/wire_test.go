@@ -210,14 +210,15 @@ func TestOldVersionStatsDecode(t *testing.T) {
 	stamped.SnapshotAgeSec, stamped.ReplayedRecords = 3, 33
 	stamped.CrossShardGroups, stamped.CrossShardPrepares, stamped.PrepareAborts = 7, 14, 1
 	stamped.Scans, stamped.ScannedKeys = 21, 2100
+	stamped.FollowerAcks, stamped.ReplicaLagRecords, stamped.Handoffs = 11, 2, 1
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 1, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v4 frame as its v1 equivalent: drop the five durability,
-	// three cross-shard and two scan trailing u64s, then downgrade the
-	// version byte.
-	const v1Trailing = (5 + 3 + 2) * 8
+	// Rewrite the v5 frame as its v1 equivalent: drop the five durability,
+	// three cross-shard, two scan and three replication trailing u64s, then
+	// downgrade the version byte.
+	const v1Trailing = (5 + 3 + 2 + 3) * 8
 	frame = frame[:len(frame)-v1Trailing]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 1
@@ -242,13 +243,15 @@ func TestV2StatsDecode(t *testing.T) {
 	stamped := want
 	stamped.CrossShardGroups, stamped.CrossShardPrepares, stamped.PrepareAborts = 4, 8, 2
 	stamped.Scans, stamped.ScannedKeys = 5, 500
+	stamped.FollowerAcks, stamped.ReplicaLagRecords, stamped.Handoffs = 7, 3, 2
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 2, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v4 frame as its v2 equivalent: drop the three cross-shard
-	// and two scan trailing u64s, then downgrade the version byte.
-	const xsBytes = (3 + 2) * 8
+	// Rewrite the v5 frame as its v2 equivalent: drop the three cross-shard,
+	// two scan and three replication trailing u64s, then downgrade the
+	// version byte.
+	const xsBytes = (3 + 2 + 3) * 8
 	frame = frame[:len(frame)-xsBytes]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 2
@@ -273,13 +276,14 @@ func TestV3StatsDecode(t *testing.T) {
 	}
 	stamped := want
 	stamped.Scans, stamped.ScannedKeys = 6, 600
+	stamped.FollowerAcks, stamped.ReplicaLagRecords, stamped.Handoffs = 9, 1, 3
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 3, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v4 frame as its v3 equivalent: drop the two trailing scan
-	// u64s and downgrade the version byte.
-	const scanBytes = 2 * 8
+	// Rewrite the v5 frame as its v3 equivalent: drop the two scan and three
+	// replication trailing u64s and downgrade the version byte.
+	const scanBytes = (2 + 3) * 8
 	frame = frame[:len(frame)-scanBytes]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 3
@@ -289,6 +293,38 @@ func TestV3StatsDecode(t *testing.T) {
 	}
 	if len(got.Stats) != 1 || !reflect.DeepEqual(got.Stats[0], want) {
 		t.Errorf("v3 STATS decode:\n got %+v\nwant %+v", got.Stats, want)
+	}
+}
+
+// TestV4StatsDecode: a version-4 STATS response carries the scan meters but
+// predates the replication meters; those must decode as zero.
+func TestV4StatsDecode(t *testing.T) {
+	want := ShardStats{
+		Shard: 5, Engine: "tl2", Quota: 3, Commits: 27, Delta: 0.125,
+		Keys: 8, Groups: 4, GroupOps: 19, QueueHighWater: 6,
+		WalAppends: 3, WalBytes: 128, Fsyncs: 2,
+		SnapshotAgeSec: 4, ReplayedRecords: 7,
+		CrossShardGroups: 2, CrossShardPrepares: 4, PrepareAborts: 1,
+		Scans: 11, ScannedKeys: 1100,
+	}
+	stamped := want
+	stamped.FollowerAcks, stamped.ReplicaLagRecords, stamped.Handoffs = 42, 5, 2
+	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 4, Stats: []ShardStats{stamped}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v5 frame as its v4 equivalent: drop the three trailing
+	// replication u64s and downgrade the version byte.
+	const replBytes = 3 * 8
+	frame = frame[:len(frame)-replBytes]
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+	frame[4] = 4
+	got, err := ReadResponse(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("v4 STATS decode: %v", err)
+	}
+	if len(got.Stats) != 1 || !reflect.DeepEqual(got.Stats[0], want) {
+		t.Errorf("v4 STATS decode:\n got %+v\nwant %+v", got.Stats, want)
 	}
 }
 
@@ -499,6 +535,16 @@ func FuzzParseRequest(f *testing.F) {
 		{Op: OpScan, ID: 7, Key: 10, End: 20, Limit: 8},
 		{Op: OpScan, ID: 8, Key: 0, End: ^uint64(0), Limit: MaxScanKeys, Cursor: 0x9e37, HasCursor: true},
 		{Op: OpScan, ID: 9, Key: 9, End: 5, Limit: 0},
+		// Cluster control plane (v5): map fetch/watch/join, a replication
+		// batch, and each handoff phase.
+		{Op: OpShardMapGet, ID: 10},
+		{Op: OpShardMapWatch, ID: 11, Key: 6},
+		{Op: OpShardMapJoin, ID: 12, Value: []byte("127.0.0.1:7422")},
+		{Op: OpShardMapUpdate, ID: 13, Shard: 2, Key: 3},
+		{Op: OpReplicate, ID: 14, Shard: 1, Key: 7, Value: []byte("frames")},
+		{Op: OpHandoff, ID: 15, Shard: 3, Phase: HandoffBegin, Key: 40},
+		{Op: OpHandoff, ID: 16, Shard: 3, Phase: HandoffEntries, Value: []byte("chunk")},
+		{Op: OpHandoff, ID: 17, Shard: 3, Phase: HandoffCommit, Key: 9},
 	}
 	for _, req := range seed {
 		frame, err := AppendRequest(nil, req)
@@ -556,6 +602,16 @@ func FuzzParseResponse(f *testing.F) {
 			{Key: 2, Value: []byte("bb")},
 		}, More: true, Cursor: 3},
 		{Op: OpScan, ID: 7, Status: StatusBadRequest, Value: []byte("reversed scan bounds")},
+		// Cluster (v5): a shard map with replicas, a replication cursor,
+		// and the epoch-stamped WRONG_SHARD redirect.
+		{Op: OpShardMapGet, ID: 8, Map: ShardMap{
+			Epoch:  5,
+			Nodes:  []NodeInfo{{ID: 1, Addr: "127.0.0.1:7421"}, {ID: 2, Addr: "127.0.0.1:7422"}},
+			Shards: []ShardRoute{{Shard: 0, Epoch: 5, Leader: 1, Replicas: []uint32{2}}},
+		}},
+		{Op: OpShardMapJoin, ID: 9, Cursor: 2, Map: ShardMap{Epoch: 2, Nodes: []NodeInfo{{ID: 1, Addr: "a"}}}},
+		{Op: OpReplicate, ID: 10, Cursor: 33},
+		{Op: OpPut, ID: 11, Status: StatusWrongShard, Value: WrongShardDetail(nil, 6)},
 	}
 	for _, resp := range seed {
 		frame, err := AppendResponse(nil, resp)
