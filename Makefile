@@ -39,6 +39,9 @@ bench:
 # queue, grouped view transaction, response encode, coalesced writes) across
 # workload x engine x BatchMax. The batch1/batch16 pairs are the group-commit
 # proof; the write-heavy norec pair is the headline ratio in README.md. The
+# adaptive cells and the Overload pair are the adaptive-batching proof
+# (scripts/check_adaptive_bars.py checks the ISSUE 10 bars against the
+# JSON; throughput deltas under ~1-2% are scheduler noise on this host). The
 # Durable cells measure the same stack with the per-shard WAL on (-durability
 # group): every write group appended and answered only after its flush — the
 # sameshard/xshard ATOMIC pair is the cross-shard 2PC overhead ratio. The
@@ -48,7 +51,7 @@ bench:
 # pipelining depth) so batching's latency cost shows up next to its
 # throughput win.
 bench-server:
-	( $(GO) test -run='^$$' -bench='BenchmarkServerThroughput|BenchmarkServerDurable' \
+	( $(GO) test -run='^$$' -bench='BenchmarkServerThroughput|BenchmarkServerOverload|BenchmarkServerDurable' \
 		-benchmem -benchtime=200000x ./internal/server && \
 	  $(GO) test -run='^$$' -bench='BenchmarkCrossViewDelta' \
 		-benchmem -benchtime=1x ./internal/eigenbench ) \

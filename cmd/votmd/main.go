@@ -36,23 +36,26 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7421", "TCP listen address")
-		shards   = flag.Int("shards", 8, "number of shards (one VOTM view each)")
-		words    = flag.Int("shard-words", 1<<15, "initial heap words per shard")
-		buckets  = flag.Int("buckets", 1024, "hash-map buckets per shard")
-		workers  = flag.Int("workers", 4, "transaction workers per shard (RAC quota bound N)")
-		queue    = flag.Int("queue", 128, "bounded per-shard request queue (overflow => BUSY)")
-		batchMax = flag.Int("batch-max", 16, "max requests one worker group-commits per transaction (1 = no grouping)")
-		maxVal   = flag.Int("max-value", 64<<10, "maximum value size in bytes")
-		respCh   = flag.Int("resp-channel", 64, "per-connection response channel capacity")
-		readBuf  = flag.Int("read-buf", 16<<10, "per-connection read buffer bytes")
-		writeBuf = flag.Int("write-buf", 16<<10, "per-connection write coalescing buffer bytes")
-		engine   = flag.String("engine", "norec", "TM engine: norec | oreceager | tl2")
-		adjust   = flag.Int64("adjust-every", 0, "RAC adjustment window in attempts (0 = default)")
-		reqTO    = flag.Duration("request-timeout", 5*time.Second, "per-request transaction timeout")
-		idleTO   = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
-		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
-		statsSec = flag.Duration("stats-every", 0, "log per-shard stats at this interval (0 = off)")
+		addr      = flag.String("addr", ":7421", "TCP listen address")
+		shards    = flag.Int("shards", 8, "number of shards (one VOTM view each)")
+		words     = flag.Int("shard-words", 1<<15, "initial heap words per shard")
+		buckets   = flag.Int("buckets", 1024, "hash-map buckets per shard")
+		workers   = flag.Int("workers", 4, "transaction workers per shard (RAC quota bound N)")
+		queue     = flag.Int("queue", 128, "bounded per-shard request queue (overflow => BUSY)")
+		batchMax  = flag.Int("batch-max", 16, "max requests one worker group-commits per transaction (1 = no grouping)")
+		adaptive  = flag.Bool("adaptive-batch", false, "adapt group-commit depth per shard from queue depth and contention (delta, abort rate); -batch-max becomes the ceiling")
+		latBudget = flag.Duration("latency-budget", 20*time.Millisecond, "adaptive admission: reject (BUSY) when estimated queue delay exceeds this (needs -adaptive-batch)")
+		queueImpl = flag.String("queue-impl", server.QueueImplRing, "per-shard queue implementation: ring | channel")
+		maxVal    = flag.Int("max-value", 64<<10, "maximum value size in bytes")
+		respCh    = flag.Int("resp-channel", 64, "per-connection response channel capacity")
+		readBuf   = flag.Int("read-buf", 16<<10, "per-connection read buffer bytes")
+		writeBuf  = flag.Int("write-buf", 16<<10, "per-connection write coalescing buffer bytes")
+		engine    = flag.String("engine", "norec", "TM engine: norec | oreceager | tl2")
+		adjust    = flag.Int64("adjust-every", 0, "RAC adjustment window in attempts (0 = default)")
+		reqTO     = flag.Duration("request-timeout", 5*time.Second, "per-request transaction timeout")
+		idleTO    = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		statsSec  = flag.Duration("stats-every", 0, "log per-shard stats at this interval (0 = off)")
 
 		autoSplit  = flag.Bool("auto-split", false, "split hot shards online (live key migration; ATOMIC batches spanning sub-shards commit via the multi-view 2PC coordinator)")
 		splitEvery = flag.Duration("split-check-every", 250*time.Millisecond, "hot-shard advisor polling period")
@@ -128,6 +131,9 @@ func main() {
 		WorkersPerShard: *workers,
 		QueueDepth:      *queue,
 		BatchMax:        *batchMax,
+		AdaptiveBatch:   *adaptive,
+		LatencyBudget:   *latBudget,
+		QueueImpl:       *queueImpl,
 		MaxValueLen:     *maxVal,
 		RespChannel:     *respCh,
 		ReadBufSize:     *readBuf,
@@ -172,8 +178,9 @@ func main() {
 		go func() {
 			for range time.Tick(*statsSec) {
 				for _, r := range srv.StatsAll() {
-					line := fmt.Sprintf("shard %d [%s]: Q=%d commits=%d aborts=%d keys=%d delta=%.3f splits=%d scans=%d scannedKeys=%d",
-						r.Shard, r.Engine, r.Quota, r.Commits, r.Aborts, r.Keys, r.Delta, r.Repartitions, r.Scans, r.ScannedKeys)
+					line := fmt.Sprintf("shard %d [%s]: Q=%d commits=%d aborts=%d keys=%d delta=%.3f splits=%d scans=%d scannedKeys=%d effBatch=%d admRej=%d ringFull=%d qhwWin=%d",
+						r.Shard, r.Engine, r.Quota, r.Commits, r.Aborts, r.Keys, r.Delta, r.Repartitions, r.Scans, r.ScannedKeys,
+						r.EffectiveBatch, r.AdmissionRejects, r.RingFullEvents, r.QueueHighWaterWin)
 					if durable {
 						age := "never"
 						if r.SnapshotAgeSec != wire.SnapshotNever {

@@ -27,7 +27,25 @@ import (
 //   - after the storm the same clients still serve traffic (no wedged
 //     connections or views);
 //   - draining the battered server leaks no goroutines.
+//
+// The soak runs once per queue backend (the default MPSC ring, the channel
+// fallback) plus once with the adaptive group-commit controller driving the
+// ring — the storm doubles as the liveness soak for both dispatch paths.
 func TestServerChaos(t *testing.T) {
+	lanes := []struct {
+		name string
+		mod  func(*server.Config)
+	}{
+		{"ring", nil},
+		{"ring-adaptive", func(c *server.Config) { c.AdaptiveBatch = true }},
+		{"channel", func(c *server.Config) { c.QueueImpl = server.QueueImplChannel }},
+	}
+	for _, lane := range lanes {
+		t.Run(lane.name, func(t *testing.T) { runServerChaos(t, lane.mod) })
+	}
+}
+
+func runServerChaos(t *testing.T, mod func(*server.Config)) {
 	const nClients = 8
 	rounds := 200
 	if testing.Short() {
@@ -41,7 +59,7 @@ func TestServerChaos(t *testing.T) {
 		LatencyEvery:  151,
 		Latency:       20 * time.Microsecond,
 	})
-	srv, addr := startServer(t, server.Config{
+	cfg := server.Config{
 		Shards:             2,
 		WorkersPerShard:    4,
 		QueueDepth:         128,
@@ -50,7 +68,11 @@ func TestServerChaos(t *testing.T) {
 		MaxConflictRetries: 8,
 		RequestTimeout:     30 * time.Second,
 		FaultHook:          inj.Hook(),
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, addr := startServer(t, cfg)
 	_ = srv
 
 	keys := make([]uint64, 8)

@@ -474,11 +474,14 @@ func (cn *clusterNode) dispatch(c *conn, req *wire.Request) bool {
 			reject(wire.StatusShutdown, "server draining")
 			return true
 		}
+		// Replication and handoff streams bypass the adaptive admission gate
+		// (shedding them would stall followers, not shorten client tails);
+		// only a genuinely full queue pushes back.
 		c.pending.Add(1)
-		select {
-		case sh.queue <- task{req: req, c: c}:
-			sh.noteDepth(uint64(len(sh.queue)))
-		default:
+		if sh.queue.TryPush(task{req: req, c: c}) {
+			sh.noteDepth(uint64(sh.queue.Len()), s.hwWin.Load())
+		} else {
+			sh.ringFull.Add(1)
 			c.pending.Done()
 			s.reqWG.Done()
 			reject(wire.StatusBusy, "")

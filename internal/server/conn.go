@@ -158,12 +158,21 @@ func (c *conn) dispatch(req *wire.Request) {
 		return
 	}
 	c.pending.Add(1)
-	select {
-	case sh.queue <- task{req: req, c: c}:
-		sh.noteDepth(uint64(len(sh.queue)))
+	switch {
+	case sh.queue.Len() >= sh.ctl.admitLimit():
+		// Adaptive admission gate: the queue's estimated drain time already
+		// exceeds the latency budget, so shed this arrival with BUSY now —
+		// bounding p999 — instead of letting it queue toward the hard bound.
+		sh.admissionRejects.Add(1)
+		c.pending.Done()
+		s.reqWG.Done()
+		reject(wire.StatusBusy, "")
+	case sh.queue.TryPush(task{req: req, c: c}):
+		sh.noteDepth(uint64(sh.queue.Len()), s.hwWin.Load())
 	default:
 		// Bounded in-flight queue is full: reject now instead of queueing
 		// unboundedly. The client sees a typed BUSY and decides.
+		sh.ringFull.Add(1)
 		c.pending.Done()
 		s.reqWG.Done()
 		reject(wire.StatusBusy, "")

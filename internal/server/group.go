@@ -1337,9 +1337,10 @@ func (w *groupWorker) runGroup() bool {
 	// flushes the moment the shard would go idle, so a standing queue pays
 	// one fdatasync per lag window instead of one per group, while a
 	// synchronous client (empty queue between requests) still flushes
-	// immediately. The lag bound caps the added commit latency.
+	// immediately. The lag bound caps the added commit latency; in adaptive
+	// latency-first mode (group size 1) it collapses to flush-per-group.
 	w.pending = append(w.pending, pendingGroup{ops: ops, seq: walSeq})
-	if len(w.pending) >= maxSyncLag {
+	if len(w.pending) >= w.sh.ctl.lagBound() {
 		w.flushPending()
 	}
 	return true

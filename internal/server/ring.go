@@ -1,0 +1,297 @@
+// Bounded per-shard task queues. The default implementation is a lock-free
+// MPSC ring (ringQueue): connection read loops are the producers, the
+// shard's workers take turns as the single draining consumer. The previous
+// chan-based queue survives as chanQueue behind Config.QueueImpl — it is the
+// differential-testing oracle (ring_test.go) and a one-flag rollback path.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// taskQueue is the bounded dispatch queue between connection readers and a
+// shard's workers. Push never blocks (a full queue is the BUSY backpressure
+// signal); Pop blocks until a task arrives or the queue is closed AND
+// drained. Close may not race an in-flight TryPush — the server guarantees
+// it by closing queues only after reqWG has drained (shutdown), exactly the
+// invariant the old close(chan) needed.
+type taskQueue interface {
+	// TryPush enqueues t, or reports false when the queue is full or closed.
+	TryPush(t task) bool
+	// TryPop dequeues one task without blocking; false means empty (or
+	// closed — callers disambiguate through the blocking Pop).
+	TryPop() (task, bool)
+	// Pop blocks for one task; false means closed and fully drained.
+	Pop() (task, bool)
+	// PopBatch appends queued tasks to dst without blocking until len(dst)
+	// reaches max or the queue is empty, returning the extended slice.
+	PopBatch(dst []task, max int) []task
+	// Len is the approximate queued-task count (monitoring, admission).
+	Len() int
+	// Cap is the queue bound.
+	Cap() int
+	// Close stops the queue: pushes fail, Pop drains the remainder then
+	// reports false. Idempotent.
+	Close()
+}
+
+// newTaskQueue builds the configured queue implementation. depth is rounded
+// up to a power of two by the ring (the documented default depths already
+// are); the channel honors it exactly.
+func newTaskQueue(impl string, depth int) taskQueue {
+	if impl == QueueImplChannel {
+		return &chanQueue{ch: make(chan task, depth)}
+	}
+	return newRingQueue(depth)
+}
+
+// cacheLine keeps the ring's producer and consumer cursors on separate
+// cache lines so producer CAS traffic never invalidates the consumer's.
+const cacheLine = 64
+
+// ringSlot is one ring cell. seq is the slot's state in Vyukov's bounded
+// queue protocol: seq == pos means free for the producer claiming position
+// pos, seq == pos+1 means the task is published for the consumer, and after
+// consumption seq = pos+size frees it for the producer one lap ahead.
+type ringSlot struct {
+	seq atomic.Uint64
+	t   task
+}
+
+// ringQueue is a bounded MPSC ring. Producers claim slots with one CAS on
+// tail and publish via the slot's sequence number — no lock and no per-task
+// consumer wakeup while a consumer is running (the wake channel is touched
+// only when a consumer has announced it is parked). The consumer side is
+// serialized by consMu: whichever worker holds it drains an entire batch
+// with per-slot sequence reads and ONE head advance, then releases.
+type ringQueue struct {
+	_    [cacheLine]byte
+	tail atomic.Uint64 // next position a producer claims
+	_    [cacheLine - 8]byte
+	head atomic.Uint64 // next position the consumer reads
+	_    [cacheLine - 8]byte
+
+	mask  uint64
+	slots []ringSlot
+
+	// waiting is nonzero while a consumer is parked on wake. Producers
+	// check it after publishing (both sides use sequentially consistent
+	// atomics, so the consumer's announce-then-recheck cannot miss a
+	// publish-then-check producer: one of the two always sees the other).
+	waiting  atomic.Int32
+	closed   atomic.Bool
+	wake     chan struct{}
+	closedCh chan struct{}
+
+	// consMu serializes consumers (a shard runs WorkersPerShard of them).
+	// A blocking Pop parks on wake while KEEPING it: rival consumers queue
+	// on the mutex, so at most one parker exists and the waiting flag has a
+	// single owner — no lost wakeup with N workers. The non-blocking pops
+	// use TryLock so a worker probing the queue never blocks behind a
+	// parked rival (its lagged WAL flushes must not wait on traffic).
+	consMu sync.Mutex
+}
+
+func newRingQueue(depth int) *ringQueue {
+	// Minimum 2: with a single slot the protocol's "free for position pos"
+	// (seq == pos) and "published for the consumer" (seq == head+1) states
+	// collide and a producer can overwrite an unconsumed task.
+	size := 2
+	for size < depth {
+		size <<= 1
+	}
+	q := &ringQueue{
+		mask:     uint64(size - 1),
+		slots:    make([]ringSlot, size),
+		wake:     make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+	}
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+func (q *ringQueue) Cap() int { return len(q.slots) }
+
+// Len is approximate: tail and head are read independently, so a racing
+// push or pop can skew it by a few — fine for its consumers (admission
+// threshold, STATS, the split advisor).
+func (q *ringQueue) Len() int {
+	n := int64(q.tail.Load()) - int64(q.head.Load())
+	if n < 0 {
+		n = 0
+	}
+	if n > int64(len(q.slots)) {
+		n = int64(len(q.slots))
+	}
+	return int(n)
+}
+
+func (q *ringQueue) TryPush(t task) bool {
+	if q.closed.Load() {
+		return false
+	}
+	pos := q.tail.Load()
+	for {
+		slot := &q.slots[pos&q.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if q.tail.CompareAndSwap(pos, pos+1) {
+				slot.t = t
+				slot.seq.Store(pos + 1)
+				if q.waiting.Load() != 0 {
+					select {
+					case q.wake <- struct{}{}:
+					default:
+					}
+				}
+				return true
+			}
+			pos = q.tail.Load()
+		case seq < pos:
+			// The slot one lap back is still unconsumed: full.
+			return false
+		default:
+			// A racing producer advanced past us; reload and retry.
+			pos = q.tail.Load()
+		}
+	}
+}
+
+// popLocked dequeues up to max tasks into dst. Caller holds consMu. Slots
+// are freed for producers as they are read (per-slot seq store), but the
+// drain is claimed with a single head advance at the end.
+func (q *ringQueue) popLocked(dst []task, max int) []task {
+	pos := q.head.Load()
+	size := uint64(len(q.slots))
+	n := uint64(0)
+	for len(dst) < max {
+		slot := &q.slots[(pos+n)&q.mask]
+		if slot.seq.Load() != pos+n+1 {
+			break
+		}
+		dst = append(dst, slot.t)
+		slot.t = task{}
+		slot.seq.Store(pos + n + size)
+		n++
+	}
+	if n > 0 {
+		q.head.Store(pos + n)
+	}
+	return dst
+}
+
+func (q *ringQueue) TryPop() (task, bool) {
+	if !q.consMu.TryLock() {
+		// A rival worker is draining (or parked); let it have this round.
+		return task{}, false
+	}
+	var buf [1]task
+	got := q.popLocked(buf[:0], 1)
+	q.consMu.Unlock()
+	if len(got) == 1 {
+		return got[0], true
+	}
+	return task{}, false
+}
+
+func (q *ringQueue) PopBatch(dst []task, max int) []task {
+	if len(dst) >= max || !q.consMu.TryLock() {
+		return dst
+	}
+	dst = q.popLocked(dst, max)
+	q.consMu.Unlock()
+	return dst
+}
+
+func (q *ringQueue) Pop() (task, bool) {
+	q.consMu.Lock()
+	defer q.consMu.Unlock()
+	var buf [1]task
+	for {
+		if got := q.popLocked(buf[:0], 1); len(got) == 1 {
+			return got[0], true
+		}
+		if q.closed.Load() {
+			// Closed while we looped. A push that completed just before
+			// Close may have landed after the drain check above: check once
+			// more now that closed is observed, then report end-of-queue
+			// (no push can still be in flight once Close ran).
+			if got := q.popLocked(buf[:0], 1); len(got) == 1 {
+				return got[0], true
+			}
+			return task{}, false
+		}
+		q.waiting.Store(1)
+		// Recheck after announcing (the producer's publish-then-check and
+		// this announce-then-recheck form the standard no-lost-wakeup pair).
+		if q.slots[q.head.Load()&q.mask].seq.Load() == q.head.Load()+1 || q.closed.Load() {
+			q.waiting.Store(0)
+			continue
+		}
+		select {
+		case <-q.wake:
+		case <-q.closedCh:
+		}
+		q.waiting.Store(0)
+	}
+}
+
+func (q *ringQueue) Close() {
+	if q.closed.CompareAndSwap(false, true) {
+		close(q.closedCh)
+	}
+}
+
+// chanQueue adapts the original chan-based queue to taskQueue. It is the
+// semantics oracle for the ring and the QueueImplChannel fallback.
+type chanQueue struct {
+	ch        chan task
+	closeOnce sync.Once
+}
+
+func (q *chanQueue) Cap() int { return cap(q.ch) }
+func (q *chanQueue) Len() int { return len(q.ch) }
+
+func (q *chanQueue) TryPush(t task) bool {
+	select {
+	case q.ch <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+func (q *chanQueue) TryPop() (task, bool) {
+	select {
+	case t, ok := <-q.ch:
+		return t, ok
+	default:
+		return task{}, false
+	}
+}
+
+func (q *chanQueue) Pop() (task, bool) {
+	t, ok := <-q.ch
+	return t, ok
+}
+
+func (q *chanQueue) PopBatch(dst []task, max int) []task {
+	for len(dst) < max {
+		select {
+		case t, ok := <-q.ch:
+			if !ok {
+				return dst
+			}
+			dst = append(dst, t)
+		default:
+			return dst
+		}
+	}
+	return dst
+}
+
+func (q *chanQueue) Close() { q.closeOnce.Do(func() { close(q.ch) }) }

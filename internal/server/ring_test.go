@@ -1,0 +1,271 @@
+package server
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"votm/wire"
+)
+
+// qtask builds a uniquely identifiable task: producer p's n-th push (the
+// wire ID is 32 bits: producer in the top byte, sequence below).
+func qtask(p, n int) task {
+	return task{req: &wire.Request{ID: uint32(p)<<24 | uint32(n)}}
+}
+
+func qid(t task) (p, n int) {
+	return int(t.req.ID >> 24), int(t.req.ID & (1<<24 - 1))
+}
+
+// TestTaskQueueFIFO checks single-threaded semantics on both implementations:
+// FIFO order, full => TryPush false, Close => drain then end-of-queue.
+func TestTaskQueueFIFO(t *testing.T) {
+	for _, impl := range []string{QueueImplRing, QueueImplChannel} {
+		q := newTaskQueue(impl, 8)
+		if q.Cap() < 8 {
+			t.Fatalf("%s: Cap() = %d, want >= 8", impl, q.Cap())
+		}
+		for i := 0; i < q.Cap(); i++ {
+			if !q.TryPush(qtask(0, i)) {
+				t.Fatalf("%s: push %d rejected below capacity", impl, i)
+			}
+		}
+		if q.TryPush(qtask(0, 99)) {
+			t.Fatalf("%s: push accepted on a full queue", impl)
+		}
+		if got := q.Len(); got != q.Cap() {
+			t.Fatalf("%s: Len() = %d, want %d", impl, got, q.Cap())
+		}
+		// Drain half one-at-a-time, half batched: order must be push order.
+		next := 0
+		for ; next < q.Cap()/2; next++ {
+			tk, ok := q.TryPop()
+			if !ok {
+				t.Fatalf("%s: TryPop empty with %d queued", impl, q.Len())
+			}
+			if _, n := qid(tk); n != next {
+				t.Fatalf("%s: popped %d, want %d (FIFO)", impl, n, next)
+			}
+		}
+		batch := q.PopBatch(nil, q.Cap())
+		if len(batch) != q.Cap()-next {
+			t.Fatalf("%s: PopBatch got %d, want %d", impl, len(batch), q.Cap()-next)
+		}
+		for _, tk := range batch {
+			if _, n := qid(tk); n != next {
+				t.Fatalf("%s: batch popped %d, want %d (FIFO)", impl, n, next)
+			}
+			next++
+		}
+		// Close with one task queued: Pop drains it, then reports closed.
+		if !q.TryPush(qtask(0, 100)) {
+			t.Fatalf("%s: push rejected on empty queue", impl)
+		}
+		q.Close()
+		// Pushing after Close is outside the contract (the server only closes
+		// after reqWG drains); the ring rejects it anyway, the channel cannot.
+		if impl == QueueImplRing && q.TryPush(qtask(0, 101)) {
+			t.Fatalf("%s: push accepted after Close", impl)
+		}
+		if tk, ok := q.Pop(); !ok || tk.req.ID != qtask(0, 100).req.ID {
+			t.Fatalf("%s: Pop after Close = (%v, %v), want the queued task", impl, tk.req, ok)
+		}
+		if _, ok := q.Pop(); ok {
+			t.Fatalf("%s: Pop reported a task on a closed drained queue", impl)
+		}
+	}
+}
+
+// TestRingQueueMinSize is the regression for the size-1 degeneration: a
+// Vyukov ring needs at least two slots or a second producer can overwrite an
+// unconsumed task ("free for pos" and "published for head" states collide).
+// QueueDepth 1 must still hand every pushed task to the consumer.
+func TestRingQueueMinSize(t *testing.T) {
+	q := newRingQueue(1)
+	if q.Cap() < 2 {
+		t.Fatalf("Cap() = %d, want >= 2 (size-1 rings degenerate)", q.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		if !q.TryPush(qtask(0, i)) {
+			t.Fatalf("push %d rejected on empty ring", i)
+		}
+		// With >= 2 slots a second push may land before the first pop...
+		q.TryPush(qtask(0, 1000+i))
+		// ...and both must come out, in order, without loss.
+		tk, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("round %d: pushed task lost", i)
+		}
+		if _, n := qid(tk); n != i {
+			t.Fatalf("round %d: popped %d, want %d", i, n, i)
+		}
+		for {
+			tk, ok := q.TryPop()
+			if !ok {
+				break
+			}
+			if _, n := qid(tk); n != 1000+i {
+				t.Fatalf("round %d: second pop = %d, want %d", i, n, 1000+i)
+			}
+		}
+	}
+}
+
+// TestTaskQueueCloseWakesPop checks Close unblocks a parked consumer.
+func TestTaskQueueCloseWakesPop(t *testing.T) {
+	for _, impl := range []string{QueueImplRing, QueueImplChannel} {
+		q := newTaskQueue(impl, 8)
+		done := make(chan bool, 1)
+		go func() {
+			_, ok := q.Pop()
+			done <- ok
+		}()
+		time.Sleep(10 * time.Millisecond) // let it park
+		q.Close()
+		select {
+		case ok := <-done:
+			if ok {
+				t.Fatalf("%s: Pop returned a task from an empty closed queue", impl)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: Pop still blocked after Close", impl)
+		}
+	}
+}
+
+// TestTaskQueueDifferential is the differential fuzz: N producers hammer the
+// queue while consumers drain it with the same mixed pop calls the worker
+// loop uses, on BOTH implementations — the channel is the semantics oracle
+// the ring must match. Invariants: every accepted push is consumed exactly
+// once (no loss, no duplication), and with a single consumer each producer's
+// tasks arrive in its push order.
+func TestTaskQueueDifferential(t *testing.T) {
+	producers := 4
+	perProducer := 20000
+	if testing.Short() {
+		perProducer = 2000
+	}
+	for _, impl := range []string{QueueImplRing, QueueImplChannel} {
+		for _, consumers := range []int{1, 3} {
+			q := newTaskQueue(impl, 64)
+			total := producers * perProducer
+
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for n := 0; n < perProducer; n++ {
+						for !q.TryPush(qtask(p, n)) {
+							runtime.Gosched() // full: the BUSY path, just retry here
+						}
+					}
+				}(p)
+			}
+
+			got := make(chan task, total)
+			var cwg sync.WaitGroup
+			for c := 0; c < consumers; c++ {
+				cwg.Add(1)
+				go func(seed int64) {
+					defer cwg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					buf := make([]task, 0, 16)
+					for {
+						switch rng.Intn(3) {
+						case 0:
+							tk, ok := q.Pop()
+							if !ok {
+								return
+							}
+							got <- tk
+						case 1:
+							if tk, ok := q.TryPop(); ok {
+								got <- tk
+							}
+						default:
+							buf = q.PopBatch(buf[:0], 1+rng.Intn(16))
+							for _, tk := range buf {
+								got <- tk
+							}
+						}
+					}
+				}(int64(consumers*100 + c))
+			}
+
+			wg.Wait()
+			q.Close() // producers done: consumers drain the tail and exit
+			cwg.Wait()
+			close(got)
+
+			seen := make(map[uint32]int, total)
+			lastPerProducer := make([]int, producers)
+			for i := range lastPerProducer {
+				lastPerProducer[i] = -1
+			}
+			count := 0
+			for tk := range got {
+				count++
+				seen[tk.req.ID]++
+				p, n := qid(tk)
+				if consumers == 1 && n <= lastPerProducer[p] {
+					t.Fatalf("%s/%dc: producer %d order violated: %d after %d",
+						impl, consumers, p, n, lastPerProducer[p])
+				}
+				lastPerProducer[p] = n
+			}
+			if count != total {
+				t.Fatalf("%s/%dc: consumed %d tasks, want %d (lost or duplicated)",
+					impl, consumers, count, total)
+			}
+			for id, c := range seen {
+				if c != 1 {
+					t.Fatalf("%s/%dc: task %x consumed %d times", impl, consumers, id, c)
+				}
+			}
+		}
+	}
+}
+
+// TestRingQueueWakeup checks the publish-then-check / announce-then-recheck
+// pairing: a consumer that parks on an empty ring is woken by the next push,
+// repeatedly, with no lost wakeups.
+func TestRingQueueWakeup(t *testing.T) {
+	q := newRingQueue(8)
+	rounds := 500
+	if testing.Short() {
+		rounds = 50
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			tk, ok := q.Pop()
+			if !ok {
+				return
+			}
+			if _, n := qid(tk); n != i {
+				t.Errorf("round %d: popped %d", i, n)
+				return
+			}
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		for !q.TryPush(qtask(0, i)) {
+			runtime.Gosched()
+		}
+		// Let the consumer drain and park again some of the time.
+		if i%7 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer deadlocked: lost wakeup")
+	}
+	q.Close()
+}

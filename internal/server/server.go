@@ -53,8 +53,25 @@ type Config struct {
 	// BatchMax bounds the group a shard worker drains per wakeup and
 	// executes inside one view transaction — one RAC admission and one
 	// begin/commit (at Q=1, one lock acquisition) amortized over the whole
-	// group (see group.go). 1 disables grouping. Default 16.
+	// group (see group.go). 1 disables grouping. Default 16. With
+	// AdaptiveBatch it is the ceiling the controller may deepen to.
 	BatchMax int
+	// AdaptiveBatch drives the effective group size, flush-lag bound and
+	// queue admission from a per-shard controller fed by the signals RAC
+	// already samples — δ(Q), abort rate, queue depth, per-group service
+	// time (adapt.go) — instead of batching statically at BatchMax.
+	// Default off.
+	AdaptiveBatch bool
+	// LatencyBudget is the adaptive admission gate's target bound on
+	// queueing delay: arrivals that would push the queue's estimated drain
+	// time past it are shed with BUSY before the queue fills. Only
+	// meaningful with AdaptiveBatch. Default 20ms.
+	LatencyBudget time.Duration
+	// QueueImpl selects the per-shard dispatch queue: QueueImplRing
+	// (default; lock-free MPSC ring, see ring.go) or QueueImplChannel (the
+	// chan-based implementation, kept for differential testing and
+	// rollback). The ring rounds QueueDepth up to a power of two.
+	QueueImpl string
 	// MaxValueLen bounds value sizes. Default 64 KiB.
 	MaxValueLen int
 
@@ -188,6 +205,12 @@ func (c Config) withDefaults() Config {
 	if c.BatchMax > c.QueueDepth {
 		c.BatchMax = c.QueueDepth
 	}
+	if c.LatencyBudget <= 0 {
+		c.LatencyBudget = 20 * time.Millisecond
+	}
+	if c.QueueImpl == "" {
+		c.QueueImpl = QueueImplRing
+	}
 	if c.MaxValueLen <= 0 {
 		c.MaxValueLen = 64 << 10
 	}
@@ -262,6 +285,15 @@ func (c Config) validate() error {
 			return fmt.Errorf("server: Config.%s must not be negative, got %d", s.name, s.v)
 		}
 	}
+	switch c.QueueImpl {
+	case "", QueueImplRing, QueueImplChannel:
+	default:
+		return fmt.Errorf("server: unknown Config.QueueImpl %q (want %q or %q)",
+			c.QueueImpl, QueueImplRing, QueueImplChannel)
+	}
+	if c.LatencyBudget < 0 {
+		return fmt.Errorf("server: Config.LatencyBudget must not be negative, got %v", c.LatencyBudget)
+	}
 	// A maximal value must still encode into one frame (key, status and
 	// framing overhead stay well under 1 KiB).
 	if c.MaxValueLen > wire.MaxFrame-1024 {
@@ -307,6 +339,15 @@ func (c Config) validate() error {
 	return nil
 }
 
+// Config.QueueImpl values.
+const (
+	// QueueImplRing is the lock-free MPSC ring queue (ring.go), the default.
+	QueueImplRing = "ring"
+	// QueueImplChannel is the chan-based queue the ring replaced, kept
+	// selectable for differential testing and as a rollback path.
+	QueueImplChannel = "channel"
+)
+
 // ErrServerDraining is returned for operations attempted after Shutdown
 // began (e.g. a shard split racing the drain).
 var ErrServerDraining = errors.New("server: draining")
@@ -331,6 +372,13 @@ type Server struct {
 	nextViewID  atomic.Int64 // view IDs for split-born sub-shards
 	monitorStop chan struct{}
 	monitorWG   sync.WaitGroup
+
+	// hwWin is the current queue-high-water window index, advanced by a
+	// coarse-clock ticker goroutine so the per-request enqueue path
+	// (shard.noteDepth) never reads the real clock.
+	hwWin     atomic.Int64
+	hwWinStop chan struct{}
+	hwWinWG   sync.WaitGroup
 
 	// xidBase makes cross-shard prepare IDs unique across process
 	// incarnations: decided prepares stay behind in the logs, and recovery
@@ -410,12 +458,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		sh := &shard{
-			id:    i,
-			view:  v,
-			idx:   idx,
-			queue: make(chan task, cfg.QueueDepth),
-		}
+		sh := s.newShard(i, v, idx)
 		if durable {
 			// Recover before any worker or connection exists: the do* helpers
 			// apply snapshot entries and replayed records WAL-free.
@@ -445,6 +488,10 @@ func New(cfg Config) (*Server, error) {
 		// without further synchronization.
 		s.cluster = newClusterNode(s)
 	}
+	s.hwWin.Store(time.Now().UnixNano() / int64(hwWindow))
+	s.hwWinStop = make(chan struct{})
+	s.hwWinWG.Add(1)
+	go s.hwWinLoop()
 	for _, sh := range seeds {
 		for w := 0; w < cfg.WorkersPerShard; w++ {
 			s.workersWG.Add(1)
@@ -470,6 +517,24 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// newShard builds one serving sub-shard wired to the configured queue
+// implementation and batching controller (New's seed shards and split-born
+// children alike).
+func (s *Server) newShard(id int, v *votm.View, idx *ds.SkipList) *shard {
+	sh := &shard{
+		id:    id,
+		view:  v,
+		idx:   idx,
+		queue: newTaskQueue(s.cfg.QueueImpl, s.cfg.QueueDepth),
+	}
+	sh.ctl = newShardController(s.cfg.AdaptiveBatch, adaptParams{
+		BatchMax:        s.cfg.BatchMax,
+		QueueCap:        sh.queue.Cap(),
+		LatencyBudgetNs: int64(s.cfg.LatencyBudget),
+	})
+	return sh
 }
 
 // allSubShards snapshots every serving sub-shard across all groups.
@@ -605,6 +670,10 @@ func (s *Server) shutdown(ctx context.Context) error {
 		close(s.monitorStop)
 		s.monitorWG.Wait()
 	}
+	if s.hwWinStop != nil {
+		close(s.hwWinStop)
+		s.hwWinWG.Wait()
+	}
 	if s.snapshotStop != nil {
 		close(s.snapshotStop)
 		s.snapshotWG.Wait()
@@ -644,7 +713,7 @@ func (s *Server) shutdown(ctx context.Context) error {
 
 	// All dispatched requests are answered: retire the worker pools.
 	for _, sh := range s.allSubShards() {
-		close(sh.queue)
+		sh.queue.Close()
 	}
 	s.workersWG.Wait()
 
@@ -694,49 +763,67 @@ func (s *Server) forceCloseConns() {
 }
 
 // worker is one shard transaction worker: it owns a runtime thread handle
-// and a retained groupWorker, blocks for one task, then drains up to
-// BatchMax-1 more without blocking and executes the whole group as one
-// transaction (group.go). At drain the closed queue first yields its
+// and a retained groupWorker, blocks for one task, then drains up to the
+// controller's group bound without blocking and executes the whole group as
+// one transaction (group.go). At drain the closed queue first yields its
 // buffered remainder — grouped like any other batch, every request answered
-// — and then ends the loop.
+// — and then ends the loop. With AdaptiveBatch each drain cycle is timed and
+// fed back to the shard controller, which moves the group bound and the
+// admission threshold for the next one.
 func (s *Server) worker(sh *shard) {
 	defer s.workersWG.Done()
 	th := s.rt.RegisterThread()
 	defer th.Release()
 	w := newGroupWorker(s, sh, th)
 	defer w.close()
+	adaptive := sh.ctl.adaptive()
 	batch := make([]task, 0, s.cfg.BatchMax)
+	drains := 0
 	for {
 		// No committed group may wait on a flush across a blocking receive:
 		// take the next task without flushing while the queue stays hot, but
 		// settle every lagged group the moment the shard would go idle.
-		var (
-			t  task
-			ok bool
-		)
-		select {
-		case t, ok = <-sh.queue:
-		default:
-			w.flushPending()
-			t, ok = <-sh.queue
-		}
+		t, ok := sh.queue.TryPop()
 		if !ok {
-			return
-		}
-		batch = append(batch[:0], t)
-	fill:
-		for len(batch) < cap(batch) {
-			select {
-			case t, ok := <-sh.queue:
-				if !ok {
-					break fill
-				}
-				batch = append(batch, t)
-			default:
-				break fill
+			w.flushPending()
+			if t, ok = sh.queue.Pop(); !ok {
+				return
 			}
 		}
+		batch = append(batch[:0], t)
+		batch = sh.queue.PopBatch(batch, sh.ctl.groupSize())
+		// Sample every observeEvery-th drain: the clock reads and the
+		// controller mutex would otherwise tax every group by a steady
+		// percent, and the controller's hysteresis only needs a stream of
+		// representative cycles, not all of them.
+		if drains++; !adaptive || drains%observeEvery != 0 {
+			w.run(batch)
+			continue
+		}
+		start := time.Now()
 		w.run(batch)
+		sh.ctl.observe(sh.queue.Len(), len(batch), time.Since(start), sh.view.Controller().Signal())
+	}
+}
+
+// observeEvery is the worker's drain-cycle sampling stride for the adaptive
+// batch controller.
+const observeEvery = 8
+
+// hwWinLoop advances the coarse high-water window clock. Ticking at a
+// quarter window keeps the worst-case misfiling well inside the ±1-window
+// slack the meter already tolerates.
+func (s *Server) hwWinLoop() {
+	defer s.hwWinWG.Done()
+	tick := time.NewTicker(hwWindow / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.hwWinStop:
+			return
+		case now := <-tick.C:
+			s.hwWin.Store(now.UnixNano() / int64(hwWindow))
+		}
 	}
 }
 
@@ -798,6 +885,11 @@ func (s *Server) statsResponse(req *wire.Request) *wire.Response {
 				Groups:         uint64(snap.Totals.Groups),
 				GroupOps:       uint64(snap.Totals.GroupOps),
 				QueueHighWater: sh.queueHW.Load(),
+
+				EffectiveBatch:    uint64(sh.ctl.groupSize()),
+				AdmissionRejects:  sh.admissionRejects.Load(),
+				RingFullEvents:    sh.ringFull.Load(),
+				QueueHighWaterWin: sh.queueHWRecent(),
 
 				WalAppends:      sh.walAppends.Load(),
 				WalBytes:        sh.walBytes.Load(),

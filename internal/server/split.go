@@ -193,8 +193,8 @@ func (s *Server) monitor() {
 				snap := sh.view.Snapshot()
 				load := viewmgr.ShardLoad{
 					Keys:     sh.keys.Load(),
-					QueueLen: len(sh.queue),
-					QueueCap: cap(sh.queue),
+					QueueLen: sh.queue.Len(),
+					QueueCap: sh.queue.Cap(),
 					Delta:    snap.Delta,
 					Quota:    snap.Quota,
 				}
@@ -248,12 +248,7 @@ func (s *Server) splitShard(g *shardGroup, sh *shard) error {
 		_ = s.rt.DestroyView(vid)
 		return err
 	}
-	child := &shard{
-		id:    sh.id,
-		view:  v,
-		idx:   idx,
-		queue: make(chan task, s.cfg.QueueDepth),
-	}
+	child := s.newShard(sh.id, v, idx)
 	child.routeBits.Store(packRoute(prefix|1<<depth, depth+1))
 
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"votm"
 	"votm/ds"
@@ -33,12 +34,27 @@ type shard struct {
 	id    int // wire-level shard index (the routing group)
 	view  *votm.View
 	idx   *ds.SkipList
-	queue chan task
-	keys  atomic.Int64
-	// queueHW is the high-water mark of the queue depth observed at
-	// dispatch, served by STATS: deep queues mean workers fall behind and
-	// grouping has material batches to drain.
-	queueHW atomic.Uint64
+	queue taskQueue
+	// ctl drives the shard's effective group size, flush-lag bound and
+	// admission threshold (adapt.go); in static mode it just pins BatchMax.
+	ctl  *shardController
+	keys atomic.Int64
+	// queueHW is the lifetime high-water mark of the queue depth observed
+	// at dispatch. Because it never decays, STATS also serves a windowed
+	// variant (queueHWCur/queueHWPrev, rotated every hwWindow): operators
+	// and the adaptive controller see *current* pressure, not a startup
+	// burst from an hour ago.
+	queueHW      atomic.Uint64
+	queueHWCur   atomic.Uint64
+	queueHWPrev  atomic.Uint64
+	queueHWStamp atomic.Int64 // window index of queueHWCur
+
+	// Adaptive-batching rejection meters: admissionRejects counts BUSY
+	// answers from the controller's latency-budget gate, ringFull the ones
+	// from the queue actually being full (the only BUSY source before
+	// adaptive batching).
+	admissionRejects atomic.Uint64
+	ringFull         atomic.Uint64
 	// routeBits is the packed routing rule (packRoute): low 32 bits the
 	// prefix, high bits the depth. Published atomically by splitShard while
 	// the view is quiescent; {0, 0} matches every key.
@@ -76,14 +92,58 @@ type shard struct {
 	scannedKeys atomic.Uint64
 }
 
-// noteDepth records the queue depth seen right after an enqueue.
-func (sh *shard) noteDepth(depth uint64) {
+// hwWindow is the rotation period of the windowed queue high-water mark.
+const hwWindow = 15 * time.Second
+
+// noteDepth records the queue depth seen right after an enqueue, in both the
+// lifetime and the current-window high-water marks. win is the caller's
+// window index — the dispatch paths pass the server's coarse ticker-driven
+// clock (Server.hwWin) rather than reading time.Now here: this runs once
+// per enqueued request, and a clock read costs a measurable slice of the
+// whole datapath (it showed up as several percent on the loopback
+// benchmark).
+func (sh *shard) noteDepth(depth uint64, win int64) {
+	maxInto(&sh.queueHW, depth)
+	sh.rotateHW(win)
+	maxInto(&sh.queueHWCur, depth)
+}
+
+// maxInto CAS-raises m to at least v.
+func maxInto(m *atomic.Uint64, v uint64) {
 	for {
-		cur := sh.queueHW.Load()
-		if depth <= cur || sh.queueHW.CompareAndSwap(cur, depth) {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
 			return
 		}
 	}
+}
+
+// rotateHW starts a fresh high-water window when win has moved on, keeping
+// the finished window in queueHWPrev (a stale gap reports zero: nothing
+// recent happened). Racing rotators and enqueues can misfile a sample by
+// one window; the mark is a monitoring meter and tolerates that.
+func (sh *shard) rotateHW(win int64) {
+	old := sh.queueHWStamp.Load()
+	if old >= win {
+		// Same window, or a stale caller (clock read raced a rotation):
+		// rotation only moves forward.
+		return
+	}
+	if sh.queueHWStamp.CompareAndSwap(old, win) {
+		if old == win-1 {
+			sh.queueHWPrev.Store(sh.queueHWCur.Load())
+		} else {
+			sh.queueHWPrev.Store(0)
+		}
+		sh.queueHWCur.Store(0)
+	}
+}
+
+// queueHWRecent is the high-water over the current and previous windows —
+// the decayed pressure signal STATS serves beside the lifetime mark.
+func (sh *shard) queueHWRecent() uint64 {
+	sh.rotateHW(time.Now().UnixNano() / int64(hwWindow))
+	return max(sh.queueHWCur.Load(), sh.queueHWPrev.Load())
 }
 
 // shardGroup is one wire-level shard: the copy-on-write set of sub-shards

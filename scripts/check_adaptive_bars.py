@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Check the ISSUE 10 acceptance bars against BENCH_server.json.
+
+Per workload (peak = the best cell across engines):
+  * best adaptive ops/sec >= best static batch16 ops/sec
+  * the peak adaptive cell's p999 <= 1.5x the best (lowest) static batch1 p999
+Overload: the adaptive cell must shed (busy-share > 0) and hold p999 under
+the static cell's.
+"""
+import json
+import re
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_server.json"
+with open(path) as f:
+    data = json.load(f)
+
+cells = {}
+for b in data["benchmarks"]:
+    m = re.match(
+        r"BenchmarkServerThroughput/(\w+)/(\w+)/(batch1|batch16|adaptive)$",
+        b["name"],
+    )
+    if m:
+        wl, eng, kind = m.groups()
+        cells.setdefault(wl, {}).setdefault(kind, []).append(
+            (b["metrics"]["ops/sec"], b["metrics"]["p999-ns"], eng)
+        )
+
+ok = True
+for wl, kinds in cells.items():
+    best_adaptive = max(kinds["adaptive"])
+    best_b16 = max(kinds["batch16"])
+    best_b1_p999 = min(p for _, p, _ in kinds["batch1"])
+    tput_ok = best_adaptive[0] >= best_b16[0]
+    p999_ok = best_adaptive[1] <= 1.5 * best_b1_p999
+    ok &= tput_ok and p999_ok
+    print(
+        f"{wl}: adaptive {best_adaptive[0]:.0f} ops/s ({best_adaptive[2]}) "
+        f"vs batch16 {best_b16[0]:.0f} ({best_b16[2]}) "
+        f"[{'OK' if tput_ok else 'FAIL'}]; "
+        f"p999 {best_adaptive[1]/1e6:.2f}ms vs 1.5x batch1 "
+        f"{1.5*best_b1_p999/1e6:.2f}ms [{'OK' if p999_ok else 'FAIL'}]"
+    )
+
+over = {}
+for b in data["benchmarks"]:
+    m = re.match(r"BenchmarkServerOverload/\w+/\w+/(\w+)/overload$", b["name"])
+    if m:
+        over[m.group(1)] = b["metrics"]
+if over:
+    a, s = over["adaptive"], over["static16"]
+    shed_ok = a.get("busy-share", 0) > 0 and a.get("adm-rejects", 0) > 0
+    bound_ok = a["p999-ns"] < s["p999-ns"]
+    ok &= shed_ok and bound_ok
+    print(
+        f"overload: busy-share {a.get('busy-share', 0):.2f} "
+        f"[{'OK' if shed_ok else 'FAIL'}]; p999 {a['p999-ns']/1e6:.2f}ms "
+        f"vs static {s['p999-ns']/1e6:.2f}ms [{'OK' if bound_ok else 'FAIL'}]"
+    )
+else:
+    ok = False
+    print("overload cells missing")
+
+sys.exit(0 if ok else 1)

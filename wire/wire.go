@@ -28,14 +28,15 @@ import (
 // ShardStats' scan meters; version 5 added the cluster control plane — the
 // SHARDMAP_* opcodes (epoch-versioned shard→node assignments), the
 // node-to-node REPLICATE/HANDOFF stream opcodes, the WRONG_SHARD status
-// (epoch-stamped redirect) and ShardStats' replication meters. Request
-// layouts of the pre-existing opcodes are identical in versions 1-5; OpScan
-// frames are valid only at version 4+, the cluster opcodes only at
-// version 5. Decoders accept any version in [MinVersion, Version] — an
-// older STATS frame simply carries fewer fields — and must reject frames
-// outside that range with StatusBadRequest (servers) or ErrProtocol
-// (clients).
-const Version = 5
+// (epoch-stamped redirect) and ShardStats' replication meters; version 6
+// added ShardStats' adaptive-batching meters (EffectiveBatch,
+// AdmissionRejects, RingFullEvents, QueueHighWaterWin). Request layouts of
+// the pre-existing opcodes are identical in versions 1-6; OpScan frames are
+// valid only at version 4+, the cluster opcodes only at version 5+.
+// Decoders accept any version in [MinVersion, Version] — an older STATS
+// frame simply carries fewer fields — and must reject frames outside that
+// range with StatusBadRequest (servers) or ErrProtocol (clients).
+const Version = 6
 
 // MinVersion is the oldest protocol version decoders still accept.
 const MinVersion = 1
@@ -412,6 +413,18 @@ type ShardStats struct {
 	FollowerAcks      uint64
 	ReplicaLagRecords uint64
 	Handoffs          uint64
+
+	// Adaptive-batching meters (version 6; zero when decoding an older
+	// frame). EffectiveBatch is the controller's current group-size bound
+	// (the static BatchMax when adaptive batching is off). AdmissionRejects
+	// counts BUSY answers from the latency-budget admission gate,
+	// RingFullEvents the ones from the dispatch queue actually being full.
+	// QueueHighWaterWin is the queue high-water over the last two 15 s
+	// windows — the decayed companion to the lifetime QueueHighWater.
+	EffectiveBatch    uint64
+	AdmissionRejects  uint64
+	RingFullEvents    uint64
+	QueueHighWaterWin uint64
 }
 
 // SnapshotNever is the SnapshotAgeSec sentinel meaning "no snapshot yet".
@@ -779,6 +792,8 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				s.CrossShardGroups, s.CrossShardPrepares, s.PrepareAborts,
 				s.Scans, s.ScannedKeys,
 				s.FollowerAcks, s.ReplicaLagRecords, s.Handoffs,
+				s.EffectiveBatch, s.AdmissionRejects, s.RingFullEvents,
+				s.QueueHighWaterWin,
 			} {
 				p = appendU64(p, v)
 			}
@@ -1240,6 +1255,12 @@ func (resp *Response) parse(p []byte) error {
 				s.FollowerAcks = c.u64()
 				s.ReplicaLagRecords = c.u64()
 				s.Handoffs = c.u64()
+			}
+			if ver >= 6 {
+				s.EffectiveBatch = c.u64()
+				s.AdmissionRejects = c.u64()
+				s.RingFullEvents = c.u64()
+				s.QueueHighWaterWin = c.u64()
 			}
 			resp.Stats = append(resp.Stats, s)
 		}

@@ -128,6 +128,14 @@ func TestResponseRoundTrip(t *testing.T) {
 			WalAppends: 5, Fsyncs: 2,
 			CrossShardGroups: 3, CrossShardPrepares: 6, PrepareAborts: 1,
 		}}},
+		// v6 STATS: the adaptive-batching meters must survive the round trip.
+		{Op: OpStats, ID: 20, Stats: []ShardStats{{
+			Shard: 3, Engine: "oreceager", Quota: 4, Commits: 21,
+			Groups: 2, GroupOps: 18, QueueHighWater: 40,
+			FollowerAcks: 8, ReplicaLagRecords: 1, Handoffs: 2,
+			EffectiveBatch: 8, AdmissionRejects: 17,
+			RingFullEvents: 3, QueueHighWaterWin: 12,
+		}}},
 		// A cross-shard batch that lost the routing race against a live
 		// repartition: BUSY with the server's detail, no sub results.
 		{Op: OpAtomic, ID: 14, Status: StatusBusy,
@@ -211,14 +219,16 @@ func TestOldVersionStatsDecode(t *testing.T) {
 	stamped.CrossShardGroups, stamped.CrossShardPrepares, stamped.PrepareAborts = 7, 14, 1
 	stamped.Scans, stamped.ScannedKeys = 21, 2100
 	stamped.FollowerAcks, stamped.ReplicaLagRecords, stamped.Handoffs = 11, 2, 1
+	stamped.EffectiveBatch, stamped.AdmissionRejects = 8, 4
+	stamped.RingFullEvents, stamped.QueueHighWaterWin = 2, 6
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 1, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v5 frame as its v1 equivalent: drop the five durability,
-	// three cross-shard, two scan and three replication trailing u64s, then
-	// downgrade the version byte.
-	const v1Trailing = (5 + 3 + 2 + 3) * 8
+	// Rewrite the v6 frame as its v1 equivalent: drop the five durability,
+	// three cross-shard, two scan, three replication and four adaptive-
+	// batching trailing u64s, then downgrade the version byte.
+	const v1Trailing = (5 + 3 + 2 + 3 + 4) * 8
 	frame = frame[:len(frame)-v1Trailing]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 1
@@ -244,14 +254,16 @@ func TestV2StatsDecode(t *testing.T) {
 	stamped.CrossShardGroups, stamped.CrossShardPrepares, stamped.PrepareAborts = 4, 8, 2
 	stamped.Scans, stamped.ScannedKeys = 5, 500
 	stamped.FollowerAcks, stamped.ReplicaLagRecords, stamped.Handoffs = 7, 3, 2
+	stamped.EffectiveBatch, stamped.AdmissionRejects = 16, 9
+	stamped.RingFullEvents, stamped.QueueHighWaterWin = 5, 2
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 2, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v5 frame as its v2 equivalent: drop the three cross-shard,
-	// two scan and three replication trailing u64s, then downgrade the
-	// version byte.
-	const xsBytes = (3 + 2 + 3) * 8
+	// Rewrite the v6 frame as its v2 equivalent: drop the three cross-shard,
+	// two scan, three replication and four adaptive-batching trailing u64s,
+	// then downgrade the version byte.
+	const xsBytes = (3 + 2 + 3 + 4) * 8
 	frame = frame[:len(frame)-xsBytes]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 2
@@ -277,13 +289,16 @@ func TestV3StatsDecode(t *testing.T) {
 	stamped := want
 	stamped.Scans, stamped.ScannedKeys = 6, 600
 	stamped.FollowerAcks, stamped.ReplicaLagRecords, stamped.Handoffs = 9, 1, 3
+	stamped.EffectiveBatch, stamped.AdmissionRejects = 4, 1
+	stamped.RingFullEvents, stamped.QueueHighWaterWin = 7, 3
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 3, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v5 frame as its v3 equivalent: drop the two scan and three
-	// replication trailing u64s and downgrade the version byte.
-	const scanBytes = (2 + 3) * 8
+	// Rewrite the v6 frame as its v3 equivalent: drop the two scan, three
+	// replication and four adaptive-batching trailing u64s and downgrade the
+	// version byte.
+	const scanBytes = (2 + 3 + 4) * 8
 	frame = frame[:len(frame)-scanBytes]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 3
@@ -309,13 +324,15 @@ func TestV4StatsDecode(t *testing.T) {
 	}
 	stamped := want
 	stamped.FollowerAcks, stamped.ReplicaLagRecords, stamped.Handoffs = 42, 5, 2
+	stamped.EffectiveBatch, stamped.AdmissionRejects = 2, 3
+	stamped.RingFullEvents, stamped.QueueHighWaterWin = 1, 4
 	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 4, Stats: []ShardStats{stamped}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v5 frame as its v4 equivalent: drop the three trailing
-	// replication u64s and downgrade the version byte.
-	const replBytes = 3 * 8
+	// Rewrite the v6 frame as its v4 equivalent: drop the three replication
+	// and four adaptive-batching trailing u64s and downgrade the version byte.
+	const replBytes = (3 + 4) * 8
 	frame = frame[:len(frame)-replBytes]
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame[4] = 4
@@ -325,6 +342,41 @@ func TestV4StatsDecode(t *testing.T) {
 	}
 	if len(got.Stats) != 1 || !reflect.DeepEqual(got.Stats[0], want) {
 		t.Errorf("v4 STATS decode:\n got %+v\nwant %+v", got.Stats, want)
+	}
+}
+
+// TestV5StatsDecode: a version-5 STATS response carries the replication
+// meters but predates the adaptive-batching meters; those must decode as
+// zero.
+func TestV5StatsDecode(t *testing.T) {
+	want := ShardStats{
+		Shard: 6, Engine: "oreceager", Quota: 4, Commits: 33, Delta: 0.5,
+		Keys: 12, Groups: 5, GroupOps: 25, QueueHighWater: 9,
+		WalAppends: 6, WalBytes: 512, Fsyncs: 3,
+		SnapshotAgeSec: 2, ReplayedRecords: 1,
+		CrossShardGroups: 1, CrossShardPrepares: 2, PrepareAborts: 0,
+		Scans: 3, ScannedKeys: 300,
+		FollowerAcks: 17, ReplicaLagRecords: 4, Handoffs: 1,
+	}
+	stamped := want
+	stamped.EffectiveBatch, stamped.AdmissionRejects = 16, 21
+	stamped.RingFullEvents, stamped.QueueHighWaterWin = 8, 11
+	frame, err := AppendResponse(nil, &Response{Op: OpStats, ID: 5, Stats: []ShardStats{stamped}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v6 frame as its v5 equivalent: drop the four trailing
+	// adaptive-batching u64s and downgrade the version byte.
+	const adaptBytes = 4 * 8
+	frame = frame[:len(frame)-adaptBytes]
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+	frame[4] = 5
+	got, err := ReadResponse(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("v5 STATS decode: %v", err)
+	}
+	if len(got.Stats) != 1 || !reflect.DeepEqual(got.Stats[0], want) {
+		t.Errorf("v5 STATS decode:\n got %+v\nwant %+v", got.Stats, want)
 	}
 }
 
